@@ -1,0 +1,193 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (section 6) plus the quantitative claims of sections 4 and
+// 6.3. See DESIGN.md for the experiment index.
+//
+// Usage:
+//
+//	experiments [-run all|table1|table2|figure1|figure2|figure3|figure4|
+//	             figure5|figure6|accuracy|agreement|pathology] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pipemap/internal/apps"
+	"pipemap/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	which := fs.String("run", "all", "experiment to run (all, table1, table2, figure1..figure6, accuracy, agreement, pathology, tradeoff, quality, training, secondorder, sweep, commmatters)")
+	seed := fs.Int64("seed", 7, "seed for simulated measurements")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	run := func(name string) bool { return *which == "all" || *which == name }
+	ran := false
+
+	if run("table1") {
+		ran = true
+		rows, err := bench.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== Table 1: Optimal and Feasible Optimal Mappings for FFT-Hist ==\n\n%s\n",
+			bench.RenderTable1(rows))
+	}
+	if run("table2") {
+		ran = true
+		rows, err := bench.Table2(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== Table 2: Performance Results ==\n\n%s\n", bench.RenderTable2(rows))
+	}
+	if run("figure1") {
+		ran = true
+		rows, err := bench.Figure1()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== Figure 1: Combinations of data and task parallel mappings ==\n\n%s\n",
+			bench.RenderFigure1(rows))
+	}
+	if run("figure2") {
+		ran = true
+		s, err := bench.Figure2()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== %s\n", s)
+	}
+	if run("figure3") {
+		ran = true
+		s, err := bench.Figure3()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== %s\n", s)
+	}
+	if run("figure4") {
+		ran = true
+		s, err := bench.Figure4()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== %s\n", s)
+	}
+	if run("figure5") {
+		ran = true
+		fmt.Fprintf(w, "== %s\n", bench.Figure5())
+	}
+	if run("figure6") {
+		ran = true
+		s, err := bench.Figure6()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== %s\n", s)
+	}
+	if run("accuracy") {
+		ran = true
+		cfgs, err := apps.Table2Configs()
+		if err != nil {
+			return err
+		}
+		var rows []bench.AccuracyResult
+		for i, cfg := range cfgs {
+			r, err := bench.Accuracy(cfg, 0.03, *seed+int64(i))
+			if err != nil {
+				return err
+			}
+			rows = append(rows, r)
+		}
+		fmt.Fprintf(w, "== Section 6.3: model accuracy (paper: average error < 10%%) ==\n\n%s\n",
+			bench.RenderAccuracy(rows))
+	}
+	if run("agreement") {
+		ran = true
+		rows, err := bench.Agreement()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== Section 6.3: DP and greedy reach the same mapping ==\n\n%s\n",
+			bench.RenderAgreement(rows))
+	}
+	if run("tradeoff") {
+		ran = true
+		rows, err := bench.Tradeoff()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== Extension: latency-throughput Pareto frontier (FFT-Hist 256 message) ==\n\n%s\n",
+			bench.RenderTradeoff(rows))
+	}
+	if run("quality") {
+		ran = true
+		q, err := bench.HeuristicQuality(60, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== Extension: greedy heuristic quality on random chains ==\n\n%s\n",
+			bench.RenderQuality(q))
+	}
+	if run("training") {
+		ran = true
+		rows, err := bench.TrainingSizeStudy(0.05, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== Extension: model accuracy vs training set size (5%% noise) ==\n\n%s\n",
+			bench.RenderTrainingSize(rows))
+	}
+	if run("secondorder") {
+		ran = true
+		rows, err := bench.SecondOrder()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== Section 6.4: second-order pipeline-coupling effects ==\n\n%s\n",
+			bench.RenderSecondOrder(rows))
+	}
+	if run("sweep") {
+		ran = true
+		rows, err := bench.Sweep()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== Extension: optimal mapping evolution over machine sizes ==\n\n%s\n",
+			bench.RenderSweep(rows))
+	}
+	if run("commmatters") {
+		ran = true
+		rows, err := bench.CommMatters()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== Claim 1: a realistic communication model matters (vs Choudhary et al. [4]) ==\n\n%s\n",
+			bench.RenderCommMatters(rows))
+	}
+	if run("pathology") {
+		ran = true
+		r, err := bench.Pathology()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== %s\n", bench.RenderPathology(r))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *which)
+	}
+	return nil
+}

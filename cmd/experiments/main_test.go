@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+	}{
+		{"table1", "Optimal and Feasible"},
+		{"figure1", "mixed optimal"},
+		{"figure2", "execution model"},
+		{"figure3", "replication"},
+		{"figure5", "colffts"},
+		{"pathology", "DP (optimal)"},
+		{"tradeoff", "Pareto"},
+		{"secondorder", "straggler"},
+		{"quality", "exact optimum"},
+		{"sweep", "ratio"},
+		{"commmatters", "comm-aware"},
+		{"figure4", "T_3"},
+		{"figure6", "8x8"},
+		{"training", "training runs"},
+	}
+	for _, tc := range cases {
+		var out bytes.Buffer
+		if err := run([]string{"-run", tc.name}, &out); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !strings.Contains(out.String(), tc.want) {
+			t.Errorf("%s: output missing %q:\n%s", tc.name, tc.want, out.String())
+		}
+	}
+}
+
+func TestRunTable2Seeded(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-run", "table2", "-seed", "5"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", "table2", "-seed", "5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different Table 2")
+	}
+	if !strings.Contains(a.String(), "Radar") {
+		t.Error("Table 2 missing Radar row")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "figure99"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,182 @@
+// Command fitmodel derives the paper's polynomial cost models (section 5)
+// from profiled timing samples and emits a chain spec consumable by
+// cmd/pipemap, closing the profile -> fit -> map -> run loop at the
+// command line.
+//
+// Usage:
+//
+//	fitmodel [samples.json]
+//
+// The input lists per-task execution samples and per-edge internal and
+// external communication samples:
+//
+//	{
+//	  "platform": {"procs": 64, "memPerProc": 0.5},
+//	  "tasks": [
+//	    {"name": "colffts", "mem": {"data": 1.4}, "replicable": true,
+//	     "samples": [{"procs": 4, "time": 0.31}, {"procs": 8, "time": 0.17}, ...]}
+//	  ],
+//	  "edges": [
+//	    {"icom": [{"procs": 8, "time": 0.09}, ...],
+//	     "ecom": [{"sendProcs": 3, "recvProcs": 4, "time": 0.14}, ...]}
+//	  ]
+//	}
+//
+// The output is a chain spec with fitted [C1, C2, C3] / [C1..C5]
+// coefficients.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pipemap/internal/core"
+	"pipemap/internal/estimate"
+)
+
+// samplesFile is the input format.
+type samplesFile struct {
+	Platform core.PlatformSpec `json:"platform"`
+	Tasks    []taskSamples     `json:"tasks"`
+	Edges    []edgeSamples     `json:"edges"`
+}
+
+type taskSamples struct {
+	Name       string          `json:"name"`
+	Mem        core.MemorySpec `json:"mem"`
+	Replicable bool            `json:"replicable"`
+	MinProcs   int             `json:"minProcs,omitempty"`
+	Samples    []execSample    `json:"samples"`
+}
+
+type edgeSamples struct {
+	ICom []execSample `json:"icom"`
+	Ecom []commSample `json:"ecom"`
+}
+
+type execSample struct {
+	Procs int     `json:"procs"`
+	Time  float64 `json:"time"`
+}
+
+type commSample struct {
+	SendProcs int     `json:"sendProcs"`
+	RecvProcs int     `json:"recvProcs"`
+	Time      float64 `json:"time"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fitmodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fitmodel", flag.ContinueOnError)
+	stats := fs.Bool("stats", false, "print goodness-of-fit statistics instead of the JSON spec")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	var sf samplesFile
+	dec := json.NewDecoder(in)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sf); err != nil {
+		return fmt.Errorf("parsing samples: %w", err)
+	}
+	if len(sf.Tasks) == 0 {
+		return fmt.Errorf("no tasks in samples file")
+	}
+	if len(sf.Edges) != len(sf.Tasks)-1 {
+		return fmt.Errorf("%d tasks but %d edges (want %d)",
+			len(sf.Tasks), len(sf.Edges), len(sf.Tasks)-1)
+	}
+
+	spec := core.ChainSpec{Platform: sf.Platform}
+	for _, ts := range sf.Tasks {
+		samples := make([]estimate.ExecSample, len(ts.Samples))
+		for i, s := range ts.Samples {
+			samples[i] = estimate.ExecSample{Procs: s.Procs, Time: s.Time}
+		}
+		fit, err := estimate.FitExec(samples)
+		if err != nil {
+			return fmt.Errorf("fitting task %q: %w", ts.Name, err)
+		}
+		if *stats {
+			st, err := estimate.ExecFitStats(fit, samples)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "task %-12s %v  (%s)\n", ts.Name, fit, st)
+		}
+		spec.Tasks = append(spec.Tasks, core.TaskSpec{
+			Name:       ts.Name,
+			Exec:       []float64{fit.C1, fit.C2, fit.C3},
+			Mem:        ts.Mem,
+			Replicable: ts.Replicable,
+			MinProcs:   ts.MinProcs,
+		})
+	}
+	for i, es := range sf.Edges {
+		edge := core.EdgeSpec{}
+		if len(es.ICom) > 0 {
+			samples := make([]estimate.ExecSample, len(es.ICom))
+			for j, s := range es.ICom {
+				samples[j] = estimate.ExecSample{Procs: s.Procs, Time: s.Time}
+			}
+			fit, err := estimate.FitExec(samples)
+			if err != nil {
+				return fmt.Errorf("fitting edge %d icom: %w", i, err)
+			}
+			if *stats {
+				st, err := estimate.ExecFitStats(fit, samples)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(stdout, "edge %d icom    %v  (%s)\n", i, fit, st)
+			}
+			edge.ICom = []float64{fit.C1, fit.C2, fit.C3}
+		}
+		if len(es.Ecom) == 0 {
+			return fmt.Errorf("edge %d has no external communication samples", i)
+		}
+		samples := make([]estimate.CommSample, len(es.Ecom))
+		for j, s := range es.Ecom {
+			samples[j] = estimate.CommSample{
+				SendProcs: s.SendProcs, RecvProcs: s.RecvProcs, Time: s.Time,
+			}
+		}
+		fit, err := estimate.FitComm(samples)
+		if err != nil {
+			return fmt.Errorf("fitting edge %d ecom: %w", i, err)
+		}
+		if *stats {
+			st, err := estimate.CommFitStats(fit, samples)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "edge %d ecom    %v  (%s)\n", i, fit, st)
+		}
+		edge.Ecom = []float64{fit.C1, fit.C2, fit.C3, fit.C4, fit.C5}
+		spec.Edges = append(spec.Edges, edge)
+	}
+	if *stats {
+		return nil
+	}
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spec)
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"pipemap/internal/core"
+	"pipemap/internal/model"
+)
+
+// synthSamples generates exact samples of known polynomial models.
+func synthSamples() string {
+	exec := model.PolyExec{C1: 0.1, C2: 2.0, C3: 0.01}
+	icom := model.PolyExec{C1: 0.01, C2: 0.5, C3: 0.001}
+	ecom := model.PolyComm{C1: 0.05, C2: 0.3, C3: 0.4, C4: 0.002, C5: 0.001}
+	var exs, ics, ecs []string
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		exs = append(exs, fmt.Sprintf(`{"procs": %d, "time": %g}`, p, exec.Eval(p)))
+		ics = append(ics, fmt.Sprintf(`{"procs": %d, "time": %g}`, p, icom.Eval(p)))
+	}
+	for _, pq := range [][2]int{{1, 1}, {2, 4}, {4, 2}, {8, 8}, {3, 5}, {16, 2}} {
+		ecs = append(ecs, fmt.Sprintf(`{"sendProcs": %d, "recvProcs": %d, "time": %g}`,
+			pq[0], pq[1], ecom.Eval(pq[0], pq[1])))
+	}
+	return fmt.Sprintf(`{
+      "platform": {"procs": 16, "memPerProc": 0.5},
+      "tasks": [
+        {"name": "a", "mem": {"data": 0.6}, "replicable": true, "samples": [%s]},
+        {"name": "b", "mem": {"data": 0.8}, "replicable": true, "samples": [%s]}
+      ],
+      "edges": [
+        {"icom": [%s], "ecom": [%s]}
+      ]
+    }`, strings.Join(exs, ","), strings.Join(exs, ","),
+		strings.Join(ics, ","), strings.Join(ecs, ","))
+}
+
+func TestFitModelRecoversCoefficients(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(synthSamples()), &out); err != nil {
+		t.Fatal(err)
+	}
+	var spec core.ChainSpec
+	if err := json.Unmarshal(out.Bytes(), &spec); err != nil {
+		t.Fatalf("output is not a chain spec: %v\n%s", err, out.String())
+	}
+	if len(spec.Tasks) != 2 || len(spec.Edges) != 1 {
+		t.Fatalf("spec shape %d/%d", len(spec.Tasks), len(spec.Edges))
+	}
+	wantExec := []float64{0.1, 2.0, 0.01}
+	for i, w := range wantExec {
+		if math.Abs(spec.Tasks[0].Exec[i]-w) > 1e-6 {
+			t.Errorf("task exec C%d = %g, want %g", i+1, spec.Tasks[0].Exec[i], w)
+		}
+	}
+	wantEcom := []float64{0.05, 0.3, 0.4, 0.002, 0.001}
+	for i, w := range wantEcom {
+		if math.Abs(spec.Edges[0].Ecom[i]-w) > 1e-6 {
+			t.Errorf("edge ecom C%d = %g, want %g", i+1, spec.Edges[0].Ecom[i], w)
+		}
+	}
+	// The emitted spec must be consumable by the mapper.
+	if _, _, err := core.BuildChainSpec(spec); err != nil {
+		t.Errorf("fitted spec rejected by the mapper: %v", err)
+	}
+}
+
+func TestFitModelStats(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-stats"}, strings.NewReader(synthSamples()), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "R2=") {
+		t.Errorf("stats output missing R2:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "{") {
+		t.Errorf("stats mode should not emit JSON:\n%s", out.String())
+	}
+}
+
+func TestFitModelErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`{}`,
+		`{"platform":{"procs":4},"tasks":[{"name":"a","samples":[]}],"edges":[]}`,
+		`{"platform":{"procs":4},"tasks":[{"name":"a","samples":[{"procs":1,"time":1}]},
+		  {"name":"b","samples":[{"procs":1,"time":1}]}],
+		  "edges":[{"icom":[],"ecom":[]}]}`,
+		`{"unknown": 1}`,
+	}
+	for i, s := range cases {
+		var out bytes.Buffer
+		if err := run(nil, strings.NewReader(s), &out); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := run([]string{"/no/such/file"}, nil, &bytes.Buffer{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,146 @@
+// Command fxreal runs one of the paper's applications for real on the
+// goroutine runtime — actual FFTs, radar signal processing, or stereo
+// depth extraction — under a chosen pipeline mapping, and reports the
+// measured throughput and per-operation times.
+//
+// Usage:
+//
+//	fxreal -app ffthist|radar|stereo [-map "p1xr1,p2xr2,..."] [-n 16] [-size 128]
+//
+// The -map flag lists per-module workersxreplicas pairs; module task
+// ranges are chosen canonically per application (FFT-Hist: 2 modules =
+// {colffts} {rowffts,hist}; radar/stereo analogous). Without -map the
+// whole pipeline runs as one module on 4 workers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pipemap/internal/apps"
+	"pipemap/internal/fxrt"
+	"pipemap/internal/model"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fxreal:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fxreal", flag.ContinueOnError)
+	app := fs.String("app", "ffthist", "application: ffthist, radar, or stereo")
+	mapSpec := fs.String("map", "", `per-module workers x replicas, e.g. "2x2,4x1"`)
+	n := fs.Int("n", 16, "number of data sets to stream")
+	size := fs.Int("size", 128, "data set size (matrix dim / range gates / image width)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var structure *model.Chain
+	switch *app {
+	case "ffthist":
+		structure = apps.FFTHistStructure(*size)
+	case "radar":
+		structure = apps.RadarStructure()
+	case "stereo":
+		structure = apps.StereoStructure()
+	default:
+		return fmt.Errorf("unknown application %q", *app)
+	}
+
+	m, err := buildMapping(structure, *mapSpec, *app)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "application: %s, mapping: %v\n", *app, &m)
+
+	var stats fxrt.Stats
+	switch *app {
+	case "ffthist":
+		stats, err = apps.FFTHistRunner{N: *size, DataSets: *n}.Run(m)
+	case "radar":
+		var tracks map[[2]int]int
+		stats, tracks, err = apps.RadarRunner{Pulses: 16, Gates: *size, DataSets: *n}.Run(m)
+		if err == nil {
+			fmt.Fprintf(stdout, "tracks accumulated: %d cells\n", len(tracks))
+		}
+	case "stereo":
+		r := apps.StereoRunner{W: *size, H: *size / 2, DataSets: *n}
+		var last interface{}
+		stats, last, err = runStereo(r, m)
+		if err == nil && last != nil {
+			fmt.Fprintln(stdout, "depth map computed for the final frame")
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "data sets:  %d\n", stats.DataSets)
+	fmt.Fprintf(stdout, "throughput: %.2f data sets/s\n", stats.Throughput)
+	fmt.Fprintf(stdout, "latency:    %.2f ms\n", 1e3*stats.Latency.Seconds())
+	fmt.Fprintln(stdout, "measured operations:")
+	for _, op := range sortedOps(stats.Ops) {
+		fmt.Fprintf(stdout, "  %-18s %.3f ms\n", op, 1e3*stats.Ops[op])
+	}
+	return nil
+}
+
+func runStereo(r apps.StereoRunner, m model.Mapping) (fxrt.Stats, interface{}, error) {
+	stats, last, err := r.Run(m)
+	return stats, last, err
+}
+
+// buildMapping parses "p1xr1,p2xr2,..." into modules over the canonical
+// clusterings of the applications.
+func buildMapping(c *model.Chain, spec, app string) (model.Mapping, error) {
+	if spec == "" {
+		return model.DataParallel(c, model.Platform{Procs: 4}), nil
+	}
+	parts := strings.Split(spec, ",")
+	var spans []model.Span
+	switch {
+	case len(parts) == 1:
+		spans = []model.Span{{Lo: 0, Hi: c.Len()}}
+	case app == "ffthist" && len(parts) == 2:
+		spans = []model.Span{{Lo: 0, Hi: 1}, {Lo: 1, Hi: 3}}
+	case len(parts) == c.Len():
+		spans = model.Singletons(c.Len())
+	case len(parts) == 2 && c.Len() == 4:
+		spans = []model.Span{{Lo: 0, Hi: 2}, {Lo: 2, Hi: 4}}
+	case len(parts) == 3 && c.Len() == 4:
+		spans = []model.Span{{Lo: 0, Hi: 1}, {Lo: 1, Hi: 3}, {Lo: 3, Hi: 4}}
+	default:
+		return model.Mapping{}, fmt.Errorf("cannot cluster %d tasks into %d modules", c.Len(), len(parts))
+	}
+	mods := make([]model.Module, len(parts))
+	for i, p := range parts {
+		var w, r int
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%dx%d", &w, &r); err != nil {
+			return model.Mapping{}, fmt.Errorf("module spec %q is not WxR: %w", p, err)
+		}
+		if w < 1 || r < 1 {
+			return model.Mapping{}, fmt.Errorf("module spec %q must be positive", p)
+		}
+		mods[i] = model.Module{Lo: spans[i].Lo, Hi: spans[i].Hi, Procs: w, Replicas: r}
+	}
+	return model.Mapping{Chain: c, Modules: mods}, nil
+}
+
+func sortedOps(ops map[string]float64) []string {
+	keys := make([]string, 0, len(ops))
+	for k := range ops {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

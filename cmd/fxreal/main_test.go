@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pipemap/internal/model"
+)
+
+func TestRunFFTHist(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-app", "ffthist", "-map", "1x2,2x1", "-n", "6", "-size", "32"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"throughput:", "exec:colffts", "edge:transpose"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunRadar(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-app", "radar", "-map", "2x1,1x1,1x1", "-n", "4", "-size", "64"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "tracks accumulated") {
+		t.Errorf("output missing tracks:\n%s", out.String())
+	}
+}
+
+func TestRunStereo(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-app", "stereo", "-map", "1x1,2x1,1x1", "-n", "4", "-size", "64"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "depth map computed") {
+		t.Errorf("output missing depth note:\n%s", out.String())
+	}
+}
+
+func TestRunDefaultsToDataParallel(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-app", "ffthist", "-n", "4", "-size", "32"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "colffts+rowffts+hist") {
+		t.Errorf("default should be one merged module:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-app", "weather"},
+		{"-app", "ffthist", "-map", "1x1,1x1,1x1,1x1"},
+		{"-app", "ffthist", "-map", "bogus"},
+		{"-app", "ffthist", "-map", "0x1"},
+		{"-app", "ffthist", "-size", "100"}, // not a power of two
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestBuildMappingClusterings(t *testing.T) {
+	c := newTestChain4()
+	m, err := buildMapping(c, "1x1,2x2", "stereo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Modules) != 2 || m.Modules[0].Hi != 2 {
+		t.Errorf("2-module clustering wrong: %v", m.Modules)
+	}
+	m3, err := buildMapping(c, "1x1,1x1,1x1", "stereo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m3.Modules) != 3 || m3.Modules[1].Hi != 3 {
+		t.Errorf("3-module clustering wrong: %v", m3.Modules)
+	}
+	m4, err := buildMapping(c, "1x1,1x1,1x1,1x1", "stereo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m4.Modules) != 4 {
+		t.Errorf("4-module clustering wrong: %v", m4.Modules)
+	}
+	if _, err := buildMapping(c, "1x1,1x1,1x1,1x1,1x1", "stereo"); err == nil {
+		t.Error("5 modules over 4 tasks accepted")
+	}
+}
+
+func newTestChain4() *model.Chain {
+	c := &model.Chain{
+		Tasks: make([]model.Task, 4),
+		ICom:  []model.CostFunc{model.ZeroExec(), model.ZeroExec(), model.ZeroExec()},
+		ECom:  []model.CommFunc{model.ZeroComm(), model.ZeroComm(), model.ZeroComm()},
+	}
+	for i := range c.Tasks {
+		c.Tasks[i] = model.Task{Name: string(rune('a' + i)), Exec: model.ZeroExec()}
+	}
+	return c
+}

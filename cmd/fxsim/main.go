@@ -1,0 +1,137 @@
+// Command fxsim runs a mapped task chain on the execution-model simulator
+// and reports measured throughput, latency and utilization — the
+// reproduction's stand-in for executing the mapping on the machine.
+//
+// Usage:
+//
+//	fxsim -spec chain.json [-mapping mapping.json] [-n 400] [-noise 0.03]
+//	      [-seed 1] [-gantt] [-datasets]
+//
+// Without -mapping, the optimal mapping is computed first (like running
+// the mapping tool and then the program). -gantt prints an ASCII timeline
+// of the first data sets.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pipemap/internal/core"
+	"pipemap/internal/model"
+	"pipemap/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fxsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fxsim", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "chain spec JSON file (required)")
+	mappingPath := fs.String("mapping", "", "mapping JSON file (default: compute the optimum)")
+	n := fs.Int("n", 400, "number of data sets to stream")
+	noise := fs.Float64("noise", 0, "relative measurement noise (e.g. 0.03)")
+	seed := fs.Int64("seed", 1, "noise seed")
+	gantt := fs.Bool("gantt", false, "print an ASCII timeline of the first data sets")
+	csvPath := fs.String("csv", "", "write the full trace as CSV to this file")
+	stragMod := fs.Int("straggler-module", -1, "inject a straggler into this module (with -straggler-factor)")
+	stragFactor := fs.Float64("straggler-factor", 0, "slowdown factor for the straggler instance (e.g. 1.5)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("-spec is required")
+	}
+	f, err := os.Open(*specPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	chain, pl, err := core.ParseChainSpec(f)
+	if err != nil {
+		return err
+	}
+
+	var m model.Mapping
+	if *mappingPath != "" {
+		mf, err := os.Open(*mappingPath)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		var spec core.MappingSpec
+		if err := json.NewDecoder(mf).Decode(&spec); err != nil {
+			return fmt.Errorf("parsing mapping: %w", err)
+		}
+		m, err = core.DecodeMapping(spec, chain)
+		if err != nil {
+			return err
+		}
+		if err := m.Validate(pl); err != nil {
+			return err
+		}
+	} else {
+		res, err := core.Map(core.Request{Chain: chain, Platform: pl})
+		if err != nil {
+			return err
+		}
+		m = res.Mapping
+		fmt.Fprintf(stdout, "computed mapping: %v (predicted %.4f data sets/s)\n\n",
+			&m, res.Throughput)
+	}
+
+	opts := sim.Options{
+		DataSets: *n, Noise: *noise, Seed: *seed, Trace: *gantt || *csvPath != "",
+	}
+	if *stragMod >= 0 && *stragFactor > 1 {
+		opts.StragglerModule = *stragMod
+		opts.StragglerFactor = *stragFactor
+	}
+	res, err := sim.New(opts).Run(m)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "data sets:   %d\n", *n)
+	fmt.Fprintf(stdout, "throughput:  %.4f data sets/s (model predicts %.4f)\n",
+		res.Throughput, m.Throughput())
+	fmt.Fprintf(stdout, "latency:     %.4f s (model lower bound %.4f)\n", res.Latency, m.Latency())
+	fmt.Fprintf(stdout, "makespan:    %.4f s\n", res.Makespan)
+	for i, u := range res.Utilization {
+		mod := m.Modules[i]
+		fmt.Fprintf(stdout, "module %d (%s, p=%d r=%d): utilization %.1f%%, blocked send %.3fs recv %.3fs\n",
+			i, m.Chain.TaskNames(mod.Lo, mod.Hi), mod.Procs, mod.Replicas, 100*u,
+			res.BlockedSend[i], res.BlockedRecv[i])
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		if err := sim.WriteTraceCSV(f, res.Trace); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace written to %s (%d segments)\n", *csvPath, len(res.Trace))
+	}
+	if *gantt {
+		limit := res.Trace
+		// Show only the first few data sets for readability.
+		var cut []sim.Segment
+		for _, s := range limit {
+			if s.DataSet < 6 {
+				cut = append(cut, s)
+			}
+		}
+		fmt.Fprintf(stdout, "\ntimeline (first 6 data sets):\n%s", sim.Gantt(cut, 100))
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const specJSON = `{
+  "platform": {"procs": 16, "memPerProc": 0.5},
+  "tasks": [
+    {"name": "a", "exec": [0.01, 1.0, 0.002], "mem": {"data": 0.6}, "replicable": true},
+    {"name": "b", "exec": [0.02, 1.5, 0.004], "mem": {"data": 0.8}, "replicable": true}
+  ],
+  "edges": [
+    {"icom": [0.005, 0.2, 0.0005], "ecom": [0.02, 0.1, 0.1, 0.0005, 0.0005]}
+  ]
+}`
+
+const mappingJSON = `{
+  "modules": [
+    {"lo": 0, "hi": 1, "procs": 4, "replicas": 2},
+    {"lo": 1, "hi": 2, "procs": 4, "replicas": 2}
+  ]
+}`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunComputesMapping(t *testing.T) {
+	spec := writeTemp(t, "spec.json", specJSON)
+	var out bytes.Buffer
+	if err := run([]string{"-spec", spec, "-n", "100"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"computed mapping:", "throughput:", "utilization"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunWithExplicitMapping(t *testing.T) {
+	spec := writeTemp(t, "spec.json", specJSON)
+	mapping := writeTemp(t, "mapping.json", mappingJSON)
+	var out bytes.Buffer
+	if err := run([]string{"-spec", spec, "-mapping", mapping, "-n", "50"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "computed mapping") {
+		t.Error("explicit mapping ignored")
+	}
+}
+
+func TestRunGantt(t *testing.T) {
+	spec := writeTemp(t, "spec.json", specJSON)
+	var out bytes.Buffer
+	if err := run([]string{"-spec", spec, "-n", "20", "-gantt"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "timeline") || !strings.Contains(out.String(), "m0.0") {
+		t.Errorf("gantt missing:\n%s", out.String())
+	}
+}
+
+func TestRunNoise(t *testing.T) {
+	spec := writeTemp(t, "spec.json", specJSON)
+	var a, b bytes.Buffer
+	if err := run([]string{"-spec", spec, "-n", "100", "-noise", "0.1", "-seed", "3"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", spec, "-n", "100", "-noise", "0.1", "-seed", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different output")
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	spec := writeTemp(t, "spec.json", specJSON)
+	csvPath := filepath.Join(t.TempDir(), "trace.csv")
+	var out bytes.Buffer
+	if err := run([]string{"-spec", spec, "-n", "10", "-csv", csvPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "module,instance,task,kind,dataset,start,end") {
+		t.Errorf("CSV header missing:\n%s", string(data[:80]))
+	}
+	if !strings.Contains(out.String(), "trace written") {
+		t.Error("CSV note missing from output")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	spec := writeTemp(t, "spec.json", specJSON)
+	badMapping := writeTemp(t, "bad.json", `{"modules": [{"lo":0,"hi":2,"procs":99,"replicas":1}]}`)
+	cases := [][]string{
+		{},
+		{"-spec", "/no/such/file"},
+		{"-spec", spec, "-mapping", "/no/such/file"},
+		{"-spec", spec, "-mapping", badMapping}, // over budget
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Command pipemap is the automatic mapping tool: it reads a JSON chain
+// spec (tasks with polynomial cost models, edges, platform) and prints the
+// throughput-optimal mapping.
+//
+// Usage:
+//
+//	pipemap [-algo auto|dp|greedy] [-grid RxC] [-systolic] [-json] [spec.json]
+//
+// With no file argument the spec is read from standard input. -grid adds
+// the rectangular-subarray feasibility constraint (e.g. -grid 8x8);
+// -systolic additionally enforces pathway limits. -json emits the mapping
+// as JSON (consumable by fxsim) instead of a human-readable report.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pipemap/internal/core"
+	"pipemap/internal/greedy"
+	"pipemap/internal/machine"
+	"pipemap/internal/tradeoff"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pipemap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pipemap", flag.ContinueOnError)
+	algo := fs.String("algo", "auto", "mapping algorithm: auto, dp, or greedy")
+	grid := fs.String("grid", "", "grid dimensions RxC for rectangular feasibility (e.g. 8x8)")
+	systolic := fs.Bool("systolic", false, "enforce systolic pathway limits (requires -grid)")
+	asJSON := fs.Bool("json", false, "emit the mapping as JSON")
+	objective := fs.String("objective", "throughput", "optimization objective: throughput or latency")
+	latencyBound := fs.Float64("latency-bound", 0, "maximize throughput subject to this latency budget (seconds)")
+	certify := fs.Bool("certify", false, "report whether the greedy heuristic is provably optimal for this chain")
+	frontier := fs.Bool("frontier", false, "print the latency-throughput Pareto frontier")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	chain, pl, err := core.ParseChainSpec(in)
+	if err != nil {
+		return err
+	}
+
+	req := core.Request{Chain: chain, Platform: pl}
+	switch *objective {
+	case "throughput":
+	case "latency":
+		req.Objective = core.MinLatency
+	default:
+		return fmt.Errorf("unknown objective %q", *objective)
+	}
+	if *latencyBound > 0 {
+		req.Objective = core.ThroughputUnderLatency
+		req.LatencyBound = *latencyBound
+	}
+	switch *algo {
+	case "auto":
+	case "dp":
+		req.Algorithm = core.DP
+	case "greedy":
+		req.Algorithm = core.Greedy
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if *grid != "" {
+		g, err := parseGrid(*grid)
+		if err != nil {
+			return err
+		}
+		req.Machine = &machine.Constraints{Grid: g, Systolic: *systolic}
+	} else if *systolic {
+		return fmt.Errorf("-systolic requires -grid")
+	}
+
+	res, err := core.Map(req)
+	if err != nil {
+		return err
+	}
+	if *certify {
+		cert := greedy.Certify(chain, pl)
+		fmt.Fprintf(stdout, "certificate: optimal=%v\n  %s\n\n", cert.Optimal, cert.Reason)
+	}
+	if *frontier {
+		front, err := tradeoff.Frontier(chain, pl, tradeoff.Options{MinThroughputGain: 0.02})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "latency-throughput Pareto frontier:\n")
+		for _, pt := range front {
+			fmt.Fprintf(stdout, "  %8.3f/s  %8.4fs  %v\n", pt.Throughput, pt.Latency, &pt.Mapping)
+		}
+		fmt.Fprintln(stdout)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(core.EncodeMapping(res.Mapping))
+	}
+	fmt.Fprintf(stdout, "algorithm:  %v\n", res.Algorithm)
+	fmt.Fprintf(stdout, "mapping:    %v\n", &res.Mapping)
+	fmt.Fprintf(stdout, "throughput: %.4f data sets/s\n", res.Throughput)
+	fmt.Fprintf(stdout, "latency:    %.4f s\n", res.Latency)
+	fmt.Fprintf(stdout, "processors: %d of %d used\n", res.Mapping.TotalProcs(), pl.Procs)
+	if res.Layout != nil {
+		fmt.Fprintf(stdout, "\nlayout on %dx%d grid:\n%s",
+			res.Layout.Grid.Rows, res.Layout.Grid.Cols, res.Layout.String())
+		if res.Unconstrained.Throughput() > res.Throughput*1.0001 {
+			fmt.Fprintf(stdout, "\nnote: unconstrained optimum %v (%.4f/s) was infeasible on the grid\n",
+				&res.Unconstrained, res.Unconstrained.Throughput())
+		}
+	}
+	return nil
+}
+
+func parseGrid(s string) (machine.Grid, error) {
+	parts := strings.SplitN(strings.ToLower(s), "x", 2)
+	if len(parts) != 2 {
+		return machine.Grid{}, fmt.Errorf("grid %q is not RxC", s)
+	}
+	var g machine.Grid
+	if _, err := fmt.Sscanf(parts[0], "%d", &g.Rows); err != nil {
+		return machine.Grid{}, fmt.Errorf("grid rows %q: %w", parts[0], err)
+	}
+	if _, err := fmt.Sscanf(parts[1], "%d", &g.Cols); err != nil {
+		return machine.Grid{}, fmt.Errorf("grid cols %q: %w", parts[1], err)
+	}
+	if err := g.Validate(); err != nil {
+		return machine.Grid{}, err
+	}
+	return g, nil
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const specJSON = `{
+  "platform": {"procs": 16, "memPerProc": 0.5},
+  "tasks": [
+    {"name": "a", "exec": [0.01, 1.0, 0.002], "mem": {"data": 0.6}, "replicable": true},
+    {"name": "b", "exec": [0.02, 1.5, 0.004], "mem": {"data": 0.8}, "replicable": true}
+  ],
+  "edges": [
+    {"icom": [0.005, 0.2, 0.0005], "ecom": [0.02, 0.1, 0.1, 0.0005, 0.0005]}
+  ]
+}`
+
+func TestRunFromStdin(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(specJSON), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mapping:", "throughput:", "latency:", "processors:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"testdata/ffthist256.json"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "rowffts+hist") {
+		t.Errorf("FFT-Hist clustering missing:\n%s", out.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-json"}, strings.NewReader(specJSON), &out); err != nil {
+		t.Fatal(err)
+	}
+	var spec struct {
+		Modules []struct {
+			Procs, Replicas int
+		} `json:"modules"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &spec); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(spec.Modules) == 0 {
+		t.Error("no modules in JSON output")
+	}
+}
+
+func TestRunWithGrid(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-grid", "4x4"}, strings.NewReader(specJSON), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "layout on 4x4 grid") {
+		t.Errorf("layout missing:\n%s", out.String())
+	}
+}
+
+func TestRunAlgorithms(t *testing.T) {
+	for _, algo := range []string{"dp", "greedy", "auto"} {
+		var out bytes.Buffer
+		if err := run([]string{"-algo", algo}, strings.NewReader(specJSON), &out); err != nil {
+			t.Errorf("algo %s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunCertifyAndFrontier(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-certify", "-frontier"}, strings.NewReader(specJSON), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "certificate:") {
+		t.Errorf("certificate missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "Pareto frontier") {
+		t.Errorf("frontier missing:\n%s", out.String())
+	}
+}
+
+func TestRunObjectives(t *testing.T) {
+	var lat bytes.Buffer
+	if err := run([]string{"-objective", "latency"}, strings.NewReader(specJSON), &lat); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(lat.String(), "latency:") {
+		t.Errorf("latency output missing:\n%s", lat.String())
+	}
+	var bounded bytes.Buffer
+	if err := run([]string{"-latency-bound", "100"}, strings.NewReader(specJSON), &bounded); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(bounded.String(), "mapping:") {
+		t.Errorf("bounded output missing:\n%s", bounded.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-algo", "quantum"},
+		{"-objective", "fame"},
+		{"-systolic"},          // requires -grid
+		{"-grid", "nonsense"},  // bad grid
+		{"-grid", "0x4"},       // invalid grid
+		{"/no/such/file.json"}, // missing file
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, strings.NewReader(specJSON), &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader("{"), &out); err == nil {
+		t.Error("malformed spec accepted")
+	}
+}
+
+func TestParseGrid(t *testing.T) {
+	g, err := parseGrid("8x8")
+	if err != nil || g.Rows != 8 || g.Cols != 8 {
+		t.Errorf("parseGrid(8x8) = %v, %v", g, err)
+	}
+	if _, err := parseGrid("8"); err == nil {
+		t.Error("parseGrid(8) accepted")
+	}
+	if _, err := parseGrid("ax8"); err == nil {
+		t.Error("parseGrid(ax8) accepted")
+	}
+	if _, err := parseGrid("8xb"); err == nil {
+		t.Error("parseGrid(8xb) accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package pipemap_test
+
+import (
+	"fmt"
+
+	"pipemap"
+)
+
+// ExampleMap finds the throughput-optimal mapping of a two-task pipeline.
+func ExampleMap() {
+	chain := &pipemap.Chain{
+		Tasks: []pipemap.Task{
+			{Name: "produce", Exec: pipemap.PolyExec{C2: 6}, Replicable: true},
+			{Name: "consume", Exec: pipemap.PolyExec{C1: 0.5, C2: 2}, Replicable: true},
+		},
+		ICom: []pipemap.CostFunc{pipemap.ZeroExec()},
+		ECom: []pipemap.CommFunc{pipemap.ZeroComm()},
+	}
+	res, err := pipemap.Map(pipemap.Request{
+		Chain:    chain,
+		Platform: pipemap.Platform{Procs: 8},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%v %.2f data sets/s\n", &res.Mapping, res.Throughput)
+	// Output: [produce+consume p=1 r=8] 0.94 data sets/s
+}
+
+// ExampleSimulate measures a mapping under the paper's execution model.
+func ExampleSimulate() {
+	chain := &pipemap.Chain{
+		Tasks: []pipemap.Task{{Name: "work", Exec: pipemap.PolyExec{C1: 0.25}, Replicable: true}},
+	}
+	m := pipemap.Mapping{Chain: chain, Modules: []pipemap.Module{
+		{Lo: 0, Hi: 1, Procs: 1, Replicas: 2},
+	}}
+	res, err := pipemap.Simulate(m, pipemap.SimOptions{DataSets: 100})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%.0f data sets/s\n", res.Throughput)
+	// Output: 8 data sets/s
+}
+
+// ExampleFitExec recovers the paper's execution time model from profiled
+// samples.
+func ExampleFitExec() {
+	samples := []pipemap.ExecSample{
+		{Procs: 1, Time: 4.1},
+		{Procs: 2, Time: 2.1},
+		{Procs: 4, Time: 1.1},
+		{Procs: 8, Time: 0.6},
+	}
+	fit, err := pipemap.FitExec(samples)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("f(16) = %.3f s\n", fit.Eval(16))
+	// Output: f(16) = 0.350 s
+}
+
+// ExampleDataParallel compares the optimized mapping against the pure
+// data parallel baseline.
+func ExampleDataParallel() {
+	chain := &pipemap.Chain{
+		Tasks: []pipemap.Task{
+			{Name: "fft", Exec: pipemap.PolyExec{C2: 4, C3: 0.05}, Replicable: true},
+			{Name: "stat", Exec: pipemap.PolyExec{C1: 0.2, C2: 1, C3: 0.05}, Replicable: true},
+		},
+		ICom: []pipemap.CostFunc{pipemap.ZeroExec()},
+		ECom: []pipemap.CommFunc{pipemap.PolyComm{C1: 0.05}},
+	}
+	pl := pipemap.Platform{Procs: 16}
+	opt, err := pipemap.Map(pipemap.Request{Chain: chain, Platform: pl})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	base := pipemap.DataParallel(chain, pl)
+	fmt.Printf("speedup %.1fx\n", opt.Throughput/base.Throughput())
+	// Output: speedup 6.4x
+}

@@ -1,0 +1,108 @@
+// FFT-Hist end to end: the paper's feedback loop on its flagship example.
+//
+//  1. Profile the application through the eight training runs (here on the
+//     execution-model simulator with measurement noise, standing in for
+//     the iWarp testbed).
+//  2. Fit the polynomial cost models of section 5.
+//  3. Predict the optimal mapping with the DP of section 3 and check it
+//     against the greedy heuristic of section 4.
+//  4. Place it on the 8x8 processor array (section 6.1).
+//  5. "Run" the program under the mapping and compare measured throughput
+//     with the prediction (Table 2).
+//  6. Finally, execute the same pipeline for real — actual FFTs and
+//     histograms on goroutine worker pools — to show the mapping applies
+//     to a living program, not just a model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pipemap"
+	"pipemap/internal/apps"
+	"pipemap/internal/sim"
+)
+
+func main() {
+	truth, err := apps.FFTHist(256, apps.Message)
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform := apps.Platform()
+
+	// 1-2. Profile on the noisy simulator and fit the model.
+	profiler := sim.Profiler{Sim: sim.New(sim.Options{DataSets: 24, Noise: 0.05, Seed: 42})}
+	fitted, err := pipemap.EstimateChain(truth, profiler, platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fitted cost models from 8 training runs (5% measurement noise)")
+
+	// 3. Predict the optimal mapping from the fitted model.
+	dpRes, err := pipemap.Map(pipemap.Request{Chain: fitted, Platform: platform,
+		Algorithm: pipemap.DP})
+	if err != nil {
+		log.Fatal(err)
+	}
+	grRes, err := pipemap.Map(pipemap.Request{Chain: fitted, Platform: platform,
+		Algorithm: pipemap.Greedy})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DP mapping:     %v  (%.2f data sets/s predicted)\n", &dpRes.Mapping, dpRes.Throughput)
+	fmt.Printf("greedy mapping: %v  (%.2f data sets/s predicted)\n", &grRes.Mapping, grRes.Throughput)
+
+	// 4. Machine feasibility on the 8x8 array.
+	layout, ok := pipemap.Feasible(dpRes.Mapping, pipemap.Constraints{
+		Grid: pipemap.Grid{Rows: 8, Cols: 8},
+	})
+	if !ok {
+		fmt.Println("mapping infeasible on the 8x8 array; searching for the feasible optimum")
+	} else {
+		fmt.Printf("layout on the 8x8 array:\n%s", layout.String())
+	}
+
+	// 5. Measure the mapping on the simulator against the ground truth
+	// chain (what the "machine" actually does).
+	groundMapping := pipemap.Mapping{Chain: truth, Modules: dpRes.Mapping.Modules}
+	meas, err := pipemap.Simulate(groundMapping, pipemap.SimOptions{
+		DataSets: 400, Noise: 0.03, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured: %.2f data sets/s (predicted %.2f, diff %+.1f%%)\n",
+		meas.Throughput, dpRes.Throughput,
+		100*(meas.Throughput-dpRes.Throughput)/dpRes.Throughput)
+	dataPar := pipemap.DataParallel(truth, platform)
+	dmeas, err := pipemap.Simulate(dataPar, pipemap.SimOptions{DataSets: 400, Noise: 0.03, Seed: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("data parallel: %.2f data sets/s -> optimal/data-parallel ratio %.2fx\n",
+		dmeas.Throughput, meas.Throughput/dmeas.Throughput)
+
+	// 6. Run the real program: 128x128 FFT-Hist on goroutine worker pools,
+	// with the mapping's structure scaled to a laptop-sized worker budget.
+	real := apps.FFTHistRunner{N: 128, DataSets: 24}
+	structure := apps.FFTHistStructure(128)
+	mapped := pipemap.Mapping{Chain: structure, Modules: []pipemap.Module{
+		{Lo: 0, Hi: 1, Procs: 1, Replicas: 2}, // colffts, replicated
+		{Lo: 1, Hi: 3, Procs: 2, Replicas: 1}, // rowffts+hist clustered
+	}}
+	merged := pipemap.DataParallel(structure, pipemap.Platform{Procs: 4})
+	statsMapped, err := real.Run(mapped)
+	if err != nil {
+		log.Fatal(err)
+	}
+	statsMerged, err := real.Run(merged)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreal execution (128x128, 4 workers):\n")
+	fmt.Printf("  pipelined mapping:  %.1f data sets/s\n", statsMapped.Throughput)
+	fmt.Printf("  single-module:      %.1f data sets/s\n", statsMerged.Throughput)
+	fmt.Printf("  measured op means: colffts %.1fms, rowffts %.1fms, hist %.1fms, transpose %.1fms\n",
+		1e3*statsMapped.Ops["exec:colffts"], 1e3*statsMapped.Ops["exec:rowffts"],
+		1e3*statsMapped.Ops["exec:hist"], 1e3*statsMapped.Ops["edge:transpose"])
+}

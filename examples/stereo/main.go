@@ -1,0 +1,99 @@
+// Multibaseline stereo: map the depth-from-disparity pipeline, study how
+// replication trades response time for throughput (Figure 3 of the
+// paper), and run the real stereo kernels on a synthetic scene.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pipemap"
+	"pipemap/internal/apps"
+	"pipemap/internal/kernels"
+)
+
+func main() {
+	chain := apps.Stereo()
+	platform := apps.Platform()
+
+	res, err := pipemap.Map(pipemap.Request{Chain: chain, Platform: platform})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal mapping: %v\n", &res.Mapping)
+	fmt.Printf("predicted: %.1f frames/s, latency %.1f ms\n", res.Throughput, 1e3*res.Latency)
+	dataPar := pipemap.DataParallel(chain, platform)
+	fmt.Printf("data parallel: %.1f frames/s -> %.2fx speedup\n",
+		dataPar.Throughput(), res.Throughput/dataPar.Throughput())
+
+	// Replication study on the diff+err module: response time rises with
+	// replication (smaller instances) while throughput rises — the paper's
+	// Figure 3 trade-off.
+	fmt.Println("\nreplication trade-off for the diff+err module on 40 processors:")
+	fmt.Println("replicas  procs/inst  response(s)  effective thr (module alone)")
+	for _, r := range []int{1, 2, 4, 8} {
+		procs := 40 / r
+		m := pipemap.Mapping{Chain: chain, Modules: []pipemap.Module{
+			{Lo: 0, Hi: 1, Procs: 12, Replicas: 1},
+			{Lo: 1, Hi: 3, Procs: procs, Replicas: r},
+			{Lo: 3, Hi: 4, Procs: 4, Replicas: 1},
+		}}
+		if err := m.Validate(pipemap.Platform{Procs: 64, MemPerProc: 0.5}); err != nil {
+			fmt.Printf("%8d  (infeasible: %v)\n", r, err)
+			continue
+		}
+		resp := m.ResponseTimes()[1]
+		fmt.Printf("%8d  %10d  %11.4f  %.1f/s\n", r, procs, resp, float64(r)/resp)
+	}
+
+	// Run the real kernels: recover a disparity ramp from a synthetic
+	// stereo pair.
+	const w, h, nDisp = 128, 64, 8
+	rng := rand.New(rand.NewSource(9))
+	ref := kernels.NewImage(w, h)
+	for i := range ref.Pix {
+		ref.Pix[i] = rng.Float64()
+	}
+	// The scene's true disparity grows with y: rows [0,h/2) at 2, rest 5.
+	target := kernels.NewImage(w, h)
+	for y := 0; y < h; y++ {
+		d := 2
+		if y >= h/2 {
+			d = 5
+		}
+		for x := 0; x < w; x++ {
+			if x-d >= 0 {
+				target.Set(x, y, ref.At(x-d, y))
+			} else {
+				target.Set(x, y, rng.Float64())
+			}
+		}
+	}
+	errs := make([]kernels.Image, nDisp)
+	for d := 0; d < nDisp; d++ {
+		diff := kernels.NewImage(w, h)
+		if err := kernels.DiffImage(ref, target, diff, d, 0, h); err != nil {
+			log.Fatal(err)
+		}
+		errs[d] = kernels.NewImage(w, h)
+		if err := kernels.ErrorImage(diff, errs[d], 2, 0, h); err != nil {
+			log.Fatal(err)
+		}
+	}
+	depth := kernels.NewImage(w, h)
+	if err := kernels.DepthMin(errs, depth, 0, h); err != nil {
+		log.Fatal(err)
+	}
+	top, bottom := 0.0, 0.0
+	for y := 8; y < h/2-8; y++ {
+		top += depth.At(w/2, y)
+	}
+	for y := h/2 + 8; y < h-8; y++ {
+		bottom += depth.At(w/2, y)
+	}
+	top /= float64(h/2 - 16)
+	bottom /= float64(h/2 - 16)
+	fmt.Printf("\nreal kernels: recovered disparities %.1f (near plane, true 2) and %.1f (far plane, true 5)\n",
+		top, bottom)
+}

@@ -1,0 +1,42 @@
+// Processor sweep: how the optimal mapping of FFT-Hist evolves as the
+// machine grows from 8 to 256 processors — where replication kicks in,
+// how the clustering stays stable, and how far ahead of pure data
+// parallelism the optimized mapping pulls (the crossover structure behind
+// Figure 1 and Table 2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pipemap"
+	"pipemap/internal/apps"
+)
+
+func main() {
+	chain, err := apps.FFTHist(256, apps.Message)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("P     algo    mapping                                        opt/s   datapar/s  ratio")
+	fmt.Println("----  ------  ---------------------------------------------  ------  ---------  -----")
+	for _, procs := range []int{8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256} {
+		platform := pipemap.Platform{Procs: procs, MemPerProc: 0.5}
+		res, err := pipemap.Map(pipemap.Request{Chain: chain, Platform: platform})
+		if err != nil {
+			fmt.Printf("%4d  (infeasible: %v)\n", procs, err)
+			continue
+		}
+		dataPar := pipemap.DataParallel(chain, platform)
+		ratio := res.Throughput / dataPar.Throughput()
+		fmt.Printf("%4d  %-6v  %-45v  %6.2f  %9.2f  %5.2f\n",
+			procs, res.Algorithm, res.Mapping.String(), res.Throughput,
+			dataPar.Throughput(), ratio)
+	}
+
+	fmt.Println("\nObservations: the rowffts+hist clustering is stable across the sweep;")
+	fmt.Println("replication grows with the machine while per-instance sizes stay at the")
+	fmt.Println("memory minimum; the advantage over data parallelism widens with P because")
+	fmt.Println("per-processor overheads make large single modules increasingly inefficient.")
+}

@@ -1,0 +1,3 @@
+module pipemap
+
+go 1.24

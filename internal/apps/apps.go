@@ -1,0 +1,81 @@
+package apps
+
+import (
+	"fmt"
+
+	"pipemap/internal/model"
+)
+
+// Config is one evaluation configuration from the paper's tables.
+type Config struct {
+	// Name of the program (FFT-Hist, Radar, Stereo).
+	Name string
+	// Size is the data set description from the tables.
+	Size string
+	// Comm is the communication mode.
+	Comm Comm
+	// Chain is the calibrated task chain.
+	Chain *model.Chain
+	// Platform is the machine model the paper evaluated on.
+	Platform model.Platform
+	// PaperOptimal and PaperDataParallel are the throughputs (data sets
+	// per second) the paper predicted/measured, kept for the
+	// paper-vs-reproduction comparison in EXPERIMENTS.md.
+	PaperOptimal      float64
+	PaperDataParallel float64
+}
+
+// Table1Configs returns the four FFT-Hist configurations of Table 1.
+func Table1Configs() ([]Config, error) {
+	var out []Config
+	for _, c := range []struct {
+		n    int
+		comm Comm
+		opt  float64
+	}{
+		{256, Message, 14.60},
+		{256, Systolic, 14.74},
+		{512, Message, 3.14},
+		{512, Systolic, 2.99},
+	} {
+		chain, err := FFTHist(c.n, c.comm)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Config{
+			Name:         "FFT-Hist",
+			Size:         fmt.Sprintf("%dx%d", c.n, c.n),
+			Comm:         c.comm,
+			Chain:        chain,
+			Platform:     Platform(),
+			PaperOptimal: c.opt,
+		})
+	}
+	return out, nil
+}
+
+// Table2Configs returns the six configurations of Table 2: the four
+// FFT-Hist variants plus Radar and Stereo.
+func Table2Configs() ([]Config, error) {
+	out, err := Table1Configs()
+	if err != nil {
+		return nil, err
+	}
+	dp := []float64{1.86, 1.86, 1.35, 1.35}
+	for i := range out {
+		out[i].PaperDataParallel = dp[i]
+	}
+	out = append(out,
+		Config{
+			Name: "Radar", Size: "512x10x4", Comm: Systolic,
+			Chain: Radar(), Platform: Platform(),
+			PaperOptimal: 81.21, PaperDataParallel: 18.95,
+		},
+		Config{
+			Name: "Stereo", Size: "256x100", Comm: Systolic,
+			Chain: Stereo(), Platform: Platform(),
+			PaperOptimal: 43.12, PaperDataParallel: 15.67,
+		},
+	)
+	return out, nil
+}

@@ -1,0 +1,233 @@
+package apps
+
+import (
+	"testing"
+
+	"pipemap/internal/dp"
+	"pipemap/internal/estimate"
+	"pipemap/internal/greedy"
+	"pipemap/internal/model"
+	"pipemap/internal/testutil"
+)
+
+func TestFFTHistValidation(t *testing.T) {
+	for _, n := range []int{256, 512} {
+		for _, comm := range []Comm{Message, Systolic} {
+			c, err := FFTHist(n, comm)
+			if err != nil {
+				t.Fatalf("FFTHist(%d,%v): %v", n, comm, err)
+			}
+			if err := c.Validate(); err != nil {
+				t.Errorf("FFTHist(%d,%v) invalid: %v", n, comm, err)
+			}
+		}
+	}
+	if _, err := FFTHist(100, Message); err == nil {
+		t.Error("non-power-of-two size accepted")
+	}
+}
+
+func TestFFTHistMemoryMinimums(t *testing.T) {
+	pl := Platform()
+	c, err := FFTHist(256, Message)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: each instance of module 1 (colffts) needs >= 3 processors
+	// and module 2 (rowffts+hist) >= 4.
+	if got := c.ModuleMinProcs(0, 1, pl.MemPerProc); got != 3 {
+		t.Errorf("colffts min procs = %d, want 3", got)
+	}
+	if got := c.ModuleMinProcs(1, 3, pl.MemPerProc); got != 4 {
+		t.Errorf("rowffts+hist min procs = %d, want 4", got)
+	}
+	c512, err := FFTHist(512, Message)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c512.ModuleMinProcs(0, 1, pl.MemPerProc); got != 12 {
+		t.Errorf("512 colffts min procs = %d, want 12", got)
+	}
+	if got := c512.ModuleMinProcs(1, 3, pl.MemPerProc); got != 12 {
+		t.Errorf("512 rowffts+hist min procs = %d, want 12", got)
+	}
+}
+
+func TestFFTHist256MessageReproducesPaperMapping(t *testing.T) {
+	// Table 1, row 1: module 1 = {colffts} with 3 procs x 8 instances;
+	// module 2 = {rowffts, hist} with 4 procs x 10 instances; predicted
+	// throughput 14.60 data sets/s.
+	c, err := FFTHist(256, Message)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dp.MapChain(c, Platform(), dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Modules) != 2 {
+		t.Fatalf("got %d modules, want 2: %v", len(m.Modules), &m)
+	}
+	m1, m2 := m.Modules[0], m.Modules[1]
+	if m1.Hi != 1 || m2.Lo != 1 {
+		t.Fatalf("clustering %v, want {colffts} {rowffts,hist}", &m)
+	}
+	if m1.Procs != 3 || m1.Replicas != 8 || m2.Procs != 4 || m2.Replicas != 10 {
+		t.Errorf("mapping %v, want p1=3 r1=8 p2=4 r2=10", &m)
+	}
+	if thr := m.Throughput(); thr < 13.0 || thr > 16.5 {
+		t.Errorf("throughput %g outside the paper's band (14.60)", thr)
+	}
+}
+
+func TestTable2RatiosInBand(t *testing.T) {
+	// The optimal/data-parallel ratio shape of Table 2 must hold: each
+	// config's reproduction ratio within ~35%% of the paper's, and the
+	// ordering FFT-Hist-256 >> Radar > Stereo > FFT-Hist-512 preserved
+	// loosely (the paper's band is 2-9x).
+	cfgs, err := Table2Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range cfgs {
+		m, err := dp.MapChain(cfg.Chain, cfg.Platform, dp.Options{})
+		if err != nil {
+			t.Fatalf("%s %s: %v", cfg.Name, cfg.Size, err)
+		}
+		dpl := model.DataParallel(cfg.Chain, cfg.Platform)
+		ratio := m.Throughput() / dpl.Throughput()
+		paper := cfg.PaperOptimal / cfg.PaperDataParallel
+		if ratio < paper*0.65 || ratio > paper*1.35 {
+			t.Errorf("%s %s %s: ratio %.2f vs paper %.2f out of band",
+				cfg.Name, cfg.Size, cfg.Comm, ratio, paper)
+		}
+		if ratio < 1.5 {
+			t.Errorf("%s: optimal must clearly beat data parallel, ratio %.2f", cfg.Name, ratio)
+		}
+	}
+}
+
+func TestGreedyMatchesDPOnAllConfigs(t *testing.T) {
+	// Section 6.3's key result: for all application configurations the
+	// greedy heuristic reaches the same (optimal) throughput as DP.
+	cfgs, err := Table2Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range cfgs {
+		d, err := dp.MapChain(cfg.Chain, cfg.Platform, dp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := greedy.Map(cfg.Chain, cfg.Platform, greedy.Options{Backtrack: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !testutil.AlmostEqual(d.Throughput(), g.Throughput(), 0.01) {
+			t.Errorf("%s %s %s: greedy %.3f vs DP %.3f",
+				cfg.Name, cfg.Size, cfg.Comm, g.Throughput(), d.Throughput())
+		}
+	}
+}
+
+func TestFFTHistRunnerEndToEnd(t *testing.T) {
+	r := FFTHistRunner{N: 64, DataSets: 8}
+	c := FFTHistStructure(64)
+	m := model.Mapping{Chain: c, Modules: []model.Module{
+		{Lo: 0, Hi: 1, Procs: 2, Replicas: 2},
+		{Lo: 1, Hi: 3, Procs: 2, Replicas: 1},
+	}}
+	stats, err := r.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Throughput <= 0 {
+		t.Errorf("throughput %g", stats.Throughput)
+	}
+	for _, op := range []string{opColFFTs, opRowFFTs, opHist, opTranspose, opHistMerge} {
+		if _, ok := stats.Ops[op]; !ok {
+			t.Errorf("missing measured op %s: %v", op, stats.Ops)
+		}
+	}
+}
+
+func TestFFTHistRunnerMergedMapping(t *testing.T) {
+	r := FFTHistRunner{N: 32, DataSets: 4}
+	c := FFTHistStructure(32)
+	m := model.DataParallel(c, model.Platform{Procs: 4})
+	stats, err := r.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DataSets != 4 {
+		t.Errorf("processed %d data sets", stats.DataSets)
+	}
+}
+
+func TestFFTHistRunnerProfileFitsModel(t *testing.T) {
+	// The full feedback loop on the real runtime: profile the 8 training
+	// runs, fit the polynomial model, and predict a mapping.
+	if testing.Short() {
+		t.Skip("real-runtime profiling")
+	}
+	r := FFTHistRunner{N: 64, DataSets: 6}
+	structure := FFTHistStructure(64)
+	pl := model.Platform{Procs: 8} // workers, not physical processors
+	fitted, err := estimate.EstimateChain(structure, r, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dp.MapChain(fitted, pl, dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(pl); err != nil {
+		t.Errorf("predicted mapping invalid: %v", err)
+	}
+	if m.Throughput() <= 0 {
+		t.Error("predicted throughput not positive")
+	}
+}
+
+func TestFFTHistRunnerErrors(t *testing.T) {
+	r := FFTHistRunner{N: 100}
+	c := FFTHistStructure(64)
+	m := model.DataParallel(c, model.Platform{Procs: 2})
+	if _, err := r.Run(m); err == nil {
+		t.Error("non-power-of-two size accepted")
+	}
+	r2 := FFTHistRunner{N: 32}
+	short := &model.Chain{Tasks: []model.Task{{Name: "x", Exec: model.ZeroExec()}}}
+	bad := model.DataParallel(short, model.Platform{Procs: 2})
+	if _, err := r2.Run(bad); err == nil {
+		t.Error("wrong chain shape accepted")
+	}
+}
+
+func TestTableConfigsComplete(t *testing.T) {
+	t1, err := Table1Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1) != 4 {
+		t.Errorf("Table 1 has %d configs, want 4", len(t1))
+	}
+	t2, err := Table2Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2) != 6 {
+		t.Errorf("Table 2 has %d configs, want 6", len(t2))
+	}
+	for _, cfg := range t2 {
+		if cfg.PaperOptimal <= 0 || cfg.PaperDataParallel <= 0 {
+			t.Errorf("%s missing paper reference numbers", cfg.Name)
+		}
+	}
+}
+
+func TestCommString(t *testing.T) {
+	if Message.String() != "Message" || Systolic.String() != "Systolic" {
+		t.Error("Comm.String misbehaves")
+	}
+}

@@ -1,0 +1,47 @@
+package apps
+
+import (
+	"testing"
+
+	"pipemap/internal/dp"
+	"pipemap/internal/greedy"
+	"pipemap/internal/model"
+)
+
+// TestCalibrationReport logs the predicted mappings for every
+// configuration; run with -v to inspect during calibration.
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration report")
+	}
+	cfgs, err := Table2Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range cfgs {
+		m, err := dp.MapChain(cfg.Chain, cfg.Platform, dp.Options{})
+		if err != nil {
+			t.Errorf("%s %s %s: DP failed: %v", cfg.Name, cfg.Size, cfg.Comm, err)
+			continue
+		}
+		g, err := greedy.Map(cfg.Chain, cfg.Platform, greedy.Options{Backtrack: 2})
+		if err != nil {
+			t.Errorf("%s: greedy failed: %v", cfg.Name, err)
+			continue
+		}
+		dpl := model.DataParallel(cfg.Chain, cfg.Platform)
+		t.Logf("%s %s %s:\n  dp     %v thr=%.3f\n  greedy %v thr=%.3f\n  datapar thr=%.3f ratio=%.2f (paper %.2f / %.2f ratio %.2f)",
+			cfg.Name, cfg.Size, cfg.Comm,
+			&m, m.Throughput(), &g, g.Throughput(),
+			dpl.Throughput(), m.Throughput()/dpl.Throughput(),
+			cfg.PaperOptimal, cfg.PaperDataParallel,
+			ratioOrZero(cfg.PaperOptimal, cfg.PaperDataParallel))
+	}
+}
+
+func ratioOrZero(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,102 @@
+// Package apps defines the paper's evaluation applications as task chains
+// with calibrated cost models: FFT-Hist (section 6.2) at two data set
+// sizes and two communication modes, the narrowband tracking radar, and
+// multibaseline stereo (Table 2). Constants are calibrated so the chains
+// reproduce the paper's qualitative results — which clustering wins, the
+// replication structure, and the optimal-to-data-parallel throughput
+// ratios — on a 64-processor machine with 0.5 MB of memory per processor
+// (iWarp-like). Absolute times are in seconds but are not meant to match
+// iWarp microsecond-for-microsecond.
+//
+// The package also builds runnable fxrt pipelines for the applications,
+// with real kernels from package kernels, for end-to-end demonstrations.
+package apps
+
+import (
+	"fmt"
+
+	"pipemap/internal/model"
+)
+
+// Comm selects the communication substrate, mirroring the paper's message
+// passing versus systolic (pathway) modes on iWarp.
+type Comm int
+
+const (
+	// Message is buffered message passing: higher fixed overhead, cost
+	// parallelizes well over group members.
+	Message Comm = iota
+	// Systolic is iWarp pathway communication: very low fixed overhead but
+	// per-cell pathway setup that grows with group sizes.
+	Systolic
+)
+
+func (c Comm) String() string {
+	if c == Systolic {
+		return "Systolic"
+	}
+	return "Message"
+}
+
+// Platform returns the paper's evaluation machine: a 64-processor array
+// with 0.5 MB of usable memory per processor. Memory units throughout the
+// package are megabytes.
+func Platform() model.Platform {
+	return model.Platform{Procs: 64, MemPerProc: 0.5}
+}
+
+// FFTHist builds the FFT-Hist chain for n x n complex data sets
+// (n = 256 or 512 in the paper): colffts performs column FFTs, rowffts row
+// FFTs, and hist statistical analysis. The edge between colffts and
+// rowffts is a transpose whose cost is comparable whether internal or
+// external; the edge between rowffts and hist is free internally (shared
+// distribution) but expensive externally — which is exactly why the
+// optimal clustering merges rowffts and hist (section 6.3).
+func FFTHist(n int, comm Comm) (*model.Chain, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("apps: FFT-Hist size %d must be a power of two >= 2", n)
+	}
+	// s scales data volume relative to the 256x256 baseline; ws adds the
+	// FFT's log factor to computation.
+	s := float64(n) * float64(n) / (256.0 * 256.0)
+	ws := s * log2(float64(n)) / 8.0
+
+	fftExec := model.PolyExec{C1: 0.005, C2: 1.2 * ws, C3: 0.0008}
+	histExec := model.PolyExec{C1: 0.07, C2: 0.6 * s, C3: 0.004}
+
+	transposeICom := model.PolyExec{C1: 0.01, C2: 0.6 * s, C3: 0.00053}
+	var transposeECom, rowHistECom model.CommFunc
+	switch comm {
+	case Systolic:
+		transposeECom = model.PolyComm{C1: 0.008, C2: 0.15 * s, C3: 0.15 * s, C4: 0.002, C5: 0.002}
+		rowHistECom = model.PolyComm{C1: 0.02, C2: 0.28 * s, C3: 0.28 * s, C4: 0.002, C5: 0.002}
+	default:
+		transposeECom = model.PolyComm{C1: 0.0325, C2: 0.18 * s, C3: 0.18 * s, C4: 0.0005, C5: 0.0005}
+		rowHistECom = model.PolyComm{C1: 0.08, C2: 0.3 * s, C3: 0.3 * s, C4: 0.0005, C5: 0.0005}
+	}
+
+	fftMem := model.Memory{Data: 1.4 * s} // MB: input + output + workspace
+	histMem := model.Memory{Data: 0.35}   // MB: bins and moments, size-independent
+
+	return &model.Chain{
+		Tasks: []model.Task{
+			{Name: "colffts", Exec: fftExec, Mem: fftMem, Replicable: true},
+			{Name: "rowffts", Exec: fftExec, Mem: fftMem, Replicable: true},
+			{Name: "hist", Exec: histExec, Mem: histMem, Replicable: true},
+		},
+		ICom: []model.CostFunc{
+			transposeICom,
+			model.ZeroExec(), // rowffts and hist share a distribution
+		},
+		ECom: []model.CommFunc{transposeECom, rowHistECom},
+	}, nil
+}
+
+func log2(x float64) float64 {
+	n := 0.0
+	for x > 1 {
+		x /= 2
+		n++
+	}
+	return n
+}

@@ -1,0 +1,56 @@
+package apps
+
+import "pipemap/internal/model"
+
+// Radar builds the narrowband tracking radar chain (512 range gates x 10
+// pulses x 4 channels per coherent interval, per Table 2). The pipeline is
+// pulse compression -> corner turn -> Doppler processing -> CFAR -> track
+// update. Data sets are small, so fixed communication overheads dominate
+// at large processor counts and the data parallel mapping wastes most of
+// the machine; the optimal mapping replicates the compute stages heavily
+// (Table 2 reports a 4.3x advantage). The track-update stage carries state
+// across data sets and is therefore not replicable, which is what bounds
+// the optimal throughput.
+func Radar() *model.Chain {
+	return &model.Chain{
+		Tasks: []model.Task{
+			{
+				Name:       "pulsecomp",
+				Exec:       model.PolyExec{C1: 0.002, C2: 0.030, C3: 0.00006},
+				Mem:        model.Memory{Data: 0.45},
+				Replicable: true,
+			},
+			{
+				Name:       "doppler",
+				Exec:       model.PolyExec{C1: 0.0015, C2: 0.018, C3: 0.00006},
+				Mem:        model.Memory{Data: 0.45},
+				Replicable: true,
+			},
+			{
+				Name:       "cfar",
+				Exec:       model.PolyExec{C1: 0.0018, C2: 0.012, C3: 0.00008},
+				Mem:        model.Memory{Data: 0.3},
+				Replicable: true,
+			},
+			{
+				Name:       "track",
+				Exec:       model.PolyExec{C1: 0.008, C2: 0.004, C3: 0.0003},
+				Mem:        model.Memory{Data: 0.1},
+				Replicable: false, // tracker state carries across data sets
+			},
+		},
+		ICom: []model.CostFunc{
+			// Corner turn between pulse compression and Doppler.
+			model.PolyExec{C1: 0.0008, C2: 0.006, C3: 0.00005},
+			// Doppler -> CFAR shares the Doppler-major distribution.
+			model.ZeroExec(),
+			// CFAR -> track: detection list gather.
+			model.PolyExec{C1: 0.0004, C2: 0.001, C3: 0.00003},
+		},
+		ECom: []model.CommFunc{
+			model.PolyComm{C1: 0.0015, C2: 0.006, C3: 0.006, C4: 0.00005, C5: 0.00005},
+			model.PolyComm{C1: 0.0025, C2: 0.008, C3: 0.008, C4: 0.00005, C5: 0.00005},
+			model.PolyComm{C1: 0.0010, C2: 0.002, C3: 0.002, C4: 0.00003, C5: 0.00003},
+		},
+	}
+}

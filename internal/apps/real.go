@@ -1,0 +1,247 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"pipemap/internal/estimate"
+	"pipemap/internal/fxrt"
+	"pipemap/internal/kernels"
+	"pipemap/internal/model"
+)
+
+// FFTHistRunner executes the FFT-Hist program for real on the fxrt
+// runtime: actual FFTs, transposes and histogram reductions on n x n
+// complex matrices, with the pipeline structure (clustering, workers,
+// replication) taken from a mapping. It implements estimate.Profiler, so
+// the whole feedback loop of the paper — profile, fit a model, predict the
+// optimal mapping, run it — can be exercised end to end on a real workload.
+type FFTHistRunner struct {
+	// N is the matrix dimension (power of two).
+	N int
+	// DataSets is the stream length per run (default 12).
+	DataSets int
+}
+
+// opNames for recorded measurements.
+const (
+	opColFFTs     = "exec:colffts"
+	opRowFFTs     = "exec:rowffts"
+	opHist        = "exec:hist"
+	opTranspose   = "edge:transpose"
+	opHistMerge   = "edge:histmerge"
+	opHistHandoff = "edge:handoff"
+)
+
+// Pipeline builds the fxrt pipeline realizing the mapping, along with the
+// inter-module edge transfers. The mapping must cover the 3-task FFT-Hist
+// chain (colffts, rowffts, hist). When the colffts/rowffts boundary
+// crosses modules, the transpose runs as a true edge transfer — the
+// sending instance blocks while the receiving instance redistributes, the
+// paper's rendezvous communication model.
+func (r FFTHistRunner) Pipeline(m model.Mapping) (*fxrt.Pipeline, []fxrt.Edge, error) {
+	if r.N < 2 || r.N&(r.N-1) != 0 {
+		return nil, nil, fmt.Errorf("apps: FFT-Hist size %d must be a power of two", r.N)
+	}
+	if m.Chain == nil || m.Chain.Len() != 3 {
+		return nil, nil, fmt.Errorf("apps: mapping does not cover the 3-task FFT-Hist chain")
+	}
+	var stages []fxrt.Stage
+	var edges []fxrt.Edge
+	for mi, mod := range m.Modules {
+		mod := mod
+		stages = append(stages, fxrt.Stage{
+			Name:     m.Chain.TaskNames(mod.Lo, mod.Hi),
+			Workers:  mod.Procs,
+			Replicas: mod.Replicas,
+			Run: func(ctx *fxrt.StageCtx, in fxrt.DataSet) (fxrt.DataSet, error) {
+				return r.runTasks(ctx, mod.Lo, mod.Hi, in)
+			},
+		})
+		if mi == 0 {
+			continue
+		}
+		// The edge into this module: the transpose when the module starts
+		// with rowffts, a free handoff otherwise (rowffts+hist share a
+		// distribution).
+		if mod.Lo == 1 {
+			edges = append(edges, fxrt.Edge{
+				Name: opTranspose,
+				Transfer: func(recv *fxrt.StageCtx, in fxrt.DataSet) (fxrt.DataSet, error) {
+					mat, ok := in.(kernels.Matrix)
+					if !ok {
+						return nil, fmt.Errorf("apps: transpose edge expects a matrix")
+					}
+					out := kernels.NewMatrix(mat.Cols, mat.Rows)
+					err := recv.Group.ParallelFor(out.Rows, func(r0, r1 int) error {
+						return kernels.Transpose(mat, out, r0, r1)
+					})
+					return out, err
+				},
+			})
+		} else {
+			edges = append(edges, fxrt.Edge{Name: opHistHandoff})
+		}
+	}
+	return &fxrt.Pipeline{Stages: stages}, edges, nil
+}
+
+// runTasks executes tasks [lo, hi) of the FFT-Hist chain on the instance's
+// group. Edge 0 (the transpose) is performed at the boundary between
+// colffts and rowffts regardless of which stage hosts it; edge 1 is the
+// histogram partial merge, folded into the hist task.
+func (r FFTHistRunner) runTasks(ctx *fxrt.StageCtx, lo, hi int, in fxrt.DataSet) (fxrt.DataSet, error) {
+	ds := in
+	for t := lo; t < hi; t++ {
+		switch t {
+		case 0:
+			mat, ok := ds.(kernels.Matrix)
+			if !ok {
+				return nil, fmt.Errorf("apps: colffts expects a matrix input")
+			}
+			err := ctx.Rec.Time(opColFFTs, func() error {
+				return ctx.Group.ParallelFor(mat.Cols, func(c0, c1 int) error {
+					return kernels.FFTCols(mat, c0, c1)
+				})
+			})
+			if err != nil {
+				return nil, err
+			}
+			ds = mat
+		case 1:
+			mat, ok := ds.(kernels.Matrix)
+			if !ok {
+				return nil, fmt.Errorf("apps: rowffts expects a matrix input")
+			}
+			out := mat
+			if lo == 0 {
+				// Edge 0 is internal to this module: redistribute from
+				// column-major to row-major blocks here.
+				out = kernels.NewMatrix(mat.Cols, mat.Rows)
+				err := ctx.Rec.Time(opTranspose, func() error {
+					return ctx.Group.ParallelFor(out.Rows, func(r0, r1 int) error {
+						return kernels.Transpose(mat, out, r0, r1)
+					})
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			err := ctx.Rec.Time(opRowFFTs, func() error {
+				return ctx.Group.ParallelFor(out.Rows, func(r0, r1 int) error {
+					return kernels.FFTRows(out, r0, r1)
+				})
+			})
+			if err != nil {
+				return nil, err
+			}
+			ds = out
+		case 2:
+			mat, ok := ds.(kernels.Matrix)
+			if !ok {
+				return nil, fmt.Errorf("apps: hist expects a matrix input")
+			}
+			w := ctx.Group.Workers()
+			partials := make([]*kernels.Histogram, w)
+			err := ctx.Rec.Time(opHist, func() error {
+				band := (mat.Rows + w - 1) / w
+				return ctx.Group.ParallelFor(w, func(i0, i1 int) error {
+					for i := i0; i < i1; i++ {
+						h := kernels.NewHistogram(64, -6, 6)
+						r0, r1 := i*band, (i+1)*band
+						if r1 > mat.Rows {
+							r1 = mat.Rows
+						}
+						if r0 < r1 {
+							h.AccumulateMatrix(mat, r0, r1)
+						}
+						partials[i] = h
+					}
+					return nil
+				})
+			})
+			if err != nil {
+				return nil, err
+			}
+			total := kernels.NewHistogram(64, -6, 6)
+			err = ctx.Rec.Time(opHistMerge, func() error {
+				for _, h := range partials {
+					if h != nil {
+						total.Merge(h)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			ds = total
+		}
+	}
+	return ds, nil
+}
+
+// Run executes the mapping on the runtime and returns measured statistics.
+func (r FFTHistRunner) Run(m model.Mapping) (fxrt.Stats, error) {
+	p, edges, err := r.Pipeline(m)
+	if err != nil {
+		return fxrt.Stats{}, err
+	}
+	n := r.DataSets
+	if n <= 0 {
+		n = 12
+	}
+	template := r.template()
+	return p.RunWithEdges(func(i int) fxrt.DataSet {
+		mat := kernels.NewMatrix(r.N, r.N)
+		copy(mat.Data, template.Data)
+		// Vary the stream slightly so runs are not trivially cacheable.
+		mat.Data[i%len(mat.Data)] += complex(float64(i%7), 0)
+		return mat
+	}, n, 0, edges)
+}
+
+// template synthesizes the input data set: a sum of tones plus structure.
+func (r FFTHistRunner) template() kernels.Matrix {
+	mat := kernels.NewMatrix(r.N, r.N)
+	for row := 0; row < r.N; row++ {
+		for col := 0; col < r.N; col++ {
+			v := math.Sin(2*math.Pi*3*float64(row)/float64(r.N)) +
+				0.5*math.Cos(2*math.Pi*7*float64(col)/float64(r.N))
+			mat.Set(row, col, complex(v, 0))
+		}
+	}
+	return mat
+}
+
+var _ estimate.Profiler = FFTHistRunner{}
+
+// Profile implements estimate.Profiler: it runs the mapping on the real
+// runtime and reports mean measured per-task and per-edge times.
+func (r FFTHistRunner) Profile(m model.Mapping) (estimate.Measurement, error) {
+	stats, err := r.Run(m)
+	if err != nil {
+		return estimate.Measurement{}, err
+	}
+	ops := stats.Ops
+	return estimate.Measurement{
+		TaskExec: []float64{ops[opColFFTs], ops[opRowFFTs], ops[opHist]},
+		EdgeComm: []float64{ops[opTranspose], ops[opHistMerge]},
+	}, nil
+}
+
+// FFTHistStructure returns the 3-task chain structure (names, memory,
+// replicability) used when fitting a model from real profiles: cost
+// functions are placeholders, replaced by the fit.
+func FFTHistStructure(n int) *model.Chain {
+	s := float64(n) * float64(n) / (256.0 * 256.0)
+	return &model.Chain{
+		Tasks: []model.Task{
+			{Name: "colffts", Exec: model.ZeroExec(), Mem: model.Memory{Data: 1.4 * s}, Replicable: true},
+			{Name: "rowffts", Exec: model.ZeroExec(), Mem: model.Memory{Data: 1.4 * s}, Replicable: true},
+			{Name: "hist", Exec: model.ZeroExec(), Mem: model.Memory{Data: 0.35}, Replicable: true},
+		},
+		ICom: []model.CostFunc{model.ZeroExec(), model.ZeroExec()},
+		ECom: []model.CommFunc{model.ZeroComm(), model.ZeroComm()},
+	}
+}

@@ -1,0 +1,257 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"pipemap/internal/estimate"
+	"pipemap/internal/fxrt"
+	"pipemap/internal/kernels"
+	"pipemap/internal/model"
+)
+
+// RadarRunner executes the narrowband tracking radar pipeline for real on
+// the fxrt runtime: matched filtering, Doppler processing and CFAR
+// detection with the kernels package, plus a stateful track-update stage.
+// The pipeline structure comes from a mapping of the 4-task radar chain.
+type RadarRunner struct {
+	// Pulses and Gates give the coherent-interval cube shape (powers of
+	// two; defaults 16 x 256).
+	Pulses, Gates int
+	// DataSets is the stream length per run (default 12).
+	DataSets int
+	// TargetGate and TargetDoppler locate the synthetic target injected
+	// into every data set (defaults gates/4 and 3).
+	TargetGate, TargetDoppler int
+}
+
+// radarData flows between the radar stages.
+type radarData struct {
+	cube kernels.Matrix
+	dets []kernels.Detection
+}
+
+// Radar op names for recorded measurements.
+const (
+	opPulseComp  = "exec:pulsecomp"
+	opDoppler    = "exec:doppler"
+	opCFAR       = "exec:cfar"
+	opTrack      = "exec:track"
+	opCornerTurn = "edge:cornerturn"
+	opDetGather  = "edge:detgather"
+)
+
+func (r RadarRunner) dims() (pulses, gates int) {
+	pulses, gates = r.Pulses, r.Gates
+	if pulses == 0 {
+		pulses = 16
+	}
+	if gates == 0 {
+		gates = 256
+	}
+	return pulses, gates
+}
+
+// Pipeline builds the fxrt pipeline realizing a mapping of the radar
+// chain (pulsecomp, doppler, cfar, track). The returned map accumulates
+// per-cell track hit counts as data sets flow.
+func (r RadarRunner) Pipeline(m model.Mapping) (*fxrt.Pipeline, map[[2]int]int, error) {
+	pulses, gates := r.dims()
+	if pulses&(pulses-1) != 0 || gates&(gates-1) != 0 {
+		return nil, nil, fmt.Errorf("apps: radar cube %dx%d must have power-of-two dimensions", pulses, gates)
+	}
+	if m.Chain == nil || m.Chain.Len() != 4 {
+		return nil, nil, fmt.Errorf("apps: mapping does not cover the 4-task radar chain")
+	}
+	chirpFreq, err := r.chirpFreq()
+	if err != nil {
+		return nil, nil, err
+	}
+	// Track state is shared by the (single, non-replicable) track stage.
+	var trackMu sync.Mutex
+	tracks := map[[2]int]int{} // (doppler, gate) -> hit count
+
+	var stages []fxrt.Stage
+	for _, mod := range m.Modules {
+		mod := mod
+		stages = append(stages, fxrt.Stage{
+			Name:     m.Chain.TaskNames(mod.Lo, mod.Hi),
+			Workers:  mod.Procs,
+			Replicas: mod.Replicas,
+			Run: func(ctx *fxrt.StageCtx, in fxrt.DataSet) (fxrt.DataSet, error) {
+				rd, ok := in.(*radarData)
+				if !ok {
+					return nil, fmt.Errorf("apps: radar stage expects radarData")
+				}
+				for t := mod.Lo; t < mod.Hi; t++ {
+					if err := r.runTask(ctx, t, rd, chirpFreq, &trackMu, tracks); err != nil {
+						return nil, err
+					}
+				}
+				return rd, nil
+			},
+		})
+	}
+	return &fxrt.Pipeline{Stages: stages}, tracks, nil
+}
+
+func (r RadarRunner) runTask(ctx *fxrt.StageCtx, task int, rd *radarData,
+	chirpFreq []complex128, trackMu *sync.Mutex, tracks map[[2]int]int) error {
+	pulses, gates := r.dims()
+	switch task {
+	case 0: // pulse compression over rows (pulses)
+		return ctx.Rec.Time(opPulseComp, func() error {
+			return ctx.Group.ParallelFor(pulses, func(r0, r1 int) error {
+				return kernels.MatchedFilter(rd.cube, chirpFreq, r0, r1)
+			})
+		})
+	case 1: // corner turn (redistribution) then Doppler FFT over columns
+		err := ctx.Rec.Time(opCornerTurn, func() error {
+			fresh := kernels.NewMatrix(pulses, gates)
+			err := ctx.Group.ParallelFor(pulses, func(r0, r1 int) error {
+				copy(fresh.Data[r0*gates:r1*gates], rd.cube.Data[r0*gates:r1*gates])
+				return nil
+			})
+			rd.cube = fresh
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		return ctx.Rec.Time(opDoppler, func() error {
+			return ctx.Group.ParallelFor(gates, func(c0, c1 int) error {
+				return kernels.DopplerFFT(rd.cube, c0, c1)
+			})
+		})
+	case 2: // magnitude + CFAR over Doppler rows
+		w := ctx.Group.Workers()
+		parts := make([][]kernels.Detection, w)
+		err := ctx.Rec.Time(opCFAR, func() error {
+			band := (pulses + w - 1) / w
+			return ctx.Group.ParallelFor(w, func(i0, i1 int) error {
+				for i := i0; i < i1; i++ {
+					r0, r1 := i*band, (i+1)*band
+					if r1 > pulses {
+						r1 = pulses
+					}
+					if r0 >= r1 {
+						continue
+					}
+					kernels.PowerRows(rd.cube, r0, r1)
+					parts[i] = kernels.CFAR(rd.cube, 2, 8, 12, r0, r1)
+				}
+				return nil
+			})
+		})
+		if err != nil {
+			return err
+		}
+		return ctx.Rec.Time(opDetGather, func() error {
+			rd.dets = rd.dets[:0]
+			for _, p := range parts {
+				rd.dets = append(rd.dets, p...)
+			}
+			return nil
+		})
+	case 3: // track update (stateful, serialized)
+		return ctx.Rec.Time(opTrack, func() error {
+			trackMu.Lock()
+			defer trackMu.Unlock()
+			for _, d := range rd.dets {
+				tracks[[2]int{d.Doppler, d.Range}]++
+			}
+			return nil
+		})
+	default:
+		return fmt.Errorf("apps: radar task index %d out of range", task)
+	}
+}
+
+func (r RadarRunner) chirpFreq() ([]complex128, error) {
+	_, gates := r.dims()
+	chirp := make([]complex128, gates)
+	for i := 0; i < 16 && i < gates; i++ {
+		phase := 0.08 * float64(i*i)
+		chirp[i] = complex(math.Cos(phase), math.Sin(phase))
+	}
+	if err := kernels.FFT(chirp); err != nil {
+		return nil, err
+	}
+	return chirp, nil
+}
+
+// Run executes the mapping on the runtime, returning the measured
+// statistics and the accumulated track hit counts keyed by
+// (doppler, range gate).
+func (r RadarRunner) Run(m model.Mapping) (fxrt.Stats, map[[2]int]int, error) {
+	p, tracks, err := r.Pipeline(m)
+	if err != nil {
+		return fxrt.Stats{}, nil, err
+	}
+	pulses, gates := r.dims()
+	n := r.DataSets
+	if n <= 0 {
+		n = 12
+	}
+	tg, td := r.TargetGate, r.TargetDoppler
+	if tg == 0 {
+		tg = gates / 4
+	}
+	if td == 0 {
+		td = 3
+	}
+	chirp := make([]complex128, 16)
+	for i := range chirp {
+		phase := 0.08 * float64(i*i)
+		chirp[i] = complex(math.Cos(phase), math.Sin(phase))
+	}
+	stats, err := p.Run(func(i int) fxrt.DataSet {
+		cube := kernels.NewMatrix(pulses, gates)
+		// Deterministic low-level clutter plus the target echo.
+		for idx := range cube.Data {
+			cube.Data[idx] = complex(0.02*math.Sin(float64(idx+i)), 0)
+		}
+		for pu := 0; pu < pulses; pu++ {
+			ph := 2 * math.Pi * float64(td) * float64(pu) / float64(pulses)
+			rot := complex(math.Cos(ph), math.Sin(ph))
+			for j := 0; j < len(chirp) && tg+j < gates; j++ {
+				cube.Set(pu, tg+j, cube.At(pu, tg+j)+chirp[j]*rot*complex(2, 0))
+			}
+		}
+		return &radarData{cube: cube}
+	}, n, 0)
+	return stats, tracks, err
+}
+
+var _ estimate.Profiler = RadarRunner{}
+
+// Profile implements estimate.Profiler with real measured op times.
+func (r RadarRunner) Profile(m model.Mapping) (estimate.Measurement, error) {
+	stats, _, err := r.Run(m)
+	if err != nil {
+		return estimate.Measurement{}, err
+	}
+	ops := stats.Ops
+	return estimate.Measurement{
+		TaskExec: []float64{ops[opPulseComp], ops[opDoppler], ops[opCFAR], ops[opTrack]},
+		EdgeComm: []float64{ops[opCornerTurn], 0, ops[opDetGather]},
+	}, nil
+}
+
+// RadarStructure returns the 4-task chain structure for fitting real
+// radar profiles.
+func RadarStructure() *model.Chain {
+	base := Radar()
+	c := &model.Chain{
+		Tasks: make([]model.Task, 4),
+		ICom:  []model.CostFunc{model.ZeroExec(), model.ZeroExec(), model.ZeroExec()},
+		ECom:  []model.CommFunc{model.ZeroComm(), model.ZeroComm(), model.ZeroComm()},
+	}
+	for i := range c.Tasks {
+		c.Tasks[i] = base.Tasks[i]
+		c.Tasks[i].Exec = model.ZeroExec()
+		c.Tasks[i].Mem = model.Memory{} // real runs are not memory bound
+	}
+	return c
+}

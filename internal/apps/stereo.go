@@ -1,0 +1,55 @@
+package apps
+
+import "pipemap/internal/model"
+
+// Stereo builds the multibaseline stereo chain (256 x 100 images, 16
+// disparity levels, per Table 2 and the multi-baseline stereo description
+// in the introduction): image capture/preprocessing, difference images for
+// the disparity levels, error images, and a minimum reduction producing
+// the depth map. The capture stage is a single serial camera source and
+// cannot be replicated, which caps the achievable speedup — Table 2
+// reports a 2.75x advantage of the optimal mapping over data parallel,
+// the smallest of the three applications.
+func Stereo() *model.Chain {
+	return &model.Chain{
+		Tasks: []model.Task{
+			{
+				Name:       "capture",
+				Exec:       model.PolyExec{C1: 0.002, C2: 0.14, C3: 0.0005},
+				Mem:        model.Memory{Data: 0.25},
+				Replicable: false, // the cameras are a single serial source
+			},
+			{
+				Name:       "diff",
+				Exec:       model.PolyExec{C1: 0.0008, C2: 0.060, C3: 0.00005},
+				Mem:        model.Memory{Data: 2.2}, // 16 disparity planes
+				Replicable: true,
+			},
+			{
+				Name:       "err",
+				Exec:       model.PolyExec{C1: 0.0008, C2: 0.045, C3: 0.00005},
+				Mem:        model.Memory{Data: 2.2},
+				Replicable: true,
+			},
+			{
+				Name:       "depth",
+				Exec:       model.PolyExec{C1: 0.0018, C2: 0.010, C3: 0.0001},
+				Mem:        model.Memory{Data: 0.2},
+				Replicable: true,
+			},
+		},
+		ICom: []model.CostFunc{
+			// Capture -> diff: broadcast of the camera images.
+			model.PolyExec{C1: 0.0006, C2: 0.002, C3: 0.00002},
+			// Diff -> err shares the disparity-plane distribution.
+			model.ZeroExec(),
+			// Err -> depth: reduction across disparity planes.
+			model.PolyExec{C1: 0.0012, C2: 0.004, C3: 0.00008},
+		},
+		ECom: []model.CommFunc{
+			model.PolyComm{C1: 0.0012, C2: 0.003, C3: 0.003, C4: 0.00003, C5: 0.00003},
+			model.PolyComm{C1: 0.0030, C2: 0.010, C3: 0.010, C4: 0.00004, C5: 0.00004},
+			model.PolyComm{C1: 0.0015, C2: 0.005, C3: 0.005, C4: 0.00003, C5: 0.00003},
+		},
+	}
+}

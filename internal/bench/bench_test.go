@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"pipemap/internal/apps"
+)
+
+func TestTable1Reproduction(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("Table 1 has %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		// Every optimal mapping must cluster rowffts+hist (2 modules).
+		if len(r.Optimal.Modules) != 2 {
+			t.Errorf("%s %s: %d modules, want 2 (%v)", r.Size, r.Comm,
+				len(r.Optimal.Modules), &r.Optimal)
+		}
+		// Feasible throughput can never exceed unconstrained.
+		if r.FeasibleThr > r.OptimalThr*1.0001 {
+			t.Errorf("%s %s: feasible %g exceeds optimal %g", r.Size, r.Comm,
+				r.FeasibleThr, r.OptimalThr)
+		}
+		// Reproduced throughput within 25%% of the paper's prediction.
+		if r.OptimalThr < r.PaperThr*0.75 || r.OptimalThr > r.PaperThr*1.25 {
+			t.Errorf("%s %s: throughput %g vs paper %g out of band",
+				r.Size, r.Comm, r.OptimalThr, r.PaperThr)
+		}
+	}
+	// Row 1 must be exactly the paper's mapping.
+	m := rows[0].Optimal
+	if m.Modules[0].Procs != 3 || m.Modules[0].Replicas != 8 ||
+		m.Modules[1].Procs != 4 || m.Modules[1].Replicas != 10 {
+		t.Errorf("256 message mapping %v, want [3x8 | 4x10]", &m)
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "256x256") || !strings.Contains(out, "Systolic") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+}
+
+func TestTable2Reproduction(t *testing.T) {
+	rows, err := Table2(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("Table 2 has %d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		// Predicted and measured within ~15% of each other (the paper saw
+		// up to 12%).
+		if r.PctDiff > 15 || r.PctDiff < -15 {
+			t.Errorf("%s %s: predicted/measured diff %.1f%% too large", r.Name, r.Size, r.PctDiff)
+		}
+		// Optimal beats data parallel by the paper's 2-9x band (loosened).
+		if r.Ratio < 1.5 || r.Ratio > 12 {
+			t.Errorf("%s %s: ratio %.2f outside the paper's band", r.Name, r.Size, r.Ratio)
+		}
+	}
+	out := RenderTable2(rows)
+	for _, want := range []string{"FFT-Hist", "Radar", "Stereo"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure1StylesOrdering(t *testing.T) {
+	rows, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("Figure 1 has %d styles, want 4", len(rows))
+	}
+	byStyle := map[string]float64{}
+	for _, r := range rows {
+		byStyle[r.Style] = r.Throughput
+	}
+	opt := byStyle["mixed optimal (d)"]
+	for style, thr := range byStyle {
+		if thr > opt*1.0001 {
+			t.Errorf("%s (%g) beats the mixed optimal (%g)", style, thr, opt)
+		}
+	}
+	if byStyle["data parallel (a)"] >= opt/2 {
+		t.Errorf("data parallel (%g) too close to optimal (%g); the figure's point is lost",
+			byStyle["data parallel (a)"], opt)
+	}
+	if RenderFigure1(rows) == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestFigureRenderings(t *testing.T) {
+	f2g, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"m0.0", "m1.0", "m2.0", "X"} {
+		if !strings.Contains(f2g, want) {
+			t.Errorf("Figure 2 missing %q", want)
+		}
+	}
+	f3g, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three instances of the replicated module.
+	for _, want := range []string{"m1.0", "m1.1", "m1.2"} {
+		if !strings.Contains(f3g, want) {
+			t.Errorf("Figure 3 missing %q", want)
+		}
+	}
+	f4g, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"T_1", "T_2", "T_3", "colffts"} {
+		if !strings.Contains(f4g, want) {
+			t.Errorf("Figure 4 missing %q", want)
+		}
+	}
+	if !strings.Contains(Figure5(), "colffts") {
+		t.Error("Figure 5 missing task graph")
+	}
+	f6g, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f6g, "A") || !strings.Contains(f6g, "B") {
+		t.Errorf("Figure 6 missing layout:\n%s", f6g)
+	}
+}
+
+func TestAccuracyUnderTenPercent(t *testing.T) {
+	cfgs, err := apps.Table2Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FFT-Hist 256 message with 3% measurement noise, as in section 6.3.
+	res, err := Accuracy(cfgs[0], 0.03, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TaskErrPct > 10 {
+		t.Errorf("task model error %.1f%% exceeds the paper's ~10%% bound", res.TaskErrPct)
+	}
+	if res.ThroughputErrPct > 15 {
+		t.Errorf("throughput prediction error %.1f%% too large", res.ThroughputErrPct)
+	}
+	if RenderAccuracy([]AccuracyResult{res}) == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestAgreementAllConfigs(t *testing.T) {
+	rows, err := Agreement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d agreement rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Agree {
+			t.Errorf("%s: greedy %.3f missed DP %.3f\n dp: %s\n gr: %s",
+				r.Name, r.GreedyThr, r.DPThr, r.DPMaps, r.GreedyMaps)
+		}
+	}
+	if RenderAgreement(rows) == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestPathologyShowsGreedyGap(t *testing.T) {
+	r, err := Pathology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DPThr <= r.GreedyThr {
+		t.Errorf("pathology did not separate DP (%g) from greedy (%g)", r.DPThr, r.GreedyThr)
+	}
+	if r.BacktrackThr < r.GreedyThr {
+		t.Errorf("backtracking hurt: %g < %g", r.BacktrackThr, r.GreedyThr)
+	}
+	if !strings.Contains(RenderPathology(r), "DP (optimal)") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+
+	"pipemap/internal/apps"
+	"pipemap/internal/dp"
+	"pipemap/internal/model"
+)
+
+// CommMattersRow compares the paper's communication-aware mapping against
+// the communication-oblivious baseline of Choudhary et al. (reference [4]
+// in the paper), which assigns processors assuming transfer costs are
+// negligible or folded into computation. The paper's first claimed
+// contribution is exactly that a realistic communication model matters;
+// this experiment quantifies it on the evaluation applications.
+type CommMattersRow struct {
+	Name string
+	// Aware is the throughput of the communication-aware optimum.
+	Aware float64
+	// Oblivious is the *actual* throughput (with real communication costs)
+	// of the mapping chosen while ignoring communication.
+	Oblivious float64
+	// LossPct is the throughput sacrificed by ignoring communication.
+	LossPct float64
+	// ObliviousMapping shows what the baseline chose.
+	ObliviousMapping string
+	AwareMapping     string
+}
+
+// CommMatters runs the comparison on every Table 2 configuration.
+func CommMatters() ([]CommMattersRow, error) {
+	cfgs, err := apps.Table2Configs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []CommMattersRow
+	for _, cfg := range cfgs {
+		aware, err := dp.MapChain(cfg.Chain, cfg.Platform, dp.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s aware: %w", cfg.Name, err)
+		}
+		// The oblivious baseline sees the same tasks but zero-cost edges.
+		blind := &model.Chain{
+			Tasks: cfg.Chain.Tasks,
+			ICom:  make([]model.CostFunc, cfg.Chain.Len()-1),
+			ECom:  make([]model.CommFunc, cfg.Chain.Len()-1),
+		}
+		for i := range blind.ICom {
+			blind.ICom[i] = model.ZeroExec()
+			blind.ECom[i] = model.ZeroComm()
+		}
+		bm, err := dp.MapChain(blind, cfg.Platform, dp.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s oblivious: %w", cfg.Name, err)
+		}
+		// Evaluate the oblivious choice under the true cost model.
+		actual := model.Mapping{Chain: cfg.Chain, Modules: bm.Modules}
+		rows = append(rows, CommMattersRow{
+			Name:             fmt.Sprintf("%s %s %s", cfg.Name, cfg.Size, cfg.Comm),
+			Aware:            aware.Throughput(),
+			Oblivious:        actual.Throughput(),
+			LossPct:          100 * (1 - actual.Throughput()/aware.Throughput()),
+			ObliviousMapping: actual.String(),
+			AwareMapping:     aware.String(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderCommMatters renders the comparison.
+func RenderCommMatters(rows []CommMattersRow) string {
+	header := []string{"Config", "comm-aware/s", "comm-oblivious/s", "loss%"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Name, f2(r.Aware), f2(r.Oblivious), f2(r.LossPct)})
+	}
+	return renderTable(header, cells)
+}

@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"pipemap/internal/apps"
+	"pipemap/internal/dp"
+	"pipemap/internal/estimate"
+	"pipemap/internal/greedy"
+	"pipemap/internal/model"
+	"pipemap/internal/sim"
+)
+
+// AccuracyResult reports the model-accuracy experiment (section 6.3): the
+// chain is profiled through the paper's eight training runs on the noisy
+// simulator, a polynomial model is fitted, and predictions are compared
+// against simulator measurements on a validation set of mappings.
+type AccuracyResult struct {
+	Name string
+	// TaskErrPct and CommErrPct are mean absolute percentage errors of the
+	// fitted model's per-task and per-edge predictions.
+	TaskErrPct, CommErrPct float64
+	// ThroughputErrPct is the mean absolute percentage error of end-to-end
+	// throughput predictions across the validation mappings.
+	ThroughputErrPct float64
+	// Validations is the number of validation mappings.
+	Validations int
+}
+
+// Accuracy runs the model-accuracy experiment for one configuration. The
+// simulator injects `noise` relative measurement noise (the paper observed
+// under 10% average modeling error).
+func Accuracy(cfg apps.Config, noise float64, seed int64) (AccuracyResult, error) {
+	prof := sim.Profiler{Sim: sim.New(sim.Options{DataSets: 24, Noise: noise, Seed: seed})}
+	fitted, err := estimate.EstimateChain(cfg.Chain, prof, cfg.Platform)
+	if err != nil {
+		return AccuracyResult{}, err
+	}
+	// Validation set: a spread of singleton-module mappings plus merged
+	// ones, different from the training plan's exact splits.
+	var mappings []model.Mapping
+	k := cfg.Chain.Len()
+	for _, frac := range []float64{0.35, 0.6, 0.85} {
+		mods := make([]model.Module, k)
+		used := 0
+		feasible := true
+		for i := 0; i < k; i++ {
+			min := cfg.Chain.ModuleMinProcs(i, i+1, cfg.Platform.MemPerProc)
+			if min < 0 {
+				feasible = false
+				break
+			}
+			p := min + int(frac*float64(i+2))
+			if used+p > cfg.Platform.Procs {
+				p = min
+			}
+			mods[i] = model.Module{Lo: i, Hi: i + 1, Procs: p, Replicas: 1}
+			used += p
+		}
+		if feasible && used <= cfg.Platform.Procs {
+			mappings = append(mappings, model.Mapping{Chain: cfg.Chain, Modules: mods})
+		}
+	}
+	if min := cfg.Chain.ModuleMinProcs(0, k, cfg.Platform.MemPerProc); min > 0 && min <= cfg.Platform.Procs {
+		p := (min + cfg.Platform.Procs) / 2
+		mappings = append(mappings, model.Mapping{Chain: cfg.Chain, Modules: []model.Module{
+			{Lo: 0, Hi: k, Procs: p, Replicas: 1},
+		}})
+	}
+	if len(mappings) == 0 {
+		return AccuracyResult{}, fmt.Errorf("bench: no validation mappings for %s", cfg.Name)
+	}
+
+	meter := sim.Profiler{Sim: sim.New(sim.Options{DataSets: 24, Noise: noise, Seed: seed + 1000})}
+	var predTask, measTask, predComm, measComm, predThr, measThr []float64
+	for _, m := range mappings {
+		meas, err := meter.Profile(m)
+		if err != nil {
+			return AccuracyResult{}, err
+		}
+		fm := model.Mapping{Chain: fitted, Modules: m.Modules}
+		pred, err := (&estimate.ModelProfiler{Truth: fitted}).Profile(fm)
+		if err != nil {
+			return AccuracyResult{}, err
+		}
+		predTask = append(predTask, pred.TaskExec...)
+		measTask = append(measTask, meas.TaskExec...)
+		predComm = append(predComm, pred.EdgeComm...)
+		measComm = append(measComm, meas.EdgeComm...)
+
+		res, err := sim.New(sim.Options{DataSets: 300, Noise: noise, Seed: seed + 2000}).Run(m)
+		if err != nil {
+			return AccuracyResult{}, err
+		}
+		predThr = append(predThr, fm.Throughput())
+		measThr = append(measThr, res.Throughput)
+	}
+	return AccuracyResult{
+		Name:             fmt.Sprintf("%s %s %s", cfg.Name, cfg.Size, cfg.Comm),
+		TaskErrPct:       estimate.MeanAbsPctError(predTask, measTask),
+		CommErrPct:       estimate.MeanAbsPctError(predComm, measComm),
+		ThroughputErrPct: estimate.MeanAbsPctError(predThr, measThr),
+		Validations:      len(mappings),
+	}, nil
+}
+
+// RenderAccuracy renders accuracy results.
+func RenderAccuracy(rows []AccuracyResult) string {
+	header := []string{"Config", "task err%", "comm err%", "throughput err%", "validations"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Name, f2(r.TaskErrPct), f2(r.CommErrPct), f2(r.ThroughputErrPct),
+			fmt.Sprintf("%d", r.Validations),
+		})
+	}
+	return renderTable(header, cells)
+}
+
+// AgreementRow is one configuration of the DP-versus-greedy comparison
+// (the key result of section 6.3: both reach the same optimal mapping).
+type AgreementRow struct {
+	Name       string
+	DPThr      float64
+	GreedyThr  float64
+	Agree      bool
+	DPMaps     string
+	GreedyMaps string
+}
+
+// Agreement compares the DP and greedy mappings on every configuration.
+func Agreement() ([]AgreementRow, error) {
+	cfgs, err := apps.Table2Configs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []AgreementRow
+	for _, cfg := range cfgs {
+		d, err := dp.MapChain(cfg.Chain, cfg.Platform, dp.Options{})
+		if err != nil {
+			return nil, err
+		}
+		g, err := greedy.Map(cfg.Chain, cfg.Platform, greedy.Options{Backtrack: 2})
+		if err != nil {
+			return nil, err
+		}
+		dt, gt := d.Throughput(), g.Throughput()
+		rows = append(rows, AgreementRow{
+			Name:      fmt.Sprintf("%s %s %s", cfg.Name, cfg.Size, cfg.Comm),
+			DPThr:     dt,
+			GreedyThr: gt,
+			Agree:     gt >= dt*0.995,
+			DPMaps:    d.String(), GreedyMaps: g.String(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderAgreement renders the agreement table.
+func RenderAgreement(rows []AgreementRow) string {
+	header := []string{"Config", "DP thr/s", "Greedy thr/s", "agree"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Name, f2(r.DPThr), f2(r.GreedyThr),
+			fmt.Sprintf("%v", r.Agree)})
+	}
+	return renderTable(header, cells)
+}
+
+// PathologyResult reports the section 4 pathology: a cost function with a
+// cliff that one-at-a-time greedy cannot cross, where DP stays optimal.
+type PathologyResult struct {
+	DPThr, GreedyThr, BacktrackThr float64
+}
+
+// Pathology builds the paper's 1-versus-10-processors example and compares
+// DP, plain greedy, and greedy with bounded backtracking. Crossing the
+// cliff requires accepting a long sequence of non-improving steps while a
+// neighbour's communication cost inflates; the neighbour-greedy rule
+// diverts processors away and never reaches the optimum, while the DP
+// does. (Interestingly, the Theorem 1 slowest-only variant does cross the
+// cliff here, because it cannot be distracted by the temporarily better
+// neighbour moves.)
+func Pathology() (PathologyResult, error) {
+	c, pl, err := PathologyChain()
+	if err != nil {
+		return PathologyResult{}, err
+	}
+	spans := model.Singletons(2)
+	d, err := dp.AssignClustered(c, pl, spans, dp.Options{DisableReplication: true})
+	if err != nil {
+		return PathologyResult{}, err
+	}
+	g, err := greedy.Assign(c, pl, spans, greedy.Options{DisableReplication: true})
+	if err != nil {
+		return PathologyResult{}, err
+	}
+	b, err := greedy.Assign(c, pl, spans, greedy.Options{DisableReplication: true, Backtrack: 2})
+	if err != nil {
+		return PathologyResult{}, err
+	}
+	return PathologyResult{
+		DPThr: d.Throughput(), GreedyThr: g.Throughput(), BacktrackThr: b.Throughput(),
+	}, nil
+}
+
+// PathologyChain builds the adversarial two-task chain used by Pathology:
+// a smooth task feeding a task whose execution time is flat from 1 to 9
+// processors and drops sharply at 10, over an edge whose cost grows with
+// the receiver's processor count.
+func PathologyChain() (*model.Chain, model.Platform, error) {
+	points := map[int]float64{}
+	for p := 1; p <= 9; p++ {
+		points[p] = 10
+	}
+	for p := 10; p <= 16; p++ {
+		points[p] = 1
+	}
+	cliff, err := model.NewTableCost(points)
+	if err != nil {
+		return nil, model.Platform{}, err
+	}
+	c := &model.Chain{
+		Tasks: []model.Task{
+			{Name: "smooth", Exec: model.PolyExec{C2: 8}},
+			{Name: "cliff", Exec: cliff},
+		},
+		ICom: []model.CostFunc{model.ZeroExec()},
+		ECom: []model.CommFunc{model.PolyComm{C5: 0.3}},
+	}
+	return c, model.Platform{Procs: 12}, nil
+}
+
+// RenderPathology renders the pathology comparison.
+func RenderPathology(r PathologyResult) string {
+	var b strings.Builder
+	b.WriteString("Section 4 pathology: cliff cost function (no benefit from 2..9 procs,\n")
+	b.WriteString("large drop at 10) that one-at-a-time greedy cannot cross\n\n")
+	fmt.Fprintf(&b, "  DP (optimal):        %.4f data sets/s\n", r.DPThr)
+	fmt.Fprintf(&b, "  greedy:              %.4f data sets/s\n", r.GreedyThr)
+	fmt.Fprintf(&b, "  greedy + backtrack:  %.4f data sets/s\n", r.BacktrackThr)
+	return b.String()
+}

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"pipemap/internal/apps"
+	"pipemap/internal/dp"
+	"pipemap/internal/machine"
+	"pipemap/internal/model"
+	"pipemap/internal/sim"
+)
+
+// Figure1Row is one mapping style from Figure 1 evaluated on FFT-Hist:
+// pure data parallel, pure task parallel, replicated data parallel, and
+// the mixed optimal.
+type Figure1Row struct {
+	Style      string
+	Mapping    model.Mapping
+	Throughput float64
+}
+
+// Figure1 evaluates the four mapping styles of Figure 1 on the FFT-Hist
+// 256 message configuration, quantifying the figure's qualitative point:
+// mixed task and data parallelism with replication dominates.
+func Figure1() ([]Figure1Row, error) {
+	c, err := apps.FFTHist(256, apps.Message)
+	if err != nil {
+		return nil, err
+	}
+	pl := apps.Platform()
+	var rows []Figure1Row
+
+	// (a) Pure data parallelism: all tasks on all processors.
+	dpl := model.DataParallel(c, pl)
+	rows = append(rows, Figure1Row{"data parallel (a)", dpl, dpl.Throughput()})
+
+	// (b) Pure task parallelism: one module per task, no replication.
+	tp, err := dp.MapChain(c, pl, dp.Options{DisableClustering: true, DisableReplication: true})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Figure1Row{"task parallel (b)", tp, tp.Throughput()})
+
+	// (c) Replicated data parallelism: all tasks in one module, maximal
+	// replication.
+	merged := []model.Span{{Lo: 0, Hi: c.Len()}}
+	rp, err := dp.AssignClustered(c, pl, merged, dp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Figure1Row{"replicated data parallel (c)", rp, rp.Throughput()})
+
+	// (d) Mixed task and data parallel with replication: the optimum.
+	opt, err := dp.MapChain(c, pl, dp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Figure1Row{"mixed optimal (d)", opt, opt.Throughput()})
+	return rows, nil
+}
+
+// RenderFigure1 renders the Figure 1 comparison.
+func RenderFigure1(rows []Figure1Row) string {
+	header := []string{"Mapping style", "Mapping", "Throughput/s"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Style, r.Mapping.String(), f2(r.Throughput)})
+	}
+	return renderTable(header, cells)
+}
+
+// Figure2 renders the execution model timeline of a three-task chain
+// (Figure 2): tasks on disjoint processor sets, transfers occupying both
+// sides, pipelined across data sets.
+func Figure2() (string, error) {
+	c := &model.Chain{
+		Tasks: []model.Task{
+			{Name: "t1", Exec: model.PolyExec{C1: 1}},
+			{Name: "t2", Exec: model.PolyExec{C1: 1.5}},
+			{Name: "t3", Exec: model.PolyExec{C1: 1}},
+		},
+		ICom: []model.CostFunc{model.ZeroExec(), model.ZeroExec()},
+		ECom: []model.CommFunc{
+			model.PolyComm{C1: 0.5},
+			model.PolyComm{C1: 0.5},
+		},
+	}
+	m := model.Mapping{Chain: c, Modules: []model.Module{
+		{Lo: 0, Hi: 1, Procs: 2, Replicas: 1},
+		{Lo: 1, Hi: 2, Procs: 2, Replicas: 1},
+		{Lo: 2, Hi: 3, Procs: 2, Replicas: 1},
+	}}
+	res, err := sim.New(sim.Options{DataSets: 5, Trace: true}).Run(m)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 2: execution model of a chain of tasks\n")
+	b.WriteString("(R=receive, X=compute, S=send; transfers occupy sender and receiver)\n\n")
+	b.WriteString(sim.Gantt(res.Trace, 96))
+	return b.String(), nil
+}
+
+// Figure3 renders the replication timeline (Figure 3): a replicated
+// module processes alternate data sets on distinct processor groups,
+// trading response time for throughput.
+func Figure3() (string, error) {
+	c := &model.Chain{
+		Tasks: []model.Task{
+			{Name: "src", Exec: model.PolyExec{C1: 0.5}, Replicable: true},
+			{Name: "work", Exec: model.PolyExec{C1: 2}, Replicable: true},
+		},
+		ICom: []model.CostFunc{model.ZeroExec()},
+		ECom: []model.CommFunc{model.PolyComm{C1: 0.25}},
+	}
+	m := model.Mapping{Chain: c, Modules: []model.Module{
+		{Lo: 0, Hi: 1, Procs: 1, Replicas: 1},
+		{Lo: 1, Hi: 2, Procs: 1, Replicas: 3},
+	}}
+	res, err := sim.New(sim.Options{DataSets: 7, Trace: true}).Run(m)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 3: replication — module 1 replicated 3x processes\n")
+	b.WriteString("alternate data sets on distinct processor groups\n\n")
+	b.WriteString(sim.Gantt(res.Trace, 96))
+	return b.String(), nil
+}
+
+// Figure4 illustrates the dynamic programming decomposition (Figure 4 and
+// Lemma 1): the optimal assignment of each prefix subchain of FFT-Hist for
+// the full processor budget, showing how prefix optima build the chain
+// optimum.
+func Figure4() (string, error) {
+	c, err := apps.FFTHist(256, apps.Message)
+	if err != nil {
+		return "", err
+	}
+	pl := apps.Platform()
+	var b strings.Builder
+	b.WriteString("Figure 4: DP builds the optimum from optimal subchain assignments\n")
+	b.WriteString("(optimal mapping of each task prefix of FFT-Hist on 64 processors)\n\n")
+	for j := 1; j <= c.Len(); j++ {
+		sub := &model.Chain{
+			Tasks: c.Tasks[:j],
+			ICom:  c.ICom[:j-1],
+			ECom:  c.ECom[:j-1],
+		}
+		m, err := dp.MapChain(sub, pl, dp.Options{})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "T_%d (%s): %v  thr=%.2f/s\n",
+			j, sub.TaskNames(0, j), &m, m.Throughput())
+	}
+	return b.String(), nil
+}
+
+// Figure5 renders the FFT-Hist program structure and task graph of
+// Figure 5.
+func Figure5() string {
+	return `Figure 5: FFT-Hist example program and task graph
+
+    do i = 1, m
+        call colffts(A)     ! 1D FFTs on the columns of A
+        call rowffts(A)     ! 1D FFTs on the rows of A
+        call hist(A)        ! statistical analysis and output
+    end do
+
+    input --> [colffts] --transpose--> [rowffts] --(same dist)--> [hist] --> output
+
+colffts and rowffts are communication-free inside; hist has significant
+internal communication. The transpose between colffts and rowffts costs
+about the same whether the tasks share processors or not, while the
+rowffts-hist edge is free when they share a distribution.
+`
+}
+
+// Figure6 renders the optimal FFT-Hist 256 message mapping placed on the
+// 8x8 iWarp array (Figure 6): 8 instances of module 1 (3 processors each)
+// and 10 instances of module 2 (4 processors each).
+func Figure6() (string, error) {
+	c, err := apps.FFTHist(256, apps.Message)
+	if err != nil {
+		return "", err
+	}
+	pl := apps.Platform()
+	cons := machine.Constraints{Grid: machine.Grid{Rows: 8, Cols: 8}}
+	m, layout, err := machine.FeasibleOptimal(c, pl, cons, dp.Options{})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 6: FFT-Hist mapping (256, Message) on the 8x8 array\n")
+	fmt.Fprintf(&b, "%v  thr=%.2f/s\n", &m, m.Throughput())
+	b.WriteString("(A/a = module 1 instances, B/b = module 2 instances)\n\n")
+	b.WriteString(layout.String())
+	return b.String(), nil
+}

@@ -1,0 +1,52 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (section 6) from the reproduction: Table 1 (optimal and
+// feasible-optimal FFT-Hist mappings), Table 2 (predicted versus measured
+// optimal throughput versus data parallel), Figure 1 (mapping styles),
+// Figures 2-3 (execution model timelines), Figure 4 (the DP subchain
+// decomposition), Figure 5 (the FFT-Hist task graph), and Figure 6 (the
+// mapping layout on the processor array) — plus the quantitative claims of
+// section 6.3: model accuracy under 10%, and DP/greedy agreement.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// renderTable renders rows of cells as a fixed-width text table with a
+// header row and a separator.
+func renderTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

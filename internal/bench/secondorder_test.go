@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSecondOrderStudy(t *testing.T) {
+	rows, err := SecondOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d scenarios, want 4", len(rows))
+	}
+	det := rows[0]
+	// Deterministic execution achieves the analytic bound (within
+	// measurement-window slack).
+	if det.ShortfallPc > 1.5 || det.ShortfallPc < -1.5 {
+		t.Errorf("deterministic shortfall %.2f%% should be ~0", det.ShortfallPc)
+	}
+	// Noise monotonically widens the gap.
+	if rows[1].ShortfallPc <= det.ShortfallPc {
+		t.Errorf("5%% noise shortfall %.2f%% not above deterministic %.2f%%",
+			rows[1].ShortfallPc, det.ShortfallPc)
+	}
+	if rows[2].ShortfallPc <= rows[1].ShortfallPc {
+		t.Errorf("15%% noise shortfall %.2f%% not above 5%% noise %.2f%%",
+			rows[2].ShortfallPc, rows[1].ShortfallPc)
+	}
+	// The paper's residual band: noise scenarios stay within ~12%.
+	if rows[2].ShortfallPc > 12 {
+		t.Errorf("15%% noise shortfall %.2f%% outside the paper's residual band", rows[2].ShortfallPc)
+	}
+	// A straggler hurts much more than its capacity share because the
+	// rigid round-robin schedule cannot route around it.
+	if rows[3].ShortfallPc < 10 {
+		t.Errorf("straggler shortfall %.2f%% too small — convoy effect missing", rows[3].ShortfallPc)
+	}
+	if rows[3].BlockedShare <= det.BlockedShare {
+		t.Error("straggler did not increase bottleneck blocking")
+	}
+	out := RenderSecondOrder(rows)
+	if !strings.Contains(out, "straggler") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pipemap/internal/apps"
+	"pipemap/internal/dp"
+	"pipemap/internal/estimate"
+	"pipemap/internal/greedy"
+	"pipemap/internal/model"
+	"pipemap/internal/sim"
+	"pipemap/internal/testutil"
+)
+
+// QualityStudy quantifies the paper's claim that the greedy heuristic is
+// "optimal in practical situations" beyond the six evaluation configs: it
+// maps many random well-behaved chains with both algorithms and reports
+// the distribution of the greedy/optimal throughput ratio.
+type QualityStudy struct {
+	Trials int
+	// ExactMatches is the number of trials where greedy reached the DP
+	// optimum (within 1e-9 relative).
+	ExactMatches int
+	// MeanRatio and WorstRatio summarize greedy/DP throughput.
+	MeanRatio, WorstRatio float64
+	// P50, P95 are percentiles of the ratio (sorted ascending).
+	P50, P95 float64
+}
+
+// HeuristicQuality runs the study on n random chains (seeded).
+func HeuristicQuality(n int, seed int64) (QualityStudy, error) {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := testutil.DefaultRandChainConfig()
+	var ratios []float64
+	study := QualityStudy{}
+	for len(ratios) < n {
+		c, pl := testutil.RandChain(rng, cfg, 6+rng.Intn(10))
+		d, err := dp.MapChain(c, pl, dp.Options{})
+		if err != nil {
+			continue
+		}
+		g, err := greedy.Map(c, pl, greedy.Options{Backtrack: 2})
+		if err != nil {
+			continue
+		}
+		ratio := g.Throughput() / d.Throughput()
+		if ratio > 1+1e-9 {
+			return study, fmt.Errorf("bench: greedy %g beat the optimal DP %g — DP bug",
+				g.Throughput(), d.Throughput())
+		}
+		if ratio > 1 {
+			ratio = 1
+		}
+		ratios = append(ratios, ratio)
+		if ratio >= 1-1e-9 {
+			study.ExactMatches++
+		}
+	}
+	sort.Float64s(ratios)
+	study.Trials = n
+	study.WorstRatio = ratios[0]
+	study.P50 = ratios[n/2]
+	study.P95 = ratios[n/20] // 5th percentile from the bottom = 95% achieve at least this
+	sum := 0.0
+	for _, r := range ratios {
+		sum += r
+	}
+	study.MeanRatio = sum / float64(n)
+	return study, nil
+}
+
+// RenderQuality renders the heuristic quality study.
+func RenderQuality(q QualityStudy) string {
+	return fmt.Sprintf(
+		"Greedy heuristic quality over %d random well-behaved chains:\n"+
+			"  exact optimum reached:  %d/%d (%.0f%%)\n"+
+			"  mean greedy/optimal:    %.4f\n"+
+			"  95%% of chains achieve:  >= %.4f of optimal\n"+
+			"  worst case:             %.4f of optimal\n",
+		q.Trials, q.ExactMatches, q.Trials,
+		100*float64(q.ExactMatches)/float64(q.Trials),
+		q.MeanRatio, q.P95, q.WorstRatio)
+}
+
+// TrainingSizeRow reports model accuracy as a function of the number of
+// training executions, extending the paper's remark that a more accurate
+// model could use more than eight runs.
+type TrainingSizeRow struct {
+	Runs             int
+	TaskErrPct       float64
+	ThroughputErrPct float64
+}
+
+// TrainingSizeStudy fits the FFT-Hist model from growing training subsets
+// under measurement noise and reports prediction error against the noisy
+// simulator.
+func TrainingSizeStudy(noise float64, seed int64) ([]TrainingSizeRow, error) {
+	c, err := apps.FFTHist(256, apps.Message)
+	if err != nil {
+		return nil, err
+	}
+	pl := apps.Platform()
+	fullPlan, err := estimate.TrainingPlan(c, pl)
+	if err != nil {
+		return nil, err
+	}
+	// Extended plan: replicate the paper's 8 runs plus extra split shapes
+	// by varying noise seeds (more observations of the same design).
+	var rows []TrainingSizeRow
+	for _, runs := range []int{4, 6, 8, 12, 16} {
+		plan := make([]model.Mapping, 0, runs)
+		for i := 0; i < runs; i++ {
+			plan = append(plan, fullPlan[i%len(fullPlan)])
+		}
+		prof := sim.Profiler{Sim: sim.New(sim.Options{DataSets: 24, Noise: noise, Seed: seed + int64(runs)})}
+		fitted, err := estimate.EstimateChainFromPlan(c, prof, plan)
+		if err != nil {
+			return nil, err
+		}
+		// Validation against the true chain at unseen points.
+		var predT, measT []float64
+		for i := range c.Tasks {
+			for p := 3; p <= pl.Procs; p += 7 {
+				predT = append(predT, fitted.Tasks[i].Exec.Eval(p))
+				measT = append(measT, c.Tasks[i].Exec.Eval(p))
+			}
+		}
+		opt, err := dp.MapChain(fitted, pl, dp.Options{})
+		if err != nil {
+			return nil, err
+		}
+		truthMapping := model.Mapping{Chain: c, Modules: opt.Modules}
+		thrErr := 100 * abs(opt.Throughput()-truthMapping.Throughput()) / truthMapping.Throughput()
+		rows = append(rows, TrainingSizeRow{
+			Runs:             runs,
+			TaskErrPct:       estimate.MeanAbsPctError(predT, measT),
+			ThroughputErrPct: thrErr,
+		})
+	}
+	return rows, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// RenderTrainingSize renders the training-size study.
+func RenderTrainingSize(rows []TrainingSizeRow) string {
+	header := []string{"training runs", "task model err%", "predicted-thr err%"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", r.Runs), f2(r.TaskErrPct), f2(r.ThroughputErrPct),
+		})
+	}
+	return renderTable(header, cells)
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeuristicQualityStudy(t *testing.T) {
+	q, err := HeuristicQuality(30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Trials != 30 {
+		t.Fatalf("ran %d trials, want 30", q.Trials)
+	}
+	// The paper's claim: typically optimal. Expect a clear majority of
+	// exact matches and a high mean ratio on random well-behaved chains.
+	if q.ExactMatches*2 < q.Trials {
+		t.Errorf("only %d/%d exact matches", q.ExactMatches, q.Trials)
+	}
+	if q.MeanRatio < 0.85 {
+		t.Errorf("mean greedy/optimal ratio %.3f below 0.85", q.MeanRatio)
+	}
+	if q.WorstRatio > q.P50 || q.P50 > 1 {
+		t.Errorf("percentiles inconsistent: worst %.3f p50 %.3f", q.WorstRatio, q.P50)
+	}
+	out := RenderQuality(q)
+	if !strings.Contains(out, "exact optimum") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+}
+
+func TestTrainingSizeStudyEightRunsSuffice(t *testing.T) {
+	rows, err := TrainingSizeStudy(0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var at4, at8 *TrainingSizeRow
+	for i := range rows {
+		switch rows[i].Runs {
+		case 4:
+			at4 = &rows[i]
+		case 8:
+			at8 = &rows[i]
+		}
+	}
+	if at4 == nil || at8 == nil {
+		t.Fatal("missing 4- or 8-run rows")
+	}
+	// The paper's design size: with 8 runs the model is determined and
+	// throughput prediction error is small; with 4 it is underdetermined.
+	if at8.ThroughputErrPct > 5 {
+		t.Errorf("8-run throughput error %.1f%% too large", at8.ThroughputErrPct)
+	}
+	if at4.ThroughputErrPct < at8.ThroughputErrPct {
+		t.Errorf("4-run fit (%.1f%%) unexpectedly better than 8-run (%.1f%%)",
+			at4.ThroughputErrPct, at8.ThroughputErrPct)
+	}
+	if RenderTrainingSize(rows) == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestSweepCrossoverStructure(t *testing.T) {
+	rows, err := Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 5 {
+		t.Fatalf("%d sweep rows", len(rows))
+	}
+	// At the smallest machine the optimum degenerates to data parallel; at
+	// the largest the ratio is large; the ratio is non-decreasing overall.
+	if rows[0].Ratio > 1.15 {
+		t.Errorf("P=%d ratio %.2f; expected near-parity on tiny machines",
+			rows[0].Procs, rows[0].Ratio)
+	}
+	last := rows[len(rows)-1]
+	if last.Ratio < 10 {
+		t.Errorf("P=%d ratio %.2f; expected a wide gap on large machines",
+			last.Procs, last.Ratio)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Ratio < rows[i-1].Ratio*0.9 {
+			t.Errorf("ratio regressed at P=%d: %.2f after %.2f",
+				rows[i].Procs, rows[i].Ratio, rows[i-1].Ratio)
+		}
+	}
+	// Optimal throughput must grow monotonically with machine size.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].OptimalThr < rows[i-1].OptimalThr-1e-9 {
+			t.Errorf("optimal throughput fell at P=%d", rows[i].Procs)
+		}
+	}
+	if RenderSweep(rows) == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestCommMattersShowsLoss(t *testing.T) {
+	rows, err := CommMatters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		// The oblivious mapping can never beat the aware optimum.
+		if r.Oblivious > r.Aware*1.0001 {
+			t.Errorf("%s: oblivious %g beats aware %g", r.Name, r.Oblivious, r.Aware)
+		}
+		if r.LossPct < 0 {
+			t.Errorf("%s: negative loss %.2f", r.Name, r.LossPct)
+		}
+	}
+	// The paper's claim needs teeth: at least the FFT-Hist configs must
+	// lose substantially when communication is ignored.
+	if rows[0].LossPct < 20 {
+		t.Errorf("FFT-Hist 256 message loses only %.1f%%; claim not demonstrated", rows[0].LossPct)
+	}
+	if RenderCommMatters(rows) == "" {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+
+	"pipemap/internal/apps"
+	"pipemap/internal/core"
+	"pipemap/internal/model"
+)
+
+// SweepRow records how the optimal FFT-Hist mapping evolves with machine
+// size: the crossover structure behind Figure 1 and Table 2 — at small P
+// the single-module (data parallel) mapping is optimal, replication
+// appears as soon as memory permits a second instance, and the
+// task+data+replication mix pulls ever further ahead as per-processor
+// overheads erode the monolithic mapping.
+type SweepRow struct {
+	Procs      int
+	Algorithm  string
+	Mapping    string
+	Modules    int
+	OptimalThr float64
+	DataParThr float64
+	Ratio      float64
+}
+
+// Sweep maps FFT-Hist 256 message onto machines from 8 to 256 processors.
+func Sweep() ([]SweepRow, error) {
+	chain, err := apps.FFTHist(256, apps.Message)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SweepRow
+	for _, procs := range []int{8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256} {
+		pl := model.Platform{Procs: procs, MemPerProc: 0.5}
+		res, err := core.Map(core.Request{Chain: chain, Platform: pl})
+		if err != nil {
+			return nil, fmt.Errorf("bench: sweep P=%d: %w", procs, err)
+		}
+		dpar := model.DataParallel(chain, pl)
+		rows = append(rows, SweepRow{
+			Procs:      procs,
+			Algorithm:  res.Algorithm.String(),
+			Mapping:    res.Mapping.String(),
+			Modules:    len(res.Mapping.Modules),
+			OptimalThr: res.Throughput,
+			DataParThr: dpar.Throughput(),
+			Ratio:      res.Throughput / dpar.Throughput(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderSweep renders the sweep.
+func RenderSweep(rows []SweepRow) string {
+	header := []string{"P", "algo", "mapping", "optimal/s", "datapar/s", "ratio"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", r.Procs), r.Algorithm, r.Mapping,
+			f2(r.OptimalThr), f2(r.DataParThr), f2(r.Ratio),
+		})
+	}
+	return renderTable(header, cells)
+}

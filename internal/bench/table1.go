@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+
+	"pipemap/internal/apps"
+	"pipemap/internal/dp"
+	"pipemap/internal/machine"
+	"pipemap/internal/model"
+)
+
+// Table1Row is one configuration of Table 1: the unconstrained optimal
+// mapping and the optimal mapping feasible on the 8x8 rectangular array.
+type Table1Row struct {
+	Size string
+	Comm apps.Comm
+	// Optimal is the unconstrained optimal mapping; Feasible respects the
+	// grid (and pathway limits in systolic mode).
+	Optimal, Feasible model.Mapping
+	// OptimalThr and FeasibleThr are predicted throughputs.
+	OptimalThr, FeasibleThr float64
+	// PaperThr is the paper's predicted optimal throughput for reference.
+	PaperThr float64
+}
+
+// Table1 reproduces Table 1: optimal and feasible-optimal mappings for the
+// four FFT-Hist configurations on the 64-processor machine.
+func Table1() ([]Table1Row, error) {
+	cfgs, err := apps.Table1Configs()
+	if err != nil {
+		return nil, err
+	}
+	grid := machine.Grid{Rows: 8, Cols: 8}
+	var rows []Table1Row
+	for _, cfg := range cfgs {
+		opt, err := dp.MapChain(cfg.Chain, cfg.Platform, dp.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s %s: %w", cfg.Size, cfg.Comm, err)
+		}
+		cons := machine.Constraints{Grid: grid, Systolic: cfg.Comm == apps.Systolic}
+		feas, _, err := machine.FeasibleOptimal(cfg.Chain, cfg.Platform, cons, dp.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: feasible %s %s: %w", cfg.Size, cfg.Comm, err)
+		}
+		rows = append(rows, Table1Row{
+			Size: cfg.Size, Comm: cfg.Comm,
+			Optimal: opt, Feasible: feas,
+			OptimalThr: opt.Throughput(), FeasibleThr: feas.Throughput(),
+			PaperThr: cfg.PaperOptimal,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable1 renders Table 1 in the paper's format.
+func RenderTable1(rows []Table1Row) string {
+	header := []string{"Data set", "Comm", "Optimal mapping", "thr/s", "Feasible mapping", "thr/s", "paper"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Size, r.Comm.String(),
+			r.Optimal.String(), f2(r.OptimalThr),
+			r.Feasible.String(), f2(r.FeasibleThr),
+			f2(r.PaperThr),
+		})
+	}
+	return renderTable(header, cells)
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+
+	"pipemap/internal/apps"
+	"pipemap/internal/dp"
+	"pipemap/internal/model"
+	"pipemap/internal/sim"
+)
+
+// Table2Row is one configuration of Table 2: predicted optimal throughput,
+// measured (simulated) optimal throughput, their difference, the measured
+// data parallel throughput, and the optimal/data-parallel ratio.
+type Table2Row struct {
+	Name, Size string
+	Comm       apps.Comm
+	Predicted  float64
+	Measured   float64
+	PctDiff    float64
+	DataPar    float64
+	Ratio      float64
+	// Paper's reference numbers.
+	PaperPredicted, PaperDataPar float64
+}
+
+// Table2 reproduces Table 2. The "measured" columns run the mappings on
+// the discrete-event simulator with mild measurement noise (seeded), the
+// reproduction's stand-in for the paper's iWarp runs.
+func Table2(seed int64) ([]Table2Row, error) {
+	cfgs, err := apps.Table2Configs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table2Row
+	for i, cfg := range cfgs {
+		opt, err := dp.MapChain(cfg.Chain, cfg.Platform, dp.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", cfg.Name, err)
+		}
+		s := sim.New(sim.Options{DataSets: 400, Noise: 0.03, Seed: seed + int64(i)})
+		meas, err := s.Run(opt)
+		if err != nil {
+			return nil, fmt.Errorf("bench: simulating %s: %w", cfg.Name, err)
+		}
+		dmap := model.DataParallel(cfg.Chain, cfg.Platform)
+		dmeas, err := s.Run(dmap)
+		if err != nil {
+			return nil, fmt.Errorf("bench: simulating %s data parallel: %w", cfg.Name, err)
+		}
+		pred := opt.Throughput()
+		row := Table2Row{
+			Name: cfg.Name, Size: cfg.Size, Comm: cfg.Comm,
+			Predicted:      pred,
+			Measured:       meas.Throughput,
+			PctDiff:        100 * (meas.Throughput - pred) / pred,
+			DataPar:        dmeas.Throughput,
+			PaperPredicted: cfg.PaperOptimal, PaperDataPar: cfg.PaperDataParallel,
+		}
+		if row.DataPar > 0 {
+			row.Ratio = row.Measured / row.DataPar
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable2 renders Table 2 in the paper's format.
+func RenderTable2(rows []Table2Row) string {
+	header := []string{"Program", "Size", "Comm", "Pred/s", "Meas/s", "Diff%",
+		"DataPar/s", "Ratio", "paperPred", "paperDP"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Name, r.Size, r.Comm.String(),
+			f2(r.Predicted), f2(r.Measured), f2(r.PctDiff),
+			f2(r.DataPar), f2(r.Ratio),
+			f2(r.PaperPredicted), f2(r.PaperDataPar),
+		})
+	}
+	return renderTable(header, cells)
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"fmt"
+
+	"pipemap/internal/apps"
+	"pipemap/internal/tradeoff"
+)
+
+// TradeoffRow is one Pareto point of the latency-throughput study
+// (extension X5; the paper defers latency to Vondran's thesis).
+type TradeoffRow struct {
+	Mapping    string
+	Throughput float64
+	LatencyMS  float64
+}
+
+// Tradeoff computes the latency-throughput Pareto frontier for FFT-Hist
+// 256 message.
+func Tradeoff() ([]TradeoffRow, error) {
+	c, err := apps.FFTHist(256, apps.Message)
+	if err != nil {
+		return nil, err
+	}
+	front, err := tradeoff.Frontier(c, apps.Platform(), tradeoff.Options{MinThroughputGain: 0.02})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TradeoffRow, len(front))
+	for i, p := range front {
+		rows[i] = TradeoffRow{
+			Mapping:    p.Mapping.String(),
+			Throughput: p.Throughput,
+			LatencyMS:  1e3 * p.Latency,
+		}
+	}
+	return rows, nil
+}
+
+// RenderTradeoff renders the frontier.
+func RenderTradeoff(rows []TradeoffRow) string {
+	header := []string{"Pareto mapping", "thr/s", "latency (ms)"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Mapping, f2(r.Throughput), fmt.Sprintf("%.1f", r.LatencyMS)})
+	}
+	return renderTable(header, cells)
+}

@@ -1,0 +1,186 @@
+// Package core is the automatic mapping tool of the paper: given a chain
+// of data parallel tasks with cost models and a target platform, it
+// produces the throughput-optimal mapping — clustering, replication and
+// processor assignment — using the dynamic programming algorithm
+// (section 3) or the fast greedy heuristic (section 4), optionally subject
+// to machine constraints (rectangular subarrays and systolic pathways,
+// section 6.1). It corresponds to the tool integrated with the Fx
+// compiler in the paper.
+package core
+
+import (
+	"fmt"
+
+	"pipemap/internal/dp"
+	"pipemap/internal/greedy"
+	"pipemap/internal/machine"
+	"pipemap/internal/model"
+	"pipemap/internal/tradeoff"
+)
+
+// Algorithm selects the mapping algorithm.
+type Algorithm int
+
+const (
+	// Auto uses dynamic programming when the instance is small enough for
+	// the O(P^4 k^2) cost to be negligible and the greedy heuristic
+	// otherwise.
+	Auto Algorithm = iota
+	// DP is the provably optimal dynamic programming algorithm.
+	DP
+	// Greedy is the O(Pk) heuristic with clustering refinement and bounded
+	// backtracking.
+	Greedy
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case DP:
+		return "dp"
+	case Greedy:
+		return "greedy"
+	default:
+		return "auto"
+	}
+}
+
+// autoDPBudget bounds P^4*k^3 for which Auto still picks the exact DP
+// (about a second of compute).
+const autoDPBudget = 5e9
+
+// Objective selects what the mapping tool optimizes.
+type Objective int
+
+const (
+	// MaxThroughput maximizes data sets per second (the paper's objective).
+	MaxThroughput Objective = iota
+	// MinLatency minimizes one data set's traversal time (extension; the
+	// latency DP never replicates).
+	MinLatency
+	// ThroughputUnderLatency maximizes throughput subject to
+	// Request.LatencyBound.
+	ThroughputUnderLatency
+)
+
+// Request describes one mapping problem.
+type Request struct {
+	// Chain is the task chain with cost models.
+	Chain *model.Chain
+	// Platform is the processor budget and memory capacity.
+	Platform model.Platform
+	// Algorithm selects DP, Greedy, or Auto.
+	Algorithm Algorithm
+	// DisableReplication forces single-instance modules.
+	DisableReplication bool
+	// DisableClustering keeps every task in its own module.
+	DisableClustering bool
+	// Machine optionally adds geometric feasibility constraints; when set,
+	// the result carries a layout and the mapping is the best feasible one.
+	Machine *machine.Constraints
+	// Objective selects throughput (default), latency, or
+	// latency-bounded throughput optimization.
+	Objective Objective
+	// LatencyBound is the latency budget in seconds for
+	// ThroughputUnderLatency.
+	LatencyBound float64
+}
+
+// Result is the outcome of a mapping request.
+type Result struct {
+	// Mapping is the chosen mapping (feasible if Machine was set).
+	Mapping model.Mapping
+	// Algorithm is the algorithm actually used.
+	Algorithm Algorithm
+	// Throughput and Latency are the model-predicted metrics of Mapping.
+	Throughput float64
+	Latency    float64
+	// Unconstrained is the optimal mapping ignoring machine constraints
+	// (equal to Mapping when no constraints were given).
+	Unconstrained model.Mapping
+	// Layout is the placement on the grid when Machine was set.
+	Layout *machine.Layout
+}
+
+// Map solves a mapping request.
+func Map(req Request) (Result, error) {
+	if req.Chain == nil {
+		return Result{}, fmt.Errorf("core: request has no chain")
+	}
+	if err := req.Chain.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := req.Platform.Validate(); err != nil {
+		return Result{}, err
+	}
+	switch req.Objective {
+	case MinLatency:
+		m, err := dp.MinLatency(req.Chain, req.Platform)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Mapping: m, Algorithm: DP, Throughput: m.Throughput(),
+			Latency: m.Latency(), Unconstrained: m}, nil
+	case ThroughputUnderLatency:
+		if req.LatencyBound <= 0 {
+			return Result{}, fmt.Errorf("core: ThroughputUnderLatency needs a positive LatencyBound")
+		}
+		m, err := tradeoff.BestThroughputUnderLatency(req.Chain, req.Platform,
+			req.LatencyBound, tradeoff.Options{DisableReplication: req.DisableReplication})
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Mapping: m, Algorithm: DP, Throughput: m.Throughput(),
+			Latency: m.Latency(), Unconstrained: m}, nil
+	}
+
+	algo := req.Algorithm
+	if algo == Auto {
+		p, k := float64(req.Platform.Procs), float64(req.Chain.Len())
+		if p*p*p*p*k*k*k <= autoDPBudget {
+			algo = DP
+		} else {
+			algo = Greedy
+		}
+	}
+
+	var m model.Mapping
+	var err error
+	switch algo {
+	case DP:
+		m, err = dp.MapChain(req.Chain, req.Platform, dp.Options{
+			DisableReplication: req.DisableReplication,
+			DisableClustering:  req.DisableClustering,
+		})
+	default:
+		m, err = greedy.Map(req.Chain, req.Platform, greedy.Options{
+			DisableReplication: req.DisableReplication,
+			DisableClustering:  req.DisableClustering,
+			Backtrack:          2,
+		})
+	}
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		Mapping:       m,
+		Algorithm:     algo,
+		Throughput:    m.Throughput(),
+		Latency:       m.Latency(),
+		Unconstrained: m,
+	}
+	if req.Machine != nil {
+		fm, layout, err := machine.FeasibleOptimal(req.Chain, req.Platform, *req.Machine, dp.Options{
+			DisableReplication: req.DisableReplication,
+			DisableClustering:  req.DisableClustering,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		res.Mapping = fm
+		res.Throughput = fm.Throughput()
+		res.Latency = fm.Latency()
+		res.Layout = &layout
+	}
+	return res, nil
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseChainSpec checks that arbitrary input never panics the spec
+// parser and that accepted specs produce chains the mapper can validate.
+func FuzzParseChainSpec(f *testing.F) {
+	f.Add(sampleSpec)
+	f.Add(`{}`)
+	f.Add(`{"platform":{"procs":4},"tasks":[],"edges":[]}`)
+	f.Add(`{"platform":{"procs":2},"tasks":[{"name":"x","exec":[1,1,0]}],"edges":[]}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`{"platform":{"procs":-1},"tasks":[{"name":"x","exec":[1e308,1e308,1e308]}],"edges":[]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		c, pl, err := ParseChainSpec(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parses must be internally consistent.
+		if err := c.Validate(); err != nil {
+			t.Errorf("accepted spec fails validation: %v", err)
+		}
+		if err := pl.Validate(); err != nil {
+			t.Errorf("accepted platform fails validation: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeMapping checks the mapping decoder against arbitrary module
+// lists: decode must never panic, and Validate must catch inconsistent
+// results.
+func FuzzDecodeMapping(f *testing.F) {
+	f.Add(0, 2, 4, 1, 2, 3, 2, 1)
+	f.Add(0, 1, 1, 1, 1, 2, 1, 1)
+	f.Add(-1, 9, 0, 0, 3, 1, -5, 2)
+	f.Fuzz(func(t *testing.T, lo1, hi1, p1, r1, lo2, hi2, p2, r2 int) {
+		c, pl, err := ParseChainSpec(strings.NewReader(sampleSpec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := MappingSpec{Modules: []ModuleSpec{
+			{Lo: lo1, Hi: hi1, Procs: p1, Replicas: r1},
+			{Lo: lo2, Hi: hi2, Procs: p2, Replicas: r2},
+		}}
+		m, err := DecodeMapping(spec, c)
+		if err != nil {
+			return
+		}
+		// Validate must reject structurally broken mappings rather than
+		// letting them panic later; a nil error means the mapping is safe
+		// to evaluate.
+		if err := m.Validate(pl); err == nil {
+			_ = m.Throughput()
+			_ = m.Latency()
+		}
+	})
+}

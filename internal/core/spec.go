@@ -1,0 +1,176 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pipemap/internal/model"
+)
+
+// ChainSpec is the JSON representation of a task chain with polynomial
+// cost models, the input format of the cmd/pipemap and cmd/fxsim tools.
+//
+// Example:
+//
+//	{
+//	  "platform": {"procs": 64, "memPerProc": 0.5},
+//	  "tasks": [
+//	    {"name": "colffts", "exec": [0.005, 1.2, 0.0008],
+//	     "mem": {"data": 1.4}, "replicable": true},
+//	    {"name": "hist", "exec": [0.07, 0.6, 0.004],
+//	     "mem": {"data": 0.35}, "replicable": true}
+//	  ],
+//	  "edges": [
+//	    {"icom": [0.01, 0.6, 0.0005], "ecom": [0.03, 0.18, 0.18, 0.0005, 0.0005]}
+//	  ]
+//	}
+//
+// exec and icom are [C1, C2, C3] for C1 + C2/p + C3*p; ecom is
+// [C1, C2, C3, C4, C5] for C1 + C2/ps + C3/pr + C4*ps + C5*pr.
+type ChainSpec struct {
+	Platform PlatformSpec `json:"platform"`
+	Tasks    []TaskSpec   `json:"tasks"`
+	Edges    []EdgeSpec   `json:"edges"`
+}
+
+// PlatformSpec is the platform part of a chain spec.
+type PlatformSpec struct {
+	Procs      int     `json:"procs"`
+	MemPerProc float64 `json:"memPerProc"`
+}
+
+// TaskSpec is one task of a chain spec.
+type TaskSpec struct {
+	Name       string     `json:"name"`
+	Exec       []float64  `json:"exec"`
+	Mem        MemorySpec `json:"mem"`
+	Replicable bool       `json:"replicable"`
+	MinProcs   int        `json:"minProcs,omitempty"`
+}
+
+// MemorySpec is the memory model of one task.
+type MemorySpec struct {
+	Fixed  float64 `json:"fixed,omitempty"`
+	Data   float64 `json:"data,omitempty"`
+	Buffer float64 `json:"buffer,omitempty"`
+}
+
+// EdgeSpec is one edge of a chain spec.
+type EdgeSpec struct {
+	ICom []float64 `json:"icom"`
+	Ecom []float64 `json:"ecom"`
+}
+
+// ParseChainSpec reads a JSON chain spec and builds the chain and platform.
+func ParseChainSpec(r io.Reader) (*model.Chain, model.Platform, error) {
+	var spec ChainSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, model.Platform{}, fmt.Errorf("core: parsing chain spec: %w", err)
+	}
+	return BuildChainSpec(spec)
+}
+
+// BuildChainSpec converts a parsed spec into a chain and platform.
+func BuildChainSpec(spec ChainSpec) (*model.Chain, model.Platform, error) {
+	if len(spec.Tasks) == 0 {
+		return nil, model.Platform{}, fmt.Errorf("core: chain spec has no tasks")
+	}
+	if len(spec.Edges) != len(spec.Tasks)-1 {
+		return nil, model.Platform{}, fmt.Errorf("core: chain spec has %d tasks but %d edges (want %d)",
+			len(spec.Tasks), len(spec.Edges), len(spec.Tasks)-1)
+	}
+	c := &model.Chain{
+		Tasks: make([]model.Task, len(spec.Tasks)),
+		ICom:  make([]model.CostFunc, len(spec.Edges)),
+		ECom:  make([]model.CommFunc, len(spec.Edges)),
+	}
+	for i, ts := range spec.Tasks {
+		exec, err := execPoly(ts.Exec)
+		if err != nil {
+			return nil, model.Platform{}, fmt.Errorf("core: task %q exec: %w", ts.Name, err)
+		}
+		c.Tasks[i] = model.Task{
+			Name:       ts.Name,
+			Exec:       exec,
+			Mem:        model.Memory{Fixed: ts.Mem.Fixed, Data: ts.Mem.Data, Buffer: ts.Mem.Buffer},
+			Replicable: ts.Replicable,
+			MinProcs:   ts.MinProcs,
+		}
+	}
+	for i, es := range spec.Edges {
+		icom, err := execPoly(es.ICom)
+		if err != nil {
+			return nil, model.Platform{}, fmt.Errorf("core: edge %d icom: %w", i, err)
+		}
+		c.ICom[i] = icom
+		if len(es.Ecom) != 5 {
+			return nil, model.Platform{}, fmt.Errorf("core: edge %d ecom has %d coefficients, want 5",
+				i, len(es.Ecom))
+		}
+		c.ECom[i] = model.PolyComm{
+			C1: es.Ecom[0], C2: es.Ecom[1], C3: es.Ecom[2], C4: es.Ecom[3], C5: es.Ecom[4],
+		}
+	}
+	pl := model.Platform{Procs: spec.Platform.Procs, MemPerProc: spec.Platform.MemPerProc}
+	if err := c.Validate(); err != nil {
+		return nil, model.Platform{}, err
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, model.Platform{}, err
+	}
+	return c, pl, nil
+}
+
+func execPoly(cs []float64) (model.CostFunc, error) {
+	switch len(cs) {
+	case 0:
+		return model.ZeroExec(), nil
+	case 3:
+		return model.PolyExec{C1: cs[0], C2: cs[1], C3: cs[2]}, nil
+	default:
+		return nil, fmt.Errorf("want 3 coefficients [C1 C2 C3], got %d", len(cs))
+	}
+}
+
+// MappingSpec is the JSON representation of a mapping, the output of
+// cmd/pipemap and the input of cmd/fxsim.
+type MappingSpec struct {
+	Modules []ModuleSpec `json:"modules"`
+}
+
+// ModuleSpec is one module of a mapping spec.
+type ModuleSpec struct {
+	Tasks    string `json:"tasks"` // informational
+	Lo       int    `json:"lo"`
+	Hi       int    `json:"hi"`
+	Procs    int    `json:"procs"`
+	Replicas int    `json:"replicas"`
+}
+
+// EncodeMapping converts a mapping to its JSON spec.
+func EncodeMapping(m model.Mapping) MappingSpec {
+	spec := MappingSpec{Modules: make([]ModuleSpec, len(m.Modules))}
+	for i, mod := range m.Modules {
+		spec.Modules[i] = ModuleSpec{
+			Tasks: m.Chain.TaskNames(mod.Lo, mod.Hi),
+			Lo:    mod.Lo, Hi: mod.Hi,
+			Procs: mod.Procs, Replicas: mod.Replicas,
+		}
+	}
+	return spec
+}
+
+// DecodeMapping binds a mapping spec to a chain.
+func DecodeMapping(spec MappingSpec, c *model.Chain) (model.Mapping, error) {
+	m := model.Mapping{Chain: c, Modules: make([]model.Module, len(spec.Modules))}
+	for i, ms := range spec.Modules {
+		m.Modules[i] = model.Module{Lo: ms.Lo, Hi: ms.Hi, Procs: ms.Procs, Replicas: ms.Replicas}
+	}
+	if len(m.Modules) == 0 {
+		return model.Mapping{}, fmt.Errorf("core: mapping spec has no modules")
+	}
+	return m, nil
+}

@@ -1,0 +1,164 @@
+package dp
+
+import (
+	"fmt"
+
+	"pipemap/internal/model"
+)
+
+// Assign computes the optimal processor assignment for a chain in which
+// every task is its own module and replication is not permitted
+// (section 3.1 of the paper). It runs in O(P^4 k) time and returns the
+// optimal mapping together with its predicted throughput.
+func Assign(c *model.Chain, pl model.Platform) (model.Mapping, error) {
+	return assignEngine(c, pl, false)
+}
+
+// AssignReplicated computes the optimal processor assignment with maximal
+// replication under memory constraints (section 3.2): a replicable task
+// holding p processors runs floor(p/min) instances of floor(p/r)
+// processors each, and its effective response time is f(p_eff)/r.
+func AssignReplicated(c *model.Chain, pl model.Platform) (model.Mapping, error) {
+	return assignEngine(c, pl, true)
+}
+
+// assignEngine is the shared DP for Assign and AssignReplicated.
+//
+// The value function V_j(pt, pl, pn) is the minimal achievable bottleneck
+// effective response time over tasks 0..j, where the subchain holds at
+// most pt raw processors, task j holds pl, and task j+1 holds pn
+// (pn = 0 is the φ sentinel for the last task). Layers are flattened as
+// V[(pt*(P+1)+pl)*(P+1)+pn].
+func assignEngine(c *model.Chain, pl model.Platform, replicate bool) (model.Mapping, error) {
+	t, err := newTaskTables(c, pl, replicate)
+	if err != nil {
+		return model.Mapping{}, err
+	}
+	k, P := t.k, t.P
+	stride := P + 1
+	layerSize := stride * stride * stride
+	idx := func(pt, p, pn int) int { return (pt*stride+p)*stride + pn }
+
+	cur := make([]float64, layerSize)
+	prev := make([]float64, layerSize)
+	// choice[j] records the argmin q (processors of task j-1) for each
+	// state of layer j, for reconstruction.
+	choice := make([][]uint16, k)
+
+	// Base layer: task 0 alone. resp_0(pl, pn) = (exec + out-transfer)/r.
+	fill(cur, inf)
+	pnLo, pnHi := pnRange(t, 0)
+	for pt := t.min[0]; pt <= P; pt++ {
+		for p := t.min[0]; p <= pt; p++ {
+			r := float64(t.rep[0][p])
+			for pn := pnLo; pn <= pnHi; pn++ {
+				v := t.execEff[0][p]
+				if k > 1 {
+					v += t.ecomEff[0][p*stride+pn]
+				}
+				cur[idx(pt, p, pn)] = v / r
+			}
+		}
+	}
+
+	for j := 1; j < k; j++ {
+		cur, prev = prev, cur
+		fill(cur, inf)
+		ch := make([]uint16, layerSize)
+		choice[j] = ch
+		jpnLo, jpnHi := pnRange(t, j)
+		execJ := t.execEff[j]
+		inEdge := t.ecomEff[j-1]
+		var outEdge []float64
+		if j < k-1 {
+			outEdge = t.ecomEff[j]
+		}
+		minJ, minPrev := t.min[j], t.min[j-1]
+		parallelFor(P+1, func(pt int) {
+			// Scratch for the (a_q, b_q) decomposition: for fixed (pt, p),
+			// a_q = V_{j-1}(pt-p, q, p) and b_q = (in(q,p) + exec(p)) / r.
+			aq := make([]float64, P+1)
+			bq := make([]float64, P+1)
+			for p := minJ; p <= pt; p++ {
+				rem := pt - p
+				if rem < minPrev {
+					continue
+				}
+				r := float64(t.rep[j][p])
+				qHi := rem
+				for q := minPrev; q <= qHi; q++ {
+					aq[q] = prev[idx(rem, q, p)]
+					bq[q] = (inEdge[q*stride+p] + execJ[p]) / r
+				}
+				for pn := jpnLo; pn <= jpnHi; pn++ {
+					var out float64
+					if outEdge != nil {
+						out = outEdge[p*stride+pn] / r
+					}
+					best, bestQ := inf, -1
+					for q := minPrev; q <= qHi; q++ {
+						v := bq[q] + out
+						if aq[q] > v {
+							v = aq[q]
+						}
+						if v < best {
+							best, bestQ = v, q
+						}
+					}
+					if bestQ >= 0 {
+						i := idx(pt, p, pn)
+						cur[i] = best
+						ch[i] = uint16(bestQ)
+					}
+				}
+			}
+		})
+	}
+
+	// Answer: best over pl of V_{k-1}(P, pl, φ).
+	best, bestP := inf, -1
+	for p := t.min[k-1]; p <= P; p++ {
+		if v := cur[idx(P, p, 0)]; v < best {
+			best, bestP = v, p
+		}
+	}
+	if bestP < 0 {
+		return model.Mapping{}, fmt.Errorf("dp: no feasible assignment of %d processors to %d tasks", P, k)
+	}
+
+	// Reconstruct raw processor counts right to left.
+	raw := make([]int, k)
+	raw[k-1] = bestP
+	pt, p, pn := P, bestP, 0
+	for j := k - 1; j >= 1; j-- {
+		q := int(choice[j][idx(pt, p, pn)])
+		raw[j-1] = q
+		pt, p, pn = pt-p, q, p
+	}
+
+	m := model.Mapping{Chain: c, Modules: make([]model.Module, k)}
+	for i := 0; i < k; i++ {
+		m.Modules[i] = model.Module{
+			Lo: i, Hi: i + 1,
+			Procs:    t.eff[i][raw[i]],
+			Replicas: t.rep[i][raw[i]],
+		}
+	}
+	return m, nil
+}
+
+// pnRange returns the admissible raw processor range for the task after
+// task j: the φ sentinel {0} when j is the last task, otherwise
+// [min_{j+1}, P].
+func pnRange(t *taskTables, j int) (lo, hi int) {
+	if j == t.k-1 {
+		return 0, 0
+	}
+	return t.min[j+1], t.P
+}
+
+func fill(s []float64, v float64) {
+	for i := range s {
+		s[i] = v
+	}
+}

@@ -1,0 +1,77 @@
+package dp
+
+import (
+	"fmt"
+
+	"pipemap/internal/model"
+)
+
+// BruteForce finds the optimal mapping by exhaustive enumeration of
+// clusterings, processor assignments and (maximal) replications. It is
+// exponential in both k and P and exists only as a reference for testing
+// the dynamic programming and greedy algorithms on small instances.
+func BruteForce(c *model.Chain, pl model.Platform, opt Options) (model.Mapping, error) {
+	clusterings := model.AllClusterings(c.Len())
+	if opt.DisableClustering {
+		clusterings = [][]model.Span{model.Singletons(c.Len())}
+	}
+	var best model.Mapping
+	bestThr := -1.0
+	for _, spans := range clusterings {
+		m, ok := bruteAssign(c, pl, spans, opt)
+		if !ok {
+			continue
+		}
+		if thr := m.Throughput(); thr > bestThr {
+			bestThr, best = thr, m
+		}
+	}
+	if bestThr < 0 {
+		return model.Mapping{}, fmt.Errorf("dp: brute force found no feasible mapping")
+	}
+	return best, nil
+}
+
+// bruteAssign enumerates every assignment of raw processor counts to the
+// modules of one clustering (allowing unused processors) and returns the
+// best resulting mapping.
+func bruteAssign(c *model.Chain, pl model.Platform, spans []model.Span, opt Options) (model.Mapping, bool) {
+	l := len(spans)
+	mins := make([]int, l)
+	for i, s := range spans {
+		m := c.ModuleMinProcs(s.Lo, s.Hi, pl.MemPerProc)
+		if m < 0 || m > pl.Procs {
+			return model.Mapping{}, false
+		}
+		mins[i] = m
+	}
+	raw := make([]int, l)
+	var best model.Mapping
+	bestThr := -1.0
+	var rec func(i, used int)
+	rec = func(i, used int) {
+		if i == l {
+			mods := make([]model.Module, l)
+			for j, s := range spans {
+				rep := model.SplitReplicas(raw[j], mins[j],
+					!opt.DisableReplication && c.ModuleReplicable(s.Lo, s.Hi))
+				mods[j] = model.Module{Lo: s.Lo, Hi: s.Hi,
+					Procs: rep.ProcsPerInstance, Replicas: rep.Replicas}
+			}
+			m := model.Mapping{Chain: c, Modules: mods}
+			if thr := m.Throughput(); thr > bestThr {
+				bestThr, best = thr, m
+			}
+			return
+		}
+		for p := mins[i]; used+p <= pl.Procs; p++ {
+			raw[i] = p
+			rec(i+1, used+p)
+		}
+	}
+	rec(0, 0)
+	if bestThr < 0 {
+		return model.Mapping{}, false
+	}
+	return best, true
+}

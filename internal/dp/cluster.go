@@ -1,0 +1,363 @@
+package dp
+
+import (
+	"fmt"
+
+	"pipemap/internal/model"
+)
+
+// Options configures the full mapping DP.
+type Options struct {
+	// DisableReplication forces every module to run as a single instance.
+	DisableReplication bool
+	// DisableClustering forces every task into its own module.
+	DisableClustering bool
+}
+
+// spanTables extends taskTables with per-module-span data: for every
+// contiguous task range [a, b) the composed execution cost, minimum
+// processors, and replication split at each raw processor count.
+type spanTables struct {
+	k, P int
+	// min[a][b], replicable[a][b] describe module [a, b).
+	min        [][]int
+	replicable [][]bool
+	// eff[a][b][p], rep[a][b][p], execEff[a][b][p] are the effective
+	// processor count, replication degree and execution time of module
+	// [a, b) holding p raw processors (eff == 0 if infeasible).
+	eff     [][][]int
+	rep     [][][]int
+	execEff [][][]float64
+	// ecomV[e][ps*(P+1)+pr] is the raw external transfer table of edge e at
+	// *effective* endpoint counts ps, pr (not raw counts: module spans
+	// differ, so effective counts are resolved by the caller).
+	ecomV [][]float64
+}
+
+func newSpanTables(c *model.Chain, pl model.Platform, opt Options) (*spanTables, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	k, P := c.Len(), pl.Procs
+	s := &spanTables{
+		k: k, P: P,
+		min:        make([][]int, k),
+		replicable: make([][]bool, k),
+		eff:        make([][][]int, k),
+		rep:        make([][][]int, k),
+		execEff:    make([][][]float64, k),
+		ecomV:      make([][]float64, k-1),
+	}
+	for a := 0; a < k; a++ {
+		s.min[a] = make([]int, k+1)
+		s.replicable[a] = make([]bool, k+1)
+		s.eff[a] = make([][]int, k+1)
+		s.rep[a] = make([][]int, k+1)
+		s.execEff[a] = make([][]float64, k+1)
+		for b := a + 1; b <= k; b++ {
+			min := c.ModuleMinProcs(a, b, pl.MemPerProc)
+			if min < 0 || min > P {
+				// The span cannot be a module on this platform; mark it
+				// infeasible rather than failing: other clusterings may
+				// avoid it. A fully infeasible chain surfaces in the DP.
+				s.min[a][b] = P + 1
+				continue
+			}
+			s.min[a][b] = min
+			s.replicable[a][b] = c.ModuleReplicable(a, b) && !opt.DisableReplication
+			exec := c.ModuleExec(a, b)
+			eff := make([]int, P+1)
+			rep := make([]int, P+1)
+			ex := make([]float64, P+1)
+			for p := 0; p <= P; p++ {
+				r := model.SplitReplicas(p, min, s.replicable[a][b])
+				if r.Replicas == 0 {
+					ex[p] = inf
+					continue
+				}
+				eff[p] = r.ProcsPerInstance
+				rep[p] = r.Replicas
+				ex[p] = exec.Eval(r.ProcsPerInstance)
+			}
+			s.eff[a][b] = eff
+			s.rep[a][b] = rep
+			s.execEff[a][b] = ex
+		}
+	}
+	for e := 0; e < k-1; e++ {
+		tab := make([]float64, (P+1)*(P+1))
+		for ps := 1; ps <= P; ps++ {
+			for pr := 1; pr <= P; pr++ {
+				tab[ps*(P+1)+pr] = c.ECom[e].Eval(ps, pr)
+			}
+		}
+		s.ecomV[e] = tab
+	}
+	return s, nil
+}
+
+// MapChain computes the optimal mapping of the chain — clustering tasks
+// into modules, replicating modules, and assigning processors — per
+// section 3.3 of the paper. Time is O(P^4 k^3) and memory O(P^3 k^2) in
+// this implementation (the paper reports O(P^4 k^2); the extra factor of k
+// comes from carrying the span of the open module explicitly, which keeps
+// the recurrence direct). Practical for k <= 8 on P <= 64; use the greedy
+// heuristic beyond that.
+func MapChain(c *model.Chain, pl model.Platform, opt Options) (model.Mapping, error) {
+	if opt.DisableClustering {
+		if opt.DisableReplication {
+			return Assign(c, pl)
+		}
+		return AssignReplicated(c, pl)
+	}
+	s, err := newSpanTables(c, pl, opt)
+	if err != nil {
+		return model.Mapping{}, err
+	}
+	k, P := s.k, s.P
+	stride := P + 1
+
+	// State: (b, l, pt, pcur, peffPrev) — tasks [0, b) are covered, the
+	// last (still "open") module spans [b-l, b) with pcur raw processors,
+	// the module before it has effective processor count peffPrev (0 if
+	// none), and pt raw processors are used in total. The value is the
+	// minimal bottleneck over all *closed* modules (everything before the
+	// open one). The open module's response is charged when the next module
+	// is placed — at that point its output edge partner is known — or at
+	// the end of the chain.
+	type layerKey struct{ b, l int }
+	layerSize := stride * stride * stride
+	vidx := func(pt, pcur, peffPrev int) int { return (pt*stride+pcur)*stride + peffPrev }
+	layers := make(map[layerKey][]float64)
+	type choiceRec struct {
+		prevL    int // span of the previous module (0 if none)
+		prevPCur int // raw processors of the previous module
+		prevEff  int // peffPrev of the source state
+	}
+	choices := make(map[layerKey][]choiceRec)
+
+	getLayer := func(b, l int) []float64 {
+		key := layerKey{b, l}
+		lay, ok := layers[key]
+		if !ok {
+			lay = make([]float64, layerSize)
+			fill(lay, inf)
+			layers[key] = lay
+			ch := make([]choiceRec, layerSize)
+			choices[key] = ch
+		}
+		return lay
+	}
+
+	// Seed: the first module spans [0, l) with pcur processors.
+	for l := 1; l <= k; l++ {
+		if s.min[0][l] > P {
+			continue
+		}
+		lay := getLayer(l, l)
+		for pcur := s.min[0][l]; pcur <= P; pcur++ {
+			// No closed modules yet. Unused processors are permitted
+			// because the final scan accepts any total pt <= P.
+			lay[vidx(pcur, pcur, 0)] = 0
+		}
+	}
+
+	// Expand states in order of b, then by open-module span l.
+	for b := 1; b < k; b++ {
+		for l := 1; l <= b; l++ {
+			key := layerKey{b, l}
+			lay, ok := layers[key]
+			if !ok {
+				continue
+			}
+			a := b - l // open module is [a, b)
+			execOpen := s.execEff[a][b]
+			effOpen := s.eff[a][b]
+			repOpen := s.rep[a][b]
+			inTab := []float64(nil)
+			if a > 0 {
+				inTab = s.ecomV[a-1]
+			}
+			outTab := s.ecomV[b-1]
+			// Place the next module [b, b+l2) with p2 raw processors. The l2
+			// options write to distinct target layers (b+l2, l2) and only
+			// read the shared source layer, so they run in parallel.
+			targets := make([]int, 0, k-b)
+			for l2 := 1; l2 <= k-b; l2++ {
+				if s.min[b][b+l2] > P {
+					continue
+				}
+				// Materialize target layers serially (map writes).
+				getLayer(b+l2, l2)
+				targets = append(targets, l2)
+			}
+			parallelFor(len(targets), func(ti int) {
+				l2 := targets[ti]
+				min2 := s.min[b][b+l2]
+				eff2 := s.eff[b][b+l2]
+				nkey := layerKey{b + l2, l2}
+				nlay := layers[nkey]
+				nch := choices[nkey]
+				for pt := 0; pt <= P; pt++ {
+					for pcur := s.min[a][b]; pcur <= pt; pcur++ {
+						base := (pt*stride + pcur) * stride
+						e := effOpen[pcur]
+						if e == 0 {
+							continue
+						}
+						r := float64(repOpen[pcur])
+						for peffPrev := 0; peffPrev <= P; peffPrev++ {
+							v := lay[base+peffPrev]
+							if v == inf {
+								continue
+							}
+							in := 0.0
+							if inTab != nil {
+								in = inTab[peffPrev*stride+e]
+							}
+							partial := (in + execOpen[pcur]) / r
+							for p2 := min2; p2 <= P-pt; p2++ {
+								resp := partial + outTab[e*stride+eff2[p2]]/r
+								nv := v
+								if resp > nv {
+									nv = resp
+								}
+								ni := vidx(pt+p2, p2, e)
+								if nv < nlay[ni] {
+									nlay[ni] = nv
+									nch[ni] = choiceRec{prevL: l, prevPCur: pcur, prevEff: peffPrev}
+								}
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+
+	// Close the chain: states with b == k charge the open module's response
+	// without an output edge.
+	best := inf
+	var bestL, bestPT, bestPCur, bestEff int
+	for l := 1; l <= k; l++ {
+		key := layerKey{k, l}
+		lay, ok := layers[key]
+		if !ok {
+			continue
+		}
+		a := k - l
+		inTab := []float64(nil)
+		if a > 0 {
+			inTab = s.ecomV[a-1]
+		}
+		for pt := 0; pt <= P; pt++ {
+			for pcur := s.min[a][k]; pcur <= pt; pcur++ {
+				e := s.eff[a][k][pcur]
+				if e == 0 {
+					continue
+				}
+				r := float64(s.rep[a][k][pcur])
+				base := (pt*stride + pcur) * stride
+				for peffPrev := 0; peffPrev <= P; peffPrev++ {
+					v := lay[base+peffPrev]
+					if v == inf {
+						continue
+					}
+					in := 0.0
+					if inTab != nil {
+						in = inTab[peffPrev*stride+e]
+					}
+					resp := (in + s.execEff[a][k][pcur]) / r
+					if resp > v {
+						v = resp
+					}
+					if v < best {
+						best = v
+						bestL, bestPT, bestPCur, bestEff = l, pt, pcur, peffPrev
+					}
+				}
+			}
+		}
+	}
+	if best == inf {
+		return model.Mapping{}, fmt.Errorf("dp: no feasible mapping of %d tasks onto %d processors", k, P)
+	}
+
+	// Reconstruct modules right to left.
+	var rev []model.Module
+	b, l, pt, pcur, effPrev := k, bestL, bestPT, bestPCur, bestEff
+	for {
+		a := b - l
+		rev = append(rev, model.Module{
+			Lo: a, Hi: b,
+			Procs:    s.eff[a][b][pcur],
+			Replicas: s.rep[a][b][pcur],
+		})
+		if a == 0 {
+			break
+		}
+		ch := choices[layerKey{b, l}][vidx(pt, pcur, effPrev)]
+		b, l, pt, pcur, effPrev = a, ch.prevL, pt-pcur, ch.prevPCur, ch.prevEff
+	}
+	mods := make([]model.Module, len(rev))
+	for i := range rev {
+		mods[i] = rev[len(rev)-1-i]
+	}
+	return model.Mapping{Chain: c, Modules: mods}, nil
+}
+
+// MapExhaustive enumerates all 2^(k-1) clusterings of the chain and solves
+// each with the assignment DP over modules, returning the best mapping. It
+// is exponential in k and exists to cross-validate MapChain.
+func MapExhaustive(c *model.Chain, pl model.Platform, opt Options) (model.Mapping, error) {
+	var best model.Mapping
+	bestThr := -1.0
+	var lastErr error
+	for _, spans := range model.AllClusterings(c.Len()) {
+		m, err := AssignClustered(c, pl, spans, opt)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if thr := m.Throughput(); thr > bestThr {
+			bestThr, best = thr, m
+		}
+	}
+	if bestThr < 0 {
+		return model.Mapping{}, fmt.Errorf("dp: no clustering is feasible: %w", lastErr)
+	}
+	return best, nil
+}
+
+// AssignClustered solves optimal processor assignment (with replication
+// unless disabled) for a fixed clustering, by collapsing each module into a
+// synthetic task and running the assignment DP on the module chain.
+func AssignClustered(c *model.Chain, pl model.Platform, spans []model.Span, opt Options) (model.Mapping, error) {
+	if !model.ValidClustering(spans, c.Len()) {
+		return model.Mapping{}, fmt.Errorf("dp: invalid clustering %v for %d tasks", spans, c.Len())
+	}
+	mc := model.CollapseClustering(c, spans)
+	var m model.Mapping
+	var err error
+	if opt.DisableReplication {
+		m, err = Assign(mc, pl)
+	} else {
+		m, err = AssignReplicated(mc, pl)
+	}
+	if err != nil {
+		return model.Mapping{}, err
+	}
+	// Translate module-chain task indices back to original task spans.
+	mods := make([]model.Module, len(m.Modules))
+	for i, mod := range m.Modules {
+		mods[i] = model.Module{
+			Lo: spans[i].Lo, Hi: spans[i].Hi,
+			Procs:    mod.Procs,
+			Replicas: mod.Replicas,
+		}
+	}
+	return model.Mapping{Chain: c, Modules: mods}, nil
+}

@@ -1,0 +1,30 @@
+// Package dp implements the optimal dynamic programming mapping algorithms
+// from section 3 of Subhlok & Vondran (PPoPP 1995).
+//
+// Three levels are provided, mirroring the paper's presentation:
+//
+//   - Assign solves optimal processor assignment for a fixed clustering
+//     with no replication (section 3.1), in O(P^4 k) time.
+//   - AssignReplicated adds maximal replication under memory constraints
+//     (section 3.2) by substituting effective processor counts and
+//     effective response times; same complexity.
+//   - MapChain solves the full mapping problem — clustering, replication
+//     and assignment together (section 3.3).
+//
+// MapExhaustive cross-checks MapChain by enumerating all 2^(k-1)
+// clusterings and solving each with the assignment DP; the two must agree
+// on the optimal throughput.
+//
+// The DP value function follows Lemma 1: V_j(p_total, p_last, p_next) is
+// the minimal bottleneck response time over tasks t_1..t_j when the
+// subchain holds p_total processors, t_j holds p_last and t_{j+1} holds
+// p_next. Since p_next is part of the state, the response time of t_j is
+// computable and the recurrence minimizes over the processor count q of
+// t_{j-1}:
+//
+//	V_j(pt, pl, pn) = min over q of max( V_{j-1}(pt-pl, q, pl), resp_j(q, pl, pn) )
+//
+// Layers are parallelized across goroutines over the p_total dimension;
+// all cost functions are pre-tabulated so the inner loop is flat float
+// arithmetic.
+package dp

@@ -1,0 +1,88 @@
+package dp
+
+import (
+	"container/heap"
+	"fmt"
+
+	"pipemap/internal/model"
+)
+
+// AssignNoComm solves optimal processor assignment for the special case
+// the paper opens section 3.1 with: when communication time is negligible
+// the response time of each task depends only on its own processors, and
+// the optimum is found in O(Pk) time (O(P log k) here) by repeatedly
+// giving a processor to the slowest task. Communication costs in the
+// chain are ignored; the result is optimal for the comm-free relaxation
+// and a (possibly loose) mapping otherwise. Replication is applied
+// maximally, as in AssignReplicated.
+func AssignNoComm(c *model.Chain, pl model.Platform) (model.Mapping, error) {
+	t, err := newTaskTables(c, pl, true)
+	if err != nil {
+		return model.Mapping{}, err
+	}
+	k, P := t.k, t.P
+
+	raw := make([]int, k)
+	used := 0
+	for i := 0; i < k; i++ {
+		raw[i] = t.min[i]
+		used += raw[i]
+	}
+	// Effective response of task i at raw processors p (exec only).
+	resp := func(i, p int) float64 {
+		return t.execEff[i][p] / float64(t.rep[i][p])
+	}
+
+	h := &respHeap{}
+	for i := 0; i < k; i++ {
+		heap.Push(h, respItem{task: i, resp: resp(i, raw[i])})
+	}
+	best := append([]int(nil), raw...)
+	bestPeriod := h.peek().resp
+	for used < P {
+		slow := heap.Pop(h).(respItem)
+		i := slow.task
+		raw[i]++
+		used++
+		heap.Push(h, respItem{task: i, resp: resp(i, raw[i])})
+		if period := h.peek().resp; period < bestPeriod {
+			bestPeriod = period
+			copy(best, raw)
+		}
+	}
+	if bestPeriod <= 0 {
+		return model.Mapping{}, fmt.Errorf("dp: degenerate chain with zero response times")
+	}
+
+	m := model.Mapping{Chain: c, Modules: make([]model.Module, k)}
+	for i := 0; i < k; i++ {
+		m.Modules[i] = model.Module{
+			Lo: i, Hi: i + 1,
+			Procs:    t.eff[i][best[i]],
+			Replicas: t.rep[i][best[i]],
+		}
+	}
+	return m, nil
+}
+
+// respHeap is a max-heap of per-task effective response times: the root
+// is the bottleneck task.
+type respHeap []respItem
+
+type respItem struct {
+	task int
+	resp float64
+}
+
+func (h respHeap) Len() int            { return len(h) }
+func (h respHeap) Less(i, j int) bool  { return h[i].resp > h[j].resp }
+func (h respHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *respHeap) Push(x interface{}) { *h = append(*h, x.(respItem)) }
+func (h *respHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+func (h respHeap) peek() respItem { return h[0] }

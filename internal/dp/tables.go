@@ -1,0 +1,132 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"pipemap/internal/model"
+)
+
+// inf is the sentinel for infeasible states.
+var inf = math.Inf(1)
+
+// taskTables holds pre-tabulated per-task cost and replication data for a
+// chain on a platform, indexed by raw processor counts 0..P. Entries below
+// a task's minimum processor count are marked infeasible (eff == 0,
+// exec == +Inf).
+type taskTables struct {
+	k, P int
+	// min[i] is the minimum processors an instance of task i needs.
+	min []int
+	// eff[i][p] is the per-instance (effective) processor count when task i
+	// holds p raw processors; 0 if p < min[i].
+	eff [][]int
+	// rep[i][p] is the replication degree of task i at p raw processors.
+	rep [][]int
+	// execEff[i][p] is task i's execution time at its effective processor
+	// count for p raw processors; +Inf if infeasible.
+	execEff [][]float64
+	// ecomEff[e] is the external transfer time of edge e evaluated at the
+	// effective counts of its endpoint tasks, flattened as
+	// ecomEff[e][q*(P+1)+pl] for raw processor counts q (sender task e) and
+	// pl (receiver task e+1); +Inf if either endpoint is infeasible.
+	ecomEff [][]float64
+}
+
+// newTaskTables tabulates the chain's cost functions. replicate enables the
+// maximal-replication transformation of section 3.2; when false every task
+// runs as a single instance.
+func newTaskTables(c *model.Chain, pl model.Platform, replicate bool) (*taskTables, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	k, P := c.Len(), pl.Procs
+	t := &taskTables{
+		k: k, P: P,
+		min:     make([]int, k),
+		eff:     make([][]int, k),
+		rep:     make([][]int, k),
+		execEff: make([][]float64, k),
+		ecomEff: make([][]float64, k-1),
+	}
+	summin := 0
+	for i := 0; i < k; i++ {
+		min := c.ModuleMinProcs(i, i+1, pl.MemPerProc)
+		if min < 0 {
+			return nil, fmt.Errorf("dp: task %q does not fit in memory at any processor count",
+				c.Tasks[i].Name)
+		}
+		if min > P {
+			return nil, fmt.Errorf("dp: task %q needs %d processors, platform has %d",
+				c.Tasks[i].Name, min, P)
+		}
+		t.min[i] = min
+		summin += min
+		t.eff[i] = make([]int, P+1)
+		t.rep[i] = make([]int, P+1)
+		t.execEff[i] = make([]float64, P+1)
+		for p := 0; p <= P; p++ {
+			r := model.SplitReplicas(p, min, replicate && c.Tasks[i].Replicable)
+			if r.Replicas == 0 {
+				t.execEff[i][p] = inf
+				continue
+			}
+			t.eff[i][p] = r.ProcsPerInstance
+			t.rep[i][p] = r.Replicas
+			t.execEff[i][p] = c.Tasks[i].Exec.Eval(r.ProcsPerInstance)
+		}
+	}
+	if summin > P {
+		return nil, fmt.Errorf("dp: chain needs at least %d processors, platform has %d", summin, P)
+	}
+	for e := 0; e < k-1; e++ {
+		t.ecomEff[e] = make([]float64, (P+1)*(P+1))
+		for q := 0; q <= P; q++ {
+			for p := 0; p <= P; p++ {
+				idx := q*(P+1) + p
+				if t.eff[e][q] == 0 || t.eff[e+1][p] == 0 {
+					t.ecomEff[e][idx] = inf
+					continue
+				}
+				t.ecomEff[e][idx] = c.ECom[e].Eval(t.eff[e][q], t.eff[e+1][p])
+			}
+		}
+	}
+	return t, nil
+}
+
+// parallelFor runs f(i) for i in [0, n) across GOMAXPROCS goroutines.
+// The DP layers it is used on have independent iterations.
+func parallelFor(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,382 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pipemap/internal/model"
+	"pipemap/internal/testutil"
+)
+
+func TestLeastSquaresExact(t *testing.T) {
+	// y = 2 + 3x fitted from exact points.
+	rows := [][]float64{{1, 1}, {1, 2}, {1, 3}}
+	b := []float64{5, 8, 11}
+	x, err := LeastSquares(rows, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testutil.AlmostEqual(x[0], 2, 1e-9) || !testutil.AlmostEqual(x[1], 3, 1e-9) {
+		t.Errorf("x = %v, want [2 3]", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Noisy line: the residual of the LS solution must not exceed that of
+	// the true parameters.
+	rng := rand.New(rand.NewSource(1))
+	var rows [][]float64
+	var b []float64
+	for i := 0; i < 50; i++ {
+		xi := float64(i)
+		rows = append(rows, []float64{1, xi})
+		b = append(b, 1.5+0.25*xi+rng.NormFloat64()*0.01)
+	}
+	x, err := LeastSquares(rows, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := func(c0, c1 float64) float64 {
+		s := 0.0
+		for i, r := range rows {
+			d := c0 + c1*r[1] - b[i]
+			s += d * d
+		}
+		return s
+	}
+	if res(x[0], x[1]) > res(1.5, 0.25)+1e-12 {
+		t.Errorf("LS residual %g worse than truth %g", res(x[0], x[1]), res(1.5, 0.25))
+	}
+}
+
+func TestLeastSquaresSingularFallsBackToRidge(t *testing.T) {
+	// Two identical rows, two unknowns: singular normal matrix.
+	rows := [][]float64{{1, 2}, {1, 2}}
+	b := []float64{3, 3}
+	x, err := LeastSquares(rows, b)
+	if err != nil {
+		t.Fatalf("ridge fallback failed: %v", err)
+	}
+	if got := x[0] + 2*x[1]; !testutil.AlmostEqual(got, 3, 1e-3) {
+		t.Errorf("ridge solution does not reproduce the observation: %g", got)
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, err := LeastSquares([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestFitExecRecoversTruth(t *testing.T) {
+	truth := model.PolyExec{C1: 0.5, C2: 12, C3: 0.03}
+	var samples []ExecSample
+	for _, p := range []int{1, 2, 4, 8, 16, 32} {
+		samples = append(samples, ExecSample{Procs: p, Time: truth.Eval(p)})
+	}
+	got, err := FitExec(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 1; p <= 64; p *= 2 {
+		if !testutil.AlmostEqual(got.Eval(p), truth.Eval(p), 1e-6) {
+			t.Errorf("fitted(%d) = %g, want %g", p, got.Eval(p), truth.Eval(p))
+		}
+	}
+}
+
+func TestFitCommRecoversTruth(t *testing.T) {
+	truth := model.PolyComm{C1: 0.2, C2: 3, C3: 5, C4: 0.01, C5: 0.02}
+	var samples []CommSample
+	for _, pq := range [][2]int{{1, 1}, {2, 1}, {1, 2}, {4, 2}, {2, 4}, {8, 8}, {3, 5}} {
+		samples = append(samples, CommSample{
+			SendProcs: pq[0], RecvProcs: pq[1],
+			Time: truth.Eval(pq[0], pq[1]),
+		})
+	}
+	got, err := FitComm(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pq := range [][2]int{{1, 4}, {16, 2}, {6, 6}} {
+		if !testutil.AlmostEqual(got.Eval(pq[0], pq[1]), truth.Eval(pq[0], pq[1]), 1e-6) {
+			t.Errorf("fitted(%v) = %g, want %g", pq, got.Eval(pq[0], pq[1]), truth.Eval(pq[0], pq[1]))
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitExec(nil); err == nil {
+		t.Error("empty exec samples accepted")
+	}
+	if _, err := FitExec([]ExecSample{{Procs: 0, Time: 1}}); err == nil {
+		t.Error("zero-processor sample accepted")
+	}
+	if _, err := FitComm(nil); err == nil {
+		t.Error("empty comm samples accepted")
+	}
+	if _, err := FitComm([]CommSample{{SendProcs: 1, RecvProcs: 0, Time: 1}}); err == nil {
+		t.Error("zero-processor comm sample accepted")
+	}
+}
+
+func TestTrainingPlanShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c, pl := testutil.RandChain(rng, testutil.DefaultRandChainConfig(), 16)
+	plan, err := TrainingPlan(c, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 8 {
+		t.Fatalf("plan has %d runs, want 8 (the paper's training size)", len(plan))
+	}
+	merged, split := 0, 0
+	for _, m := range plan {
+		if err := m.Validate(pl); err != nil {
+			t.Errorf("training mapping invalid: %v (%v)", err, &m)
+		}
+		if len(m.Modules) == 1 {
+			merged++
+		} else if len(m.Modules) == c.Len() {
+			split++
+		}
+	}
+	if merged != 3 || split != 5 {
+		t.Errorf("plan has %d merged and %d split runs, want 3 and 5", merged, split)
+	}
+}
+
+func TestTrainingPlanInfeasible(t *testing.T) {
+	c := &model.Chain{
+		Tasks: []model.Task{
+			{Name: "x", Exec: model.PolyExec{C2: 1}, Mem: model.Memory{Data: 1e6}},
+		},
+	}
+	if _, err := TrainingPlan(c, model.Platform{Procs: 4, MemPerProc: 100}); err == nil {
+		t.Error("infeasible plan accepted")
+	}
+	if _, err := TrainingPlan(&model.Chain{}, model.Platform{Procs: 4}); err == nil {
+		t.Error("empty chain accepted")
+	}
+}
+
+func TestEstimateChainRecoversPolynomialTruth(t *testing.T) {
+	// When the application truly follows the polynomial model and profiling
+	// is exact, the fitted chain must reproduce it (up to LS conditioning).
+	rng := rand.New(rand.NewSource(9))
+	truth, pl := testutil.RandChain(rng, testutil.DefaultRandChainConfig(), 24)
+	fitted, err := EstimateChain(truth, &ModelProfiler{Truth: truth}, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth.Tasks {
+		for p := 1; p <= pl.Procs; p *= 2 {
+			want := truth.Tasks[i].Exec.Eval(p)
+			got := fitted.Tasks[i].Exec.Eval(p)
+			if !testutil.AlmostEqual(got, want, 1e-3) {
+				t.Errorf("task %d exec(%d): fitted %g, truth %g", i, p, got, want)
+			}
+		}
+	}
+	for e := range truth.ECom {
+		for _, pq := range [][2]int{{2, 3}, {8, 8}, {4, 12}} {
+			want := truth.ECom[e].Eval(pq[0], pq[1])
+			got := fitted.ECom[e].Eval(pq[0], pq[1])
+			if !testutil.AlmostEqual(got, want, 1e-2) {
+				t.Errorf("edge %d ecom(%v): fitted %g, truth %g", e, pq, got, want)
+			}
+		}
+	}
+}
+
+func TestEstimateChainWithNoiseStaysAccurate(t *testing.T) {
+	// With 5% measurement noise the fitted model should predict within a
+	// modest band — the paper reports average error under 10%.
+	rng := rand.New(rand.NewSource(13))
+	truth, pl := testutil.RandChain(rng, testutil.DefaultRandChainConfig(), 24)
+	fitted, err := EstimateChain(truth, &ModelProfiler{Truth: truth, Noise: 0.05, Seed: 77}, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred, meas []float64
+	for i := range truth.Tasks {
+		for p := 2; p <= pl.Procs; p *= 2 {
+			pred = append(pred, fitted.Tasks[i].Exec.Eval(p))
+			meas = append(meas, truth.Tasks[i].Exec.Eval(p))
+		}
+	}
+	if err := MeanAbsPctError(pred, meas); err > 25 {
+		t.Errorf("mean abs error %g%% too large for 5%% noise", err)
+	}
+}
+
+func TestMeanAbsPctError(t *testing.T) {
+	if got := MeanAbsPctError([]float64{110, 90}, []float64{100, 100}); !testutil.AlmostEqual(got, 10, 1e-9) {
+		t.Errorf("MeanAbsPctError = %g, want 10", got)
+	}
+	if got := MeanAbsPctError([]float64{1}, []float64{0}); got != 0 {
+		t.Errorf("zero-measured handling = %g, want 0", got)
+	}
+	if got := MeanAbsPctError(nil, nil); got != 0 {
+		t.Errorf("empty input = %g, want 0", got)
+	}
+	if got := MeanAbsPctError([]float64{1, 2}, []float64{1}); got != 0 {
+		t.Errorf("mismatched input = %g, want 0", got)
+	}
+}
+
+func TestModelProfilerMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	truth, pl := testutil.RandChain(rng, testutil.DefaultRandChainConfig(), 8)
+	other, _ := testutil.RandChain(rng, testutil.RandChainConfig{MinTasks: 7, MaxTasks: 7}, 8)
+	mp := &ModelProfiler{Truth: truth}
+	m := model.DataParallel(other, pl)
+	if _, err := mp.Profile(m); err == nil && other.Len() != truth.Len() {
+		t.Error("chain-length mismatch accepted")
+	}
+}
+
+func TestNoisyIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	truth, pl := testutil.RandChain(rng, testutil.DefaultRandChainConfig(), 8)
+	m := model.DataParallel(truth, pl)
+	a := &ModelProfiler{Truth: truth, Noise: 0.1, Seed: 5}
+	b := &ModelProfiler{Truth: truth, Noise: 0.1, Seed: 5}
+	ma, err := a.Profile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := b.Profile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ma.TaskExec {
+		if math.Abs(ma.TaskExec[i]-mb.TaskExec[i]) > 0 {
+			t.Errorf("same seed produced different noise at task %d", i)
+		}
+	}
+}
+
+func TestExecFitStatsPerfectFit(t *testing.T) {
+	truth := model.PolyExec{C1: 0.5, C2: 3, C3: 0.02}
+	var samples []ExecSample
+	for _, p := range []int{1, 2, 4, 8} {
+		samples = append(samples, ExecSample{Procs: p, Time: truth.Eval(p)})
+	}
+	st, err := ExecFitStats(truth, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 4 || st.RMSE > 1e-12 || !testutil.AlmostEqual(st.R2, 1, 1e-9) {
+		t.Errorf("perfect fit stats %+v", st)
+	}
+	if st.String() == "" {
+		t.Error("empty stats string")
+	}
+}
+
+func TestExecFitStatsBadFit(t *testing.T) {
+	flat := model.PolyExec{C1: 5}
+	samples := []ExecSample{{1, 1}, {2, 2}, {4, 4}, {8, 8}}
+	st, err := ExecFitStats(flat, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.R2 > 0.5 {
+		t.Errorf("bad fit scored R2=%g", st.R2)
+	}
+	if st.MaxAbsErr < 3 {
+		t.Errorf("max abs err %g too small", st.MaxAbsErr)
+	}
+}
+
+func TestCommFitStats(t *testing.T) {
+	truth := model.PolyComm{C1: 0.1, C2: 1, C3: 1}
+	var samples []CommSample
+	for _, pq := range [][2]int{{1, 1}, {2, 2}, {4, 8}} {
+		samples = append(samples, CommSample{pq[0], pq[1], truth.Eval(pq[0], pq[1])})
+	}
+	st, err := CommFitStats(truth, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testutil.AlmostEqual(st.R2, 1, 1e-9) {
+		t.Errorf("perfect comm fit R2=%g", st.R2)
+	}
+}
+
+func TestFitStatsErrors(t *testing.T) {
+	if _, err := ExecFitStats(model.ZeroExec(), nil); err == nil {
+		t.Error("empty exec samples accepted")
+	}
+	if _, err := ExecFitStats(model.ZeroExec(), []ExecSample{{0, 1}}); err == nil {
+		t.Error("invalid procs accepted")
+	}
+	if _, err := CommFitStats(model.ZeroComm(), nil); err == nil {
+		t.Error("empty comm samples accepted")
+	}
+	if _, err := CommFitStats(model.ZeroComm(), []CommSample{{0, 1, 1}}); err == nil {
+		t.Error("invalid comm procs accepted")
+	}
+}
+
+func TestFitStatsConstantObservations(t *testing.T) {
+	flat := model.PolyExec{C1: 2}
+	samples := []ExecSample{{1, 2}, {2, 2}, {4, 2}}
+	st, err := ExecFitStats(flat, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.R2 != 1 {
+		t.Errorf("constant perfect fit R2=%g, want 1", st.R2)
+	}
+}
+
+func TestEstimateChainWithStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	truth, pl := testutil.RandChain(rng, testutil.DefaultRandChainConfig(), 24)
+	fitted, rep, err := EstimateChainWithStats(truth, &ModelProfiler{Truth: truth}, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fitted == nil || rep == nil {
+		t.Fatal("nil results")
+	}
+	if len(rep.TaskStats) != truth.Len() || len(rep.EComStats) != truth.Len()-1 {
+		t.Fatalf("report shape %d/%d", len(rep.TaskStats), len(rep.EComStats))
+	}
+	// Exact profiling of a polynomial truth: R2 ~ 1 for every exec fit.
+	for i, st := range rep.TaskStats {
+		if st.R2 < 0.999 {
+			t.Errorf("task %d fit R2=%g (%s)", i, st.R2, st)
+		}
+	}
+	for e, st := range rep.EComStats {
+		if st.R2 < 0.99 {
+			t.Errorf("edge %d ecom fit R2=%g", e, st.R2)
+		}
+	}
+}
+
+func TestEstimateChainWithStatsNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	truth, pl := testutil.RandChain(rng, testutil.DefaultRandChainConfig(), 24)
+	_, rep, err := EstimateChainWithStats(truth,
+		&ModelProfiler{Truth: truth, Noise: 0.1, Seed: 5}, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noisy fits still report finite, sane statistics.
+	for i, st := range rep.TaskStats {
+		if st.N == 0 || st.RMSE < 0 {
+			t.Errorf("task %d stats degenerate: %+v", i, st)
+		}
+	}
+}

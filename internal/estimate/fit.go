@@ -1,0 +1,98 @@
+package estimate
+
+import (
+	"fmt"
+
+	"pipemap/internal/model"
+)
+
+// ExecSample is one measured execution (or internal redistribution) time
+// at a processor count.
+type ExecSample struct {
+	Procs int
+	Time  float64
+}
+
+// CommSample is one measured external transfer time at a pair of sender
+// and receiver processor counts.
+type CommSample struct {
+	SendProcs, RecvProcs int
+	Time                 float64
+}
+
+// FitExec fits the paper's execution model C1 + C2/p + C3*p to samples by
+// least squares. At least three samples at distinct processor counts are
+// needed for a fully determined fit; with fewer, a ridge-regularized
+// solution is returned.
+func FitExec(samples []ExecSample) (model.PolyExec, error) {
+	if len(samples) == 0 {
+		return model.PolyExec{}, fmt.Errorf("estimate: no execution samples")
+	}
+	rows := make([][]float64, len(samples))
+	b := make([]float64, len(samples))
+	for i, s := range samples {
+		if s.Procs < 1 {
+			return model.PolyExec{}, fmt.Errorf("estimate: sample %d has %d processors", i, s.Procs)
+		}
+		p := float64(s.Procs)
+		rows[i] = []float64{1, 1 / p, p}
+		b[i] = s.Time
+	}
+	x, err := LeastSquares(rows, b)
+	if err != nil {
+		return model.PolyExec{}, err
+	}
+	return model.PolyExec{C1: x[0], C2: x[1], C3: x[2]}, nil
+}
+
+// FitComm fits the paper's external communication model
+// C1 + C2/ps + C3/pr + C4*ps + C5*pr to samples by least squares. At least
+// five samples at sufficiently varied (ps, pr) pairs are needed for a
+// fully determined fit.
+func FitComm(samples []CommSample) (model.PolyComm, error) {
+	if len(samples) == 0 {
+		return model.PolyComm{}, fmt.Errorf("estimate: no communication samples")
+	}
+	rows := make([][]float64, len(samples))
+	b := make([]float64, len(samples))
+	for i, s := range samples {
+		if s.SendProcs < 1 || s.RecvProcs < 1 {
+			return model.PolyComm{}, fmt.Errorf("estimate: sample %d has processor counts (%d,%d)",
+				i, s.SendProcs, s.RecvProcs)
+		}
+		ps, pr := float64(s.SendProcs), float64(s.RecvProcs)
+		rows[i] = []float64{1, 1 / ps, 1 / pr, ps, pr}
+		b[i] = s.Time
+	}
+	x, err := LeastSquares(rows, b)
+	if err != nil {
+		return model.PolyComm{}, err
+	}
+	return model.PolyComm{C1: x[0], C2: x[1], C3: x[2], C4: x[3], C5: x[4]}, nil
+}
+
+// MeanAbsPctError returns the mean absolute percentage error between
+// predicted and measured values, the metric the paper uses to report
+// model accuracy ("the difference averaged less than 10%"). Measured zeros
+// are skipped.
+func MeanAbsPctError(predicted, measured []float64) float64 {
+	if len(predicted) != len(measured) || len(predicted) == 0 {
+		return 0
+	}
+	sum, n := 0.0, 0
+	for i := range predicted {
+		if measured[i] == 0 {
+			continue
+		}
+		d := (predicted[i] - measured[i]) / measured[i]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * sum / float64(n)
+}

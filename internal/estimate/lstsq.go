@@ -1,0 +1,112 @@
+// Package estimate derives the paper's polynomial cost models from
+// profiled executions (section 5): execution time C1 + C2/p + C3*p,
+// external communication C1 + C2/ps + C3/pr + C4*ps + C5*pr, and internal
+// redistribution C1 + C2/p + C3*p, all fit with linear least squares. The
+// paper derives every parameter from eight training executions;
+// TrainingPlan reproduces that design.
+package estimate
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeastSquares solves min_x ||A x - b||_2 for a dense matrix A given as
+// rows, via the normal equations with partial-pivot Gaussian elimination.
+// If the normal matrix is (near) singular — e.g. fewer distinct sample
+// points than parameters — a small ridge term is added so a stable
+// minimum-energy-ish solution is still produced.
+func LeastSquares(rows [][]float64, b []float64) ([]float64, error) {
+	m := len(rows)
+	if m == 0 {
+		return nil, fmt.Errorf("estimate: no sample rows")
+	}
+	if len(b) != m {
+		return nil, fmt.Errorf("estimate: %d rows but %d observations", m, len(b))
+	}
+	n := len(rows[0])
+	for i, r := range rows {
+		if len(r) != n {
+			return nil, fmt.Errorf("estimate: row %d has %d columns, want %d", i, len(r), n)
+		}
+	}
+	// Normal equations: (A^T A) x = A^T b.
+	ata := make([][]float64, n)
+	atb := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ata[i] = make([]float64, n)
+	}
+	for r := 0; r < m; r++ {
+		row := rows[r]
+		for i := 0; i < n; i++ {
+			atb[i] += row[i] * b[r]
+			for j := i; j < n; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			ata[i][j] = ata[j][i]
+		}
+	}
+	x, err := solve(ata, atb)
+	if err == nil {
+		return x, nil
+	}
+	// Ridge fallback: scale by the matrix magnitude for invariance.
+	trace := 0.0
+	for i := 0; i < n; i++ {
+		trace += ata[i][i]
+	}
+	lambda := 1e-10 * (trace/float64(n) + 1)
+	for i := 0; i < n; i++ {
+		ata[i][i] += lambda
+	}
+	return solve(ata, atb)
+}
+
+// solve performs in-place Gaussian elimination with partial pivoting on a
+// copy of the system.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	// Work on copies: the caller may retry with a ridge term.
+	m := make([][]float64, n)
+	for i := range a {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("estimate: singular system at column %d", col)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		x[col], x[pivot] = x[pivot], x[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for col := n - 1; col >= 0; col-- {
+		sum := x[col]
+		for c := col + 1; c < n; c++ {
+			sum -= m[col][c] * x[c]
+		}
+		x[col] = sum / m[col][col]
+	}
+	return x, nil
+}

@@ -1,0 +1,361 @@
+package estimate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pipemap/internal/model"
+)
+
+// Measurement is what one profiled execution yields: the per-task
+// execution time at the processor counts of the profiled mapping, and the
+// per-edge communication time (internal redistribution when the edge lies
+// inside a module, external transfer when it crosses modules).
+type Measurement struct {
+	TaskExec []float64 // len k
+	EdgeComm []float64 // len k-1
+}
+
+// Profiler measures a chain under one mapping. Implementations include the
+// discrete-event simulator (package sim), the goroutine runtime (package
+// fxrt), and ModelProfiler below.
+type Profiler interface {
+	Profile(m model.Mapping) (Measurement, error)
+}
+
+// TrainingPlan returns the paper's eight training executions for a chain
+// of k tasks on P processors: three runs with all tasks merged into one
+// module at decreasing processor counts (yielding execution and internal
+// redistribution samples), and five runs with per-task modules under
+// varied processor splits (yielding external transfer samples at five
+// distinct sender/receiver combinations per edge).
+func TrainingPlan(c *model.Chain, pl model.Platform) ([]model.Mapping, error) {
+	if len(c.Tasks) == 0 {
+		return nil, fmt.Errorf("estimate: chain has no tasks")
+	}
+	k, P := c.Len(), pl.Procs
+	var plan []model.Mapping
+
+	// Merged runs at P, ~P/2, ~P/4 (not below the merged minimum).
+	mergedMin := c.ModuleMinProcs(0, k, pl.MemPerProc)
+	if mergedMin < 0 || mergedMin > P {
+		return nil, fmt.Errorf("estimate: merged module does not fit on %d processors", P)
+	}
+	seen := map[int]bool{}
+	for _, p := range []int{P, P / 2, P / 4} {
+		if p < mergedMin {
+			p = mergedMin
+		}
+		if seen[p] {
+			// Degenerate platform; shift to keep samples distinct.
+			for seen[p] && p < P {
+				p++
+			}
+		}
+		seen[p] = true
+		plan = append(plan, model.Mapping{Chain: c, Modules: []model.Module{
+			{Lo: 0, Hi: k, Procs: p, Replicas: 1},
+		}})
+	}
+
+	// Split runs: per-task modules with five weight patterns.
+	mins := make([]int, k)
+	summin := 0
+	for i := 0; i < k; i++ {
+		m := c.ModuleMinProcs(i, i+1, pl.MemPerProc)
+		if m < 0 || m > P {
+			return nil, fmt.Errorf("estimate: task %q does not fit on %d processors",
+				c.Tasks[i].Name, P)
+		}
+		mins[i] = m
+		summin += m
+	}
+	if summin > P {
+		return nil, fmt.Errorf("estimate: per-task modules need %d processors, platform has %d",
+			summin, P)
+	}
+	// Five split runs: three shapes at the full budget plus two at reduced
+	// budgets, so every edge samples (ps, pr) pairs that identify all five
+	// parameters of the communication model (same-budget patterns alone
+	// are rank deficient).
+	runs := []struct {
+		budget int
+		w      []float64
+	}{
+		{P, flatWeights(k, func(i int) float64 { return 1 })},
+		{P, flatWeights(k, func(i int) float64 { return float64(1 + i) })},
+		{P, flatWeights(k, func(i int) float64 { return float64(k - i) })},
+		{maxInt(summin, P/2), flatWeights(k, func(i int) float64 { return 1 })},
+		{maxInt(summin, P/4), flatWeights(k, func(i int) float64 { return float64(1 + i) })},
+	}
+	for _, run := range runs {
+		procs := distribute(run.budget, mins, run.w)
+		mods := make([]model.Module, k)
+		for i := 0; i < k; i++ {
+			mods[i] = model.Module{Lo: i, Hi: i + 1, Procs: procs[i], Replicas: 1}
+		}
+		plan = append(plan, model.Mapping{Chain: c, Modules: mods})
+	}
+	return plan, nil
+}
+
+func flatWeights(k int, f func(int) float64) []float64 {
+	w := make([]float64, k)
+	for i := range w {
+		w[i] = f(i)
+	}
+	return w
+}
+
+// distribute assigns P processors to k modules: each gets its minimum,
+// and the remainder is split in proportion to the weights (largest
+// fractional remainders first).
+func distribute(P int, mins []int, w []float64) []int {
+	k := len(mins)
+	procs := append([]int(nil), mins...)
+	rem := P
+	for _, m := range mins {
+		rem -= m
+	}
+	var wsum float64
+	for _, x := range w {
+		wsum += x
+	}
+	type fracIdx struct {
+		frac float64
+		i    int
+	}
+	fracs := make([]fracIdx, k)
+	given := 0
+	for i := 0; i < k; i++ {
+		share := float64(rem) * w[i] / wsum
+		add := int(share)
+		procs[i] += add
+		given += add
+		fracs[i] = fracIdx{share - float64(add), i}
+	}
+	// Hand out leftovers by largest fraction.
+	for given < rem {
+		best := 0
+		for i := 1; i < k; i++ {
+			if fracs[i].frac > fracs[best].frac {
+				best = i
+			}
+		}
+		procs[fracs[best].i]++
+		fracs[best].frac = -1
+		given++
+	}
+	return procs
+}
+
+// EstimateChain profiles the application under the training plan and
+// returns a chain whose cost functions are fitted polynomial models
+// (clamped at zero). The structure argument provides task names, memory
+// requirements and replicability; its cost functions are used only to
+// determine minimum processor counts for the plan.
+func EstimateChain(structure *model.Chain, prof Profiler, pl model.Platform) (*model.Chain, error) {
+	plan, err := TrainingPlan(structure, pl)
+	if err != nil {
+		return nil, err
+	}
+	return EstimateChainFromPlan(structure, prof, plan)
+}
+
+// ChainFitReport carries per-model goodness-of-fit statistics from
+// EstimateChainWithStats.
+type ChainFitReport struct {
+	// TaskStats[i] scores task i's fitted execution model against its
+	// training samples.
+	TaskStats []FitStats
+	// ICicomStats[e] and EcomStats[e] score edge e's fitted internal and
+	// external models.
+	IComStats []FitStats
+	EComStats []FitStats
+}
+
+// EstimateChainWithStats is EstimateChain returning per-fit
+// goodness-of-fit statistics alongside the fitted chain.
+func EstimateChainWithStats(structure *model.Chain, prof Profiler, pl model.Platform) (*model.Chain, *ChainFitReport, error) {
+	plan, err := TrainingPlan(structure, pl)
+	if err != nil {
+		return nil, nil, err
+	}
+	fitted, samples, err := estimateChainFromPlan(structure, prof, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	k := structure.Len()
+	rep := &ChainFitReport{
+		TaskStats: make([]FitStats, k),
+		IComStats: make([]FitStats, k-1),
+		EComStats: make([]FitStats, k-1),
+	}
+	for t := 0; t < k; t++ {
+		if rep.TaskStats[t], err = ExecFitStats(fitted.Tasks[t].Exec, samples.exec[t]); err != nil {
+			return nil, nil, err
+		}
+	}
+	for e := 0; e < k-1; e++ {
+		if rep.IComStats[e], err = ExecFitStats(fitted.ICom[e], samples.icom[e]); err != nil {
+			return nil, nil, err
+		}
+		if rep.EComStats[e], err = CommFitStats(fitted.ECom[e], samples.ecom[e]); err != nil {
+			return nil, nil, err
+		}
+	}
+	return fitted, rep, nil
+}
+
+// chainSamples collects the raw training observations per model.
+type chainSamples struct {
+	exec [][]ExecSample
+	icom [][]ExecSample
+	ecom [][]CommSample
+}
+
+// EstimateChainFromPlan is EstimateChain with a caller-provided training
+// set, e.g. for studying model accuracy versus training size.
+func EstimateChainFromPlan(structure *model.Chain, prof Profiler, plan []model.Mapping) (*model.Chain, error) {
+	fitted, _, err := estimateChainFromPlan(structure, prof, plan)
+	return fitted, err
+}
+
+func estimateChainFromPlan(structure *model.Chain, prof Profiler, plan []model.Mapping) (*model.Chain, *chainSamples, error) {
+	k := structure.Len()
+	execSamples := make([][]ExecSample, k)
+	icomSamples := make([][]ExecSample, k-1)
+	ecomSamples := make([][]CommSample, k-1)
+
+	for _, m := range plan {
+		meas, err := prof.Profile(m)
+		if err != nil {
+			return nil, nil, fmt.Errorf("estimate: profiling %v: %w", &m, err)
+		}
+		if len(meas.TaskExec) != k || len(meas.EdgeComm) != k-1 {
+			return nil, nil, fmt.Errorf("estimate: profiler returned %d task and %d edge times, want %d and %d",
+				len(meas.TaskExec), len(meas.EdgeComm), k, k-1)
+		}
+		// Module lookup per task.
+		modOf := make([]int, k)
+		for mi, mod := range m.Modules {
+			for t := mod.Lo; t < mod.Hi; t++ {
+				modOf[t] = mi
+			}
+		}
+		for t := 0; t < k; t++ {
+			execSamples[t] = append(execSamples[t], ExecSample{
+				Procs: m.Modules[modOf[t]].Procs,
+				Time:  meas.TaskExec[t],
+			})
+		}
+		for e := 0; e < k-1; e++ {
+			if modOf[e] == modOf[e+1] {
+				icomSamples[e] = append(icomSamples[e], ExecSample{
+					Procs: m.Modules[modOf[e]].Procs,
+					Time:  meas.EdgeComm[e],
+				})
+			} else {
+				ecomSamples[e] = append(ecomSamples[e], CommSample{
+					SendProcs: m.Modules[modOf[e]].Procs,
+					RecvProcs: m.Modules[modOf[e+1]].Procs,
+					Time:      meas.EdgeComm[e],
+				})
+			}
+		}
+	}
+
+	fitted := &model.Chain{
+		Tasks: make([]model.Task, k),
+		ICom:  make([]model.CostFunc, k-1),
+		ECom:  make([]model.CommFunc, k-1),
+	}
+	for t := 0; t < k; t++ {
+		pe, err := FitExec(execSamples[t])
+		if err != nil {
+			return nil, nil, fmt.Errorf("estimate: fitting task %q: %w", structure.Tasks[t].Name, err)
+		}
+		fitted.Tasks[t] = structure.Tasks[t]
+		fitted.Tasks[t].Exec = model.ClampCost{F: pe}
+	}
+	for e := 0; e < k-1; e++ {
+		pi, err := FitExec(icomSamples[e])
+		if err != nil {
+			return nil, nil, fmt.Errorf("estimate: fitting internal edge %d: %w", e, err)
+		}
+		fitted.ICom[e] = model.ClampCost{F: pi}
+		pc, err := FitComm(ecomSamples[e])
+		if err != nil {
+			return nil, nil, fmt.Errorf("estimate: fitting external edge %d: %w", e, err)
+		}
+		fitted.ECom[e] = model.ClampComm{F: pc}
+	}
+	return fitted, &chainSamples{exec: execSamples, icom: icomSamples, ecom: ecomSamples}, nil
+}
+
+// ModelProfiler emulates profiled executions of an application whose true
+// behaviour follows a ground-truth chain: measurements are the chain's
+// cost functions evaluated at the mapping's processor counts, optionally
+// perturbed by multiplicative noise (to emulate measurement error).
+type ModelProfiler struct {
+	// Truth is the ground-truth chain.
+	Truth *model.Chain
+	// Noise is the relative standard deviation of multiplicative
+	// measurement noise (0 = exact).
+	Noise float64
+	// Seed makes the noise deterministic.
+	Seed int64
+
+	rng *rand.Rand
+}
+
+// Profile evaluates the truth chain under the mapping.
+func (mp *ModelProfiler) Profile(m model.Mapping) (Measurement, error) {
+	k := mp.Truth.Len()
+	if m.Chain == nil || m.Chain.Len() != k {
+		return Measurement{}, fmt.Errorf("estimate: mapping chain mismatch")
+	}
+	if mp.rng == nil {
+		mp.rng = rand.New(rand.NewSource(mp.Seed))
+	}
+	meas := Measurement{
+		TaskExec: make([]float64, k),
+		EdgeComm: make([]float64, k-1),
+	}
+	modOf := make([]int, k)
+	for mi, mod := range m.Modules {
+		for t := mod.Lo; t < mod.Hi; t++ {
+			modOf[t] = mi
+		}
+	}
+	for t := 0; t < k; t++ {
+		meas.TaskExec[t] = mp.noisy(mp.Truth.Tasks[t].Exec.Eval(m.Modules[modOf[t]].Procs))
+	}
+	for e := 0; e < k-1; e++ {
+		if modOf[e] == modOf[e+1] {
+			meas.EdgeComm[e] = mp.noisy(mp.Truth.ICom[e].Eval(m.Modules[modOf[e]].Procs))
+		} else {
+			meas.EdgeComm[e] = mp.noisy(mp.Truth.ECom[e].Eval(
+				m.Modules[modOf[e]].Procs, m.Modules[modOf[e+1]].Procs))
+		}
+	}
+	return meas, nil
+}
+
+func (mp *ModelProfiler) noisy(v float64) float64 {
+	if mp.Noise == 0 {
+		return v
+	}
+	f := 1 + mp.rng.NormFloat64()*mp.Noise
+	if f < 0.1 {
+		f = 0.1
+	}
+	return v * f
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

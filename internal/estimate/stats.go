@@ -1,0 +1,91 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+
+	"pipemap/internal/model"
+)
+
+// FitStats summarizes the goodness of fit of a cost model against its
+// training samples.
+type FitStats struct {
+	// N is the number of samples.
+	N int
+	// RMSE is the root mean squared residual.
+	RMSE float64
+	// MaxAbsErr is the largest absolute residual.
+	MaxAbsErr float64
+	// R2 is the coefficient of determination (1 = perfect; can be
+	// negative for fits worse than the mean).
+	R2 float64
+}
+
+// ExecFitStats evaluates a fitted execution model against samples.
+func ExecFitStats(f model.CostFunc, samples []ExecSample) (FitStats, error) {
+	if len(samples) == 0 {
+		return FitStats{}, fmt.Errorf("estimate: no samples to score")
+	}
+	pred := make([]float64, len(samples))
+	obs := make([]float64, len(samples))
+	for i, s := range samples {
+		if s.Procs < 1 {
+			return FitStats{}, fmt.Errorf("estimate: sample %d has %d processors", i, s.Procs)
+		}
+		pred[i] = f.Eval(s.Procs)
+		obs[i] = s.Time
+	}
+	return residStats(pred, obs), nil
+}
+
+// CommFitStats evaluates a fitted communication model against samples.
+func CommFitStats(f model.CommFunc, samples []CommSample) (FitStats, error) {
+	if len(samples) == 0 {
+		return FitStats{}, fmt.Errorf("estimate: no samples to score")
+	}
+	pred := make([]float64, len(samples))
+	obs := make([]float64, len(samples))
+	for i, s := range samples {
+		if s.SendProcs < 1 || s.RecvProcs < 1 {
+			return FitStats{}, fmt.Errorf("estimate: sample %d has counts (%d,%d)",
+				i, s.SendProcs, s.RecvProcs)
+		}
+		pred[i] = f.Eval(s.SendProcs, s.RecvProcs)
+		obs[i] = s.Time
+	}
+	return residStats(pred, obs), nil
+}
+
+func residStats(pred, obs []float64) FitStats {
+	n := len(obs)
+	var mean float64
+	for _, v := range obs {
+		mean += v
+	}
+	mean /= float64(n)
+	var ssRes, ssTot, maxAbs float64
+	for i := range obs {
+		r := pred[i] - obs[i]
+		ssRes += r * r
+		d := obs[i] - mean
+		ssTot += d * d
+		if a := math.Abs(r); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	st := FitStats{
+		N:         n,
+		RMSE:      math.Sqrt(ssRes / float64(n)),
+		MaxAbsErr: maxAbs,
+	}
+	if ssTot > 0 {
+		st.R2 = 1 - ssRes/ssTot
+	} else if ssRes == 0 {
+		st.R2 = 1
+	}
+	return st
+}
+
+func (s FitStats) String() string {
+	return fmt.Sprintf("n=%d rmse=%.4g max=%.4g R2=%.4f", s.N, s.RMSE, s.MaxAbsErr, s.R2)
+}

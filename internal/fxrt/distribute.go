@@ -1,0 +1,58 @@
+package fxrt
+
+import "fmt"
+
+// BlockRange computes the half-open range [lo, hi) of the part-th block
+// when total items are split into parts contiguous blocks as evenly as
+// possible (the first total%parts blocks get one extra item). It is the
+// standard HPF-style block distribution used by the runners.
+func BlockRange(total, parts, part int) (lo, hi int) {
+	if parts <= 0 || part < 0 || part >= parts {
+		return 0, 0
+	}
+	base := total / parts
+	extra := total % parts
+	if part < extra {
+		lo = part * (base + 1)
+		hi = lo + base + 1
+		return lo, hi
+	}
+	lo = extra*(base+1) + (part-extra)*base
+	hi = lo + base
+	return lo, hi
+}
+
+// ParallelReduce runs parts independent partial computations on the group
+// and folds their results left to right with combine. It is the runtime's
+// generic reduction: each part produces a partial value (e.g. a partial
+// histogram) and combine merges two partials. The fold is sequential and
+// deterministic, matching the paper's model of a reduction step with
+// internal communication.
+func ParallelReduce[T any](g *Group, parts int, produce func(part int) (T, error), combine func(a, b T) (T, error)) (T, error) {
+	var zero T
+	if parts <= 0 {
+		return zero, fmt.Errorf("fxrt: reduce needs at least one part, got %d", parts)
+	}
+	partials := make([]T, parts)
+	errs := make([]error, parts)
+	err := g.ParallelFor(parts, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			partials[i], errs[i] = produce(i)
+			if errs[i] != nil {
+				return errs[i]
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return zero, err
+	}
+	acc := partials[0]
+	for i := 1; i < parts; i++ {
+		acc, err = combine(acc, partials[i])
+		if err != nil {
+			return zero, err
+		}
+	}
+	return acc, nil
+}

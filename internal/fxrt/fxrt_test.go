@@ -1,0 +1,329 @@
+package fxrt
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGroupParallelForCoversRange(t *testing.T) {
+	g, err := NewGroup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	var hits [100]int32
+	err = g.ParallelFor(100, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestGroupParallelForEmptyAndSmall(t *testing.T) {
+	g, err := NewGroup(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.ParallelFor(0, func(lo, hi int) error { return nil }); err != nil {
+		t.Error(err)
+	}
+	// total < workers: each index once.
+	var n int32
+	if err := g.ParallelFor(3, func(lo, hi int) error {
+		atomic.AddInt32(&n, int32(hi-lo))
+		return nil
+	}); err != nil {
+		t.Error(err)
+	}
+	if n != 3 {
+		t.Errorf("visited %d of 3", n)
+	}
+}
+
+func TestGroupParallelForError(t *testing.T) {
+	g, err := NewGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	wantErr := fmt.Errorf("boom")
+	err = g.ParallelFor(10, func(lo, hi int) error {
+		if lo == 0 {
+			return wantErr
+		}
+		return nil
+	})
+	if err == nil {
+		t.Error("error swallowed")
+	}
+}
+
+func TestNewGroupInvalid(t *testing.T) {
+	if _, err := NewGroup(0); err == nil {
+		t.Error("zero workers accepted")
+	}
+}
+
+func TestGroupCloseIdempotent(t *testing.T) {
+	g, err := NewGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	g.Close()
+}
+
+func TestPipelinePreservesOrderAndProcessesAll(t *testing.T) {
+	var processed int32
+	p := &Pipeline{Stages: []Stage{
+		{Name: "double", Workers: 2, Replicas: 3, Run: func(ctx *StageCtx, in DataSet) (DataSet, error) {
+			atomic.AddInt32(&processed, 1)
+			return in.(int) * 2, nil
+		}},
+		{Name: "inc", Workers: 1, Replicas: 2, Run: func(ctx *StageCtx, in DataSet) (DataSet, error) {
+			return in.(int) + 1, nil
+		}},
+	}}
+	n := 50
+	stats, err := p.Run(func(i int) DataSet { return i }, n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DataSets != n || int(processed) != n {
+		t.Errorf("processed %d data sets, want %d", processed, n)
+	}
+	if stats.Throughput <= 0 {
+		t.Errorf("throughput %g", stats.Throughput)
+	}
+}
+
+func TestPipelineComputesCorrectValues(t *testing.T) {
+	// Route results to a results slice via the final stage and check every
+	// data set was transformed exactly once despite replication.
+	results := make([]int64, 64)
+	p := &Pipeline{Stages: []Stage{
+		{Name: "square", Workers: 1, Replicas: 4, Run: func(ctx *StageCtx, in DataSet) (DataSet, error) {
+			v := in.(int)
+			return [2]int{v, v * v}, nil
+		}},
+		{Name: "store", Workers: 1, Replicas: 2, Run: func(ctx *StageCtx, in DataSet) (DataSet, error) {
+			kv := in.([2]int)
+			atomic.StoreInt64(&results[kv[0]], int64(kv[1]))
+			return in, nil
+		}},
+	}}
+	if _, err := p.Run(func(i int) DataSet { return i }, 64, 8); err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if results[i] != int64(i*i) {
+			t.Fatalf("results[%d] = %d, want %d", i, results[i], i*i)
+		}
+	}
+}
+
+func TestPipelineReplicationImprovesThroughput(t *testing.T) {
+	work := func(ctx *StageCtx, in DataSet) (DataSet, error) {
+		time.Sleep(2 * time.Millisecond)
+		return in, nil
+	}
+	run := func(reps int) float64 {
+		p := &Pipeline{Stages: []Stage{{Name: "w", Workers: 1, Replicas: reps, Run: work}}}
+		stats, err := p.Run(func(i int) DataSet { return i }, 60, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Throughput
+	}
+	t1 := run(1)
+	t4 := run(4)
+	if t4 < 2*t1 {
+		t.Errorf("4 replicas gave %.1f/s vs %.1f/s for 1; expected ~4x", t4, t1)
+	}
+}
+
+func TestPipelineErrorPropagates(t *testing.T) {
+	p := &Pipeline{Stages: []Stage{
+		{Name: "ok", Workers: 1, Replicas: 2, Run: func(ctx *StageCtx, in DataSet) (DataSet, error) {
+			return in, nil
+		}},
+		{Name: "bad", Workers: 1, Replicas: 1, Run: func(ctx *StageCtx, in DataSet) (DataSet, error) {
+			if in.(int) == 7 {
+				return nil, fmt.Errorf("poison")
+			}
+			return in, nil
+		}},
+	}}
+	if _, err := p.Run(func(i int) DataSet { return i }, 20, 2); err == nil {
+		t.Error("stage error swallowed")
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	if _, err := (&Pipeline{}).Run(func(i int) DataSet { return i }, 10, 1); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+	p := &Pipeline{Stages: []Stage{{Name: "x", Workers: 0, Replicas: 1,
+		Run: func(ctx *StageCtx, in DataSet) (DataSet, error) { return in, nil }}}}
+	if _, err := p.Run(func(i int) DataSet { return i }, 10, 1); err == nil {
+		t.Error("zero workers accepted")
+	}
+	p2 := &Pipeline{Stages: []Stage{{Name: "x", Workers: 1, Replicas: 1}}}
+	if _, err := p2.Run(func(i int) DataSet { return i }, 10, 1); err == nil {
+		t.Error("nil Run accepted")
+	}
+	p3 := &Pipeline{Stages: []Stage{{Name: "x", Workers: 1, Replicas: 1,
+		Run: func(ctx *StageCtx, in DataSet) (DataSet, error) { return in, nil }}}}
+	if _, err := p3.Run(func(i int) DataSet { return i }, 0, 0); err == nil {
+		t.Error("zero data sets accepted")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	r.Observe("op", 1.0)
+	r.Observe("op", 3.0)
+	if err := r.Time("timed", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	means := r.Means()
+	if means["op"] != 2.0 {
+		t.Errorf("mean = %g, want 2", means["op"])
+	}
+	if _, ok := means["timed"]; !ok {
+		t.Error("timed op not recorded")
+	}
+}
+
+func TestPipelineOpsRecorded(t *testing.T) {
+	p := &Pipeline{Stages: []Stage{
+		{Name: "s", Workers: 2, Replicas: 1, Run: func(ctx *StageCtx, in DataSet) (DataSet, error) {
+			err := ctx.Rec.Time("exec:s", func() error {
+				return ctx.Group.ParallelFor(8, func(lo, hi int) error { return nil })
+			})
+			return in, err
+		}},
+	}}
+	stats, err := p.Run(func(i int) DataSet { return i }, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stats.Ops["exec:s"]; !ok {
+		t.Errorf("ops missing exec:s: %v", stats.Ops)
+	}
+}
+
+func TestBlockRangeCoversExactly(t *testing.T) {
+	for _, tc := range []struct{ total, parts int }{
+		{10, 3}, {7, 7}, {3, 8}, {100, 1}, {0, 4}, {64, 10},
+	} {
+		covered := 0
+		prevHi := 0
+		for p := 0; p < tc.parts; p++ {
+			lo, hi := BlockRange(tc.total, tc.parts, p)
+			if lo != prevHi {
+				t.Errorf("total=%d parts=%d part=%d: lo %d != prev hi %d",
+					tc.total, tc.parts, p, lo, prevHi)
+			}
+			if hi < lo {
+				t.Errorf("negative block at part %d", p)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != tc.total {
+			t.Errorf("total=%d parts=%d: covered %d", tc.total, tc.parts, covered)
+		}
+		if prevHi != tc.total {
+			t.Errorf("total=%d parts=%d: last hi %d", tc.total, tc.parts, prevHi)
+		}
+	}
+}
+
+func TestBlockRangeBalance(t *testing.T) {
+	// Blocks differ by at most one item.
+	min, max := 1<<30, 0
+	for p := 0; p < 7; p++ {
+		lo, hi := BlockRange(23, 7, p)
+		if n := hi - lo; n < min {
+			min = n
+		} else if n > max {
+			max = n
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("block sizes differ by %d", max-min)
+	}
+}
+
+func TestBlockRangeInvalid(t *testing.T) {
+	if lo, hi := BlockRange(10, 0, 0); lo != 0 || hi != 0 {
+		t.Error("zero parts should yield empty range")
+	}
+	if lo, hi := BlockRange(10, 3, 5); lo != 0 || hi != 0 {
+		t.Error("out-of-range part should yield empty range")
+	}
+}
+
+func TestParallelReduceSums(t *testing.T) {
+	g, err := NewGroup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	// Sum of squares over 16 parts.
+	got, err := ParallelReduce(g, 16,
+		func(part int) (int, error) { return part * part, nil },
+		func(a, b int) (int, error) { return a + b, nil },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < 16; i++ {
+		want += i * i
+	}
+	if got != want {
+		t.Errorf("reduce = %d, want %d", got, want)
+	}
+}
+
+func TestParallelReduceErrors(t *testing.T) {
+	g, err := NewGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if _, err := ParallelReduce(g, 0,
+		func(int) (int, error) { return 0, nil },
+		func(a, b int) (int, error) { return a + b, nil }); err == nil {
+		t.Error("zero parts accepted")
+	}
+	if _, err := ParallelReduce(g, 4,
+		func(p int) (int, error) {
+			if p == 2 {
+				return 0, fmt.Errorf("boom")
+			}
+			return p, nil
+		},
+		func(a, b int) (int, error) { return a + b, nil }); err == nil {
+		t.Error("produce error swallowed")
+	}
+	if _, err := ParallelReduce(g, 4,
+		func(p int) (int, error) { return p, nil },
+		func(a, b int) (int, error) { return 0, fmt.Errorf("merge fail") }); err == nil {
+		t.Error("combine error swallowed")
+	}
+}

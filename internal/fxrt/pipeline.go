@@ -1,0 +1,248 @@
+package fxrt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DataSet is one unit of streaming data flowing through a pipeline.
+type DataSet interface{}
+
+// StageCtx is passed to a stage's work function.
+type StageCtx struct {
+	// Group is the instance's worker pool.
+	Group *Group
+	// Instance is the replica index of this stage instance.
+	Instance int
+	// Rec accumulates named operation timings for profiling.
+	Rec *Recorder
+}
+
+// Stage is one module of a pipeline: a work function running on Workers
+// workers, replicated Replicas times (instances process alternate data
+// sets round-robin, per the paper's replication model).
+type Stage struct {
+	Name     string
+	Workers  int
+	Replicas int
+	// Run processes one data set and returns the data set for the next
+	// stage. It must be safe for concurrent invocation across instances
+	// (each instance has its own Group; shared inputs must be treated as
+	// read-only).
+	Run func(ctx *StageCtx, in DataSet) (DataSet, error)
+}
+
+// Stats reports a pipeline execution.
+type Stats struct {
+	// DataSets is the number of data sets processed.
+	DataSets int
+	// Elapsed is the wall-clock duration from first input to last output.
+	Elapsed time.Duration
+	// Throughput is data sets per second over the post-warmup window.
+	Throughput float64
+	// Latency is the mean data set traversal time.
+	Latency time.Duration
+	// Ops maps operation names (as recorded by stages) to mean durations
+	// in seconds.
+	Ops map[string]float64
+}
+
+// Recorder accumulates named operation durations across stage instances.
+type Recorder struct {
+	mu  sync.Mutex
+	sum map[string]float64
+	n   map[string]int
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{sum: map[string]float64{}, n: map[string]int{}}
+}
+
+// Observe adds one sample of the named operation.
+func (r *Recorder) Observe(name string, seconds float64) {
+	r.mu.Lock()
+	r.sum[name] += seconds
+	r.n[name]++
+	r.mu.Unlock()
+}
+
+// Time runs f and records its duration under name.
+func (r *Recorder) Time(name string, f func() error) error {
+	start := time.Now()
+	err := f()
+	r.Observe(name, time.Since(start).Seconds())
+	return err
+}
+
+// Means returns the mean duration of every recorded operation.
+func (r *Recorder) Means() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.sum))
+	for k, s := range r.sum {
+		out[k] = s / float64(r.n[k])
+	}
+	return out
+}
+
+// Pipeline is a chain of stages executing a stream of data sets.
+type Pipeline struct {
+	Stages []Stage
+}
+
+// envelope carries a data set with its stream index.
+type envelope struct {
+	idx int
+	ds  DataSet
+	t0  time.Time
+}
+
+// Run streams n data sets produced by source through the pipeline and
+// returns execution statistics. warmup data sets are excluded from the
+// throughput window (pass 0 for n/5).
+func (p *Pipeline) Run(source func(i int) DataSet, n, warmup int) (Stats, error) {
+	if len(p.Stages) == 0 {
+		return Stats{}, fmt.Errorf("fxrt: pipeline has no stages")
+	}
+	if n <= 0 {
+		return Stats{}, fmt.Errorf("fxrt: need at least one data set")
+	}
+	if warmup <= 0 {
+		warmup = n / 5
+	}
+	if warmup >= n {
+		warmup = n - 1
+	}
+	for i, s := range p.Stages {
+		if s.Workers < 1 || s.Replicas < 1 {
+			return Stats{}, fmt.Errorf("fxrt: stage %d (%s) has workers=%d replicas=%d",
+				i, s.Name, s.Workers, s.Replicas)
+		}
+		if s.Run == nil {
+			return Stats{}, fmt.Errorf("fxrt: stage %d (%s) has no Run", i, s.Name)
+		}
+	}
+
+	rec := NewRecorder()
+	l := len(p.Stages)
+	// Rendezvous channels: ch[i][a][b] carries data sets from instance a
+	// of stage i-1 to instance b of stage i. ch[0][0][b] is the source
+	// feed. Unbuffered channels model the blocking transfer of the
+	// execution model.
+	ch := make([][][]chan envelope, l+1)
+	srcReps := 1
+	for i := 0; i <= l; i++ {
+		var from, to int
+		switch i {
+		case 0:
+			from, to = srcReps, p.Stages[0].Replicas
+		case l:
+			from, to = p.Stages[l-1].Replicas, 1
+		default:
+			from, to = p.Stages[i-1].Replicas, p.Stages[i].Replicas
+		}
+		ch[i] = make([][]chan envelope, from)
+		for a := 0; a < from; a++ {
+			ch[i][a] = make([]chan envelope, to)
+			for b := 0; b < to; b++ {
+				ch[i][a][b] = make(chan envelope)
+			}
+		}
+	}
+
+	var (
+		errOnce sync.Once
+		runErr  error
+		failed  atomic.Bool
+	)
+	setErr := func(err error) {
+		if err != nil {
+			failed.Store(true)
+			errOnce.Do(func() { runErr = err })
+		}
+	}
+
+	var wg sync.WaitGroup
+	// Stage instances.
+	for i := 0; i < l; i++ {
+		st := p.Stages[i]
+		for b := 0; b < st.Replicas; b++ {
+			wg.Add(1)
+			go func(i, b int, st Stage) {
+				defer wg.Done()
+				g, err := NewGroup(st.Workers)
+				if err != nil {
+					setErr(err)
+					// Must still drain the schedule to unblock peers.
+					g = nil
+				}
+				if g != nil {
+					defer g.Close()
+				}
+				ctx := &StageCtx{Group: g, Instance: b, Rec: rec}
+				prevReps := srcReps
+				if i > 0 {
+					prevReps = p.Stages[i-1].Replicas
+				}
+				nextReps := 1
+				if i < l-1 {
+					nextReps = p.Stages[i+1].Replicas
+				}
+				for idx := b; idx < n; idx += st.Replicas {
+					env := <-ch[i][idx%prevReps][b]
+					if g != nil && !failed.Load() {
+						out, err := st.Run(ctx, env.ds)
+						if err != nil {
+							setErr(fmt.Errorf("fxrt: stage %s instance %d data set %d: %w",
+								st.Name, b, idx, err))
+						} else {
+							env.ds = out
+						}
+					}
+					ch[i+1][b][idx%nextReps] <- env
+				}
+			}(i, b, st)
+		}
+	}
+
+	// Source.
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r0 := p.Stages[0].Replicas
+		for idx := 0; idx < n; idx++ {
+			ch[0][0][idx%r0] <- envelope{idx: idx, ds: source(idx), t0: time.Now()}
+		}
+	}()
+
+	// Sink: consume outputs in stream order from the last stage.
+	lastReps := p.Stages[l-1].Replicas
+	outTimes := make([]time.Time, n)
+	var latSum time.Duration
+	for idx := 0; idx < n; idx++ {
+		env := <-ch[l][idx%lastReps][0]
+		now := time.Now()
+		outTimes[env.idx] = now
+		latSum += now.Sub(env.t0)
+	}
+	wg.Wait()
+	if runErr != nil {
+		return Stats{}, runErr
+	}
+
+	stats := Stats{
+		DataSets: n,
+		Elapsed:  outTimes[n-1].Sub(start),
+		Latency:  latSum / time.Duration(n),
+		Ops:      rec.Means(),
+	}
+	window := outTimes[n-1].Sub(outTimes[warmup])
+	if window > 0 {
+		stats.Throughput = float64(n-1-warmup) / window.Seconds()
+	}
+	return stats, nil
+}

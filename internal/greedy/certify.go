@@ -1,0 +1,57 @@
+package greedy
+
+import (
+	"fmt"
+
+	"pipemap/internal/model"
+)
+
+// Certificate explains how much trust the greedy result deserves on a
+// given chain, based on the paper's Theorems 1 and 2.
+type Certificate struct {
+	// Analysis holds the raw condition checks.
+	Analysis model.Analysis
+	// Optimal is true when at least one theorem's hypotheses hold, so a
+	// suitable greedy configuration is provably optimal.
+	Optimal bool
+	// Recommended is the options configuration the certificate vouches
+	// for (slowest-only under Theorem 1; neighbour greedy with
+	// backtracking under Theorem 2; the default otherwise).
+	Recommended Options
+	// Reason is a human-readable justification.
+	Reason string
+}
+
+// Certify analyzes the chain's cost functions over 1..P and reports which
+// greedy configuration, if any, is provably optimal for it.
+func Certify(c *model.Chain, pl model.Platform) Certificate {
+	a := model.Analyze(c, pl.Procs)
+	switch {
+	case a.Theorem1Applies():
+		return Certificate{
+			Analysis:    a,
+			Optimal:     true,
+			Recommended: Options{Variant: SlowestOnly},
+			Reason: "communication time increases monotonically with processor counts; " +
+				"by Theorem 1 the slowest-only greedy is optimal",
+		}
+	case a.Theorem2Applies():
+		return Certificate{
+			Analysis:    a,
+			Optimal:     true,
+			Recommended: Options{Backtrack: 2},
+			Reason: "cost functions are convex and computation dominates communication; " +
+				"by Theorem 2 greedy over-allocates at most 2 processors and bounded " +
+				"backtracking recovers the optimum",
+		}
+	default:
+		return Certificate{
+			Analysis:    a,
+			Optimal:     false,
+			Recommended: Options{Backtrack: 2},
+			Reason: fmt.Sprintf("no optimality theorem applies (monotoneComm=%v, convex=%v/%v, "+
+				"dominance=%v); greedy is heuristic — cross-check with the DP when affordable",
+				a.MonotoneComm, a.ExecConvex, a.CommConvex, a.CompDominatesComm),
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package greedy
+
+import (
+	"strings"
+	"testing"
+
+	"pipemap/internal/dp"
+	"pipemap/internal/model"
+	"pipemap/internal/testutil"
+)
+
+func TestCertifyTheorem1(t *testing.T) {
+	c := &model.Chain{
+		Tasks: []model.Task{
+			{Name: "a", Exec: model.PolyExec{C2: 5}},
+			{Name: "b", Exec: model.PolyExec{C2: 7}},
+		},
+		ICom: []model.CostFunc{model.ZeroExec()},
+		ECom: []model.CommFunc{model.PolyComm{C1: 0.1, C4: 0.02, C5: 0.02}},
+	}
+	pl := model.Platform{Procs: 12}
+	cert := Certify(c, pl)
+	if !cert.Optimal || cert.Recommended.Variant != SlowestOnly {
+		t.Fatalf("Theorem 1 chain not certified: %+v", cert)
+	}
+	if !strings.Contains(cert.Reason, "Theorem 1") {
+		t.Errorf("reason %q does not cite Theorem 1", cert.Reason)
+	}
+	// The certificate must be honest: the recommended configuration
+	// reaches the DP optimum.
+	g, err := Assign(c, pl, model.Singletons(2), cert.Recommended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dp.AssignClustered(c, pl, model.Singletons(2), dp.Options{DisableReplication: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Certify's theorems assume no replication; compare accordingly.
+	g2, err := Assign(c, pl, model.Singletons(2), Options{
+		Variant: cert.Recommended.Variant, DisableReplication: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g
+	if !testutil.AlmostEqual(g2.Throughput(), d.Throughput(), 1e-9) {
+		t.Errorf("certified config %g missed optimum %g", g2.Throughput(), d.Throughput())
+	}
+}
+
+func TestCertifyTheorem2(t *testing.T) {
+	c := &model.Chain{
+		Tasks: []model.Task{
+			{Name: "a", Exec: model.PolyExec{C1: 1, C2: 8, C3: 0.0005}},
+			{Name: "b", Exec: model.PolyExec{C1: 1, C2: 6, C3: 0.0005}},
+		},
+		ICom: []model.CostFunc{model.PolyExec{C2: 0.01}},
+		// Tiny 1/ps term: not monotone, but convex and dominated.
+		ECom: []model.CommFunc{model.PolyComm{C1: 0.001, C2: 0.005, C3: 0.005}},
+	}
+	cert := Certify(c, model.Platform{Procs: 16})
+	if cert.Analysis.MonotoneComm {
+		t.Fatalf("chain unexpectedly monotone: %+v", cert.Analysis)
+	}
+	if !cert.Optimal || cert.Recommended.Backtrack == 0 {
+		t.Fatalf("Theorem 2 chain not certified: %+v", cert)
+	}
+	if !strings.Contains(cert.Reason, "Theorem 2") {
+		t.Errorf("reason %q does not cite Theorem 2", cert.Reason)
+	}
+}
+
+func TestCertifyNoTheorem(t *testing.T) {
+	cliff, err := model.NewTableCost(map[int]float64{1: 10, 9: 10, 10: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &model.Chain{
+		Tasks: []model.Task{
+			{Name: "a", Exec: model.PolyExec{C2: 8}},
+			{Name: "b", Exec: cliff},
+		},
+		ICom: []model.CostFunc{model.ZeroExec()},
+		ECom: []model.CommFunc{model.PolyComm{C2: 3, C3: 3}},
+	}
+	cert := Certify(c, model.Platform{Procs: 12})
+	if cert.Optimal {
+		t.Fatalf("pathological chain certified optimal: %+v", cert)
+	}
+	if !strings.Contains(cert.Reason, "heuristic") {
+		t.Errorf("reason %q should warn the result is heuristic", cert.Reason)
+	}
+}

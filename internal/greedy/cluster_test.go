@@ -1,0 +1,144 @@
+package greedy
+
+import (
+	"math/rand"
+	"testing"
+
+	"pipemap/internal/dp"
+	"pipemap/internal/model"
+	"pipemap/internal/testutil"
+)
+
+// mergeFriendlyChain mirrors the FFT-Hist structure: the second edge is
+// free internally (shared distribution) but expensive externally.
+func mergeFriendlyChain() *model.Chain {
+	return &model.Chain{
+		Tasks: []model.Task{
+			{Name: "col", Exec: model.PolyExec{C2: 10}, Replicable: true},
+			{Name: "row", Exec: model.PolyExec{C2: 10}, Replicable: true},
+			{Name: "hist", Exec: model.PolyExec{C2: 5, C3: 0.1}, Replicable: true},
+		},
+		ICom: []model.CostFunc{
+			model.PolyExec{C1: 0.3, C2: 1},
+			model.ZeroExec(),
+		},
+		ECom: []model.CommFunc{
+			model.PolyComm{C1: 0.3, C2: 0.5, C3: 0.5},
+			model.PolyComm{C1: 0.5, C2: 2, C3: 2},
+		},
+	}
+}
+
+func TestClusterMergesSharedDistribution(t *testing.T) {
+	c := mergeFriendlyChain()
+	pl := model.Platform{Procs: 12}
+	spans, err := Cluster(c, pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range spans {
+		if s.Lo <= 1 && s.Hi >= 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("row+hist not clustered: %v", spans)
+	}
+}
+
+func TestMapProducesValidMappings(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cfg := testutil.DefaultRandChainConfig()
+	for trial := 0; trial < 40; trial++ {
+		c, pl := testutil.RandChain(rng, cfg, 5+rng.Intn(10))
+		m, err := Map(c, pl, Options{})
+		if err != nil {
+			continue
+		}
+		if err := m.Validate(pl); err != nil {
+			t.Errorf("trial %d: invalid mapping %v: %v", trial, &m, err)
+		}
+	}
+}
+
+func TestMapNeverBeatsMapChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	cfg := testutil.DefaultRandChainConfig()
+	matches, trials := 0, 0
+	for trial := 0; trial < 25; trial++ {
+		c, pl := testutil.RandChain(rng, cfg, 5+rng.Intn(5))
+		g, err := Map(c, pl, Options{})
+		if err != nil {
+			continue
+		}
+		d, err := dp.MapChain(c, pl, dp.Options{})
+		if err != nil {
+			continue
+		}
+		trials++
+		if g.Throughput() > d.Throughput()+1e-9 {
+			t.Errorf("trial %d: greedy Map %g beats optimal DP %g\n g: %v\n d: %v",
+				trial, g.Throughput(), d.Throughput(), &g, &d)
+		}
+		if testutil.AlmostEqual(g.Throughput(), d.Throughput(), 1e-9) {
+			matches++
+		}
+	}
+	if trials == 0 {
+		t.Fatal("no feasible trials")
+	}
+	t.Logf("greedy Map matched DP optimum on %d/%d feasible trials", matches, trials)
+}
+
+func TestMapDisableClustering(t *testing.T) {
+	c := mergeFriendlyChain()
+	pl := model.Platform{Procs: 12}
+	m, err := Map(c, pl, Options{DisableClustering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Modules) != 3 {
+		t.Errorf("clustering disabled but got %d modules", len(m.Modules))
+	}
+}
+
+func TestClusterFallbackWhenSingletonsInfeasible(t *testing.T) {
+	// Two tasks, each needing 3 processors alone, on a 5-processor
+	// platform: singletons need 6, but one merged module of 5 fits
+	// (memory 1500+1500=3000 <= 5*1000 means min procs 3).
+	c := &model.Chain{
+		Tasks: []model.Task{
+			{Name: "a", Exec: model.PolyExec{C2: 4}, Mem: model.Memory{Data: 2500}, Replicable: true},
+			{Name: "b", Exec: model.PolyExec{C2: 4}, Mem: model.Memory{Data: 2500}, Replicable: true},
+		},
+		ICom: []model.CostFunc{model.ZeroExec()},
+		ECom: []model.CommFunc{model.ZeroComm()},
+	}
+	pl := model.Platform{Procs: 5, MemPerProc: 1000}
+	m, err := Map(c, pl, Options{})
+	if err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+	if len(m.Modules) != 1 {
+		t.Errorf("expected one merged module, got %v", &m)
+	}
+	if err := m.Validate(pl); err != nil {
+		t.Errorf("fallback mapping invalid: %v", err)
+	}
+}
+
+func TestClusterFallbackNoFit(t *testing.T) {
+	c := &model.Chain{
+		Tasks: []model.Task{
+			{Name: "a", Exec: model.PolyExec{C2: 4}, Mem: model.Memory{Data: 9500}},
+			{Name: "b", Exec: model.PolyExec{C2: 4}, Mem: model.Memory{Data: 9500}},
+		},
+		ICom: []model.CostFunc{model.ZeroExec()},
+		ECom: []model.CommFunc{model.ZeroComm()},
+	}
+	pl := model.Platform{Procs: 5, MemPerProc: 1000}
+	if _, err := Map(c, pl, Options{}); err == nil {
+		t.Error("unfittable chain accepted")
+	}
+}

@@ -1,0 +1,286 @@
+package greedy
+
+import (
+	"math/rand"
+	"testing"
+
+	"pipemap/internal/dp"
+	"pipemap/internal/model"
+	"pipemap/internal/testutil"
+)
+
+func TestAssignNeverBeatsDP(t *testing.T) {
+	// The DP is provably optimal, so greedy must never exceed it; on
+	// well-behaved chains it should usually match it.
+	rng := rand.New(rand.NewSource(11))
+	cfg := testutil.DefaultRandChainConfig()
+	matches := 0
+	trials := 0
+	for trial := 0; trial < 50; trial++ {
+		c, pl := testutil.RandChain(rng, cfg, 6+rng.Intn(10))
+		spans := model.Singletons(c.Len())
+		g, err := Assign(c, pl, spans, Options{})
+		if err != nil {
+			continue
+		}
+		d, err := dp.AssignClustered(c, pl, spans, dp.Options{})
+		if err != nil {
+			continue
+		}
+		trials++
+		if g.Throughput() > d.Throughput()+1e-9 {
+			t.Errorf("trial %d: greedy %g beats DP %g\n g: %v\n d: %v",
+				trial, g.Throughput(), d.Throughput(), &g, &d)
+		}
+		if testutil.AlmostEqual(g.Throughput(), d.Throughput(), 1e-9) {
+			matches++
+		}
+		if err := g.Validate(pl); err != nil {
+			t.Errorf("trial %d: greedy mapping invalid: %v", trial, err)
+		}
+	}
+	if trials == 0 {
+		t.Fatal("no feasible trials")
+	}
+	// The paper's observation: the heuristic is usually optimal. Require a
+	// solid majority on random well-behaved chains.
+	if matches*2 < trials {
+		t.Errorf("greedy matched DP on only %d/%d trials", matches, trials)
+	}
+	t.Logf("greedy matched DP optimum on %d/%d feasible trials", matches, trials)
+}
+
+func TestAssignOptimalWithoutCommunication(t *testing.T) {
+	// With zero communication cost the greedy algorithm is provably
+	// optimal (section 3.1 notes the O(Pk) slowest-task argument).
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + rng.Intn(3)
+		c := &model.Chain{
+			Tasks: make([]model.Task, k),
+			ICom:  make([]model.CostFunc, k-1),
+			ECom:  make([]model.CommFunc, k-1),
+		}
+		for i := 0; i < k; i++ {
+			c.Tasks[i] = model.Task{
+				Name: string(rune('a' + i)),
+				Exec: model.PolyExec{C2: 1 + rng.Float64()*10},
+			}
+		}
+		for i := 0; i < k-1; i++ {
+			c.ICom[i] = model.ZeroExec()
+			c.ECom[i] = model.ZeroComm()
+		}
+		pl := model.Platform{Procs: 4 + rng.Intn(10)}
+		spans := model.Singletons(k)
+		g, err := Assign(c, pl, spans, Options{DisableReplication: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := dp.AssignClustered(c, pl, spans, dp.Options{DisableReplication: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !testutil.AlmostEqual(g.Throughput(), d.Throughput(), 1e-9) {
+			t.Errorf("trial %d: greedy %g != optimal %g without comm", trial,
+				g.Throughput(), d.Throughput())
+		}
+	}
+}
+
+func TestSlowestOnlyOptimalUnderMonotoneComm(t *testing.T) {
+	// Theorem 1: with communication time monotonically increasing in the
+	// processor counts, adding to the slowest task is optimal.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + rng.Intn(3)
+		c := &model.Chain{
+			Tasks: make([]model.Task, k),
+			ICom:  make([]model.CostFunc, k-1),
+			ECom:  make([]model.CommFunc, k-1),
+		}
+		for i := 0; i < k; i++ {
+			c.Tasks[i] = model.Task{
+				Name: string(rune('a' + i)),
+				Exec: model.PolyExec{C2: 1 + rng.Float64()*10},
+			}
+		}
+		for i := 0; i < k-1; i++ {
+			c.ICom[i] = model.ZeroExec()
+			// Monotone increasing: only fixed and per-processor terms.
+			c.ECom[i] = model.PolyComm{
+				C1: rng.Float64() * 0.1,
+				C4: rng.Float64() * 0.05,
+				C5: rng.Float64() * 0.05,
+			}
+		}
+		pl := model.Platform{Procs: 4 + rng.Intn(10)}
+		spans := model.Singletons(k)
+		g, err := Assign(c, pl, spans, Options{Variant: SlowestOnly, DisableReplication: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := dp.AssignClustered(c, pl, spans, dp.Options{DisableReplication: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !testutil.AlmostEqual(g.Throughput(), d.Throughput(), 1e-9) {
+			t.Errorf("trial %d: slowest-only %g != optimal %g under monotone comm\n g: %v\n d: %v",
+				trial, g.Throughput(), d.Throughput(), &g, &d)
+		}
+	}
+}
+
+// pathologicalChain reproduces the paper's section 4 example: a task whose
+// cost function has a cliff (no benefit from 2..9 processors, then a big
+// drop at 10). Crossing the cliff requires a run of non-improving steps
+// while the edge cost — which grows with the receiver's processor count —
+// inflates the neighbour's response; the neighbour-greedy rule diverts
+// processors away and never reaches the optimum.
+func pathologicalChain(t *testing.T) *model.Chain {
+	t.Helper()
+	points := map[int]float64{1: 10}
+	for p := 2; p <= 9; p++ {
+		points[p] = 10
+	}
+	for p := 10; p <= 16; p++ {
+		points[p] = 1
+	}
+	cliff, err := model.NewTableCost(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &model.Chain{
+		Tasks: []model.Task{
+			{Name: "smooth", Exec: model.PolyExec{C2: 8}},
+			{Name: "cliff", Exec: cliff},
+		},
+		ICom: []model.CostFunc{model.ZeroExec()},
+		ECom: []model.CommFunc{model.PolyComm{C5: 0.3}},
+	}
+}
+
+func TestGreedyPathologyAndDPRescue(t *testing.T) {
+	c := pathologicalChain(t)
+	pl := model.Platform{Procs: 12}
+	spans := model.Singletons(2)
+	g, err := Assign(c, pl, spans, Options{DisableReplication: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dp.AssignClustered(c, pl, spans, dp.Options{DisableReplication: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DP must find the cliff configuration: cliff task at 10 processors.
+	if d.Modules[1].Procs < 10 {
+		t.Errorf("DP missed the cliff: %v", &d)
+	}
+	if g.Throughput() > d.Throughput()+1e-9 {
+		t.Errorf("greedy %g beats DP %g", g.Throughput(), d.Throughput())
+	}
+	// The plain greedy gets stuck below the cliff while DP crosses it.
+	if g.Modules[1].Procs >= 10 {
+		t.Errorf("greedy unexpectedly crossed the cliff: %v", &g)
+	}
+	if g.Throughput() >= d.Throughput()-1e-9 {
+		t.Errorf("pathology did not separate greedy %g from DP %g", g.Throughput(), d.Throughput())
+	}
+	// Theorem 1's slowest-only variant is not distracted by the neighbour
+	// moves and does cross the cliff here.
+	so, err := Assign(c, pl, spans, Options{Variant: SlowestOnly, DisableReplication: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if so.Throughput() < d.Throughput()-1e-9 {
+		t.Errorf("slowest-only %g missed the DP optimum %g", so.Throughput(), d.Throughput())
+	}
+}
+
+func TestBacktrackImproves(t *testing.T) {
+	// Backtracking may recover part of the pathology; at minimum it must
+	// never hurt.
+	c := pathologicalChain(t)
+	pl := model.Platform{Procs: 12}
+	spans := model.Singletons(2)
+	plain, err := Assign(c, pl, spans, Options{DisableReplication: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := Assign(c, pl, spans, Options{DisableReplication: true, Backtrack: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Throughput() < plain.Throughput()-1e-9 {
+		t.Errorf("backtracking hurt: %g < %g", bt.Throughput(), plain.Throughput())
+	}
+}
+
+func TestAssignErrors(t *testing.T) {
+	c := pathologicalChain(t)
+	if _, err := Assign(c, model.Platform{Procs: 0}, model.Singletons(2), Options{}); err == nil {
+		t.Error("zero processors accepted")
+	}
+	if _, err := Assign(c, model.Platform{Procs: 8}, []model.Span{{Lo: 0, Hi: 1}}, Options{}); err == nil {
+		t.Error("invalid clustering accepted")
+	}
+	heavy := &model.Chain{
+		Tasks: []model.Task{
+			{Name: "x", Exec: model.PolyExec{C2: 1}, Mem: model.Memory{Data: 1e6}},
+		},
+	}
+	if _, err := Assign(heavy, model.Platform{Procs: 4, MemPerProc: 10}, model.Singletons(1), Options{}); err == nil {
+		t.Error("memory-infeasible chain accepted")
+	}
+	bad := &model.Chain{}
+	if _, err := Assign(bad, model.Platform{Procs: 4}, nil, Options{}); err == nil {
+		t.Error("invalid chain accepted")
+	}
+}
+
+func TestAssignTracksBestEverSeen(t *testing.T) {
+	// With strong per-processor overheads the best assignment appears
+	// before all processors are consumed; greedy must report that one, not
+	// the final saturated state.
+	c := &model.Chain{
+		Tasks: []model.Task{
+			{Name: "a", Exec: model.PolyExec{C2: 2, C3: 0.5}},
+			{Name: "b", Exec: model.PolyExec{C2: 2, C3: 0.5}},
+		},
+		ICom: []model.CostFunc{model.ZeroExec()},
+		ECom: []model.CommFunc{model.ZeroComm()},
+	}
+	pl := model.Platform{Procs: 20}
+	m, err := Assign(c, pl, model.Singletons(2), Options{DisableReplication: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalProcs() == pl.Procs {
+		t.Errorf("greedy returned a saturated assignment despite overheads: %v", &m)
+	}
+	// f(p) = 2/p + 0.5p is minimized at p=2 (f=2.0).
+	if m.Modules[0].Procs != 2 || m.Modules[1].Procs != 2 {
+		t.Errorf("assignment = %v, want 2/2", &m)
+	}
+}
+
+func TestBacktrackRoundsOption(t *testing.T) {
+	c := pathologicalChain(t)
+	pl := model.Platform{Procs: 12}
+	spans := model.Singletons(2)
+	// Explicit round cap must not panic or regress the plain result.
+	capped, err := Assign(c, pl, spans, Options{
+		DisableReplication: true, Backtrack: 2, MaxBacktrackRounds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Assign(c, pl, spans, Options{DisableReplication: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Throughput() < plain.Throughput()-1e-9 {
+		t.Errorf("capped backtracking regressed: %g < %g",
+			capped.Throughput(), plain.Throughput())
+	}
+}

@@ -1,0 +1,117 @@
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func randMatrix(n int, seed int64) Matrix {
+	return randCube(n, n, seed)
+}
+
+func randCube(rows, cols int, seed int64) Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return m
+}
+
+func BenchmarkFFTRows(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := randMatrix(n, 1)
+			b.SetBytes(int64(16 * n * n))
+			for i := 0; i < b.N; i++ {
+				if err := FFTRows(m, 0, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFFTCols(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := randMatrix(n, 2)
+			b.SetBytes(int64(16 * n * n))
+			for i := 0; i < b.N; i++ {
+				if err := FFTCols(m, 0, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			src := randMatrix(n, 3)
+			dst := NewMatrix(n, n)
+			b.SetBytes(int64(16 * n * n))
+			for i := 0; i < b.N; i++ {
+				if err := Transpose(src, dst, 0, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHistogramAccumulate(b *testing.B) {
+	m := randMatrix(256, 4)
+	b.SetBytes(int64(16 * 256 * 256))
+	for i := 0; i < b.N; i++ {
+		h := NewHistogram(64, -6, 6)
+		h.AccumulateMatrix(m, 0, 256)
+	}
+}
+
+func BenchmarkMatchedFilter(b *testing.B) {
+	cube := randCube(16, 512, 7)
+	chirp := make([]complex128, 512)
+	for i := 0; i < 32; i++ {
+		chirp[i] = complex(1, 0)
+	}
+	if err := FFT(chirp); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(16 * 16 * 512))
+	for i := 0; i < b.N; i++ {
+		if err := MatchedFilter(cube, chirp, 0, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCFAR(b *testing.B) {
+	cube := randCube(16, 512, 8)
+	PowerRows(cube, 0, 16)
+	for i := 0; i < b.N; i++ {
+		CFAR(cube, 2, 8, 12, 0, 16)
+	}
+}
+
+func BenchmarkStereoDiffErr(b *testing.B) {
+	const w, h = 256, 100
+	rng := rand.New(rand.NewSource(5))
+	ref, target := NewImage(w, h), NewImage(w, h)
+	for i := range ref.Pix {
+		ref.Pix[i] = rng.Float64()
+		target.Pix[i] = rng.Float64()
+	}
+	diff, out := NewImage(w, h), NewImage(w, h)
+	b.SetBytes(int64(8 * w * h))
+	for i := 0; i < b.N; i++ {
+		if err := DiffImage(ref, target, diff, 3, 0, h); err != nil {
+			b.Fatal(err)
+		}
+		if err := ErrorImage(diff, out, 2, 0, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

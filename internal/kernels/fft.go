@@ -1,0 +1,137 @@
+// Package kernels provides the data parallel computational kernels of the
+// paper's evaluation applications: 2D FFT and statistical analysis
+// (FFT-Hist), matched filtering, Doppler processing and CFAR detection
+// (narrowband tracking radar), and disparity search (multibaseline
+// stereo). All kernels take explicit index ranges so a runtime can
+// partition them across workers.
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. len(x) must be a power of two.
+func FFT(x []complex128) error {
+	return fft(x, false)
+}
+
+// IFFT computes the in-place inverse FFT of x (normalized by 1/n).
+func IFFT(x []complex128) error {
+	if err := fft(x, true); err != nil {
+		return err
+	}
+	inv := 1 / float64(len(x))
+	for i := range x {
+		x[i] *= complex(inv, 0)
+	}
+	return nil
+}
+
+func fft(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("kernels: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wstep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for off := 0; off < half; off++ {
+				a := x[start+off]
+				b := x[start+off+half] * w
+				x[start+off] = a + b
+				x[start+off+half] = a - b
+				w *= wstep
+			}
+		}
+	}
+	return nil
+}
+
+// Matrix is a dense row-major complex matrix, the data set flowing through
+// the FFT-Hist and radar pipelines.
+type Matrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewMatrix allocates a Rows x Cols matrix.
+func NewMatrix(rows, cols int) Matrix {
+	return Matrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// At returns the element at (r, c).
+func (m Matrix) At(r, c int) complex128 { return m.Data[r*m.Cols+c] }
+
+// Set stores v at (r, c).
+func (m Matrix) Set(r, c int, v complex128) { m.Data[r*m.Cols+c] = v }
+
+// Row returns the r-th row as a slice aliasing the matrix.
+func (m Matrix) Row(r int) []complex128 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// FFTRows transforms rows [r0, r1) of the matrix in place. It is the
+// row-parallel unit of work of the paper's rowffts task.
+func FFTRows(m Matrix, r0, r1 int) error {
+	for r := r0; r < r1; r++ {
+		if err := FFT(m.Row(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FFTCols transforms columns [c0, c1) of the matrix in place (the colffts
+// task). Columns are gathered into a scratch buffer, transformed, and
+// scattered back.
+func FFTCols(m Matrix, c0, c1 int) error {
+	buf := make([]complex128, m.Rows)
+	for c := c0; c < c1; c++ {
+		for r := 0; r < m.Rows; r++ {
+			buf[r] = m.Data[r*m.Cols+c]
+		}
+		if err := FFT(buf); err != nil {
+			return err
+		}
+		for r := 0; r < m.Rows; r++ {
+			m.Data[r*m.Cols+c] = buf[r]
+		}
+	}
+	return nil
+}
+
+// Transpose writes the transpose of src into dst for the row band
+// [r0, r1) of dst. dst must be Cols x Rows when src is Rows x Cols. It is
+// the redistribution step between colffts and rowffts.
+func Transpose(src, dst Matrix, r0, r1 int) error {
+	if src.Rows != dst.Cols || src.Cols != dst.Rows {
+		return fmt.Errorf("kernels: transpose shape mismatch %dx%d -> %dx%d",
+			src.Rows, src.Cols, dst.Rows, dst.Cols)
+	}
+	for r := r0; r < r1; r++ {
+		for c := 0; c < dst.Cols; c++ {
+			dst.Data[r*dst.Cols+c] = src.Data[c*src.Cols+r]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package kernels
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTKnownTransform(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("impulse FFT[%d] = %v, want 1", i, v)
+		}
+	}
+	// FFT of a constant is an impulse of size n at bin 0.
+	y := make([]complex128, 8)
+	for i := range y {
+		y[i] = 1
+	}
+	if err := FFT(y); err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(y[0]-8) > 1e-12 {
+		t.Errorf("constant FFT[0] = %v, want 8", y[0])
+	}
+	for i := 1; i < 8; i++ {
+		if cmplx.Abs(y[i]) > 1e-12 {
+			t.Errorf("constant FFT[%d] = %v, want 0", i, y[i])
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A complex exponential at bin 3 concentrates all energy there.
+	n := 64
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*3*float64(i)/float64(n)))
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		want := 0.0
+		if i == 3 {
+			want = float64(n)
+		}
+		if math.Abs(cmplx.Abs(v)-want) > 1e-9 {
+			t.Errorf("tone FFT[%d] magnitude %g, want %g", i, cmplx.Abs(v), want)
+		}
+	}
+}
+
+func TestFFTRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	prop := func(seed int64, szExp uint8) bool {
+		n := 1 << (szExp%9 + 1) // 2..512
+		r := rand.New(rand.NewSource(seed))
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			orig[i] = x[i]
+		}
+		if err := FFT(x); err != nil {
+			return false
+		}
+		if err := IFFT(x); err != nil {
+			return false
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	n := 128
+	rng := rand.New(rand.NewSource(2))
+	x := make([]complex128, n)
+	var timeEnergy float64
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		timeEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	var freqEnergy float64
+	for _, v := range x {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqEnergy /= float64(n)
+	if math.Abs(timeEnergy-freqEnergy) > 1e-8*timeEnergy {
+		t.Errorf("Parseval violated: time %g, freq %g", timeEnergy, freqEnergy)
+	}
+}
+
+func TestFFTErrors(t *testing.T) {
+	if err := FFT(make([]complex128, 3)); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	if err := FFT(nil); err != nil {
+		t.Errorf("empty FFT failed: %v", err)
+	}
+}
+
+func TestFFTRowsColsMatchFullTransform(t *testing.T) {
+	// colffts then rowffts equals a full 2D FFT; verify a DC input.
+	n := 16
+	m := NewMatrix(n, n)
+	for i := range m.Data {
+		m.Data[i] = 1
+	}
+	if err := FFTCols(m, 0, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := FFTRows(m, 0, n); err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(m.At(0, 0)-complex(float64(n*n), 0)) > 1e-9 {
+		t.Errorf("2D DC bin = %v, want %d", m.At(0, 0), n*n)
+	}
+	for i := 1; i < n*n; i++ {
+		if cmplx.Abs(m.Data[i]) > 1e-9 {
+			t.Errorf("2D FFT leak at %d: %v", i, m.Data[i])
+			break
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	src := NewMatrix(4, 8)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 8; c++ {
+			src.Set(r, c, complex(float64(r), float64(c)))
+		}
+	}
+	dst := NewMatrix(8, 4)
+	if err := Transpose(src, dst, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 4; c++ {
+			if dst.At(r, c) != src.At(c, r) {
+				t.Fatalf("transpose mismatch at (%d,%d)", r, c)
+			}
+		}
+	}
+	if err := Transpose(src, NewMatrix(3, 3), 0, 3); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := NewMatrix(8, 16)
+	for i := range src.Data {
+		src.Data[i] = complex(rng.Float64(), rng.Float64())
+	}
+	mid := NewMatrix(16, 8)
+	back := NewMatrix(8, 16)
+	if err := Transpose(src, mid, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := Transpose(mid, back, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src.Data {
+		if src.Data[i] != back.Data[i] {
+			t.Fatal("double transpose is not identity")
+		}
+	}
+}

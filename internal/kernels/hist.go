@@ -1,0 +1,94 @@
+package kernels
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Histogram accumulates magnitude statistics of a spectrum, the hist task
+// of FFT-Hist: a fixed-bin histogram of log magnitudes plus running
+// moments. Partial histograms from different workers are merged with
+// Merge, which is the task's internal communication.
+type Histogram struct {
+	Bins     []int64
+	Lo, Hi   float64 // bin range in log10 magnitude
+	Count    int64
+	Sum      float64
+	SumSq    float64
+	Min, Max float64
+}
+
+// NewHistogram returns an empty histogram with n bins over [lo, hi].
+func NewHistogram(n int, lo, hi float64) *Histogram {
+	return &Histogram{
+		Bins: make([]int64, n),
+		Lo:   lo, Hi: hi,
+		Min: math.Inf(1), Max: math.Inf(-1),
+	}
+}
+
+// AccumulateMatrix adds the elements of rows [r0, r1) of m.
+func (h *Histogram) AccumulateMatrix(m Matrix, r0, r1 int) {
+	h.Accumulate(m.Data[r0*m.Cols : r1*m.Cols])
+}
+
+// Accumulate adds values to the histogram.
+func (h *Histogram) Accumulate(vals []complex128) {
+	n := len(h.Bins)
+	span := h.Hi - h.Lo
+	for _, v := range vals {
+		mag := cmplx.Abs(v)
+		lm := math.Log10(mag + 1e-300)
+		idx := int(float64(n) * (lm - h.Lo) / span)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= n {
+			idx = n - 1
+		}
+		h.Bins[idx]++
+		h.Count++
+		h.Sum += mag
+		h.SumSq += mag * mag
+		if mag < h.Min {
+			h.Min = mag
+		}
+		if mag > h.Max {
+			h.Max = mag
+		}
+	}
+}
+
+// Merge folds another histogram into h; the other histogram must have the
+// same shape.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.Bins {
+		h.Bins[i] += o.Bins[i]
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	h.SumSq += o.SumSq
+	if o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+}
+
+// Mean returns the mean magnitude.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Variance returns the magnitude variance.
+func (h *Histogram) Variance() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	m := h.Mean()
+	return h.SumSq/float64(h.Count) - m*m
+}

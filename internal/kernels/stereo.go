@@ -1,0 +1,107 @@
+package kernels
+
+import "fmt"
+
+// The multibaseline stereo pipeline (Webb '93, used in the paper's
+// evaluation) computes depth from a reference image and a shifted image:
+//
+//	difference images for each of nDisp disparity levels ->
+//	error images (windowed sums of squared differences) ->
+//	minimum reduction across disparities -> depth image
+//
+// Images are float64 grayscale in row-major layout.
+
+// Image is a dense row-major grayscale image.
+type Image struct {
+	W, H int
+	Pix  []float64
+}
+
+// NewImage allocates a WxH image.
+func NewImage(w, h int) Image {
+	return Image{W: w, H: h, Pix: make([]float64, w*h)}
+}
+
+// At returns the pixel at (x, y).
+func (im Image) At(x, y int) float64 { return im.Pix[y*im.W+x] }
+
+// Set stores v at (x, y).
+func (im Image) Set(x, y int, v float64) { im.Pix[y*im.W+x] = v }
+
+// DiffImage writes squared differences between ref and target shifted
+// left by disparity d into out, for rows [y0, y1). Pixels whose
+// correspondence falls outside the target are charged the squared
+// reference value (maximally mismatched).
+func DiffImage(ref, target, out Image, d, y0, y1 int) error {
+	if ref.W != target.W || ref.H != target.H || ref.W != out.W || ref.H != out.H {
+		return fmt.Errorf("kernels: diff image shape mismatch")
+	}
+	for y := y0; y < y1; y++ {
+		for x := 0; x < ref.W; x++ {
+			rv := ref.At(x, y)
+			var diff float64
+			if x+d < ref.W {
+				diff = rv - target.At(x+d, y)
+			} else {
+				diff = rv
+			}
+			out.Set(x, y, diff*diff)
+		}
+	}
+	return nil
+}
+
+// ErrorImage box-filters the squared differences with a (2*win+1)^2
+// window, writing rows [y0, y1) of out; it is the error image task.
+func ErrorImage(diff, out Image, win, y0, y1 int) error {
+	if diff.W != out.W || diff.H != out.H {
+		return fmt.Errorf("kernels: error image shape mismatch")
+	}
+	for y := y0; y < y1; y++ {
+		for x := 0; x < diff.W; x++ {
+			sum, n := 0.0, 0
+			for dy := -win; dy <= win; dy++ {
+				yy := y + dy
+				if yy < 0 || yy >= diff.H {
+					continue
+				}
+				for dx := -win; dx <= win; dx++ {
+					xx := x + dx
+					if xx < 0 || xx >= diff.W {
+						continue
+					}
+					sum += diff.At(xx, yy)
+					n++
+				}
+			}
+			out.Set(x, y, sum/float64(n))
+		}
+	}
+	return nil
+}
+
+// DepthMin reduces error images across disparities: depth(x,y) is the
+// disparity index with the smallest error, computed for rows [y0, y1).
+// The depth image stores disparity indices as float64.
+func DepthMin(errs []Image, depth Image, y0, y1 int) error {
+	if len(errs) == 0 {
+		return fmt.Errorf("kernels: no error images")
+	}
+	for _, e := range errs {
+		if e.W != depth.W || e.H != depth.H {
+			return fmt.Errorf("kernels: depth shape mismatch")
+		}
+	}
+	for y := y0; y < y1; y++ {
+		for x := 0; x < depth.W; x++ {
+			best, bestD := errs[0].At(x, y), 0
+			for d := 1; d < len(errs); d++ {
+				if v := errs[d].At(x, y); v < best {
+					best, bestD = v, d
+				}
+			}
+			depth.Set(x, y, float64(bestD))
+		}
+	}
+	return nil
+}

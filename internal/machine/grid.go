@@ -1,0 +1,182 @@
+// Package machine models the geometric constraints of the paper's target
+// machines (section 6.1): the Fx compiler maps each module instance to a
+// rectangular subarray of the processor grid, and on iWarp the systolic
+// communication mode limits how many logical pathways may share a physical
+// link. These constraints make some otherwise optimal mappings infeasible;
+// the package provides a packer to test feasibility and a search for the
+// best feasible mapping (the paper's Table 1 "Optimal Feasible Mapping").
+package machine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Grid is a rectangular processor array, e.g. the 8x8 iWarp torus used in
+// the paper's experiments.
+type Grid struct {
+	Rows, Cols int
+}
+
+// Procs returns the total number of processors in the grid.
+func (g Grid) Procs() int { return g.Rows * g.Cols }
+
+// Validate checks the grid dimensions.
+func (g Grid) Validate() error {
+	if g.Rows < 1 || g.Cols < 1 {
+		return fmt.Errorf("machine: invalid grid %dx%d", g.Rows, g.Cols)
+	}
+	return nil
+}
+
+// RectDims returns all (height, width) factorizations of area p that fit
+// in the grid, most-square first. An empty result means p processors
+// cannot form a rectangular subarray (e.g. a prime larger than both
+// dimensions), which alone makes any mapping using p infeasible.
+func (g Grid) RectDims(p int) [][2]int {
+	var dims [][2]int
+	for h := 1; h <= g.Rows && h <= p; h++ {
+		if p%h != 0 {
+			continue
+		}
+		w := p / h
+		if w <= g.Cols {
+			dims = append(dims, [2]int{h, w})
+		}
+	}
+	sort.Slice(dims, func(i, j int) bool {
+		di := abs(dims[i][0] - dims[i][1])
+		dj := abs(dims[j][0] - dims[j][1])
+		if di != dj {
+			return di < dj
+		}
+		return dims[i][0] > dims[j][0]
+	})
+	return dims
+}
+
+// CanFormRect reports whether p processors can form any rectangle in the
+// grid.
+func (g Grid) CanFormRect(p int) bool {
+	return len(g.RectDims(p)) > 0
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Rect is a placed rectangle: top-left corner (Row, Col), H rows by W
+// columns.
+type Rect struct {
+	Row, Col, H, W int
+}
+
+// Center returns the rectangle's center coordinates (row, col), used for
+// pathway routing.
+func (r Rect) Center() (float64, float64) {
+	return float64(r.Row) + float64(r.H-1)/2, float64(r.Col) + float64(r.W-1)/2
+}
+
+// PlacedInstance locates one module instance on the grid.
+type PlacedInstance struct {
+	Module   int
+	Instance int
+	Rect
+}
+
+// Layout is a complete placement of a mapping on a grid.
+type Layout struct {
+	Grid      Grid
+	Instances []PlacedInstance
+}
+
+// String renders the layout as a character map: instance j of module i is
+// drawn with the letter for module i (A, B, ...), lowercase alternating by
+// instance parity so adjacent instances are distinguishable.
+func (l Layout) String() string {
+	rows := make([][]byte, l.Grid.Rows)
+	for r := range rows {
+		rows[r] = make([]byte, l.Grid.Cols)
+		for c := range rows[r] {
+			rows[r][c] = '.'
+		}
+	}
+	for _, pi := range l.Instances {
+		ch := byte('A' + pi.Module%26)
+		if pi.Instance%2 == 1 {
+			ch = byte('a' + pi.Module%26)
+		}
+		for r := pi.Row; r < pi.Row+pi.H; r++ {
+			for c := pi.Col; c < pi.Col+pi.W; c++ {
+				if r >= 0 && r < l.Grid.Rows && c >= 0 && c < l.Grid.Cols {
+					rows[r][c] = ch
+				}
+			}
+		}
+	}
+	out := ""
+	for _, r := range rows {
+		out += string(r) + "\n"
+	}
+	return out
+}
+
+// LayoutStats summarizes the geometric quality of a layout: how far
+// communicating instances sit from each other. The paper reports processor
+// locations to be a second-order effect (section 2.1); these statistics
+// let users of the package check that assumption for their own layouts.
+type LayoutStats struct {
+	// Instances is the number of placed instances.
+	Instances int
+	// CellsUsed is the total area occupied.
+	CellsUsed int
+	// MeanNeighborDist and MaxNeighborDist are Manhattan distances between
+	// the centers of instances of adjacent modules (all communicating
+	// pairs).
+	MeanNeighborDist float64
+	MaxNeighborDist  float64
+}
+
+// Stats computes layout statistics for a mapping placed by Pack.
+func (l Layout) Stats() LayoutStats {
+	st := LayoutStats{Instances: len(l.Instances)}
+	byModule := map[int][]Rect{}
+	maxModule := -1
+	for _, pi := range l.Instances {
+		st.CellsUsed += pi.H * pi.W
+		byModule[pi.Module] = append(byModule[pi.Module], pi.Rect)
+		if pi.Module > maxModule {
+			maxModule = pi.Module
+		}
+	}
+	var sum float64
+	var n int
+	for mod := 0; mod < maxModule; mod++ {
+		for _, a := range byModule[mod] {
+			for _, b := range byModule[mod+1] {
+				ar, ac := a.Center()
+				br, bc := b.Center()
+				d := mabs(ar-br) + mabs(ac-bc)
+				sum += d
+				n++
+				if d > st.MaxNeighborDist {
+					st.MaxNeighborDist = d
+				}
+			}
+		}
+	}
+	if n > 0 {
+		st.MeanNeighborDist = sum / float64(n)
+	}
+	return st
+}
+
+func mabs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,143 @@
+package machine
+
+import (
+	"sort"
+
+	"pipemap/internal/model"
+)
+
+// packNodeCap bounds the backtracking search; if exceeded, Pack reports
+// the mapping as not packable (conservative: a feasible packing may exist).
+const packNodeCap = 500_000
+
+// Pack attempts to place every instance of the mapping onto the grid as
+// pairwise disjoint rectangles. It returns the layout and true on success.
+// The search is exact up to a node budget: it fills the grid cell by cell
+// (first free cell must be covered by some rectangle or declared waste),
+// deduplicating identical instances so replicas do not multiply the search
+// space.
+func Pack(m model.Mapping, g Grid) (Layout, bool) {
+	if g.Validate() != nil {
+		return Layout{}, false
+	}
+	// Expand instances grouped by module (identical rectangles).
+	type group struct {
+		module    int
+		area      int
+		remaining int
+		dims      [][2]int
+	}
+	var groups []*group
+	total := 0
+	for i, mod := range m.Modules {
+		dims := g.RectDims(mod.Procs)
+		if len(dims) == 0 {
+			return Layout{}, false
+		}
+		groups = append(groups, &group{
+			module: i, area: mod.Procs, remaining: mod.Replicas, dims: dims,
+		})
+		total += mod.Procs * mod.Replicas
+	}
+	if total > g.Procs() {
+		return Layout{}, false
+	}
+	waste := g.Procs() - total
+	// Place large areas first: sort groups by area descending for the
+	// candidate order at each cell.
+	sort.Slice(groups, func(i, j int) bool { return groups[i].area > groups[j].area })
+
+	occ := make([]bool, g.Procs())
+	var placed []PlacedInstance
+	nodes := 0
+	var rec func(wasteLeft int) bool
+	rec = func(wasteLeft int) bool {
+		nodes++
+		if nodes > packNodeCap {
+			return false
+		}
+		// Find first free cell.
+		cell := -1
+		for i, o := range occ {
+			if !o {
+				cell = i
+				break
+			}
+		}
+		if cell < 0 {
+			for _, gr := range groups {
+				if gr.remaining > 0 {
+					return false
+				}
+			}
+			return true
+		}
+		row, col := cell/g.Cols, cell%g.Cols
+		allPlaced := true
+		for _, gr := range groups {
+			if gr.remaining == 0 {
+				continue
+			}
+			allPlaced = false
+			for _, d := range gr.dims {
+				h, w := d[0], d[1]
+				if row+h > g.Rows || col+w > g.Cols {
+					continue
+				}
+				if !fits(occ, g, row, col, h, w) {
+					continue
+				}
+				setOcc(occ, g, row, col, h, w, true)
+				gr.remaining--
+				placed = append(placed, PlacedInstance{
+					Module:   gr.module,
+					Instance: m.Modules[gr.module].Replicas - gr.remaining - 1,
+					Rect:     Rect{Row: row, Col: col, H: h, W: w},
+				})
+				if rec(wasteLeft) {
+					return true
+				}
+				placed = placed[:len(placed)-1]
+				gr.remaining++
+				setOcc(occ, g, row, col, h, w, false)
+			}
+		}
+		if allPlaced {
+			return true // only waste cells remain
+		}
+		// Declare this cell wasted.
+		if wasteLeft > 0 {
+			occ[cell] = true
+			if rec(wasteLeft - 1) {
+				return true
+			}
+			occ[cell] = false
+		}
+		return false
+	}
+	if !rec(waste) {
+		return Layout{}, false
+	}
+	return Layout{Grid: g, Instances: placed}, true
+}
+
+func fits(occ []bool, g Grid, row, col, h, w int) bool {
+	for r := row; r < row+h; r++ {
+		base := r * g.Cols
+		for c := col; c < col+w; c++ {
+			if occ[base+c] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func setOcc(occ []bool, g Grid, row, col, h, w int, v bool) {
+	for r := row; r < row+h; r++ {
+		base := r * g.Cols
+		for c := col; c < col+w; c++ {
+			occ[base+c] = v
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package machine
+
+import (
+	"math"
+
+	"pipemap/internal/model"
+)
+
+// DefaultPathwayCapacity is the number of logical pathways that may share
+// one physical link in systolic mode (iWarp supported a small fixed
+// number; the paper reports mappings becoming infeasible when the limit is
+// exceeded).
+const DefaultPathwayCapacity = 4
+
+// PathwayReport summarizes the systolic pathway usage of a layout.
+type PathwayReport struct {
+	// MaxLoad is the largest number of pathways crossing one physical link.
+	MaxLoad int
+	// Pathways is the total number of logical pathways routed.
+	Pathways int
+	// Feasible is MaxLoad <= capacity.
+	Feasible bool
+}
+
+// RoutingOptions configures pathway routing.
+type RoutingOptions struct {
+	// Capacity is the pathways-per-physical-link limit
+	// (DefaultPathwayCapacity if zero).
+	Capacity int
+	// Torus routes each dimension in whichever direction is shorter with
+	// wraparound, as on the iWarp torus; false uses plain mesh routing.
+	Torus bool
+}
+
+// CheckPathways routes a logical pathway between every communicating pair
+// of instances of adjacent modules and verifies that no physical link
+// carries more than capacity pathways, using mesh dimension-order routes.
+// Instance a of module i and instance b of module i+1 communicate iff they
+// ever handle the same data set, i.e. a ≡ b (mod gcd(r_i, r_{i+1})).
+func CheckPathways(m model.Mapping, l Layout, capacity int) PathwayReport {
+	return RoutePathways(m, l, RoutingOptions{Capacity: capacity})
+}
+
+// RoutePathways is CheckPathways with explicit routing options, including
+// torus wraparound.
+func RoutePathways(m model.Mapping, l Layout, opt RoutingOptions) PathwayReport {
+	capacity := opt.Capacity
+	if capacity <= 0 {
+		capacity = DefaultPathwayCapacity
+	}
+	// Index rectangles by (module, instance).
+	rects := map[[2]int]Rect{}
+	for _, pi := range l.Instances {
+		rects[[2]int{pi.Module, pi.Instance}] = pi.Rect
+	}
+	// Load per directed link: key (row, col, dir) with dir 0=right, 1=down.
+	load := map[[3]int]int{}
+	total := 0
+	for i := 0; i+1 < len(m.Modules); i++ {
+		ra, rb := m.Modules[i].Replicas, m.Modules[i+1].Replicas
+		g := gcd(ra, rb)
+		for a := 0; a < ra; a++ {
+			for b := 0; b < rb; b++ {
+				if a%g != b%g {
+					continue
+				}
+				from, okA := rects[[2]int{i, a}]
+				to, okB := rects[[2]int{i + 1, b}]
+				if !okA || !okB {
+					continue
+				}
+				total++
+				if opt.Torus {
+					routeTorus(from, to, l.Grid, load)
+				} else {
+					routeDimensionOrder(from, to, load)
+				}
+			}
+		}
+	}
+	maxLoad := 0
+	for _, v := range load {
+		if v > maxLoad {
+			maxLoad = v
+		}
+	}
+	return PathwayReport{MaxLoad: maxLoad, Pathways: total, Feasible: maxLoad <= capacity}
+}
+
+// routeDimensionOrder walks row-first then column-first from the center of
+// one rectangle to another, incrementing the load of each traversed link.
+func routeDimensionOrder(from, to Rect, load map[[3]int]int) {
+	fr, fc := from.Center()
+	tr, tc := to.Center()
+	r0, c0 := int(math.Round(fr)), int(math.Round(fc))
+	r1, c1 := int(math.Round(tr)), int(math.Round(tc))
+	// Traverse rows at column c0.
+	for r := min(r0, r1); r < max(r0, r1); r++ {
+		load[[3]int{r, c0, 1}]++
+	}
+	// Traverse columns at row r1.
+	for c := min(c0, c1); c < max(c0, c1); c++ {
+		load[[3]int{r1, c, 0}]++
+	}
+}
+
+// routeTorus walks row-first then column-first with wraparound, taking
+// the shorter direction in each dimension (ties go the increasing way).
+func routeTorus(from, to Rect, g Grid, load map[[3]int]int) {
+	fr, fc := from.Center()
+	tr, tc := to.Center()
+	r0, c0 := int(math.Round(fr)), int(math.Round(fc))
+	r1, c1 := int(math.Round(tr)), int(math.Round(tc))
+	stepTorus(r0, r1, g.Rows, func(r int) { load[[3]int{r, c0, 1}]++ })
+	stepTorus(c0, c1, g.Cols, func(c int) { load[[3]int{r1, c, 0}]++ })
+}
+
+// stepTorus visits the links of the shorter circular walk from a to b on
+// a ring of n nodes. visit is called with the link index (the node the
+// link leaves in the increasing direction).
+func stepTorus(a, b, n int, visit func(int)) {
+	if a == b || n <= 1 {
+		return
+	}
+	fwd := ((b-a)%n + n) % n
+	if fwd <= n-fwd {
+		for i := 0; i < fwd; i++ {
+			visit((a + i) % n)
+		}
+		return
+	}
+	for i := 0; i < n-fwd; i++ {
+		visit(((b+i)%n + n) % n)
+	}
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

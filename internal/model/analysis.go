@@ -1,0 +1,138 @@
+package model
+
+// Analysis reports which of the paper's sufficient optimality conditions
+// for the greedy heuristic hold for a chain on up to P processors:
+//
+//   - Theorem 1: if external communication time increases monotonically
+//     with the processor counts involved, the slowest-only greedy variant
+//     is optimal.
+//   - Theorem 2: if all computation and communication functions are convex
+//     (diminishing returns) and the computation decrease from an extra
+//     processor always exceeds four times the communication decrease, the
+//     neighbour greedy over-allocates at most two processors per task and
+//     bounded backtracking recovers the optimum.
+//
+// The checks are numeric sweeps over 1..P, so they certify the conditions
+// on the relevant domain rather than proving them symbolically.
+type Analysis struct {
+	// MonotoneComm is Theorem 1's hypothesis.
+	MonotoneComm bool
+	// ExecConvex and CommConvex are the first condition of Theorem 2.
+	ExecConvex, CommConvex bool
+	// CompDominatesComm is the second condition of Theorem 2
+	// (delta_exec > 4 * delta_comm at every point).
+	CompDominatesComm bool
+}
+
+// Theorem1Applies reports whether the slowest-only greedy is provably
+// optimal for this chain.
+func (a Analysis) Theorem1Applies() bool { return a.MonotoneComm }
+
+// Theorem2Applies reports whether greedy plus bounded backtracking is
+// provably optimal for this chain.
+func (a Analysis) Theorem2Applies() bool {
+	return a.ExecConvex && a.CommConvex && a.CompDominatesComm
+}
+
+// Analyze sweeps the chain's cost functions over 1..P and reports which
+// of the greedy optimality conditions hold.
+func Analyze(c *Chain, P int) Analysis {
+	if P < 3 {
+		P = 3
+	}
+	a := Analysis{
+		MonotoneComm:      true,
+		ExecConvex:        true,
+		CommConvex:        true,
+		CompDominatesComm: true,
+	}
+	const eps = 1e-12
+
+	// Execution convexity: differences f(p+1)-f(p) non-decreasing.
+	for _, t := range c.Tasks {
+		for p := 1; p+2 <= P; p++ {
+			d1 := t.Exec.Eval(p+1) - t.Exec.Eval(p)
+			d2 := t.Exec.Eval(p+2) - t.Exec.Eval(p+1)
+			if d2 < d1-eps {
+				a.ExecConvex = false
+			}
+		}
+	}
+	for e := range c.ECom {
+		for ps := 1; ps <= P; ps++ {
+			for pr := 1; pr <= P; pr++ {
+				v := c.ECom[e].Eval(ps, pr)
+				// Theorem 1 monotonicity: f(ps+x, pr+y) >= f(ps, pr).
+				if ps+1 <= P && c.ECom[e].Eval(ps+1, pr) < v-eps {
+					a.MonotoneComm = false
+				}
+				if pr+1 <= P && c.ECom[e].Eval(ps, pr+1) < v-eps {
+					a.MonotoneComm = false
+				}
+				// Theorem 2 convexity along each axis.
+				if ps+2 <= P {
+					d1 := c.ECom[e].Eval(ps+1, pr) - v
+					d2 := c.ECom[e].Eval(ps+2, pr) - c.ECom[e].Eval(ps+1, pr)
+					if d2 < d1-eps {
+						a.CommConvex = false
+					}
+				}
+				if pr+2 <= P {
+					d1 := c.ECom[e].Eval(ps, pr+1) - v
+					d2 := c.ECom[e].Eval(ps, pr+2) - c.ECom[e].Eval(ps, pr+1)
+					if d2 < d1-eps {
+						a.CommConvex = false
+					}
+				}
+			}
+		}
+		// Internal redistribution convexity.
+		for p := 1; p+2 <= P; p++ {
+			d1 := c.ICom[e].Eval(p+1) - c.ICom[e].Eval(p)
+			d2 := c.ICom[e].Eval(p+2) - c.ICom[e].Eval(p+1)
+			if d2 < d1-eps {
+				a.CommConvex = false
+			}
+		}
+	}
+
+	// Theorem 2's dominance condition: the computation decrease from one
+	// more processor exceeds 4x the communication decrease, for every
+	// task, at every point, against the worst adjacent-edge decrease.
+	for i, t := range c.Tasks {
+		for p := 1; p+1 <= P; p++ {
+			dExec := t.Exec.Eval(p) - t.Exec.Eval(p+1)
+			dComm := 0.0
+			probe := func(f func(int) float64) {
+				if d := f(p) - f(p+1); d > dComm {
+					dComm = d
+				}
+			}
+			if i > 0 {
+				for q := 1; q <= P; q += maxIntStep(P) {
+					q := q
+					probe(func(x int) float64 { return c.ECom[i-1].Eval(q, x) })
+				}
+			}
+			if i < len(c.Tasks)-1 {
+				for q := 1; q <= P; q += maxIntStep(P) {
+					q := q
+					probe(func(x int) float64 { return c.ECom[i].Eval(x, q) })
+				}
+			}
+			if dExec <= 4*dComm {
+				a.CompDominatesComm = false
+			}
+		}
+	}
+	return a
+}
+
+// maxIntStep subsamples the opposite-side processor count in the
+// dominance sweep to keep Analyze at O(P^2) per edge.
+func maxIntStep(P int) int {
+	if P <= 16 {
+		return 1
+	}
+	return P / 16
+}

@@ -1,0 +1,86 @@
+package model
+
+import "testing"
+
+func TestAnalyzeMonotoneComm(t *testing.T) {
+	// Fixed + per-processor comm terms: monotone increasing (Theorem 1).
+	c := &Chain{
+		Tasks: []Task{
+			{Name: "a", Exec: PolyExec{C2: 4}},
+			{Name: "b", Exec: PolyExec{C2: 4}},
+		},
+		ICom: []CostFunc{ZeroExec()},
+		ECom: []CommFunc{PolyComm{C1: 0.1, C4: 0.01, C5: 0.01}},
+	}
+	a := Analyze(c, 16)
+	if !a.MonotoneComm || !a.Theorem1Applies() {
+		t.Errorf("monotone comm not detected: %+v", a)
+	}
+
+	// A 1/ps term breaks monotonicity.
+	c.ECom[0] = PolyComm{C1: 0.1, C2: 1}
+	a = Analyze(c, 16)
+	if a.MonotoneComm {
+		t.Errorf("non-monotone comm reported monotone: %+v", a)
+	}
+}
+
+func TestAnalyzeConvexity(t *testing.T) {
+	// C1 + C2/p + C3*p is convex in p.
+	c := &Chain{
+		Tasks: []Task{
+			{Name: "a", Exec: PolyExec{C1: 1, C2: 8, C3: 0.001}},
+			{Name: "b", Exec: PolyExec{C1: 1, C2: 8, C3: 0.001}},
+		},
+		ICom: []CostFunc{PolyExec{C2: 1}},
+		ECom: []CommFunc{PolyComm{C1: 0.001, C2: 0.01, C3: 0.01}},
+	}
+	a := Analyze(c, 16)
+	if !a.ExecConvex {
+		t.Errorf("polynomial exec not reported convex: %+v", a)
+	}
+	if !a.CommConvex {
+		t.Errorf("polynomial comm not reported convex: %+v", a)
+	}
+	// With tiny comm coefficients, computation dominates (Theorem 2).
+	if !a.CompDominatesComm || !a.Theorem2Applies() {
+		t.Errorf("dominance not detected: %+v", a)
+	}
+
+	// A cliff cost function is not convex.
+	cliff, err := NewTableCost(map[int]float64{1: 10, 9: 10, 10: 1, 16: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Tasks[1].Exec = cliff
+	a = Analyze(c, 16)
+	if a.ExecConvex {
+		t.Errorf("cliff exec reported convex: %+v", a)
+	}
+	if a.Theorem2Applies() {
+		t.Error("Theorem 2 claimed despite non-convex exec")
+	}
+}
+
+func TestAnalyzeDominanceFailsWithHeavyComm(t *testing.T) {
+	c := &Chain{
+		Tasks: []Task{
+			{Name: "a", Exec: PolyExec{C2: 0.1}},
+			{Name: "b", Exec: PolyExec{C2: 0.1}},
+		},
+		ICom: []CostFunc{ZeroExec()},
+		ECom: []CommFunc{PolyComm{C2: 50, C3: 50}},
+	}
+	a := Analyze(c, 16)
+	if a.CompDominatesComm {
+		t.Errorf("comm-heavy chain reported computation-dominant: %+v", a)
+	}
+}
+
+func TestAnalyzeSmallP(t *testing.T) {
+	c := &Chain{
+		Tasks: []Task{{Name: "a", Exec: PolyExec{C2: 1}}},
+	}
+	// Must not panic with tiny P; clamps internally.
+	_ = Analyze(c, 1)
+}

@@ -1,0 +1,119 @@
+package model
+
+import "fmt"
+
+// Chain is a linear sequence of data parallel tasks t_0 .. t_{k-1} acting
+// on a stream of data sets. Edge i connects task i to task i+1 and carries
+// two cost functions: ICom, the internal redistribution cost when both
+// tasks share a processor set, and ECom, the external transfer cost when
+// they are on disjoint sets.
+type Chain struct {
+	Tasks []Task
+	// ICom[i] is the internal redistribution cost of edge i (task i to task
+	// i+1) when the tasks are clustered in one module; len(ICom) == k-1.
+	ICom []CostFunc
+	// ECom[i] is the external transfer cost of edge i when the tasks are in
+	// different modules; len(ECom) == k-1.
+	ECom []CommFunc
+}
+
+// Len returns the number of tasks in the chain.
+func (c *Chain) Len() int { return len(c.Tasks) }
+
+// Validate checks the chain for structural errors.
+func (c *Chain) Validate() error {
+	if len(c.Tasks) == 0 {
+		return fmt.Errorf("model: chain has no tasks")
+	}
+	k := len(c.Tasks)
+	if len(c.ICom) != k-1 {
+		return fmt.Errorf("model: chain has %d tasks but %d internal comm functions (want %d)",
+			k, len(c.ICom), k-1)
+	}
+	if len(c.ECom) != k-1 {
+		return fmt.Errorf("model: chain has %d tasks but %d external comm functions (want %d)",
+			k, len(c.ECom), k-1)
+	}
+	for i := range c.Tasks {
+		if err := c.Tasks[i].Validate(); err != nil {
+			return fmt.Errorf("task %d: %w", i, err)
+		}
+	}
+	for i := range c.ICom {
+		if c.ICom[i] == nil {
+			return fmt.Errorf("model: chain edge %d has nil ICom", i)
+		}
+		if c.ECom[i] == nil {
+			return fmt.Errorf("model: chain edge %d has nil ECom", i)
+		}
+	}
+	return nil
+}
+
+// ModuleExec returns the composed execution cost of the module holding
+// tasks [lo, hi): the sum of the member tasks' execution costs plus the
+// internal redistribution costs of the edges inside the module.
+func (c *Chain) ModuleExec(lo, hi int) CostFunc {
+	fs := make(SumCost, 0, 2*(hi-lo)-1)
+	for i := lo; i < hi; i++ {
+		fs = append(fs, c.Tasks[i].Exec)
+		if i+1 < hi {
+			fs = append(fs, c.ICom[i])
+		}
+	}
+	return fs
+}
+
+// ModuleMem returns the composed memory requirement of tasks [lo, hi).
+func (c *Chain) ModuleMem(lo, hi int) Memory {
+	var m Memory
+	for i := lo; i < hi; i++ {
+		m = m.Add(c.Tasks[i].Mem)
+	}
+	return m
+}
+
+// ModuleReplicable reports whether the module holding tasks [lo, hi) may be
+// replicated: all member tasks must be replicable.
+func (c *Chain) ModuleReplicable(lo, hi int) bool {
+	for i := lo; i < hi; i++ {
+		if !c.Tasks[i].Replicable {
+			return false
+		}
+	}
+	return true
+}
+
+// ModuleMinProcs returns the minimum number of processors an instance of
+// the module holding tasks [lo, hi) needs, given memCapacity bytes per
+// processor: the larger of the memory-model minimum and the tasks' explicit
+// MinProcs constraints. It returns -1 if no processor count satisfies the
+// memory model (fixed footprint exceeds capacity).
+func (c *Chain) ModuleMinProcs(lo, hi int, memCapacity float64) int {
+	min := 1
+	if memCapacity > 0 {
+		min = c.ModuleMem(lo, hi).MinProcs(memCapacity)
+		if min < 0 {
+			return -1
+		}
+	}
+	for i := lo; i < hi; i++ {
+		if c.Tasks[i].MinProcs > min {
+			min = c.Tasks[i].MinProcs
+		}
+	}
+	return min
+}
+
+// TaskNames returns the names of tasks [lo, hi) joined with "+", used in
+// mapping reports.
+func (c *Chain) TaskNames(lo, hi int) string {
+	s := ""
+	for i := lo; i < hi; i++ {
+		if i > lo {
+			s += "+"
+		}
+		s += c.Tasks[i].Name
+	}
+	return s
+}

@@ -1,0 +1,169 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// testChain returns a 3-task chain with simple polynomial costs, loosely
+// shaped like FFT-Hist: two cheap parallel tasks and one with overhead.
+func testChain() *Chain {
+	return &Chain{
+		Tasks: []Task{
+			{Name: "a", Exec: PolyExec{C2: 12}, Mem: Memory{Data: 300}, Replicable: true},
+			{Name: "b", Exec: PolyExec{C2: 12}, Mem: Memory{Data: 300}, Replicable: true},
+			{Name: "c", Exec: PolyExec{C1: 0.5, C2: 6, C3: 0.05}, Mem: Memory{Data: 100}, Replicable: true},
+		},
+		ICom: []CostFunc{PolyExec{C1: 0.2, C2: 2}, ZeroExec()},
+		ECom: []CommFunc{PolyComm{C1: 0.2, C2: 1, C3: 1}, PolyComm{C1: 0.5, C2: 2, C3: 2}},
+	}
+}
+
+func TestChainValidate(t *testing.T) {
+	c := testChain()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+
+	bad := &Chain{}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty chain accepted")
+	}
+
+	c2 := testChain()
+	c2.ICom = c2.ICom[:1]
+	if err := c2.Validate(); err == nil {
+		t.Error("chain with missing ICom accepted")
+	}
+
+	c3 := testChain()
+	c3.Tasks[1].Exec = nil
+	if err := c3.Validate(); err == nil {
+		t.Error("chain with nil Exec accepted")
+	}
+
+	c4 := testChain()
+	c4.ECom[0] = nil
+	if err := c4.Validate(); err == nil {
+		t.Error("chain with nil ECom accepted")
+	}
+
+	c5 := testChain()
+	c5.Tasks[0].Name = ""
+	if err := c5.Validate(); err == nil {
+		t.Error("chain with unnamed task accepted")
+	}
+
+	c6 := testChain()
+	c6.Tasks[0].MinProcs = -1
+	if err := c6.Validate(); err == nil {
+		t.Error("chain with negative MinProcs accepted")
+	}
+
+	c7 := testChain()
+	c7.Tasks[0].Mem.Data = -5
+	if err := c7.Validate(); err == nil {
+		t.Error("chain with negative memory accepted")
+	}
+}
+
+func TestModuleExecComposition(t *testing.T) {
+	c := testChain()
+	// Module of all three tasks at p=4: sum of execs plus both internal
+	// redistributions.
+	f := c.ModuleExec(0, 3)
+	want := c.Tasks[0].Exec.Eval(4) + c.ICom[0].Eval(4) +
+		c.Tasks[1].Exec.Eval(4) + c.ICom[1].Eval(4) + c.Tasks[2].Exec.Eval(4)
+	if got := f.Eval(4); !almostEqual(got, want) {
+		t.Errorf("ModuleExec(0,3).Eval(4) = %g, want %g", got, want)
+	}
+	// Single-task module has no internal communication.
+	f1 := c.ModuleExec(1, 2)
+	if got := f1.Eval(4); !almostEqual(got, c.Tasks[1].Exec.Eval(4)) {
+		t.Errorf("ModuleExec(1,2).Eval(4) = %g, want exec only", got)
+	}
+}
+
+func TestModuleMem(t *testing.T) {
+	c := testChain()
+	m := c.ModuleMem(0, 2)
+	if m.Data != 600 {
+		t.Errorf("ModuleMem(0,2).Data = %g, want 600", m.Data)
+	}
+	if got := c.ModuleMem(0, 3).Data; got != 700 {
+		t.Errorf("ModuleMem(0,3).Data = %g, want 700", got)
+	}
+}
+
+func TestModuleReplicable(t *testing.T) {
+	c := testChain()
+	if !c.ModuleReplicable(0, 3) {
+		t.Error("all-replicable module reported non-replicable")
+	}
+	c.Tasks[1].Replicable = false
+	if c.ModuleReplicable(0, 3) {
+		t.Error("module containing non-replicable task reported replicable")
+	}
+	if !c.ModuleReplicable(2, 3) {
+		t.Error("replicable singleton reported non-replicable")
+	}
+}
+
+func TestModuleMinProcs(t *testing.T) {
+	c := testChain()
+	// Capacity 150 bytes/proc: task a needs ceil(300/150) = 2.
+	if got := c.ModuleMinProcs(0, 1, 150); got != 2 {
+		t.Errorf("ModuleMinProcs(0,1) = %d, want 2", got)
+	}
+	// Module a+b: 600 bytes -> 4 processors.
+	if got := c.ModuleMinProcs(0, 2, 150); got != 4 {
+		t.Errorf("ModuleMinProcs(0,2) = %d, want 4", got)
+	}
+	// No memory constraint.
+	if got := c.ModuleMinProcs(0, 3, 0); got != 1 {
+		t.Errorf("ModuleMinProcs with no capacity = %d, want 1", got)
+	}
+	// Explicit task minimum dominates.
+	c.Tasks[2].MinProcs = 5
+	if got := c.ModuleMinProcs(0, 3, 1e9); got != 5 {
+		t.Errorf("ModuleMinProcs with explicit min = %d, want 5", got)
+	}
+}
+
+func TestMemoryModel(t *testing.T) {
+	m := Memory{Fixed: 10, Data: 100, Buffer: 20}
+	if got := m.Total(4); got != 160 {
+		t.Errorf("Total(4) = %g, want 160", got)
+	}
+	if got := m.PerProc(4); !almostEqual(got, 40) {
+		t.Errorf("PerProc(4) = %g, want 40", got)
+	}
+	if got := m.MinProcs(70); got != 2 {
+		t.Errorf("MinProcs(70) = %d, want 2", got)
+	}
+	if got := m.MinProcs(130); got != 1 {
+		t.Errorf("MinProcs(130) = %d, want 1", got)
+	}
+	if got := (Memory{Fixed: 50}).MinProcs(40); got != -1 {
+		t.Errorf("oversize fixed memory MinProcs = %d, want -1", got)
+	}
+	if got := (Memory{Fixed: 40}).MinProcs(40); got != 1 {
+		t.Errorf("exact fixed fit MinProcs = %d, want 1", got)
+	}
+	if got := (Memory{Data: 100}).MinProcs(0); got != -1 {
+		t.Errorf("zero capacity MinProcs = %d, want -1", got)
+	}
+}
+
+func TestTaskNames(t *testing.T) {
+	c := testChain()
+	if got := c.TaskNames(0, 3); got != "a+b+c" {
+		t.Errorf("TaskNames(0,3) = %q", got)
+	}
+	if got := c.TaskNames(1, 2); got != "b" {
+		t.Errorf("TaskNames(1,2) = %q", got)
+	}
+	if !strings.Contains(c.TaskNames(0, 2), "+") {
+		t.Error("multi-task names should be joined with +")
+	}
+}

@@ -1,0 +1,35 @@
+package model
+
+// CollapseClustering builds the module chain induced by a clustering: one
+// synthetic task per module with the composed execution cost, summed
+// memory, conjunction of replicability, and the original external/internal
+// edge costs between modules. Mapping algorithms that operate on a fixed
+// clustering run on the collapsed chain.
+func CollapseClustering(c *Chain, spans []Span) *Chain {
+	l := len(spans)
+	mc := &Chain{
+		Tasks: make([]Task, l),
+		ICom:  make([]CostFunc, max(l-1, 0)),
+		ECom:  make([]CommFunc, max(l-1, 0)),
+	}
+	for i, s := range spans {
+		minExtra := 0
+		for t := s.Lo; t < s.Hi; t++ {
+			if c.Tasks[t].MinProcs > minExtra {
+				minExtra = c.Tasks[t].MinProcs
+			}
+		}
+		mc.Tasks[i] = Task{
+			Name:       c.TaskNames(s.Lo, s.Hi),
+			Exec:       c.ModuleExec(s.Lo, s.Hi),
+			Mem:        c.ModuleMem(s.Lo, s.Hi),
+			Replicable: c.ModuleReplicable(s.Lo, s.Hi),
+			MinProcs:   minExtra,
+		}
+		if i < l-1 {
+			mc.ICom[i] = c.ICom[s.Hi-1]
+			mc.ECom[i] = c.ECom[s.Hi-1]
+		}
+	}
+	return mc
+}

@@ -1,0 +1,139 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestPolyExecEval(t *testing.T) {
+	f := PolyExec{C1: 1, C2: 8, C3: 0.5}
+	cases := []struct {
+		p    int
+		want float64
+	}{
+		{1, 1 + 8 + 0.5},
+		{2, 1 + 4 + 1},
+		{4, 1 + 2 + 2},
+		{8, 1 + 1 + 4},
+	}
+	for _, c := range cases {
+		if got := f.Eval(c.p); !almostEqual(got, c.want) {
+			t.Errorf("Eval(%d) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPolyCommEval(t *testing.T) {
+	f := PolyComm{C1: 0.5, C2: 4, C3: 6, C4: 0.1, C5: 0.2}
+	got := f.Eval(2, 3)
+	want := 0.5 + 4.0/2 + 6.0/3 + 0.1*2 + 0.2*3
+	if !almostEqual(got, want) {
+		t.Errorf("Eval(2,3) = %g, want %g", got, want)
+	}
+}
+
+func TestZeroFuncs(t *testing.T) {
+	if got := ZeroExec().Eval(7); got != 0 {
+		t.Errorf("ZeroExec().Eval(7) = %g, want 0", got)
+	}
+	if got := ZeroComm().Eval(3, 9); got != 0 {
+		t.Errorf("ZeroComm().Eval(3,9) = %g, want 0", got)
+	}
+}
+
+func TestCostFuncOf(t *testing.T) {
+	f := CostFuncOf(func(p int) float64 { return float64(p * p) })
+	if got := f.Eval(3); got != 9 {
+		t.Errorf("Eval(3) = %g, want 9", got)
+	}
+	g := CommFuncOf(func(ps, pr int) float64 { return float64(ps + pr) })
+	if got := g.Eval(3, 4); got != 7 {
+		t.Errorf("Eval(3,4) = %g, want 7", got)
+	}
+}
+
+func TestTableCostInterpolation(t *testing.T) {
+	tc, err := NewTableCost(map[int]float64{1: 10, 4: 4, 8: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		p    int
+		want float64
+	}{
+		{1, 10}, // exact
+		{4, 4},  // exact
+		{8, 2},  // exact
+		{2, 8},  // between 1 and 4: 10 + (4-10)*1/3
+		{6, 3},  // between 4 and 8: 4 + (2-4)*2/4
+		{16, 2}, // beyond the range: constant extrapolation
+		{1, 10}, // below handled by exact here
+	}
+	for _, c := range cases {
+		if got := tc.Eval(c.p); !almostEqual(got, c.want) {
+			t.Errorf("Eval(%d) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestTableCostErrors(t *testing.T) {
+	if _, err := NewTableCost(nil); err == nil {
+		t.Error("NewTableCost(nil) should fail")
+	}
+	if _, err := NewTableCost(map[int]float64{0: 1}); err == nil {
+		t.Error("NewTableCost with p=0 should fail")
+	}
+}
+
+func TestTableCostMonotoneProperty(t *testing.T) {
+	// Interpolated values never leave the [min, max] band of the table.
+	tc, err := NewTableCost(map[int]float64{1: 100, 2: 60, 4: 35, 8: 25, 16: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(p uint8) bool {
+		v := tc.Eval(int(p)%32 + 1)
+		return v >= 22 && v <= 100
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumCost(t *testing.T) {
+	s := SumCost{PolyExec{C2: 4}, PolyExec{C1: 1}, ZeroExec()}
+	if got := s.Eval(2); !almostEqual(got, 3) {
+		t.Errorf("Eval(2) = %g, want 3", got)
+	}
+}
+
+func TestScaleCost(t *testing.T) {
+	s := ScaleCost{F: PolyExec{C1: 3}, K: 2}
+	if got := s.Eval(5); !almostEqual(got, 6) {
+		t.Errorf("Eval(5) = %g, want 6", got)
+	}
+}
+
+func TestInternalAsComm(t *testing.T) {
+	c := InternalAsComm{F: PolyExec{C3: 1}}
+	if got := c.Eval(3, 7); !almostEqual(got, 7) {
+		t.Errorf("Eval(3,7) = %g, want 7", got)
+	}
+	if got := c.Eval(9, 2); !almostEqual(got, 9) {
+		t.Errorf("Eval(9,2) = %g, want 9", got)
+	}
+}
+
+func TestPolyStringers(t *testing.T) {
+	if (PolyExec{C1: 1, C2: 2, C3: 3}).String() == "" {
+		t.Error("PolyExec.String() empty")
+	}
+	if (PolyComm{}).String() == "" {
+		t.Error("PolyComm.String() empty")
+	}
+}

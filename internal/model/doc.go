@@ -1,0 +1,19 @@
+// Package model defines the execution model from Subhlok & Vondran,
+// "Optimal Mapping of Sequences of Data Parallel Tasks" (PPoPP 1995):
+// chains of data parallel tasks, their computation and communication cost
+// functions, memory requirements, and mappings of chains onto processors
+// (clustering into modules, replication, and processor assignment).
+//
+// The central quantity is the throughput of a mapping,
+//
+//	1 / max_i ( f_i / r_i )
+//
+// where f_i is the response time of module i (input communication +
+// computation + output communication, evaluated at the module's effective
+// per-instance processor count) and r_i its replication degree.
+//
+// Cost functions are interfaces, so they may be the paper's polynomial
+// models (fit from profiles, see package estimate), tabulated measurements,
+// or arbitrary user code; the mapping algorithms in packages dp and greedy
+// are independent of the representation.
+package model

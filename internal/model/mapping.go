@@ -1,0 +1,249 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Module is one element of a mapping: a contiguous subsequence of tasks
+// clustered together, the number of processors assigned to each instance,
+// and the replication degree.
+type Module struct {
+	// Lo and Hi delimit the tasks of the module as the half-open range
+	// [Lo, Hi) of task indices.
+	Lo, Hi int
+	// Procs is the number of processors assigned to each instance.
+	Procs int
+	// Replicas is the number of instances, >= 1. Replicated instances
+	// process alternate data sets round-robin.
+	Replicas int
+}
+
+// TotalProcs returns Procs * Replicas, the processors consumed by the
+// module.
+func (m Module) TotalProcs() int { return m.Procs * m.Replicas }
+
+// Mapping assigns a chain of tasks to processors: a list of modules that
+// partition the chain, each with processors and a replication degree.
+type Mapping struct {
+	Chain   *Chain
+	Modules []Module
+}
+
+// Validate checks that the mapping is well formed for P available
+// processors with memCapacity bytes of memory per processor: modules
+// partition the chain in order, every module meets its minimum processor
+// count, replication respects replicability, and the total processor use
+// fits in P.
+func (m *Mapping) Validate(pl Platform) error {
+	if m.Chain == nil {
+		return fmt.Errorf("model: mapping has nil chain")
+	}
+	if err := m.Chain.Validate(); err != nil {
+		return err
+	}
+	if len(m.Modules) == 0 {
+		return fmt.Errorf("model: mapping has no modules")
+	}
+	next := 0
+	total := 0
+	for i, mod := range m.Modules {
+		if mod.Lo != next {
+			return fmt.Errorf("model: module %d covers tasks [%d,%d), want start %d",
+				i, mod.Lo, mod.Hi, next)
+		}
+		if mod.Hi <= mod.Lo {
+			return fmt.Errorf("model: module %d has empty task range [%d,%d)", i, mod.Lo, mod.Hi)
+		}
+		if mod.Lo < 0 || mod.Hi > m.Chain.Len() {
+			return fmt.Errorf("model: module %d task range [%d,%d) outside the %d-task chain",
+				i, mod.Lo, mod.Hi, m.Chain.Len())
+		}
+		next = mod.Hi
+		if mod.Procs < 1 {
+			return fmt.Errorf("model: module %d has %d processors, want >= 1", i, mod.Procs)
+		}
+		if mod.Replicas < 1 {
+			return fmt.Errorf("model: module %d has %d replicas, want >= 1", i, mod.Replicas)
+		}
+		if mod.Replicas > 1 && !m.Chain.ModuleReplicable(mod.Lo, mod.Hi) {
+			return fmt.Errorf("model: module %d (%s) is replicated %d times but not replicable",
+				i, m.Chain.TaskNames(mod.Lo, mod.Hi), mod.Replicas)
+		}
+		min := m.Chain.ModuleMinProcs(mod.Lo, mod.Hi, pl.MemPerProc)
+		if min < 0 {
+			return fmt.Errorf("model: module %d (%s) cannot fit in memory at any processor count",
+				i, m.Chain.TaskNames(mod.Lo, mod.Hi))
+		}
+		if mod.Procs < min {
+			return fmt.Errorf("model: module %d (%s) has %d processors per instance, minimum is %d",
+				i, m.Chain.TaskNames(mod.Lo, mod.Hi), mod.Procs, min)
+		}
+		total += mod.TotalProcs()
+	}
+	if next != m.Chain.Len() {
+		return fmt.Errorf("model: mapping covers %d of %d tasks", next, m.Chain.Len())
+	}
+	if total > pl.Procs {
+		return fmt.Errorf("model: mapping uses %d processors, platform has %d", total, pl.Procs)
+	}
+	return nil
+}
+
+// TotalProcs returns the number of processors consumed by the mapping.
+func (m *Mapping) TotalProcs() int {
+	total := 0
+	for _, mod := range m.Modules {
+		total += mod.TotalProcs()
+	}
+	return total
+}
+
+// ResponseTimes returns the response time f_i of each module: the input
+// transfer, the module's composed execution, and the output transfer, all
+// evaluated at the per-instance processor counts of the module and its
+// neighbours (section 2.1). The first module has no input transfer and the
+// last no output transfer.
+func (m *Mapping) ResponseTimes() []float64 {
+	resp := make([]float64, len(m.Modules))
+	for i, mod := range m.Modules {
+		f := m.Chain.ModuleExec(mod.Lo, mod.Hi).Eval(mod.Procs)
+		if i > 0 {
+			prev := m.Modules[i-1]
+			f += m.Chain.ECom[mod.Lo-1].Eval(prev.Procs, mod.Procs)
+		}
+		if i < len(m.Modules)-1 {
+			next := m.Modules[i+1]
+			f += m.Chain.ECom[mod.Hi-1].Eval(mod.Procs, next.Procs)
+		}
+		resp[i] = f
+	}
+	return resp
+}
+
+// EffectiveResponseTimes returns f_i / r_i for each module: the response
+// time divided by the replication degree, which is the module's effective
+// contribution to the pipeline period.
+func (m *Mapping) EffectiveResponseTimes() []float64 {
+	resp := m.ResponseTimes()
+	for i, mod := range m.Modules {
+		resp[i] /= float64(mod.Replicas)
+	}
+	return resp
+}
+
+// Bottleneck returns the index of the module with the largest effective
+// response time and that time (the pipeline period).
+func (m *Mapping) Bottleneck() (int, float64) {
+	resp := m.EffectiveResponseTimes()
+	best, bestT := 0, resp[0]
+	for i, t := range resp {
+		if t > bestT {
+			best, bestT = i, t
+		}
+	}
+	return best, bestT
+}
+
+// Throughput returns the steady-state throughput of the mapping in data
+// sets per second: 1 / max_i(f_i / r_i).
+func (m *Mapping) Throughput() float64 {
+	_, period := m.Bottleneck()
+	if period <= 0 {
+		return 0
+	}
+	return 1 / period
+}
+
+// Latency returns the time one data set spends traversing the pipeline:
+// the sum of module response times. (Latency optimization is deferred to
+// Vondran's thesis in the paper; we expose the metric as an extension.)
+func (m *Mapping) Latency() float64 {
+	var sum float64
+	for _, f := range m.ResponseTimes() {
+		sum += f
+	}
+	return sum
+}
+
+// String renders the mapping in the style of the paper's tables: one line
+// per module with its tasks, per-instance processors, and replicas.
+func (m *Mapping) String() string {
+	var b strings.Builder
+	for i, mod := range m.Modules {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "[%s p=%d r=%d]", m.Chain.TaskNames(mod.Lo, mod.Hi), mod.Procs, mod.Replicas)
+	}
+	return b.String()
+}
+
+// Clustering returns the module boundaries of the mapping as a list of
+// [lo, hi) spans.
+func (m *Mapping) Clustering() []Span {
+	spans := make([]Span, len(m.Modules))
+	for i, mod := range m.Modules {
+		spans[i] = Span{Lo: mod.Lo, Hi: mod.Hi}
+	}
+	return spans
+}
+
+// Span is a half-open range [Lo, Hi) of task indices forming one module of
+// a clustering.
+type Span struct{ Lo, Hi int }
+
+// ValidClustering reports whether spans partition a chain of k tasks into
+// contiguous, in-order, non-empty modules.
+func ValidClustering(spans []Span, k int) bool {
+	next := 0
+	for _, s := range spans {
+		if s.Lo != next || s.Hi <= s.Lo {
+			return false
+		}
+		next = s.Hi
+	}
+	return next == k
+}
+
+// Singletons returns the clustering in which every task forms its own
+// module.
+func Singletons(k int) []Span {
+	spans := make([]Span, k)
+	for i := range spans {
+		spans[i] = Span{Lo: i, Hi: i + 1}
+	}
+	return spans
+}
+
+// AllClusterings enumerates every clustering of k tasks into contiguous
+// modules (there are 2^(k-1)); used for exhaustive cross-checks.
+func AllClusterings(k int) [][]Span {
+	if k == 0 {
+		return nil
+	}
+	var out [][]Span
+	// Each of the k-1 edges is either a module boundary or not.
+	for mask := 0; mask < 1<<(k-1); mask++ {
+		var spans []Span
+		lo := 0
+		for i := 0; i < k-1; i++ {
+			if mask&(1<<i) != 0 {
+				spans = append(spans, Span{Lo: lo, Hi: i + 1})
+				lo = i + 1
+			}
+		}
+		spans = append(spans, Span{Lo: lo, Hi: k})
+		out = append(out, spans)
+	}
+	return out
+}
+
+// DataParallel returns the pure data parallel mapping of the chain: every
+// task in one module on all P processors (Figure 1a in the paper).
+func DataParallel(c *Chain, pl Platform) Mapping {
+	return Mapping{
+		Chain:   c,
+		Modules: []Module{{Lo: 0, Hi: c.Len(), Procs: pl.Procs, Replicas: 1}},
+	}
+}

@@ -1,0 +1,264 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testPlatform() Platform { return Platform{Procs: 16, MemPerProc: 150} }
+
+func TestMappingValidate(t *testing.T) {
+	c := testChain()
+	pl := testPlatform()
+
+	good := Mapping{Chain: c, Modules: []Module{
+		{Lo: 0, Hi: 2, Procs: 4, Replicas: 2},
+		{Lo: 2, Hi: 3, Procs: 2, Replicas: 1},
+	}}
+	if err := good.Validate(pl); err != nil {
+		t.Fatalf("valid mapping rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		m    Mapping
+	}{
+		{"nil chain", Mapping{Modules: []Module{{Lo: 0, Hi: 3, Procs: 1, Replicas: 1}}}},
+		{"no modules", Mapping{Chain: c}},
+		{"gap", Mapping{Chain: c, Modules: []Module{
+			{Lo: 0, Hi: 1, Procs: 2, Replicas: 1}, {Lo: 2, Hi: 3, Procs: 2, Replicas: 1}}}},
+		{"incomplete", Mapping{Chain: c, Modules: []Module{{Lo: 0, Hi: 2, Procs: 4, Replicas: 1}}}},
+		{"empty module", Mapping{Chain: c, Modules: []Module{
+			{Lo: 0, Hi: 0, Procs: 2, Replicas: 1}, {Lo: 0, Hi: 3, Procs: 2, Replicas: 1}}}},
+		{"zero procs", Mapping{Chain: c, Modules: []Module{{Lo: 0, Hi: 3, Procs: 0, Replicas: 1}}}},
+		{"zero replicas", Mapping{Chain: c, Modules: []Module{{Lo: 0, Hi: 3, Procs: 5, Replicas: 0}}}},
+		{"below memory minimum", Mapping{Chain: c, Modules: []Module{
+			{Lo: 0, Hi: 2, Procs: 2, Replicas: 1}, {Lo: 2, Hi: 3, Procs: 2, Replicas: 1}}}},
+		{"over budget", Mapping{Chain: c, Modules: []Module{
+			{Lo: 0, Hi: 2, Procs: 8, Replicas: 2}, {Lo: 2, Hi: 3, Procs: 2, Replicas: 1}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.m.Validate(pl); err == nil {
+			t.Errorf("%s: invalid mapping accepted", tc.name)
+		}
+	}
+
+	// Replicating a non-replicable module must be rejected.
+	c2 := testChain()
+	c2.Tasks[0].Replicable = false
+	bad := Mapping{Chain: c2, Modules: []Module{
+		{Lo: 0, Hi: 2, Procs: 4, Replicas: 2},
+		{Lo: 2, Hi: 3, Procs: 2, Replicas: 1},
+	}}
+	if err := bad.Validate(pl); err == nil {
+		t.Error("replicated non-replicable module accepted")
+	}
+}
+
+func TestResponseTimes(t *testing.T) {
+	c := testChain()
+	m := Mapping{Chain: c, Modules: []Module{
+		{Lo: 0, Hi: 1, Procs: 3, Replicas: 1},
+		{Lo: 1, Hi: 3, Procs: 4, Replicas: 2},
+	}}
+	resp := m.ResponseTimes()
+	if len(resp) != 2 {
+		t.Fatalf("got %d response times, want 2", len(resp))
+	}
+	// Module 0: exec(3) + outgoing external transfer to a 4-processor module.
+	want0 := c.Tasks[0].Exec.Eval(3) + c.ECom[0].Eval(3, 4)
+	if !almostEqual(resp[0], want0) {
+		t.Errorf("resp[0] = %g, want %g", resp[0], want0)
+	}
+	// Module 1: incoming transfer + composed exec (b, icom b->c, c).
+	want1 := c.ECom[0].Eval(3, 4) + c.ModuleExec(1, 3).Eval(4)
+	if !almostEqual(resp[1], want1) {
+		t.Errorf("resp[1] = %g, want %g", resp[1], want1)
+	}
+
+	eff := m.EffectiveResponseTimes()
+	if !almostEqual(eff[0], resp[0]) || !almostEqual(eff[1], resp[1]/2) {
+		t.Errorf("effective response times %v inconsistent with %v", eff, resp)
+	}
+}
+
+func TestThroughputAndBottleneck(t *testing.T) {
+	c := testChain()
+	m := Mapping{Chain: c, Modules: []Module{
+		{Lo: 0, Hi: 1, Procs: 3, Replicas: 1},
+		{Lo: 1, Hi: 3, Procs: 4, Replicas: 2},
+	}}
+	idx, period := m.Bottleneck()
+	eff := m.EffectiveResponseTimes()
+	wantIdx := 0
+	if eff[1] > eff[0] {
+		wantIdx = 1
+	}
+	if idx != wantIdx {
+		t.Errorf("Bottleneck index = %d, want %d", idx, wantIdx)
+	}
+	if !almostEqual(period, math.Max(eff[0], eff[1])) {
+		t.Errorf("Bottleneck period = %g, want %g", period, math.Max(eff[0], eff[1]))
+	}
+	if !almostEqual(m.Throughput(), 1/period) {
+		t.Errorf("Throughput = %g, want %g", m.Throughput(), 1/period)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	c := testChain()
+	m := Mapping{Chain: c, Modules: []Module{
+		{Lo: 0, Hi: 3, Procs: 8, Replicas: 1},
+	}}
+	if !almostEqual(m.Latency(), c.ModuleExec(0, 3).Eval(8)) {
+		t.Errorf("single-module latency = %g, want exec time %g",
+			m.Latency(), c.ModuleExec(0, 3).Eval(8))
+	}
+}
+
+func TestMappingString(t *testing.T) {
+	c := testChain()
+	m := Mapping{Chain: c, Modules: []Module{
+		{Lo: 0, Hi: 2, Procs: 4, Replicas: 2},
+		{Lo: 2, Hi: 3, Procs: 2, Replicas: 1},
+	}}
+	s := m.String()
+	for _, want := range []string{"a+b", "p=4", "r=2", "c", "|"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestDataParallel(t *testing.T) {
+	c := testChain()
+	pl := testPlatform()
+	m := DataParallel(c, pl)
+	if err := m.Validate(pl); err != nil {
+		t.Fatalf("data parallel mapping invalid: %v", err)
+	}
+	if len(m.Modules) != 1 || m.Modules[0].Procs != pl.Procs {
+		t.Errorf("DataParallel = %v", m.Modules)
+	}
+	// Its response time includes all internal redistributions.
+	want := c.ModuleExec(0, 3).Eval(pl.Procs)
+	if !almostEqual(m.ResponseTimes()[0], want) {
+		t.Errorf("data parallel response = %g, want %g", m.ResponseTimes()[0], want)
+	}
+}
+
+func TestSplitReplicas(t *testing.T) {
+	cases := []struct {
+		p, min     int
+		replicable bool
+		wantR      int
+		wantP      int
+	}{
+		{24, 3, true, 8, 3},
+		{40, 4, true, 10, 4},
+		{20, 12, true, 1, 20},
+		{24, 12, true, 2, 12},
+		{39, 12, true, 3, 13},
+		{42, 12, true, 3, 14},
+		{10, 3, false, 1, 10},
+		{2, 3, true, 0, 0},
+		{7, 0, true, 7, 1},
+	}
+	for _, c := range cases {
+		got := SplitReplicas(c.p, c.min, c.replicable)
+		if got.Replicas != c.wantR || got.ProcsPerInstance != c.wantP {
+			t.Errorf("SplitReplicas(%d,%d,%v) = %+v, want r=%d p=%d",
+				c.p, c.min, c.replicable, got, c.wantR, c.wantP)
+		}
+	}
+}
+
+func TestSplitReplicasProperties(t *testing.T) {
+	// For all p >= min: r*peff <= p, peff >= min, and r is maximal.
+	prop := func(p, min uint8) bool {
+		pp, mm := int(p)%100+1, int(min)%10+1
+		if pp < mm {
+			return true
+		}
+		rep := SplitReplicas(pp, mm, true)
+		if rep.Replicas < 1 {
+			return false
+		}
+		if rep.Replicas*rep.ProcsPerInstance > pp {
+			return false
+		}
+		if rep.ProcsPerInstance < mm {
+			return false
+		}
+		// Maximality: one more instance would not fit.
+		return (rep.Replicas+1)*mm > pp
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClusterings(t *testing.T) {
+	all := AllClusterings(3)
+	if len(all) != 4 {
+		t.Fatalf("AllClusterings(3) has %d entries, want 4", len(all))
+	}
+	for _, spans := range all {
+		if !ValidClustering(spans, 3) {
+			t.Errorf("invalid clustering produced: %v", spans)
+		}
+	}
+	if !ValidClustering(Singletons(5), 5) {
+		t.Error("Singletons(5) not a valid clustering")
+	}
+	if ValidClustering([]Span{{0, 2}, {3, 4}}, 4) {
+		t.Error("clustering with gap accepted")
+	}
+	if ValidClustering([]Span{{0, 2}, {2, 3}}, 4) {
+		t.Error("incomplete clustering accepted")
+	}
+	if ValidClustering([]Span{{0, 0}, {0, 4}}, 4) {
+		t.Error("empty span accepted")
+	}
+}
+
+func TestAllClusteringsCount(t *testing.T) {
+	for k := 1; k <= 8; k++ {
+		if got := len(AllClusterings(k)); got != 1<<(k-1) {
+			t.Errorf("AllClusterings(%d) has %d entries, want %d", k, got, 1<<(k-1))
+		}
+	}
+	if AllClusterings(0) != nil {
+		t.Error("AllClusterings(0) should be nil")
+	}
+}
+
+func TestTotalProcs(t *testing.T) {
+	c := testChain()
+	m := Mapping{Chain: c, Modules: []Module{
+		{Lo: 0, Hi: 2, Procs: 4, Replicas: 2},
+		{Lo: 2, Hi: 3, Procs: 2, Replicas: 3},
+	}}
+	if got := m.TotalProcs(); got != 14 {
+		t.Errorf("TotalProcs = %d, want 14", got)
+	}
+}
+
+func TestMappingValidateOutOfRangeModules(t *testing.T) {
+	// Found by FuzzDecodeMapping: a module range past the chain end must be
+	// rejected, not panic inside the memory model.
+	c := testChain()
+	pl := testPlatform()
+	cases := []Mapping{
+		{Chain: c, Modules: []Module{
+			{Lo: 0, Hi: 2, Procs: 4, Replicas: 1}, {Lo: 2, Hi: 5, Procs: 2, Replicas: 1}}},
+		{Chain: c, Modules: []Module{{Lo: 0, Hi: 99, Procs: 4, Replicas: 1}}},
+	}
+	for i, m := range cases {
+		if err := m.Validate(pl); err == nil {
+			t.Errorf("case %d: out-of-range module accepted", i)
+		}
+	}
+}

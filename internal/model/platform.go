@@ -1,0 +1,59 @@
+package model
+
+import "fmt"
+
+// Platform describes the target machine as the mapping algorithms see it:
+// a processor budget and a per-processor memory capacity. Geometric
+// constraints (rectangular subarrays, pathway limits) live in package
+// machine and are applied as a feasibility filter on top of this model.
+type Platform struct {
+	// Procs is the total number of processors available, P.
+	Procs int
+	// MemPerProc is the memory capacity of one processor in bytes; zero
+	// disables memory constraints (every module's minimum is 1 processor
+	// unless a task says otherwise).
+	MemPerProc float64
+}
+
+// Validate checks the platform for structural errors.
+func (pl Platform) Validate() error {
+	if pl.Procs < 1 {
+		return fmt.Errorf("model: platform has %d processors, want >= 1", pl.Procs)
+	}
+	if pl.MemPerProc < 0 {
+		return fmt.Errorf("model: platform has negative memory capacity")
+	}
+	return nil
+}
+
+// Replication describes how a module with a given total processor count is
+// split into replicated instances. Following section 3.2 of the paper,
+// under the no-superlinear-speedup assumption it is always profitable to
+// replicate maximally subject to the memory constraint: p processors and a
+// per-instance minimum of m yield r = floor(p/m) instances with
+// floor(p/r) processors each (the remainder is left idle).
+type Replication struct {
+	// Replicas is the number of instances, r >= 1.
+	Replicas int
+	// ProcsPerInstance is the effective processor count of each instance.
+	ProcsPerInstance int
+}
+
+// SplitReplicas computes the maximal replication of p total processors for
+// a module whose instances need at least minProcs processors each. If the
+// module is not replicable, pass replicable=false and the result is a
+// single instance on p processors. SplitReplicas returns Replicas == 0 when
+// p < minProcs (the module does not fit).
+func SplitReplicas(p, minProcs int, replicable bool) Replication {
+	if minProcs < 1 {
+		minProcs = 1
+	}
+	if p < minProcs {
+		return Replication{}
+	}
+	if !replicable {
+		return Replication{Replicas: 1, ProcsPerInstance: p}
+	}
+	r := p / minProcs
+	return Replication{Replicas: r, ProcsPerInstance: p / r}
+}

@@ -1,0 +1,124 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randMapping builds a random valid mapping over a random chain for
+// property tests.
+func randMapping(rng *rand.Rand) (Mapping, Platform) {
+	k := 1 + rng.Intn(4)
+	c := &Chain{
+		Tasks: make([]Task, k),
+		ICom:  make([]CostFunc, k-1),
+		ECom:  make([]CommFunc, k-1),
+	}
+	for i := 0; i < k; i++ {
+		c.Tasks[i] = Task{
+			Name:       string(rune('a' + i)),
+			Exec:       PolyExec{C1: rng.Float64(), C2: rng.Float64() * 5, C3: rng.Float64() * 0.1},
+			Replicable: rng.Intn(2) == 0,
+		}
+	}
+	for i := 0; i < k-1; i++ {
+		c.ICom[i] = PolyExec{C1: rng.Float64() * 0.1, C2: rng.Float64()}
+		c.ECom[i] = PolyComm{C1: rng.Float64() * 0.1, C2: rng.Float64(), C3: rng.Float64()}
+	}
+	// Random clustering.
+	all := AllClusterings(k)
+	spans := all[rng.Intn(len(all))]
+	mods := make([]Module, len(spans))
+	total := 0
+	for i, sp := range spans {
+		procs := 1 + rng.Intn(4)
+		reps := 1
+		if c.ModuleReplicable(sp.Lo, sp.Hi) {
+			reps = 1 + rng.Intn(3)
+		}
+		mods[i] = Module{Lo: sp.Lo, Hi: sp.Hi, Procs: procs, Replicas: reps}
+		total += procs * reps
+	}
+	return Mapping{Chain: c, Modules: mods}, Platform{Procs: total}
+}
+
+func TestPropertyThroughputIsInverseBottleneck(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	prop := func(seed int64) bool {
+		m, _ := randMapping(rand.New(rand.NewSource(seed)))
+		_, period := m.Bottleneck()
+		thr := m.Throughput()
+		return math.Abs(thr*period-1) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLatencyIsResponseSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	prop := func(seed int64) bool {
+		m, _ := randMapping(rand.New(rand.NewSource(seed)))
+		sum := 0.0
+		for _, f := range m.ResponseTimes() {
+			sum += f
+		}
+		return math.Abs(m.Latency()-sum) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEffectiveResponseDividesByReplicas(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	prop := func(seed int64) bool {
+		m, _ := randMapping(rand.New(rand.NewSource(seed)))
+		resp := m.ResponseTimes()
+		eff := m.EffectiveResponseTimes()
+		for i := range resp {
+			want := resp[i] / float64(m.Modules[i].Replicas)
+			if math.Abs(eff[i]-want) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRandomMappingsValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	prop := func(seed int64) bool {
+		m, pl := randMapping(rand.New(rand.NewSource(seed)))
+		return m.Validate(pl) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCollapsePreservesEvaluation(t *testing.T) {
+	// Evaluating a mapping on the original chain equals evaluating the
+	// corresponding singleton mapping on the collapsed chain.
+	rng := rand.New(rand.NewSource(113))
+	prop := func(seed int64) bool {
+		m, _ := randMapping(rand.New(rand.NewSource(seed)))
+		spans := m.Clustering()
+		mc := CollapseClustering(m.Chain, spans)
+		mods := make([]Module, len(m.Modules))
+		for i, mod := range m.Modules {
+			mods[i] = Module{Lo: i, Hi: i + 1, Procs: mod.Procs, Replicas: mod.Replicas}
+		}
+		mm := Mapping{Chain: mc, Modules: mods}
+		return math.Abs(m.Throughput()-mm.Throughput()) < 1e-9*(1+m.Throughput()) &&
+			math.Abs(m.Latency()-mm.Latency()) < 1e-9*(1+m.Latency())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package model
+
+import "fmt"
+
+// Memory describes the memory requirement of a task on one data set,
+// following the paper's memory model (section 5), which separately accounts
+// for global/system variables, local variables, and compiler buffers.
+// Fixed memory is replicated on every processor of the task; Data and
+// Buffer memory are distributed across the processors.
+type Memory struct {
+	// Fixed is memory replicated per processor (globals, code, system), in
+	// bytes.
+	Fixed float64
+	// Data is the distributed application data, in bytes, divided across
+	// the processors of the task.
+	Data float64
+	// Buffer is distributed compiler/communication buffer space, in bytes.
+	Buffer float64
+}
+
+// Add returns the component-wise sum of two memory requirements; the memory
+// requirement of a module is the sum of its tasks' requirements.
+func (m Memory) Add(o Memory) Memory {
+	return Memory{
+		Fixed:  m.Fixed + o.Fixed,
+		Data:   m.Data + o.Data,
+		Buffer: m.Buffer + o.Buffer,
+	}
+}
+
+// Total returns the total footprint when the task runs on p processors:
+// p*Fixed + Data + Buffer.
+func (m Memory) Total(p int) float64 {
+	return float64(p)*m.Fixed + m.Data + m.Buffer
+}
+
+// PerProc returns the per-processor footprint on p processors.
+func (m Memory) PerProc(p int) float64 {
+	return m.Fixed + (m.Data+m.Buffer)/float64(p)
+}
+
+// MinProcs returns the minimum number of processors on which the
+// requirement fits, given capacity bytes of memory per processor. It
+// returns at least 1. If the Fixed portion alone exceeds the capacity no
+// processor count suffices and MinProcs returns -1.
+func (m Memory) MinProcs(capacity float64) int {
+	if capacity <= 0 {
+		return -1
+	}
+	if m.Fixed >= capacity {
+		if m.Data+m.Buffer == 0 && m.Fixed == capacity {
+			return 1
+		}
+		return -1
+	}
+	distributed := m.Data + m.Buffer
+	if distributed <= 0 {
+		return 1
+	}
+	p := int(ceilDiv(distributed, capacity-m.Fixed))
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+func ceilDiv(a, b float64) float64 {
+	q := a / b
+	i := float64(int64(q))
+	if q > i {
+		return i + 1
+	}
+	return i
+}
+
+// Task is one data parallel task in a chain. Its execution time is a
+// function of the number of processors assigned to it.
+type Task struct {
+	// Name identifies the task in diagnostics and reports.
+	Name string
+	// Exec is the computation time per data set as a function of
+	// processors, excluding communication with neighbours.
+	Exec CostFunc
+	// Mem is the task's memory requirement; together with the platform's
+	// per-processor capacity it determines the minimum processors the task
+	// (or any module containing it) needs.
+	Mem Memory
+	// Replicable reports whether data dependences permit processing
+	// alternate data sets on distinct processor groups. A module is
+	// replicable only if all its tasks are.
+	Replicable bool
+	// MinProcs optionally raises the minimum processor count above what the
+	// memory model requires (e.g. a task hard-coded for at least 2
+	// processors). Zero means no extra constraint.
+	MinProcs int
+}
+
+// Validate checks the task for structural errors.
+func (t *Task) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("model: task has empty name")
+	}
+	if t.Exec == nil {
+		return fmt.Errorf("model: task %q has nil Exec", t.Name)
+	}
+	if t.MinProcs < 0 {
+		return fmt.Errorf("model: task %q has negative MinProcs %d", t.Name, t.MinProcs)
+	}
+	if t.Mem.Fixed < 0 || t.Mem.Data < 0 || t.Mem.Buffer < 0 {
+		return fmt.Errorf("model: task %q has negative memory component", t.Name)
+	}
+	return nil
+}

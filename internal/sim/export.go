@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteTraceCSV writes a simulation trace as CSV with the header
+// module,instance,task,kind,dataset,start,end — convenient for external
+// plotting of timelines.
+func WriteTraceCSV(w io.Writer, trace []Segment) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"module", "instance", "task", "kind", "dataset", "start", "end"}); err != nil {
+		return fmt.Errorf("sim: writing trace header: %w", err)
+	}
+	for _, s := range trace {
+		rec := []string{
+			strconv.Itoa(s.Module),
+			strconv.Itoa(s.Instance),
+			strconv.Itoa(s.Task),
+			s.Kind.String(),
+			strconv.Itoa(s.DataSet),
+			strconv.FormatFloat(s.Start, 'g', -1, 64),
+			strconv.FormatFloat(s.End, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("sim: writing trace row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

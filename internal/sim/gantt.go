@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Gantt renders a trace as an ASCII timeline, one row per module instance,
+// reproducing the execution-model figures of the paper (Figures 2 and 3):
+// 'R' marks receive, 'X' compute, 'r' internal redistribution, 'S' send,
+// '.' idle. width is the number of time buckets.
+func Gantt(trace []Segment, width int) string {
+	if len(trace) == 0 || width <= 0 {
+		return ""
+	}
+	var tmax float64
+	type key struct{ mod, inst int }
+	rows := map[key][]Segment{}
+	for _, s := range trace {
+		if s.End > tmax {
+			tmax = s.End
+		}
+		k := key{s.Module, s.Instance}
+		rows[k] = append(rows[k], s)
+	}
+	if tmax <= 0 {
+		return ""
+	}
+	keys := make([]key, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].mod != keys[j].mod {
+			return keys[i].mod < keys[j].mod
+		}
+		return keys[i].inst < keys[j].inst
+	})
+	scale := float64(width) / tmax
+	var b strings.Builder
+	fmt.Fprintf(&b, "time: 0 .. %.4g s, one column = %.4g s\n", tmax, tmax/float64(width))
+	for _, k := range keys {
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = '.'
+		}
+		for _, s := range rows[k] {
+			lo := int(s.Start * scale)
+			hi := int(s.End * scale)
+			if hi >= width {
+				hi = width - 1
+			}
+			ch := byte('X')
+			switch s.Kind {
+			case OpRecv:
+				ch = 'R'
+			case OpSend:
+				ch = 'S'
+			case OpRedist:
+				ch = 'r'
+			}
+			for i := lo; i <= hi && i < width; i++ {
+				line[i] = ch
+			}
+		}
+		fmt.Fprintf(&b, "m%d.%d |%s|\n", k.mod, k.inst, line)
+	}
+	return b.String()
+}

@@ -1,0 +1,337 @@
+// Package sim is a discrete-event simulator for pipelined execution of a
+// mapped task chain. It implements the execution model of section 2.1 of
+// Subhlok & Vondran (PPoPP 1995): a stream of data sets flows through the
+// modules of a mapping; the sending and the receiving module are both
+// occupied for the entire duration of an inter-module transfer; replicated
+// module instances process alternate data sets round-robin; and an
+// instance serializes receive, compute (task executions and internal
+// redistributions), and send for each data set it handles.
+//
+// The simulator plays the role of the paper's iWarp testbed: it produces
+// "measured" throughput for any mapping, serves as a profiler for the
+// model-fitting machinery in package estimate, and can inject measurement
+// noise and straggler instances to exercise the robustness of the
+// predictions.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pipemap/internal/estimate"
+	"pipemap/internal/model"
+)
+
+// OpKind labels a trace segment.
+type OpKind int
+
+const (
+	// OpRecv is an inter-module transfer charged to the receiving instance.
+	OpRecv OpKind = iota
+	// OpExec is one task's computation.
+	OpExec
+	// OpRedist is an internal redistribution between tasks of one module.
+	OpRedist
+	// OpSend is an inter-module transfer charged to the sending instance.
+	OpSend
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRecv:
+		return "recv"
+	case OpExec:
+		return "exec"
+	case OpRedist:
+		return "redist"
+	case OpSend:
+		return "send"
+	default:
+		return "?"
+	}
+}
+
+// Segment is one operation of one module instance in the simulated
+// schedule.
+type Segment struct {
+	Module   int
+	Instance int
+	Task     int // task index for OpExec; edge index for comm segments
+	Kind     OpKind
+	DataSet  int
+	Start    float64
+	End      float64
+}
+
+// Options configures a simulation run.
+type Options struct {
+	// DataSets is the number of data sets streamed through the pipeline
+	// (default 200).
+	DataSets int
+	// Warmup is the number of initial data sets excluded from the
+	// throughput window (default DataSets/5).
+	Warmup int
+	// InputInterval is the minimum spacing of external inputs in seconds;
+	// zero means input is always available (source never limits).
+	InputInterval float64
+	// Noise is the relative standard deviation of multiplicative per-op
+	// time noise (0 = deterministic).
+	Noise float64
+	// Seed makes noise deterministic.
+	Seed int64
+	// Trace records per-op segments (costs memory proportional to
+	// DataSets × tasks).
+	Trace bool
+	// StragglerModule/StragglerInstance select one instance whose ops are
+	// slowed by StragglerFactor (>= 1); StragglerFactor 0 disables.
+	StragglerModule   int
+	StragglerInstance int
+	StragglerFactor   float64
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	// Throughput is data sets per second over the steady-state window.
+	Throughput float64
+	// Latency is the mean time a data set spends from entering module 0 to
+	// leaving the last module.
+	Latency float64
+	// Makespan is the completion time of the last data set.
+	Makespan float64
+	// Trace holds per-op segments when Options.Trace is set.
+	Trace []Segment
+	// Utilization[i] is the busy fraction of module i's instances over the
+	// makespan.
+	Utilization []float64
+	// BlockedSend[i] is the total time module i's instances spent waiting
+	// for a downstream receiver before a transfer could start (convoy /
+	// pipeline-coupling stalls — the "second order effects" of section
+	// 6.4 that make measured throughput fall short of the analytic bound).
+	BlockedSend []float64
+	// BlockedRecv[i] is the total time module i's instances sat idle
+	// waiting for an upstream sender.
+	BlockedRecv []float64
+}
+
+// Simulator runs mappings of one chain. The zero value is not usable; use
+// New.
+type Simulator struct {
+	opt Options
+}
+
+// New returns a simulator with the given options, applying defaults.
+func New(opt Options) *Simulator {
+	if opt.DataSets <= 0 {
+		opt.DataSets = 200
+	}
+	if opt.Warmup <= 0 {
+		opt.Warmup = opt.DataSets / 5
+	}
+	if opt.Warmup >= opt.DataSets {
+		opt.Warmup = opt.DataSets - 1
+	}
+	return &Simulator{opt: opt}
+}
+
+// Run simulates the mapping and returns measured statistics.
+func (s *Simulator) Run(m model.Mapping) (Result, error) {
+	if m.Chain == nil {
+		return Result{}, fmt.Errorf("sim: mapping has no chain")
+	}
+	if err := m.Chain.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(m.Modules) == 0 {
+		return Result{}, fmt.Errorf("sim: mapping has no modules")
+	}
+	c := m.Chain
+	opt := s.opt
+	rng := rand.New(rand.NewSource(opt.Seed))
+	noisy := func(v float64, mod, inst int) float64 {
+		if opt.StragglerFactor > 1 && mod == opt.StragglerModule && inst == opt.StragglerInstance {
+			v *= opt.StragglerFactor
+		}
+		if opt.Noise > 0 {
+			f := 1 + rng.NormFloat64()*opt.Noise
+			if f < 0.05 {
+				f = 0.05
+			}
+			v *= f
+		}
+		return v
+	}
+
+	l := len(m.Modules)
+	avail := make([][]float64, l)
+	busy := make([][]float64, l)
+	blockedSend := make([]float64, l)
+	blockedRecv := make([]float64, l)
+	for i, mod := range m.Modules {
+		if mod.Replicas < 1 || mod.Procs < 1 {
+			return Result{}, fmt.Errorf("sim: module %d has procs=%d replicas=%d",
+				i, mod.Procs, mod.Replicas)
+		}
+		avail[i] = make([]float64, mod.Replicas)
+		busy[i] = make([]float64, mod.Replicas)
+	}
+
+	var trace []Segment
+	record := func(mod, inst, task int, kind OpKind, d int, start, end float64) {
+		busy[mod][inst] += end - start
+		if opt.Trace {
+			trace = append(trace, Segment{
+				Module: mod, Instance: inst, Task: task, Kind: kind,
+				DataSet: d, Start: start, End: end,
+			})
+		}
+	}
+
+	n := opt.DataSets
+	outputs := make([]float64, n)
+	starts := make([]float64, n)
+	var windowStart, windowEnd float64
+	for d := 0; d < n; d++ {
+		inputReady := float64(d) * opt.InputInterval
+		// Module 0 instance picks up the data set when free.
+		c0 := d % m.Modules[0].Replicas
+		t := avail[0][c0]
+		if inputReady > t {
+			t = inputReady
+		}
+		starts[d] = t
+		// execEnd is when the current module finished computing data set d.
+		var execEnd float64
+		for i, mod := range m.Modules {
+			ci := d % mod.Replicas
+			if i > 0 {
+				// Rendezvous transfer from module i-1: both instances are
+				// occupied for the full duration.
+				prev := m.Modules[i-1]
+				cp := d % prev.Replicas
+				start := execEnd
+				if avail[i][ci] > start {
+					start = avail[i][ci]
+				}
+				// The sender finished computing at execEnd and the receiver
+				// was free at avail[i][ci]; whichever is earlier waited.
+				blockedSend[i-1] += start - execEnd
+				blockedRecv[i] += start - avail[i][ci]
+				dur := noisy(c.ECom[mod.Lo-1].Eval(prev.Procs, mod.Procs), i, ci)
+				end := start + dur
+				record(i-1, cp, mod.Lo-1, OpSend, d, start, end)
+				record(i, ci, mod.Lo-1, OpRecv, d, start, end)
+				avail[i-1][cp] = end
+				t = end
+			}
+			// Compute: task executions and internal redistributions.
+			for task := mod.Lo; task < mod.Hi; task++ {
+				dur := noisy(c.Tasks[task].Exec.Eval(mod.Procs), i, ci)
+				record(i, ci, task, OpExec, d, t, t+dur)
+				t += dur
+				if task+1 < mod.Hi {
+					rd := noisy(c.ICom[task].Eval(mod.Procs), i, ci)
+					record(i, ci, task, OpRedist, d, t, t+rd)
+					t += rd
+				}
+			}
+			execEnd = t
+			if i == l-1 {
+				avail[i][ci] = t
+			}
+		}
+		outputs[d] = execEnd
+		// Output times are not monotone across data sets when instances
+		// run at different speeds (e.g. a straggler), so the throughput
+		// window is delimited by running maxima, not by outputs[warmup]
+		// and outputs[n-1] directly.
+		if execEnd > windowEnd {
+			windowEnd = execEnd
+		}
+		if d <= opt.Warmup && execEnd > windowStart {
+			windowStart = execEnd
+		}
+	}
+
+	res := Result{Makespan: windowEnd}
+	if n-1 > opt.Warmup && windowEnd > windowStart {
+		res.Throughput = float64(n-1-opt.Warmup) / (windowEnd - windowStart)
+	}
+	var latSum float64
+	for d := 0; d < n; d++ {
+		latSum += outputs[d] - starts[d]
+	}
+	res.Latency = latSum / float64(n)
+	res.Trace = trace
+	res.BlockedSend = blockedSend
+	res.BlockedRecv = blockedRecv
+	res.Utilization = make([]float64, l)
+	for i := range busy {
+		var b float64
+		for _, x := range busy[i] {
+			b += x
+		}
+		if res.Makespan > 0 {
+			res.Utilization[i] = b / (res.Makespan * float64(len(busy[i])))
+		}
+	}
+	return res, nil
+}
+
+// Profiler adapts the simulator to the estimate.Profiler interface: it
+// simulates a short run of the mapping and returns the mean measured time
+// of each task and edge operation.
+type Profiler struct {
+	Sim *Simulator
+}
+
+var _ estimate.Profiler = Profiler{}
+
+// Profile measures per-task and per-edge times from a traced simulation.
+func (p Profiler) Profile(m model.Mapping) (estimate.Measurement, error) {
+	s := p.Sim
+	if s == nil {
+		s = New(Options{DataSets: 24, Trace: true})
+	} else {
+		opt := s.opt
+		opt.Trace = true
+		if opt.DataSets > 64 {
+			opt.DataSets = 64
+		}
+		s = New(opt)
+	}
+	res, err := s.Run(m)
+	if err != nil {
+		return estimate.Measurement{}, err
+	}
+	k := m.Chain.Len()
+	meas := estimate.Measurement{
+		TaskExec: make([]float64, k),
+		EdgeComm: make([]float64, k-1),
+	}
+	taskN := make([]int, k)
+	edgeN := make([]int, k-1)
+	for _, seg := range res.Trace {
+		dur := seg.End - seg.Start
+		switch seg.Kind {
+		case OpExec:
+			meas.TaskExec[seg.Task] += dur
+			taskN[seg.Task]++
+		case OpRedist, OpRecv:
+			// Count each transfer once (recv side); redistributions occur
+			// once per data set anyway.
+			meas.EdgeComm[seg.Task] += dur
+			edgeN[seg.Task]++
+		}
+	}
+	for i := range meas.TaskExec {
+		if taskN[i] > 0 {
+			meas.TaskExec[i] /= float64(taskN[i])
+		}
+	}
+	for i := range meas.EdgeComm {
+		if edgeN[i] > 0 {
+			meas.EdgeComm[i] /= float64(edgeN[i])
+		}
+	}
+	return meas, nil
+}

@@ -1,0 +1,333 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pipemap/internal/estimate"
+	"pipemap/internal/model"
+	"pipemap/internal/testutil"
+)
+
+// pipelineChain returns a simple 3-task chain and a mapping with one
+// replicated module, for exercising the simulator.
+func pipelineChain() (*model.Chain, model.Mapping) {
+	c := &model.Chain{
+		Tasks: []model.Task{
+			{Name: "a", Exec: model.PolyExec{C2: 4}, Replicable: true},
+			{Name: "b", Exec: model.PolyExec{C2: 4}, Replicable: true},
+			{Name: "c", Exec: model.PolyExec{C1: 0.1, C2: 2}, Replicable: true},
+		},
+		ICom: []model.CostFunc{model.PolyExec{C1: 0.05, C2: 0.5}, model.ZeroExec()},
+		ECom: []model.CommFunc{
+			model.PolyComm{C1: 0.05, C2: 0.5, C3: 0.5},
+			model.PolyComm{C1: 0.05, C2: 0.5, C3: 0.5},
+		},
+	}
+	m := model.Mapping{Chain: c, Modules: []model.Module{
+		{Lo: 0, Hi: 1, Procs: 2, Replicas: 2},
+		{Lo: 1, Hi: 3, Procs: 4, Replicas: 1},
+	}}
+	return c, m
+}
+
+func TestSimulatedThroughputMatchesAnalytic(t *testing.T) {
+	_, m := pipelineChain()
+	res, err := New(Options{DataSets: 400}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Throughput()
+	// The blocking rendezvous schedule can only lose a little to convoy
+	// effects; it must be within a few percent of the analytic bound and
+	// never above it (beyond numerical slack).
+	if res.Throughput > want*1.02 {
+		t.Errorf("simulated %g exceeds analytic bound %g", res.Throughput, want)
+	}
+	if res.Throughput < want*0.90 {
+		t.Errorf("simulated %g more than 10%% below analytic %g", res.Throughput, want)
+	}
+}
+
+func TestSimulatedThroughputManyMappings(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cfg := testutil.DefaultRandChainConfig()
+	for trial := 0; trial < 20; trial++ {
+		c, pl := testutil.RandChain(rng, cfg, 6+rng.Intn(8))
+		// Random valid mapping: random clustering, then minimal procs plus
+		// leftovers on module 0.
+		all := model.AllClusterings(c.Len())
+		spans := all[rng.Intn(len(all))]
+		mods := make([]model.Module, len(spans))
+		used := 0
+		ok := true
+		for i, sp := range spans {
+			min := c.ModuleMinProcs(sp.Lo, sp.Hi, pl.MemPerProc)
+			if min < 0 || used+min > pl.Procs {
+				ok = false
+				break
+			}
+			mods[i] = model.Module{Lo: sp.Lo, Hi: sp.Hi, Procs: min, Replicas: 1}
+			used += min
+		}
+		if !ok {
+			continue
+		}
+		m := model.Mapping{Chain: c, Modules: mods}
+		res, err := New(Options{DataSets: 300}).Run(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m.Throughput()
+		if res.Throughput > want*1.02 || res.Throughput < want*0.85 {
+			t.Errorf("trial %d: simulated %g vs analytic %g (mapping %v)",
+				trial, res.Throughput, want, &m)
+		}
+	}
+}
+
+func TestReplicationScalesThroughput(t *testing.T) {
+	c := &model.Chain{
+		Tasks: []model.Task{{Name: "only", Exec: model.PolyExec{C1: 1}, Replicable: true}},
+	}
+	one := model.Mapping{Chain: c, Modules: []model.Module{{Lo: 0, Hi: 1, Procs: 1, Replicas: 1}}}
+	four := model.Mapping{Chain: c, Modules: []model.Module{{Lo: 0, Hi: 1, Procs: 1, Replicas: 4}}}
+	s := New(Options{DataSets: 400})
+	r1, err := s.Run(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := s.Run(four)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := r4.Throughput / r1.Throughput
+	if ratio < 3.8 || ratio > 4.2 {
+		t.Errorf("replication x4 scaled throughput by %g, want ~4", ratio)
+	}
+}
+
+func TestInputIntervalLimitsThroughput(t *testing.T) {
+	_, m := pipelineChain()
+	res, err := New(Options{DataSets: 300, InputInterval: 10}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput > 0.101 {
+		t.Errorf("throughput %g exceeds the input rate 0.1", res.Throughput)
+	}
+}
+
+func TestStragglerReducesThroughput(t *testing.T) {
+	_, m := pipelineChain()
+	base, err := New(Options{DataSets: 300}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := New(Options{DataSets: 300, StragglerModule: 1, StragglerFactor: 3}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Throughput > base.Throughput*0.75 {
+		t.Errorf("straggler x3 on the bottleneck barely hurt: %g vs %g",
+			slow.Throughput, base.Throughput)
+	}
+}
+
+func TestNoiseIsDeterministicPerSeed(t *testing.T) {
+	_, m := pipelineChain()
+	a, err := New(Options{DataSets: 100, Noise: 0.1, Seed: 9}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{DataSets: 100, Noise: 0.1, Seed: 9}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput {
+		t.Errorf("same seed, different throughput: %g vs %g", a.Throughput, b.Throughput)
+	}
+	c, err := New(Options{DataSets: 100, Noise: 0.1, Seed: 10}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput == c.Throughput {
+		t.Error("different seeds produced identical noisy runs")
+	}
+}
+
+func TestLatencyAtLeastResponseSum(t *testing.T) {
+	_, m := pipelineChain()
+	res, err := New(Options{DataSets: 200}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency < m.Latency()*0.99 {
+		t.Errorf("simulated latency %g below analytic minimum %g", res.Latency, m.Latency())
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	_, m := pipelineChain()
+	res, err := New(Options{DataSets: 200}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Utilization) != 2 {
+		t.Fatalf("got %d utilizations", len(res.Utilization))
+	}
+	for i, u := range res.Utilization {
+		if u <= 0 || u > 1.0001 {
+			t.Errorf("module %d utilization %g out of (0,1]", i, u)
+		}
+	}
+	// The bottleneck module should be busier.
+	bi, _ := m.Bottleneck()
+	for i, u := range res.Utilization {
+		if i != bi && u > res.Utilization[bi]+0.05 {
+			t.Errorf("non-bottleneck module %d utilization %g exceeds bottleneck %g",
+				i, u, res.Utilization[bi])
+		}
+	}
+}
+
+func TestTraceAndGantt(t *testing.T) {
+	_, m := pipelineChain()
+	res, err := New(Options{DataSets: 6, Trace: true}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	// Segments per instance must not overlap.
+	type key struct{ mod, inst int }
+	last := map[key]float64{}
+	byInst := map[key][]Segment{}
+	for _, s := range res.Trace {
+		byInst[key{s.Module, s.Instance}] = append(byInst[key{s.Module, s.Instance}], s)
+	}
+	for k, segs := range byInst {
+		for _, s := range segs {
+			if s.Start < last[k]-1e-9 {
+				t.Errorf("instance %v has overlapping segments at %g", k, s.Start)
+			}
+			if s.End > last[k] {
+				last[k] = s.End
+			}
+		}
+	}
+	g := Gantt(res.Trace, 80)
+	if !strings.Contains(g, "m0.0") || !strings.Contains(g, "m1.0") {
+		t.Errorf("Gantt missing rows:\n%s", g)
+	}
+	for _, ch := range []string{"X", "R", "S"} {
+		if !strings.Contains(g, ch) {
+			t.Errorf("Gantt missing %q marks:\n%s", ch, g)
+		}
+	}
+	if Gantt(nil, 80) != "" {
+		t.Error("empty trace should render empty")
+	}
+	if Gantt(res.Trace, 0) != "" {
+		t.Error("zero width should render empty")
+	}
+}
+
+func TestSimulatorAsProfiler(t *testing.T) {
+	// Fitting a chain from simulator measurements must reproduce the truth
+	// closely when the simulator is noise-free.
+	rng := rand.New(rand.NewSource(41))
+	truth, pl := testutil.RandChain(rng, testutil.DefaultRandChainConfig(), 16)
+	prof := Profiler{Sim: New(Options{DataSets: 30})}
+	fitted, err := estimate.EstimateChain(truth, prof, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred, meas []float64
+	for i := range truth.Tasks {
+		for p := 1; p <= pl.Procs; p *= 2 {
+			pred = append(pred, fitted.Tasks[i].Exec.Eval(p))
+			meas = append(meas, truth.Tasks[i].Exec.Eval(p))
+		}
+	}
+	if e := estimate.MeanAbsPctError(pred, meas); e > 2 {
+		t.Errorf("noise-free profiling gave %g%% exec model error", e)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := New(Options{}).Run(model.Mapping{}); err == nil {
+		t.Error("empty mapping accepted")
+	}
+	c, _ := pipelineChain()
+	if _, err := New(Options{}).Run(model.Mapping{Chain: c}); err == nil {
+		t.Error("mapping without modules accepted")
+	}
+	bad := model.Mapping{Chain: c, Modules: []model.Module{{Lo: 0, Hi: 3, Procs: 0, Replicas: 1}}}
+	if _, err := New(Options{}).Run(bad); err == nil {
+		t.Error("zero-processor module accepted")
+	}
+}
+
+func TestBlockedTimeAccounting(t *testing.T) {
+	_, m := pipelineChain()
+	res, err := New(Options{DataSets: 200}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BlockedSend) != 2 || len(res.BlockedRecv) != 2 {
+		t.Fatalf("blocked stats shape %d/%d", len(res.BlockedSend), len(res.BlockedRecv))
+	}
+	for i := range res.BlockedSend {
+		if res.BlockedSend[i] < 0 || res.BlockedRecv[i] < 0 {
+			t.Errorf("negative blocked time at module %d", i)
+		}
+	}
+	// The last module never blocks on send; the first never on recv.
+	if res.BlockedSend[1] != 0 {
+		t.Errorf("last module blocked on send: %g", res.BlockedSend[1])
+	}
+	if res.BlockedRecv[0] != 0 {
+		t.Errorf("first module blocked on recv: %g", res.BlockedRecv[0])
+	}
+}
+
+func TestStragglerIncreasesBlockedTime(t *testing.T) {
+	_, m := pipelineChain()
+	base, err := New(Options{DataSets: 200}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := New(Options{DataSets: 200, StragglerModule: 0, StragglerFactor: 3}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.BlockedRecv[1] <= base.BlockedRecv[1] {
+		t.Errorf("downstream blocking did not grow: %g vs %g",
+			slow.BlockedRecv[1], base.BlockedRecv[1])
+	}
+}
+
+func TestWriteTraceCSV(t *testing.T) {
+	_, m := pipelineChain()
+	res, err := New(Options{DataSets: 3, Trace: true}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteTraceCSV(&buf, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(res.Trace)+1 {
+		t.Fatalf("CSV has %d lines for %d segments", len(lines), len(res.Trace))
+	}
+	if lines[0] != "module,instance,task,kind,dataset,start,end" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(buf.String(), "exec") || !strings.Contains(buf.String(), "send") {
+		t.Error("CSV missing op kinds")
+	}
+}

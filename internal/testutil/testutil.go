@@ -1,0 +1,85 @@
+// Package testutil provides shared helpers for testing the mapping
+// algorithms: deterministic random chain generators and comparison
+// utilities.
+package testutil
+
+import (
+	"math"
+	"math/rand"
+
+	"pipemap/internal/model"
+)
+
+// RandChainConfig bounds the random chains produced by RandChain.
+type RandChainConfig struct {
+	// MinTasks and MaxTasks bound the chain length (inclusive).
+	MinTasks, MaxTasks int
+	// MaxMinProcs bounds the per-task memory-implied minimum processors
+	// (at least 1).
+	MaxMinProcs int
+	// AllowNonReplicable lets some tasks be marked non-replicable.
+	AllowNonReplicable bool
+}
+
+// DefaultRandChainConfig is a reasonable default for small-instance
+// cross-checking against brute force.
+func DefaultRandChainConfig() RandChainConfig {
+	return RandChainConfig{MinTasks: 2, MaxTasks: 4, MaxMinProcs: 3, AllowNonReplicable: true}
+}
+
+// RandChain generates a random well-behaved chain (positive polynomial
+// coefficients) from rng, plus a platform whose memory capacity induces the
+// generated per-task minimum processor counts.
+func RandChain(rng *rand.Rand, cfg RandChainConfig, procs int) (*model.Chain, model.Platform) {
+	if cfg.MinTasks < 1 {
+		cfg.MinTasks = 1
+	}
+	if cfg.MaxTasks < cfg.MinTasks {
+		cfg.MaxTasks = cfg.MinTasks
+	}
+	if cfg.MaxMinProcs < 1 {
+		cfg.MaxMinProcs = 1
+	}
+	k := cfg.MinTasks + rng.Intn(cfg.MaxTasks-cfg.MinTasks+1)
+	const capacity = 1000.0 // bytes per processor
+	c := &model.Chain{
+		Tasks: make([]model.Task, k),
+		ICom:  make([]model.CostFunc, k-1),
+		ECom:  make([]model.CommFunc, k-1),
+	}
+	for i := 0; i < k; i++ {
+		min := 1 + rng.Intn(cfg.MaxMinProcs)
+		c.Tasks[i] = model.Task{
+			Name: string(rune('a' + i)),
+			Exec: model.PolyExec{
+				C1: rng.Float64() * 0.2,
+				C2: 0.5 + rng.Float64()*8,
+				C3: rng.Float64() * 0.05,
+			},
+			// Data sized so the memory model yields exactly `min`
+			// processors at the platform capacity.
+			Mem:        model.Memory{Data: capacity*float64(min) - capacity/2},
+			Replicable: !cfg.AllowNonReplicable || rng.Float64() < 0.7,
+		}
+	}
+	for i := 0; i < k-1; i++ {
+		c.ICom[i] = model.PolyExec{
+			C1: rng.Float64() * 0.1,
+			C2: rng.Float64() * 2,
+			C3: rng.Float64() * 0.02,
+		}
+		c.ECom[i] = model.PolyComm{
+			C1: rng.Float64() * 0.1,
+			C2: rng.Float64() * 2,
+			C3: rng.Float64() * 2,
+			C4: rng.Float64() * 0.02,
+			C5: rng.Float64() * 0.02,
+		}
+	}
+	return c, model.Platform{Procs: procs, MemPerProc: capacity}
+}
+
+// AlmostEqual reports whether two floats agree to a relative tolerance.
+func AlmostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}

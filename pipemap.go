@@ -1,0 +1,218 @@
+// Package pipemap is a library for optimally mapping pipelines of data
+// parallel tasks onto parallel machines, reproducing Subhlok & Vondran,
+// "Optimal Mapping of Sequences of Data Parallel Tasks" (PPoPP 1995).
+//
+// An application is a linear chain of data parallel tasks processing a
+// stream of data sets. Each task has an execution time that is a function
+// of its processor count; adjacent tasks communicate through internal
+// redistributions (same processors) or external transfers (disjoint
+// processors). A mapping clusters tasks into modules, assigns each module
+// an exclusive processor set, and optionally replicates modules across
+// alternate data sets. pipemap finds the mapping that maximizes
+// throughput:
+//
+//	chain := &pipemap.Chain{ ... }
+//	res, err := pipemap.Map(pipemap.Request{
+//	    Chain:    chain,
+//	    Platform: pipemap.Platform{Procs: 64, MemPerProc: 0.5},
+//	})
+//	fmt.Println(res.Mapping.String(), res.Throughput)
+//
+// Two algorithms are provided: a provably optimal dynamic program
+// (O(P^4 k^2), section 3 of the paper) and a fast greedy heuristic
+// (O(P k), section 4) that is optimal in practice; Map picks automatically
+// unless told otherwise. Cost models can be fitted from profiled runs
+// (EstimateChain, section 5), mappings can be validated against machine
+// geometry (rectangular subarrays and systolic pathways, section 6.1),
+// and the Simulate function "runs" a mapping under the paper's execution
+// model to measure its throughput.
+package pipemap
+
+import (
+	"pipemap/internal/core"
+	"pipemap/internal/estimate"
+	"pipemap/internal/greedy"
+	"pipemap/internal/machine"
+	"pipemap/internal/model"
+	"pipemap/internal/sim"
+	"pipemap/internal/tradeoff"
+)
+
+// Core model types.
+type (
+	// Chain is a linear sequence of data parallel tasks with edge costs.
+	Chain = model.Chain
+	// Task is one data parallel task.
+	Task = model.Task
+	// Memory is a task's memory requirement (fixed, data, buffers).
+	Memory = model.Memory
+	// Platform is the processor budget and per-processor memory capacity.
+	Platform = model.Platform
+	// Module is a mapped cluster of tasks with processors and replicas.
+	Module = model.Module
+	// Mapping assigns a chain to processors.
+	Mapping = model.Mapping
+	// Span is a [Lo, Hi) range of task indices.
+	Span = model.Span
+	// CostFunc is a time as a function of one processor count.
+	CostFunc = model.CostFunc
+	// CommFunc is a transfer time as a function of sender and receiver
+	// processor counts.
+	CommFunc = model.CommFunc
+	// PolyExec is the paper's polynomial execution model C1 + C2/p + C3*p.
+	PolyExec = model.PolyExec
+	// PolyComm is the paper's polynomial transfer model
+	// C1 + C2/ps + C3/pr + C4*ps + C5*pr.
+	PolyComm = model.PolyComm
+	// TableCost is a tabulated, interpolated cost function.
+	TableCost = model.TableCost
+)
+
+// Mapping tool types.
+type (
+	// Request describes a mapping problem for Map.
+	Request = core.Request
+	// Result is a mapping solution.
+	Result = core.Result
+	// Algorithm selects DP, Greedy, or Auto.
+	Algorithm = core.Algorithm
+)
+
+// Algorithm values.
+const (
+	// Auto picks DP for small instances, Greedy otherwise.
+	Auto = core.Auto
+	// DP is the optimal dynamic programming algorithm.
+	DP = core.DP
+	// Greedy is the fast heuristic.
+	Greedy = core.Greedy
+)
+
+// Machine geometry types.
+type (
+	// Grid is a rectangular processor array.
+	Grid = machine.Grid
+	// Constraints are machine feasibility rules (rectangles, pathways).
+	Constraints = machine.Constraints
+	// Layout places module instances on a grid.
+	Layout = machine.Layout
+)
+
+// Estimation types.
+type (
+	// Profiler measures a chain under a mapping.
+	Profiler = estimate.Profiler
+	// Measurement is one profiled execution.
+	Measurement = estimate.Measurement
+	// ExecSample is a (processors, time) observation.
+	ExecSample = estimate.ExecSample
+	// CommSample is a (sender, receiver, time) observation.
+	CommSample = estimate.CommSample
+)
+
+// Simulation types.
+type (
+	// SimOptions configures the execution-model simulator.
+	SimOptions = sim.Options
+	// SimResult is a simulated run's statistics.
+	SimResult = sim.Result
+)
+
+// Map computes the throughput-optimal mapping for a request, optionally
+// subject to machine constraints.
+func Map(req Request) (Result, error) { return core.Map(req) }
+
+// DataParallel returns the pure data parallel mapping (all tasks on all
+// processors), the baseline of the paper's Table 2.
+func DataParallel(c *Chain, pl Platform) Mapping { return model.DataParallel(c, pl) }
+
+// Simulate runs a mapping on the discrete-event execution-model simulator
+// and returns measured statistics.
+func Simulate(m Mapping, opt SimOptions) (SimResult, error) { return sim.New(opt).Run(m) }
+
+// NewTableCost builds a tabulated cost function from (processors, time)
+// points with linear interpolation.
+func NewTableCost(points map[int]float64) (*TableCost, error) { return model.NewTableCost(points) }
+
+// ZeroExec returns an identically zero cost function (e.g. for free
+// internal redistributions between tasks sharing a distribution).
+func ZeroExec() CostFunc { return model.ZeroExec() }
+
+// ZeroComm returns an identically zero transfer function.
+func ZeroComm() CommFunc { return model.ZeroComm() }
+
+// EstimateChain profiles an application through the paper's eight training
+// runs and returns a chain with fitted polynomial cost models. structure
+// provides task names, memory and replicability.
+func EstimateChain(structure *Chain, prof Profiler, pl Platform) (*Chain, error) {
+	return estimate.EstimateChain(structure, prof, pl)
+}
+
+// TrainingPlan returns the paper's eight training mappings for a chain.
+func TrainingPlan(c *Chain, pl Platform) ([]Mapping, error) {
+	return estimate.TrainingPlan(c, pl)
+}
+
+// FitExec fits the execution model C1 + C2/p + C3*p to samples.
+func FitExec(samples []ExecSample) (PolyExec, error) { return estimate.FitExec(samples) }
+
+// FitComm fits the transfer model C1 + C2/ps + C3/pr + C4*ps + C5*pr.
+func FitComm(samples []CommSample) (PolyComm, error) { return estimate.FitComm(samples) }
+
+// Feasible reports whether a mapping satisfies machine constraints,
+// returning its grid layout when it does.
+func Feasible(m Mapping, cons Constraints) (Layout, bool) { return machine.Feasible(m, cons) }
+
+// Singletons returns the clustering with every task in its own module.
+func Singletons(k int) []Span { return model.Singletons(k) }
+
+// AllClusterings enumerates the 2^(k-1) contiguous clusterings of k tasks.
+func AllClusterings(k int) [][]Span { return model.AllClusterings(k) }
+
+// Latency-throughput trade-off (extension beyond the paper; latency is
+// deferred to Vondran's thesis there).
+type (
+	// TradeoffPoint is one Pareto-optimal mapping.
+	TradeoffPoint = tradeoff.Point
+	// TradeoffOptions configures the frontier exploration.
+	TradeoffOptions = tradeoff.Options
+)
+
+// Frontier returns the Pareto frontier of (throughput, latency) mappings.
+func Frontier(c *Chain, pl Platform, opt TradeoffOptions) ([]TradeoffPoint, error) {
+	return tradeoff.Frontier(c, pl, opt)
+}
+
+// MinLatency returns the mapping minimizing one data set's traversal time.
+func MinLatency(c *Chain, pl Platform, opt TradeoffOptions) (Mapping, error) {
+	return tradeoff.MinLatency(c, pl, opt)
+}
+
+// BestThroughputUnderLatency returns the fastest mapping whose latency
+// stays within the bound.
+func BestThroughputUnderLatency(c *Chain, pl Platform, bound float64, opt TradeoffOptions) (Mapping, error) {
+	return tradeoff.BestThroughputUnderLatency(c, pl, bound, opt)
+}
+
+// Certificate reports whether the greedy heuristic is provably optimal
+// for a chain, per the paper's Theorems 1 and 2.
+type Certificate = greedy.Certificate
+
+// Certify analyzes a chain's cost functions and reports which greedy
+// configuration, if any, is provably optimal for it.
+func Certify(c *Chain, pl Platform) Certificate { return greedy.Certify(c, pl) }
+
+// Objective selects what Map optimizes.
+type Objective = core.Objective
+
+// Objective values for Request.Objective.
+const (
+	// ObjectiveMaxThroughput maximizes data sets per second (default, the
+	// paper's objective).
+	ObjectiveMaxThroughput = core.MaxThroughput
+	// ObjectiveMinLatency minimizes one data set's traversal time.
+	ObjectiveMinLatency = core.MinLatency
+	// ObjectiveThroughputUnderLatency maximizes throughput subject to
+	// Request.LatencyBound.
+	ObjectiveThroughputUnderLatency = core.ThroughputUnderLatency
+)

@@ -1,0 +1,175 @@
+package pipemap_test
+
+import (
+	"testing"
+
+	"pipemap"
+)
+
+// exampleChain builds a small chain through the public API only.
+func exampleChain() *pipemap.Chain {
+	return &pipemap.Chain{
+		Tasks: []pipemap.Task{
+			{Name: "a", Exec: pipemap.PolyExec{C2: 4}, Mem: pipemap.Memory{Data: 1}, Replicable: true},
+			{Name: "b", Exec: pipemap.PolyExec{C1: 0.1, C2: 2, C3: 0.02}, Mem: pipemap.Memory{Data: 1}, Replicable: true},
+		},
+		ICom: []pipemap.CostFunc{pipemap.ZeroExec()},
+		ECom: []pipemap.CommFunc{pipemap.PolyComm{C1: 0.05, C2: 0.3, C3: 0.3}},
+	}
+}
+
+func TestPublicMapAndSimulate(t *testing.T) {
+	chain := exampleChain()
+	pl := pipemap.Platform{Procs: 16, MemPerProc: 1}
+	res, err := pipemap.Map(pipemap.Request{Chain: chain, Platform: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("no throughput predicted")
+	}
+	if err := res.Mapping.Validate(pl); err != nil {
+		t.Fatalf("mapping invalid: %v", err)
+	}
+	sr, err := pipemap.Simulate(res.Mapping, pipemap.SimOptions{DataSets: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Throughput < res.Throughput*0.85 || sr.Throughput > res.Throughput*1.05 {
+		t.Errorf("simulated %g far from predicted %g", sr.Throughput, res.Throughput)
+	}
+	// The optimum is at least as good as the data parallel baseline.
+	if dp := pipemap.DataParallel(chain, pl); res.Throughput < dp.Throughput()-1e-9 {
+		t.Errorf("optimal %g below data parallel %g", res.Throughput, dp.Throughput())
+	}
+}
+
+func TestPublicAlgorithmsAgree(t *testing.T) {
+	chain := exampleChain()
+	pl := pipemap.Platform{Procs: 12, MemPerProc: 1}
+	d, err := pipemap.Map(pipemap.Request{Chain: chain, Platform: pl, Algorithm: pipemap.DP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := pipemap.Map(pipemap.Request{Chain: chain, Platform: pl, Algorithm: pipemap.Greedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Throughput > d.Throughput*1.001 {
+		t.Errorf("greedy %g beats DP %g", g.Throughput, d.Throughput)
+	}
+}
+
+func TestPublicEstimation(t *testing.T) {
+	// Fit from exact samples of a known model.
+	truth := pipemap.PolyExec{C1: 0.2, C2: 5, C3: 0.01}
+	var samples []pipemap.ExecSample
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		samples = append(samples, pipemap.ExecSample{Procs: p, Time: truth.Eval(p)})
+	}
+	fit, err := pipemap.FitExec(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fit.Eval(32), truth.Eval(32); got < want*0.99 || got > want*1.01 {
+		t.Errorf("fitted(32) = %g, want %g", got, want)
+	}
+	plan, err := pipemap.TrainingPlan(exampleChain(), pipemap.Platform{Procs: 16, MemPerProc: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 8 {
+		t.Errorf("training plan has %d runs, want 8", len(plan))
+	}
+}
+
+func TestPublicFeasibility(t *testing.T) {
+	chain := exampleChain()
+	pl := pipemap.Platform{Procs: 16, MemPerProc: 1}
+	res, err := pipemap.Map(pipemap.Request{Chain: chain, Platform: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pipemap.Feasible(res.Mapping, pipemap.Constraints{
+		Grid: pipemap.Grid{Rows: 4, Cols: 4},
+	}); !ok {
+		t.Log("optimal mapping infeasible on 4x4; that is allowed, checking constrained search")
+		cres, err := pipemap.Map(pipemap.Request{Chain: chain, Platform: pl,
+			Machine: &pipemap.Constraints{Grid: pipemap.Grid{Rows: 4, Cols: 4}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cres.Layout == nil {
+			t.Error("no layout from constrained search")
+		}
+	}
+}
+
+func TestPublicClusteringHelpers(t *testing.T) {
+	if got := len(pipemap.AllClusterings(4)); got != 8 {
+		t.Errorf("AllClusterings(4) = %d, want 8", got)
+	}
+	if got := len(pipemap.Singletons(3)); got != 3 {
+		t.Errorf("Singletons(3) = %d spans", got)
+	}
+	tc, err := pipemap.NewTableCost(map[int]float64{1: 10, 2: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Eval(1) != 10 {
+		t.Error("TableCost mis-evaluates")
+	}
+}
+
+func TestPublicObjectives(t *testing.T) {
+	chain := exampleChain()
+	pl := pipemap.Platform{Procs: 12, MemPerProc: 1}
+	thr, err := pipemap.Map(pipemap.Request{Chain: chain, Platform: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := pipemap.Map(pipemap.Request{Chain: chain, Platform: pl,
+		Objective: pipemap.ObjectiveMinLatency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat.Latency > thr.Latency {
+		t.Errorf("min-latency %g worse than throughput optimum's %g", lat.Latency, thr.Latency)
+	}
+	mid, err := pipemap.Map(pipemap.Request{Chain: chain, Platform: pl,
+		Objective:    pipemap.ObjectiveThroughputUnderLatency,
+		LatencyBound: (lat.Latency + thr.Latency) / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Latency > (lat.Latency+thr.Latency)/2 {
+		t.Error("latency bound violated")
+	}
+}
+
+func TestPublicFrontierAndCertify(t *testing.T) {
+	chain := exampleChain()
+	pl := pipemap.Platform{Procs: 12, MemPerProc: 1}
+	front, err := pipemap.Frontier(chain, pl, pipemap.TradeoffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("empty frontier")
+	}
+	ml, err := pipemap.MinLatency(chain, pl, pipemap.TradeoffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.Latency() > front[0].Latency+1e-9 {
+		t.Errorf("MinLatency %g worse than frontier head %g", ml.Latency(), front[0].Latency)
+	}
+	if _, err := pipemap.BestThroughputUnderLatency(chain, pl, front[0].Latency/2,
+		pipemap.TradeoffOptions{}); err == nil {
+		t.Error("unsatisfiable bound accepted")
+	}
+	cert := pipemap.Certify(chain, pl)
+	if cert.Reason == "" {
+		t.Error("empty certificate reason")
+	}
+}
