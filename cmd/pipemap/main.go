@@ -4,12 +4,16 @@
 //
 // Usage:
 //
-//	pipemap [-algo auto|dp|greedy] [-grid RxC] [-systolic] [-json] [spec.json]
+//	pipemap [-algo auto|dp|greedy] [-grid RxC] [-systolic] [-json]
+//	        [-fail-procs N] [spec.json]
 //
 // With no file argument the spec is read from standard input. -grid adds
 // the rectangular-subarray feasibility constraint (e.g. -grid 8x8);
 // -systolic additionally enforces pathway limits. -json emits the mapping
 // as JSON (consumable by fxsim) instead of a human-readable report.
+// -fail-procs N appends a degraded-mode report: the optimal remapping and
+// predicted throughput after N processors are lost (not combinable with
+// -json, whose output schema stays a single mapping).
 package main
 
 import (
@@ -43,8 +47,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	latencyBound := fs.Float64("latency-bound", 0, "maximize throughput subject to this latency budget (seconds)")
 	certify := fs.Bool("certify", false, "report whether the greedy heuristic is provably optimal for this chain")
 	frontier := fs.Bool("frontier", false, "print the latency-throughput Pareto frontier")
+	failProcs := fs.Int("fail-procs", 0, "also report the degraded remapping after losing N processors")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *failProcs < 0 {
+		return fmt.Errorf("-fail-procs must be >= 0, got %d", *failProcs)
+	}
+	if *failProcs > 0 && *asJSON {
+		return fmt.Errorf("-fail-procs is not combinable with -json")
 	}
 
 	in := stdin
@@ -128,6 +139,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "\nnote: unconstrained optimum %v (%.4f/s) was infeasible on the grid\n",
 				&res.Unconstrained, res.Unconstrained.Throughput())
 		}
+	}
+	if *failProcs > 0 {
+		deg, err := core.Remap(req, *failProcs)
+		if err != nil {
+			return fmt.Errorf("degraded remapping after losing %d processors: %w", *failProcs, err)
+		}
+		fmt.Fprintf(stdout, "\ndegraded after losing %d processors (%d survive):\n",
+			*failProcs, pl.Procs-*failProcs)
+		fmt.Fprintf(stdout, "  mapping:    %v\n", &deg.Mapping)
+		fmt.Fprintf(stdout, "  throughput: %.4f data sets/s (%.1f%% of nominal)\n",
+			deg.Throughput, 100*deg.Throughput/res.Throughput)
+		fmt.Fprintf(stdout, "  latency:    %.4f s\n", deg.Latency)
 	}
 	return nil
 }

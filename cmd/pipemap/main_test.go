@@ -143,3 +143,78 @@ func TestParseGrid(t *testing.T) {
 		t.Error("parseGrid(8xb) accepted")
 	}
 }
+
+func TestRunFailProcs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fail-procs", "4"}, strings.NewReader(specJSON), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "degraded after losing 4 processors (12 survive)") {
+		t.Errorf("degraded report missing:\n%s", s)
+	}
+	if !strings.Contains(s, "% of nominal") {
+		t.Errorf("nominal comparison missing:\n%s", s)
+	}
+}
+
+func TestRunFailProcsErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-fail-procs", "-1"},
+		{"-fail-procs", "16"},  // loses every processor
+		{"-fail-procs", "100"}, // more than the machine has
+		{"-fail-procs", "4", "-json"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, strings.NewReader(specJSON), &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRunMalformedSpecs feeds structurally broken variants of the valid
+// specs/threestage.json baseline and asserts a clean error (no panic).
+func TestRunMalformedSpecs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"../../specs/threestage.json"}, nil, &out); err != nil {
+		t.Fatalf("valid baseline spec rejected: %v", err)
+	}
+	cases := map[string]string{
+		"negative procs": `{
+		  "platform": {"procs": -4, "memPerProc": 0.5},
+		  "tasks": [{"name": "a", "exec": [0.01, 0.8, 0.001], "mem": {"data": 1.0}, "replicable": true}],
+		  "edges": []
+		}`,
+		"zero procs": `{
+		  "platform": {"procs": 0, "memPerProc": 0.5},
+		  "tasks": [{"name": "a", "exec": [0.01, 0.8, 0.001], "replicable": true}],
+		  "edges": []
+		}`,
+		"zero tasks": `{
+		  "platform": {"procs": 32, "memPerProc": 0.5},
+		  "tasks": [],
+		  "edges": []
+		}`,
+		"edge count mismatch": `{
+		  "platform": {"procs": 32, "memPerProc": 0.5},
+		  "tasks": [{"name": "a", "exec": [0.01, 0.8, 0.001], "replicable": true}],
+		  "edges": [{"icom": [], "ecom": [0.05, 0.3, 0.3, 0.0005, 0.0005]}]
+		}`,
+		"bad exec arity": `{
+		  "platform": {"procs": 32, "memPerProc": 0.5},
+		  "tasks": [{"name": "a", "exec": [0.01], "replicable": true}],
+		  "edges": []
+		}`,
+		"negative memory": `{
+		  "platform": {"procs": 32, "memPerProc": -0.5},
+		  "tasks": [{"name": "a", "exec": [0.01, 0.8, 0.001], "replicable": true}],
+		  "edges": []
+		}`,
+	}
+	for name, spec := range cases {
+		var out bytes.Buffer
+		if err := run(nil, strings.NewReader(spec), &out); err == nil {
+			t.Errorf("%s: malformed spec accepted", name)
+		}
+	}
+}

@@ -101,6 +101,26 @@ type Result struct {
 	Layout *machine.Layout
 }
 
+// Remap re-solves a mapping request after lost processors have been
+// removed from the platform: the degraded-mode companion to Map. When a
+// runtime detects dead instances it calls Remap with the number of
+// processors lost and rebuilds the pipeline from the returned mapping,
+// which is optimal for the surviving machine (same DP/greedy machinery,
+// smaller P). Memory and machine constraints are re-checked against the
+// reduced budget, so a chain that no longer fits reports an error instead
+// of a bogus mapping.
+func Remap(req Request, lostProcs int) (Result, error) {
+	if lostProcs < 0 {
+		return Result{}, fmt.Errorf("core: negative processor loss %d", lostProcs)
+	}
+	if lostProcs >= req.Platform.Procs {
+		return Result{}, fmt.Errorf("core: losing %d of %d processors leaves none to map onto",
+			lostProcs, req.Platform.Procs)
+	}
+	req.Platform.Procs -= lostProcs
+	return Map(req)
+}
+
 // Map solves a mapping request.
 func Map(req Request) (Result, error) {
 	if req.Chain == nil {

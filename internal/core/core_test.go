@@ -217,3 +217,51 @@ func TestMapObjectives(t *testing.T) {
 		t.Error("missing latency bound accepted")
 	}
 }
+
+func TestRemapDegradedPlatform(t *testing.T) {
+	c, err := apps.FFTHist(256, apps.Message)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := apps.Platform()
+	full, err := Map(Request{Chain: c, Platform: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := pl.Procs / 4
+	deg, err := Remap(Request{Chain: c, Platform: pl}, lost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := deg.Mapping.TotalProcs(); got > pl.Procs-lost {
+		t.Errorf("degraded mapping uses %d processors, only %d survive", got, pl.Procs-lost)
+	}
+	if deg.Throughput > full.Throughput+1e-9 {
+		t.Errorf("degraded throughput %g exceeds full-machine %g", deg.Throughput, full.Throughput)
+	}
+	if err := deg.Mapping.Validate(model.Platform{Procs: pl.Procs - lost, MemPerProc: pl.MemPerProc}); err != nil {
+		t.Errorf("degraded mapping invalid on surviving machine: %v", err)
+	}
+	// Losing nothing is exactly Map.
+	same, err := Remap(Request{Chain: c, Platform: pl}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Throughput != full.Throughput {
+		t.Errorf("Remap(0) throughput %g != Map %g", same.Throughput, full.Throughput)
+	}
+}
+
+func TestRemapErrors(t *testing.T) {
+	c, err := apps.FFTHist(256, apps.Message)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := apps.Platform()
+	if _, err := Remap(Request{Chain: c, Platform: pl}, -1); err == nil {
+		t.Error("negative loss accepted")
+	}
+	if _, err := Remap(Request{Chain: c, Platform: pl}, pl.Procs); err == nil {
+		t.Error("losing every processor accepted")
+	}
+}

@@ -2,6 +2,7 @@ package fxrt
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -191,6 +192,36 @@ func TestPipelineValidation(t *testing.T) {
 	}
 }
 
+func TestPipelineErrorLeaksNoGoroutines(t *testing.T) {
+	// A mid-stream stage error must wind down every stage instance and
+	// worker Group: after Run returns, the goroutine count settles back to
+	// its baseline (polled with retries to absorb scheduler lag).
+	before := runtime.NumGoroutine()
+	p := &Pipeline{Stages: []Stage{
+		{Name: "a", Workers: 3, Replicas: 2, Run: func(ctx *StageCtx, in DataSet) (DataSet, error) {
+			return in, nil
+		}},
+		{Name: "bad", Workers: 2, Replicas: 2, Run: func(ctx *StageCtx, in DataSet) (DataSet, error) {
+			if in.(int) == 9 {
+				return nil, fmt.Errorf("mid-stream failure")
+			}
+			return in, nil
+		}},
+	}}
+	if _, err := p.Run(func(i int) DataSet { return i }, 30, 3); err == nil {
+		t.Fatal("stage error swallowed")
+	}
+	var after int
+	for attempt := 0; attempt < 100; attempt++ {
+		after = runtime.NumGoroutine()
+		if after <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked after failed run: %d before, %d after", before, after)
+}
+
 func TestRecorder(t *testing.T) {
 	r := NewRecorder()
 	r.Observe("op", 1.0)
@@ -204,6 +235,32 @@ func TestRecorder(t *testing.T) {
 	}
 	if _, ok := means["timed"]; !ok {
 		t.Error("timed op not recorded")
+	}
+}
+
+func TestRecorderMinMax(t *testing.T) {
+	r := NewRecorder()
+	for _, v := range []float64{2.0, 0.5, 3.5, 1.0} {
+		r.Observe("op", v)
+	}
+	s := r.Summary()["op"]
+	if s.Min != 0.5 || s.Max != 3.5 {
+		t.Errorf("min/max = %g/%g, want 0.5/3.5", s.Min, s.Max)
+	}
+	if s.Count != 4 {
+		t.Errorf("count = %d, want 4", s.Count)
+	}
+	if want := (2.0 + 0.5 + 3.5 + 1.0) / 4; s.Mean != want {
+		t.Errorf("mean = %g, want %g", s.Mean, want)
+	}
+	// A single sample is its own min, max and mean.
+	r2 := NewRecorder()
+	r2.Observe("one", 7)
+	if s := r2.Summary()["one"]; s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.Count != 1 {
+		t.Errorf("single sample summary = %+v", s)
+	}
+	if len(NewRecorder().Summary()) != 0 {
+		t.Error("empty recorder has non-empty summary")
 	}
 }
 

@@ -32,6 +32,10 @@ type Stage struct {
 	// (each instance has its own Group; shared inputs must be treated as
 	// read-only).
 	Run func(ctx *StageCtx, in DataSet) (DataSet, error)
+	// Deadline bounds one attempt of this stage in fault-tolerant runs,
+	// overriding Pipeline.StageDeadline; zero inherits the pipeline-wide
+	// value.
+	Deadline time.Duration
 }
 
 // Stats reports a pipeline execution.
@@ -47,25 +51,61 @@ type Stats struct {
 	// Ops maps operation names (as recorded by stages) to mean durations
 	// in seconds.
 	Ops map[string]float64
+	// OpStats maps operation names to mean/min/max summaries; a Max far
+	// above the Mean flags a straggling or slowed instance.
+	OpStats map[string]OpStat
+	// Retried is the total number of retry attempts across all stages
+	// (fault-tolerant runs only).
+	Retried int
+	// Dropped is the number of data sets abandoned after exhausting their
+	// attempts at some stage; dropped data sets do not reach the sink.
+	Dropped int
+	// Timeouts is the number of attempts cut off by a stage deadline.
+	Timeouts int
+	// Dead is the number of stage instances declared dead and removed
+	// from rotation during the run.
+	Dead int
+}
+
+// OpStat summarizes the samples of one recorded operation.
+type OpStat struct {
+	Mean, Min, Max float64
+	Count          int
+}
+
+// opAgg is the running aggregate behind one OpStat.
+type opAgg struct {
+	sum, min, max float64
+	n             int
 }
 
 // Recorder accumulates named operation durations across stage instances.
 type Recorder struct {
 	mu  sync.Mutex
-	sum map[string]float64
-	n   map[string]int
+	ops map[string]*opAgg
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{sum: map[string]float64{}, n: map[string]int{}}
+	return &Recorder{ops: map[string]*opAgg{}}
 }
 
 // Observe adds one sample of the named operation.
 func (r *Recorder) Observe(name string, seconds float64) {
 	r.mu.Lock()
-	r.sum[name] += seconds
-	r.n[name]++
+	a := r.ops[name]
+	if a == nil {
+		a = &opAgg{min: seconds, max: seconds}
+		r.ops[name] = a
+	}
+	a.sum += seconds
+	a.n++
+	if seconds < a.min {
+		a.min = seconds
+	}
+	if seconds > a.max {
+		a.max = seconds
+	}
 	r.mu.Unlock()
 }
 
@@ -81,16 +121,50 @@ func (r *Recorder) Time(name string, f func() error) error {
 func (r *Recorder) Means() map[string]float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]float64, len(r.sum))
-	for k, s := range r.sum {
-		out[k] = s / float64(r.n[k])
+	out := make(map[string]float64, len(r.ops))
+	for k, a := range r.ops {
+		out[k] = a.sum / float64(a.n)
+	}
+	return out
+}
+
+// Summary returns mean, min and max of every recorded operation.
+func (r *Recorder) Summary() map[string]OpStat {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]OpStat, len(r.ops))
+	for k, a := range r.ops {
+		out[k] = OpStat{Mean: a.sum / float64(a.n), Min: a.min, Max: a.max, Count: a.n}
 	}
 	return out
 }
 
 // Pipeline is a chain of stages executing a stream of data sets.
+//
+// The zero-value configuration runs the strict rendezvous executor that
+// models the paper's execution semantics exactly and aborts on the first
+// stage error. Setting any of the fault-tolerance fields (Retry,
+// StageDeadline, DeadAfter, Faults, or a per-stage Deadline) routes
+// Run/RunWithEdges through the fault-tolerant executor instead: failed
+// attempts are retried with capped exponential backoff, hung attempts are
+// cut off by deadlines, data sets that exhaust their attempts are dropped
+// and counted (never aborting the stream), and repeatedly failing
+// instances are declared dead and removed from the round-robin while the
+// surviving replicas keep serving at reduced throughput.
 type Pipeline struct {
 	Stages []Stage
+	// Retry is the per-data-set retry policy applied at every stage.
+	Retry RetryPolicy
+	// StageDeadline bounds one attempt of any stage; zero disables
+	// deadlines. A stage's own Deadline overrides it.
+	StageDeadline time.Duration
+	// DeadAfter declares an instance dead after this many consecutive
+	// failed attempts, removing it from rotation (its in-flight data set
+	// is requeued to a surviving replica); zero never declares death. The
+	// last live instance of a stage is never removed.
+	DeadAfter int
+	// Faults injects deterministic failures for testing (see Fault).
+	Faults []Fault
 }
 
 // envelope carries a data set with its stream index.
@@ -100,15 +174,19 @@ type envelope struct {
 	t0  time.Time
 }
 
-// Run streams n data sets produced by source through the pipeline and
-// returns execution statistics. warmup data sets are excluded from the
-// throughput window (pass 0 for n/5).
-func (p *Pipeline) Run(source func(i int) DataSet, n, warmup int) (Stats, error) {
+// validate checks the pipeline structure and run parameters shared by Run
+// and RunWithEdges, returning the effective warmup count. edges is only
+// inspected when withEdges is set.
+func (p *Pipeline) validate(n, warmup int, edges []Edge, withEdges bool) (int, error) {
 	if len(p.Stages) == 0 {
-		return Stats{}, fmt.Errorf("fxrt: pipeline has no stages")
+		return 0, fmt.Errorf("fxrt: pipeline has no stages")
+	}
+	if withEdges && len(edges) != len(p.Stages)-1 {
+		return 0, fmt.Errorf("fxrt: %d edges for %d stages (want %d)",
+			len(edges), len(p.Stages), len(p.Stages)-1)
 	}
 	if n <= 0 {
-		return Stats{}, fmt.Errorf("fxrt: need at least one data set")
+		return 0, fmt.Errorf("fxrt: need at least one data set")
 	}
 	if warmup <= 0 {
 		warmup = n / 5
@@ -118,12 +196,26 @@ func (p *Pipeline) Run(source func(i int) DataSet, n, warmup int) (Stats, error)
 	}
 	for i, s := range p.Stages {
 		if s.Workers < 1 || s.Replicas < 1 {
-			return Stats{}, fmt.Errorf("fxrt: stage %d (%s) has workers=%d replicas=%d",
+			return 0, fmt.Errorf("fxrt: stage %d (%s) has workers=%d replicas=%d",
 				i, s.Name, s.Workers, s.Replicas)
 		}
 		if s.Run == nil {
-			return Stats{}, fmt.Errorf("fxrt: stage %d (%s) has no Run", i, s.Name)
+			return 0, fmt.Errorf("fxrt: stage %d (%s) has no Run", i, s.Name)
 		}
+	}
+	return warmup, nil
+}
+
+// Run streams n data sets produced by source through the pipeline and
+// returns execution statistics. warmup data sets are excluded from the
+// throughput window (pass 0 for n/5).
+func (p *Pipeline) Run(source func(i int) DataSet, n, warmup int) (Stats, error) {
+	warmup, err := p.validate(n, warmup, nil, false)
+	if err != nil {
+		return Stats{}, err
+	}
+	if p.faultTolerant() {
+		return p.runFT(source, n, warmup, nil)
 	}
 
 	rec := NewRecorder()
@@ -239,6 +331,7 @@ func (p *Pipeline) Run(source func(i int) DataSet, n, warmup int) (Stats, error)
 		Elapsed:  outTimes[n-1].Sub(start),
 		Latency:  latSum / time.Duration(n),
 		Ops:      rec.Means(),
+		OpStats:  rec.Summary(),
 	}
 	window := outTimes[n-1].Sub(outTimes[warmup])
 	if window > 0 {

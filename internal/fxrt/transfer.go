@@ -3,6 +3,7 @@ package fxrt
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -37,26 +38,12 @@ type transferEnvelope struct {
 // it, charging the transfer time to both sides as the execution model
 // prescribes.
 func (p *Pipeline) RunWithEdges(source func(i int) DataSet, n, warmup int, edges []Edge) (Stats, error) {
-	if len(edges) != len(p.Stages)-1 {
-		return Stats{}, fmt.Errorf("fxrt: %d edges for %d stages (want %d)",
-			len(edges), len(p.Stages), len(p.Stages)-1)
+	warmup, err := p.validate(n, warmup, edges, true)
+	if err != nil {
+		return Stats{}, err
 	}
-	if len(p.Stages) == 0 {
-		return Stats{}, fmt.Errorf("fxrt: pipeline has no stages")
-	}
-	if n <= 0 {
-		return Stats{}, fmt.Errorf("fxrt: need at least one data set")
-	}
-	if warmup <= 0 {
-		warmup = n / 5
-	}
-	if warmup >= n {
-		warmup = n - 1
-	}
-	for i, s := range p.Stages {
-		if s.Workers < 1 || s.Replicas < 1 || s.Run == nil {
-			return Stats{}, fmt.Errorf("fxrt: stage %d (%s) invalid", i, s.Name)
-		}
+	if p.faultTolerant() {
+		return p.runFT(source, n, warmup, edges)
 	}
 
 	rec := NewRecorder()
@@ -84,9 +71,11 @@ func (p *Pipeline) RunWithEdges(source func(i int) DataSet, n, warmup int, edges
 	var (
 		errOnce sync.Once
 		runErr  error
+		failed  atomic.Bool
 	)
 	setErr := func(err error) {
 		if err != nil {
+			failed.Store(true)
 			errOnce.Do(func() { runErr = err })
 		}
 	}
@@ -117,7 +106,7 @@ func (p *Pipeline) RunWithEdges(source func(i int) DataSet, n, warmup int, edges
 					env := <-ch[i][idx%prevReps][b]
 					// Incoming edge transfer: executed here (the receiver)
 					// while the sender blocks on env.done.
-					if i > 0 && edges[i-1].Transfer != nil && g != nil && runErr == nil {
+					if i > 0 && edges[i-1].Transfer != nil && g != nil && !failed.Load() {
 						start := time.Now()
 						out, err := edges[i-1].Transfer(ctx, env.ds)
 						rec.Observe(edges[i-1].Name, time.Since(start).Seconds())
@@ -131,7 +120,7 @@ func (p *Pipeline) RunWithEdges(source func(i int) DataSet, n, warmup int, edges
 					if env.done != nil {
 						close(env.done) // release the sender
 					}
-					if g != nil && runErr == nil {
+					if g != nil && !failed.Load() {
 						out, err := st.Run(ctx, env.ds)
 						if err != nil {
 							setErr(fmt.Errorf("fxrt: stage %s instance %d data set %d: %w",
@@ -190,6 +179,7 @@ func (p *Pipeline) RunWithEdges(source func(i int) DataSet, n, warmup int, edges
 		Elapsed:  outTimes[n-1].Sub(start),
 		Latency:  latSum / time.Duration(n),
 		Ops:      rec.Means(),
+		OpStats:  rec.Summary(),
 	}
 	// Output times can arrive out of order across instances; delimit the
 	// window with running maxima.

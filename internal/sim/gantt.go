@@ -9,7 +9,8 @@ import (
 // Gantt renders a trace as an ASCII timeline, one row per module instance,
 // reproducing the execution-model figures of the paper (Figures 2 and 3):
 // 'R' marks receive, 'X' compute, 'r' internal redistribution, 'S' send,
-// '.' idle. width is the number of time buckets.
+// 'F' a processor-failure event, '.' idle. width is the number of time
+// buckets.
 func Gantt(trace []Segment, width int) string {
 	if len(trace) == 0 || width <= 0 {
 		return ""
@@ -45,23 +46,32 @@ func Gantt(trace []Segment, width int) string {
 		for i := range line {
 			line[i] = '.'
 		}
-		for _, s := range rows[k] {
-			lo := int(s.Start * scale)
-			hi := int(s.End * scale)
-			if hi >= width {
-				hi = width - 1
-			}
-			ch := byte('X')
-			switch s.Kind {
-			case OpRecv:
-				ch = 'R'
-			case OpSend:
-				ch = 'S'
-			case OpRedist:
-				ch = 'r'
-			}
-			for i := lo; i <= hi && i < width; i++ {
-				line[i] = ch
+		// Failure markers are drawn in a second pass so surrounding
+		// operations cannot paint over them.
+		for pass := 0; pass < 2; pass++ {
+			for _, s := range rows[k] {
+				if (s.Kind == OpFail) != (pass == 1) {
+					continue
+				}
+				lo := int(s.Start * scale)
+				hi := int(s.End * scale)
+				if hi >= width {
+					hi = width - 1
+				}
+				ch := byte('X')
+				switch s.Kind {
+				case OpRecv:
+					ch = 'R'
+				case OpSend:
+					ch = 'S'
+				case OpRedist:
+					ch = 'r'
+				case OpFail:
+					ch = 'F'
+				}
+				for i := lo; i <= hi && i < width; i++ {
+					line[i] = ch
+				}
 			}
 		}
 		fmt.Fprintf(&b, "m%d.%d |%s|\n", k.mod, k.inst, line)

@@ -16,6 +16,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"pipemap/internal/estimate"
@@ -34,6 +35,8 @@ const (
 	OpRedist
 	// OpSend is an inter-module transfer charged to the sending instance.
 	OpSend
+	// OpFail marks a processor-failure event (zero-length timeline marker).
+	OpFail
 )
 
 func (k OpKind) String() string {
@@ -46,6 +49,8 @@ func (k OpKind) String() string {
 		return "redist"
 	case OpSend:
 		return "send"
+	case OpFail:
+		return "fail"
 	default:
 		return "?"
 	}
@@ -87,6 +92,21 @@ type Options struct {
 	StragglerModule   int
 	StragglerInstance int
 	StragglerFactor   float64
+	// Failures schedules fail-stop processor failures on the timeline:
+	// from Time onward the given module instance accepts no new data sets
+	// and the surviving replicas absorb its share of the round-robin.
+	// Failures act at data set granularity — an instance that has already
+	// started a transfer or computation completes it. A module whose
+	// instances have all failed aborts the simulation with an error.
+	Failures []FailureEvent
+}
+
+// FailureEvent is one scheduled fail-stop processor failure.
+type FailureEvent struct {
+	// Time is the simulated time (seconds) at which the instance fails.
+	Time float64
+	// Module and Instance identify the failing replica.
+	Module, Instance int
 }
 
 // Result summarizes a simulation.
@@ -186,6 +206,56 @@ func (s *Simulator) Run(m model.Mapping) (Result, error) {
 		}
 	}
 
+	// Failure schedule: failAt[i][c] is the time instance c of module i
+	// fail-stops (+Inf = survives the whole run).
+	failAt := make([][]float64, l)
+	for i, mod := range m.Modules {
+		failAt[i] = make([]float64, mod.Replicas)
+		for c := range failAt[i] {
+			failAt[i][c] = math.Inf(1)
+		}
+	}
+	for _, fe := range opt.Failures {
+		if fe.Module < 0 || fe.Module >= l {
+			return Result{}, fmt.Errorf("sim: failure event module %d outside the %d-module mapping",
+				fe.Module, l)
+		}
+		if fe.Instance < 0 || fe.Instance >= m.Modules[fe.Module].Replicas {
+			return Result{}, fmt.Errorf("sim: failure event instance %d outside module %d's %d replicas",
+				fe.Instance, fe.Module, m.Modules[fe.Module].Replicas)
+		}
+		if fe.Time < 0 {
+			return Result{}, fmt.Errorf("sim: failure event at negative time %g", fe.Time)
+		}
+		if fe.Time < failAt[fe.Module][fe.Instance] {
+			failAt[fe.Module][fe.Instance] = fe.Time
+		}
+		if opt.Trace {
+			trace = append(trace, Segment{Module: fe.Module, Instance: fe.Instance,
+				Task: -1, Kind: OpFail, DataSet: -1, Start: fe.Time, End: fe.Time})
+		}
+	}
+	// Round-robin cursors over live instances. With no failures this
+	// reproduces the fixed d % Replicas assignment exactly; an instance
+	// that would pick up work at or after its failure time is skipped.
+	rr := make([]int, l)
+	choose := func(i int, ready float64) (int, error) {
+		mod := m.Modules[i]
+		for k := 0; k < mod.Replicas; k++ {
+			c := (rr[i] + k) % mod.Replicas
+			s := avail[i][c]
+			if ready > s {
+				s = ready
+			}
+			if s < failAt[i][c] {
+				rr[i] = (c + 1) % mod.Replicas
+				return c, nil
+			}
+		}
+		return 0, fmt.Errorf("sim: module %d has no surviving instance for work ready at t=%.4g",
+			i, ready)
+	}
+
 	n := opt.DataSets
 	outputs := make([]float64, n)
 	starts := make([]float64, n)
@@ -193,7 +263,10 @@ func (s *Simulator) Run(m model.Mapping) (Result, error) {
 	for d := 0; d < n; d++ {
 		inputReady := float64(d) * opt.InputInterval
 		// Module 0 instance picks up the data set when free.
-		c0 := d % m.Modules[0].Replicas
+		c0, err := choose(0, inputReady)
+		if err != nil {
+			return Result{}, err
+		}
 		t := avail[0][c0]
 		if inputReady > t {
 			t = inputReady
@@ -201,13 +274,19 @@ func (s *Simulator) Run(m model.Mapping) (Result, error) {
 		starts[d] = t
 		// execEnd is when the current module finished computing data set d.
 		var execEnd float64
+		// prevCi is the instance of module i-1 that handled this data set.
+		prevCi := c0
 		for i, mod := range m.Modules {
-			ci := d % mod.Replicas
+			ci := c0
 			if i > 0 {
+				ci, err = choose(i, execEnd)
+				if err != nil {
+					return Result{}, err
+				}
 				// Rendezvous transfer from module i-1: both instances are
 				// occupied for the full duration.
 				prev := m.Modules[i-1]
-				cp := d % prev.Replicas
+				cp := prevCi
 				start := execEnd
 				if avail[i][ci] > start {
 					start = avail[i][ci]
@@ -238,6 +317,7 @@ func (s *Simulator) Run(m model.Mapping) (Result, error) {
 			if i == l-1 {
 				avail[i][ci] = t
 			}
+			prevCi = ci
 		}
 		outputs[d] = execEnd
 		// Output times are not monotone across data sets when instances

@@ -331,3 +331,106 @@ func TestWriteTraceCSV(t *testing.T) {
 		t.Error("CSV missing op kinds")
 	}
 }
+
+func TestFailureDegradesThroughput(t *testing.T) {
+	_, m := pipelineChain()
+	base, err := New(Options{DataSets: 200}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill one of the first module's two replicas a quarter into the run:
+	// the survivor serves the rest of the stream alone and throughput of
+	// the whole pipeline drops, but the run completes.
+	failed, err := New(Options{DataSets: 200,
+		Failures: []FailureEvent{{Time: base.Makespan / 4, Module: 0, Instance: 1}},
+	}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed.Throughput >= base.Throughput {
+		t.Errorf("throughput did not degrade: %g with failure vs %g without",
+			failed.Throughput, base.Throughput)
+	}
+	if failed.Makespan <= base.Makespan {
+		t.Errorf("makespan did not grow: %g vs %g", failed.Makespan, base.Makespan)
+	}
+}
+
+func TestFailureAtTimeZeroMatchesSmallerReplication(t *testing.T) {
+	// Killing a replica before the run starts must behave exactly like a
+	// mapping that never had it.
+	c, _ := pipelineChain()
+	two := model.Mapping{Chain: c, Modules: []model.Module{
+		{Lo: 0, Hi: 3, Procs: 2, Replicas: 2},
+	}}
+	one := model.Mapping{Chain: c, Modules: []model.Module{
+		{Lo: 0, Hi: 3, Procs: 2, Replicas: 1},
+	}}
+	failed, err := New(Options{DataSets: 100,
+		Failures: []FailureEvent{{Time: 0, Module: 0, Instance: 1}},
+	}).Run(two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := New(Options{DataSets: 100}).Run(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed.Throughput != want.Throughput {
+		t.Errorf("failed-at-zero throughput %g != single-replica %g",
+			failed.Throughput, want.Throughput)
+	}
+}
+
+func TestFailureOfAllInstancesErrors(t *testing.T) {
+	_, m := pipelineChain()
+	_, err := New(Options{DataSets: 50, Failures: []FailureEvent{
+		{Time: 0, Module: 0, Instance: 0},
+		{Time: 0, Module: 0, Instance: 1},
+	}}).Run(m)
+	if err == nil {
+		t.Fatal("simulation with no surviving instances succeeded")
+	}
+	if !strings.Contains(err.Error(), "no surviving instance") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestFailureEventValidation(t *testing.T) {
+	_, m := pipelineChain()
+	for _, fe := range []FailureEvent{
+		{Time: 1, Module: 9, Instance: 0},
+		{Time: 1, Module: 0, Instance: 9},
+		{Time: -1, Module: 0, Instance: 0},
+		{Time: 1, Module: -1, Instance: 0},
+	} {
+		if _, err := New(Options{DataSets: 10, Failures: []FailureEvent{fe}}).Run(m); err == nil {
+			t.Errorf("failure event %+v accepted", fe)
+		}
+	}
+}
+
+func TestFailureMarkedOnGanttTimeline(t *testing.T) {
+	_, m := pipelineChain()
+	res, err := New(Options{DataSets: 60, Trace: true,
+		Failures: []FailureEvent{{Time: 5, Module: 0, Instance: 1}},
+	}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, seg := range res.Trace {
+		if seg.Kind == OpFail {
+			if seg.Module != 0 || seg.Instance != 1 || seg.Start != 5 {
+				t.Errorf("failure segment %+v", seg)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no OpFail segment in trace")
+	}
+	if g := Gantt(res.Trace, 80); !strings.Contains(g, "F") {
+		t.Errorf("Gantt missing failure marker:\n%s", g)
+	}
+}

@@ -116,11 +116,20 @@ type (
 	SimOptions = sim.Options
 	// SimResult is a simulated run's statistics.
 	SimResult = sim.Result
+	// SimFailure schedules a fail-stop processor failure on the simulated
+	// timeline (see SimOptions.Failures).
+	SimFailure = sim.FailureEvent
 )
 
 // Map computes the throughput-optimal mapping for a request, optionally
 // subject to machine constraints.
 func Map(req Request) (Result, error) { return core.Map(req) }
+
+// Remap recomputes the optimal mapping after lostProcs processors have
+// failed, the degraded-mode workflow: when the runtime declares instances
+// dead, remap onto the surviving processor count and rebuild the pipeline
+// from the returned mapping.
+func Remap(req Request, lostProcs int) (Result, error) { return core.Remap(req, lostProcs) }
 
 // DataParallel returns the pure data parallel mapping (all tasks on all
 // processors), the baseline of the paper's Table 2.

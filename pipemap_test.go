@@ -173,3 +173,68 @@ func TestPublicFrontierAndCertify(t *testing.T) {
 		t.Error("empty certificate reason")
 	}
 }
+
+func TestPublicRemapDegradedMatchesSimulator(t *testing.T) {
+	chain := exampleChain()
+	pl := pipemap.Platform{Procs: 16, MemPerProc: 1}
+	full, err := pipemap.Map(pipemap.Request{Chain: chain, Platform: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lose a quarter of the machine and remap onto the survivors.
+	lost := 4
+	deg, err := pipemap.Remap(pipemap.Request{Chain: chain, Platform: pl}, lost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.Throughput > full.Throughput+1e-9 {
+		t.Errorf("degraded optimum %g beats full-machine optimum %g", deg.Throughput, full.Throughput)
+	}
+	surviving := pipemap.Platform{Procs: pl.Procs - lost, MemPerProc: pl.MemPerProc}
+	if err := deg.Mapping.Validate(surviving); err != nil {
+		t.Fatalf("degraded mapping invalid: %v", err)
+	}
+	// The degraded prediction holds up on the simulated degraded machine
+	// within the usual simulator tolerance.
+	sr, err := pipemap.Simulate(deg.Mapping, pipemap.SimOptions{DataSets: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Throughput < deg.Throughput*0.85 || sr.Throughput > deg.Throughput*1.05 {
+		t.Errorf("simulated degraded throughput %g far from predicted %g", sr.Throughput, deg.Throughput)
+	}
+}
+
+func TestPublicSimulatedFailureDegradesThroughput(t *testing.T) {
+	chain := exampleChain()
+	pl := pipemap.Platform{Procs: 16, MemPerProc: 1}
+	res, err := pipemap.Map(pipemap.Request{Chain: chain, Platform: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a replicated module to kill an instance of; skip if the
+	// optimum happens not to replicate.
+	mod := -1
+	for i, m := range res.Mapping.Modules {
+		if m.Replicas > 1 {
+			mod = i
+			break
+		}
+	}
+	if mod < 0 {
+		t.Skip("optimal mapping has no replicated module")
+	}
+	base, err := pipemap.Simulate(res.Mapping, pipemap.SimOptions{DataSets: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed, err := pipemap.Simulate(res.Mapping, pipemap.SimOptions{DataSets: 200,
+		Failures: []pipemap.SimFailure{{Time: base.Makespan / 4, Module: mod, Instance: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed.Throughput >= base.Throughput {
+		t.Errorf("instance failure did not degrade throughput: %g vs %g",
+			failed.Throughput, base.Throughput)
+	}
+}
