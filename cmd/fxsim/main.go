@@ -5,11 +5,14 @@
 // Usage:
 //
 //	fxsim -spec chain.json [-mapping mapping.json] [-n 400] [-noise 0.03]
-//	      [-seed 1] [-gantt] [-datasets]
+//	      [-seed 1] [-gantt] [-trace out.json] [-cpuprofile cpu.pb]
+//	      [-memprofile mem.pb]
 //
 // Without -mapping, the optimal mapping is computed first (like running
 // the mapping tool and then the program). -gantt prints an ASCII timeline
-// of the first data sets.
+// of the first data sets; -trace exports the full simulated timeline as
+// Chrome trace_event JSON so it renders in the same viewer
+// (chrome://tracing, ui.perfetto.dev) as real runtime traces.
 package main
 
 import (
@@ -18,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"pipemap/internal/core"
 	"pipemap/internal/model"
@@ -42,8 +47,25 @@ func run(args []string, stdout io.Writer) error {
 	csvPath := fs.String("csv", "", "write the full trace as CSV to this file")
 	stragMod := fs.Int("straggler-module", -1, "inject a straggler into this module (with -straggler-factor)")
 	stragFactor := fs.Float64("straggler-factor", 0, "slowdown factor for the straggler instance (e.g. 1.5)")
+	tracePath := fs.String("trace", "", "write the simulated timeline as Chrome trace_event JSON to this file")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() { writeHeapProfile(*memprofile) }()
 	}
 	if *specPath == "" {
 		return fmt.Errorf("-spec is required")
@@ -87,7 +109,8 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	opts := sim.Options{
-		DataSets: *n, Noise: *noise, Seed: *seed, Trace: *gantt || *csvPath != "",
+		DataSets: *n, Noise: *noise, Seed: *seed,
+		Trace: *gantt || *csvPath != "" || *tracePath != "",
 	}
 	if *stragMod >= 0 && *stragFactor > 1 {
 		opts.StragglerModule = *stragMod
@@ -122,6 +145,21 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "trace written to %s (%d segments)\n", *csvPath, len(res.Trace))
 	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := sim.WriteTraceChrome(f, res.Trace); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "chrome trace written to %s (%d segments) — open in chrome://tracing or ui.perfetto.dev\n",
+			*tracePath, len(res.Trace))
+	}
 	if *gantt {
 		limit := res.Trace
 		// Show only the first few data sets for readability.
@@ -134,4 +172,19 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "\ntimeline (first 6 data sets):\n%s", sim.Gantt(cut, 100))
 	}
 	return nil
+}
+
+// writeHeapProfile best-effort writes a heap profile; -memprofile is a
+// debugging aid, so failures only warn.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fxsim: memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "fxsim: memprofile:", err)
+	}
 }

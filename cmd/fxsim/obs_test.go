@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunChromeTrace checks that -trace exports the simulated timeline as
+// valid Chrome trace JSON: execution spans on named per-instance rows.
+func TestRunChromeTrace(t *testing.T) {
+	spec := writeTemp(t, "spec.json", specJSON)
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	if err := run([]string{"-spec", spec, "-n", "30", "-trace", tracePath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "chrome trace written to") {
+		t.Errorf("missing trace confirmation:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	var spans, names int
+	for _, e := range tf.TraceEvents {
+		switch e.Phase {
+		case "X":
+			spans++
+			if e.Dur < 0 || e.TS < 0 {
+				t.Errorf("span %q has negative ts/dur", e.Name)
+			}
+		case "M":
+			if e.Name != "thread_name" {
+				t.Errorf("unexpected metadata %q", e.Name)
+			}
+			if n, _ := e.Args["name"].(string); !strings.HasPrefix(n, "m") {
+				t.Errorf("thread name %q not of form m<mod>.<inst>", n)
+			}
+			names++
+		case "i":
+		default:
+			t.Errorf("unknown phase %q", e.Phase)
+		}
+	}
+	if spans == 0 {
+		t.Error("no execution spans in trace")
+	}
+	if names == 0 {
+		t.Error("no thread_name metadata in trace")
+	}
+}
+
+// TestRunProfileFlags checks -cpuprofile/-memprofile produce files.
+func TestRunProfileFlags(t *testing.T) {
+	spec := writeTemp(t, "spec.json", specJSON)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pb")
+	mem := filepath.Join(dir, "mem.pb")
+	var out bytes.Buffer
+	if err := run([]string{"-spec", spec, "-n", "20", "-cpuprofile", cpu, "-memprofile", mem}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+}

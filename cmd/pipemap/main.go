@@ -5,7 +5,8 @@
 // Usage:
 //
 //	pipemap [-algo auto|dp|greedy] [-grid RxC] [-systolic] [-json]
-//	        [-fail-procs N] [spec.json]
+//	        [-fail-procs N] [-trace out.json] [-metrics]
+//	        [-cpuprofile cpu.pb] [-memprofile mem.pb] [spec.json]
 //
 // With no file argument the spec is read from standard input. -grid adds
 // the rectangular-subarray feasibility constraint (e.g. -grid 8x8);
@@ -14,6 +15,12 @@
 // -fail-procs N appends a degraded-mode report: the optimal remapping and
 // predicted throughput after N processors are lost (not combinable with
 // -json, whose output schema stays a single mapping).
+//
+// Observability: -trace writes the solver's span trace (per-DP-layer
+// timing, states evaluated, prune counts) as Chrome trace_event JSON,
+// viewable in chrome://tracing or https://ui.perfetto.dev; -metrics
+// appends a counters/histograms snapshot to the report; -cpuprofile and
+// -memprofile write standard pprof profiles.
 package main
 
 import (
@@ -22,11 +29,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"pipemap/internal/core"
 	"pipemap/internal/greedy"
 	"pipemap/internal/machine"
+	"pipemap/internal/obs"
 	"pipemap/internal/tradeoff"
 )
 
@@ -48,8 +58,26 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	certify := fs.Bool("certify", false, "report whether the greedy heuristic is provably optimal for this chain")
 	frontier := fs.Bool("frontier", false, "print the latency-throughput Pareto frontier")
 	failProcs := fs.Int("fail-procs", 0, "also report the degraded remapping after losing N processors")
+	tracePath := fs.String("trace", "", "write the solver trace as Chrome trace_event JSON to this file")
+	metrics := fs.Bool("metrics", false, "print a solver metrics snapshot after the report")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() { writeHeapProfile(*memprofile) }()
 	}
 	if *failProcs < 0 {
 		return fmt.Errorf("-fail-procs must be >= 0, got %d", *failProcs)
@@ -73,6 +101,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	req := core.Request{Chain: chain, Platform: pl}
+	if *tracePath != "" {
+		req.Trace = obs.NewTracer()
+	}
+	if *metrics {
+		req.Metrics = obs.NewRegistry()
+	}
 	switch *objective {
 	case "throughput":
 	case "latency":
@@ -125,7 +159,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *asJSON {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(core.EncodeMapping(res.Mapping))
+		if err := enc.Encode(core.EncodeMapping(res.Mapping)); err != nil {
+			return err
+		}
+		return writeTrace(*tracePath, req.Trace)
 	}
 	fmt.Fprintf(stdout, "algorithm:  %v\n", res.Algorithm)
 	fmt.Fprintf(stdout, "mapping:    %v\n", &res.Mapping)
@@ -152,7 +189,51 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			deg.Throughput, 100*deg.Throughput/res.Throughput)
 		fmt.Fprintf(stdout, "  latency:    %.4f s\n", deg.Latency)
 	}
+	if *metrics {
+		fmt.Fprintf(stdout, "\nmetrics:\n")
+		if err := req.Metrics.Snapshot().WriteText(stdout); err != nil {
+			return err
+		}
+	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, req.Trace); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\ntrace written to %s (%d events) — open in chrome://tracing or ui.perfetto.dev\n",
+			*tracePath, req.Trace.Len())
+	}
 	return nil
+}
+
+// writeTrace writes the collected solver trace as Chrome trace_event JSON.
+func writeTrace(path string, tr *obs.Tracer) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeHeapProfile best-effort writes a heap profile; -memprofile is a
+// debugging aid, so failures only warn.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipemap: memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "pipemap: memprofile:", err)
+	}
 }
 
 func parseGrid(s string) (machine.Grid, error) {

@@ -10,11 +10,13 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"pipemap/internal/dp"
 	"pipemap/internal/greedy"
 	"pipemap/internal/machine"
 	"pipemap/internal/model"
+	"pipemap/internal/obs"
 	"pipemap/internal/tradeoff"
 )
 
@@ -83,6 +85,11 @@ type Request struct {
 	// LatencyBound is the latency budget in seconds for
 	// ThroughputUnderLatency.
 	LatencyBound float64
+	// Trace receives solver spans (per-DP-layer timing, states evaluated,
+	// prune counts; greedy phase spans); nil disables tracing.
+	Trace *obs.Tracer
+	// Metrics receives solver counters and timing histograms; nil disables.
+	Metrics *obs.Registry
 }
 
 // Result is the outcome of a mapping request.
@@ -132,6 +139,14 @@ func Map(req Request) (Result, error) {
 	if err := req.Platform.Validate(); err != nil {
 		return Result{}, err
 	}
+	if req.Trace.Enabled() || req.Metrics.Enabled() {
+		start := time.Now()
+		defer func() {
+			req.Trace.SpanArgs("core", "map", 0, start, time.Since(start),
+				map[string]any{"k": req.Chain.Len(), "P": req.Platform.Procs})
+			req.Metrics.Observe("core.map_seconds", time.Since(start).Seconds())
+		}()
+	}
 	switch req.Objective {
 	case MinLatency:
 		m, err := dp.MinLatency(req.Chain, req.Platform)
@@ -170,12 +185,16 @@ func Map(req Request) (Result, error) {
 		m, err = dp.MapChain(req.Chain, req.Platform, dp.Options{
 			DisableReplication: req.DisableReplication,
 			DisableClustering:  req.DisableClustering,
+			Trace:              req.Trace,
+			Metrics:            req.Metrics,
 		})
 	default:
 		m, err = greedy.Map(req.Chain, req.Platform, greedy.Options{
 			DisableReplication: req.DisableReplication,
 			DisableClustering:  req.DisableClustering,
 			Backtrack:          2,
+			Trace:              req.Trace,
+			Metrics:            req.Metrics,
 		})
 	}
 	if err != nil {
@@ -193,6 +212,8 @@ func Map(req Request) (Result, error) {
 		fm, layout, err := machine.FeasibleOptimal(req.Chain, req.Platform, *req.Machine, dp.Options{
 			DisableReplication: req.DisableReplication,
 			DisableClustering:  req.DisableClustering,
+			Trace:              req.Trace,
+			Metrics:            req.Metrics,
 		})
 		if err != nil {
 			return Result{}, err

@@ -2,6 +2,8 @@ package dp
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"pipemap/internal/model"
 )
@@ -11,7 +13,7 @@ import (
 // (section 3.1 of the paper). It runs in O(P^4 k) time and returns the
 // optimal mapping together with its predicted throughput.
 func Assign(c *model.Chain, pl model.Platform) (model.Mapping, error) {
-	return assignEngine(c, pl, false)
+	return assignEngine(c, pl, false, Options{})
 }
 
 // AssignReplicated computes the optimal processor assignment with maximal
@@ -19,7 +21,7 @@ func Assign(c *model.Chain, pl model.Platform) (model.Mapping, error) {
 // holding p processors runs floor(p/min) instances of floor(p/r)
 // processors each, and its effective response time is f(p_eff)/r.
 func AssignReplicated(c *model.Chain, pl model.Platform) (model.Mapping, error) {
-	return assignEngine(c, pl, true)
+	return assignEngine(c, pl, true, Options{})
 }
 
 // assignEngine is the shared DP for Assign and AssignReplicated.
@@ -29,11 +31,12 @@ func AssignReplicated(c *model.Chain, pl model.Platform) (model.Mapping, error) 
 // most pt raw processors, task j holds pl, and task j+1 holds pn
 // (pn = 0 is the φ sentinel for the last task). Layers are flattened as
 // V[(pt*(P+1)+pl)*(P+1)+pn].
-func assignEngine(c *model.Chain, pl model.Platform, replicate bool) (model.Mapping, error) {
+func assignEngine(c *model.Chain, pl model.Platform, replicate bool, opt Options) (model.Mapping, error) {
 	t, err := newTaskTables(c, pl, replicate)
 	if err != nil {
 		return model.Mapping{}, err
 	}
+	ins := opt.instrument()
 	k, P := t.k, t.P
 	stride := P + 1
 	layerSize := stride * stride * stride
@@ -46,8 +49,10 @@ func assignEngine(c *model.Chain, pl model.Platform, replicate bool) (model.Mapp
 	choice := make([][]uint16, k)
 
 	// Base layer: task 0 alone. resp_0(pl, pn) = (exec + out-transfer)/r.
+	solveT0 := time.Now()
 	fill(cur, inf)
 	pnLo, pnHi := pnRange(t, 0)
+	var baseStates int64
 	for pt := t.min[0]; pt <= P; pt++ {
 		for p := t.min[0]; p <= pt; p++ {
 			r := float64(t.rep[0][p])
@@ -57,11 +62,15 @@ func assignEngine(c *model.Chain, pl model.Platform, replicate bool) (model.Mapp
 					v += t.ecomEff[0][p*stride+pn]
 				}
 				cur[idx(pt, p, pn)] = v / r
+				baseStates++
 			}
 		}
 	}
+	ins.layer("assign", 0, solveT0, baseStates, 0, 0)
 
 	for j := 1; j < k; j++ {
+		layerT0 := time.Now()
+		var states, transitions, pruned atomic.Int64
 		cur, prev = prev, cur
 		fill(cur, inf)
 		ch := make([]uint16, layerSize)
@@ -79,9 +88,11 @@ func assignEngine(c *model.Chain, pl model.Platform, replicate bool) (model.Mapp
 			// a_q = V_{j-1}(pt-p, q, p) and b_q = (in(q,p) + exec(p)) / r.
 			aq := make([]float64, P+1)
 			bq := make([]float64, P+1)
+			var nStates, nTrans, nPruned int64
 			for p := minJ; p <= pt; p++ {
 				rem := pt - p
 				if rem < minPrev {
+					nPruned++
 					continue
 				}
 				r := float64(t.rep[j][p])
@@ -105,14 +116,24 @@ func assignEngine(c *model.Chain, pl model.Platform, replicate bool) (model.Mapp
 							best, bestQ = v, q
 						}
 					}
+					nTrans += int64(qHi - minPrev + 1)
 					if bestQ >= 0 {
 						i := idx(pt, p, pn)
 						cur[i] = best
 						ch[i] = uint16(bestQ)
+						nStates++
+					} else {
+						nPruned++
 					}
 				}
 			}
+			if ins.on {
+				states.Add(nStates)
+				transitions.Add(nTrans)
+				pruned.Add(nPruned)
+			}
 		})
+		ins.layer("assign", j, layerT0, states.Load(), transitions.Load(), pruned.Load())
 	}
 
 	// Answer: best over pl of V_{k-1}(P, pl, φ).
@@ -144,6 +165,7 @@ func assignEngine(c *model.Chain, pl model.Platform, replicate bool) (model.Mapp
 			Replicas: t.rep[i][raw[i]],
 		}
 	}
+	ins.done("assign", k, P, solveT0)
 	return m, nil
 }
 

@@ -2,8 +2,11 @@ package dp
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"pipemap/internal/model"
+	"pipemap/internal/obs"
 )
 
 // Options configures the full mapping DP.
@@ -12,6 +15,11 @@ type Options struct {
 	DisableReplication bool
 	// DisableClustering forces every task into its own module.
 	DisableClustering bool
+	// Trace receives per-layer solver spans (per-layer timing, states
+	// evaluated, prune counts); nil disables tracing.
+	Trace *obs.Tracer
+	// Metrics receives solver counters and timing histograms; nil disables.
+	Metrics *obs.Registry
 }
 
 // spanTables extends taskTables with per-module-span data: for every
@@ -108,15 +116,14 @@ func newSpanTables(c *model.Chain, pl model.Platform, opt Options) (*spanTables,
 // heuristic beyond that.
 func MapChain(c *model.Chain, pl model.Platform, opt Options) (model.Mapping, error) {
 	if opt.DisableClustering {
-		if opt.DisableReplication {
-			return Assign(c, pl)
-		}
-		return AssignReplicated(c, pl)
+		return assignEngine(c, pl, !opt.DisableReplication, opt)
 	}
 	s, err := newSpanTables(c, pl, opt)
 	if err != nil {
 		return model.Mapping{}, err
 	}
+	ins := opt.instrument()
+	solveT0 := time.Now()
 	k, P := s.k, s.P
 	stride := P + 1
 
@@ -167,6 +174,8 @@ func MapChain(c *model.Chain, pl model.Platform, opt Options) (model.Mapping, er
 
 	// Expand states in order of b, then by open-module span l.
 	for b := 1; b < k; b++ {
+		layerT0 := time.Now()
+		var states, transitions, pruned atomic.Int64
 		for l := 1; l <= b; l++ {
 			key := layerKey{b, l}
 			lay, ok := layers[key]
@@ -201,19 +210,23 @@ func MapChain(c *model.Chain, pl model.Platform, opt Options) (model.Mapping, er
 				nkey := layerKey{b + l2, l2}
 				nlay := layers[nkey]
 				nch := choices[nkey]
+				var nStates, nTrans, nPruned int64
 				for pt := 0; pt <= P; pt++ {
 					for pcur := s.min[a][b]; pcur <= pt; pcur++ {
 						base := (pt*stride + pcur) * stride
 						e := effOpen[pcur]
 						if e == 0 {
+							nPruned++
 							continue
 						}
 						r := float64(repOpen[pcur])
 						for peffPrev := 0; peffPrev <= P; peffPrev++ {
 							v := lay[base+peffPrev]
 							if v == inf {
+								nPruned++
 								continue
 							}
+							nStates++
 							in := 0.0
 							if inTab != nil {
 								in = inTab[peffPrev*stride+e]
@@ -231,11 +244,20 @@ func MapChain(c *model.Chain, pl model.Platform, opt Options) (model.Mapping, er
 									nch[ni] = choiceRec{prevL: l, prevPCur: pcur, prevEff: peffPrev}
 								}
 							}
+							if p2n := P - pt - min2 + 1; p2n > 0 {
+								nTrans += int64(p2n)
+							}
 						}
 					}
 				}
+				if ins.on {
+					states.Add(nStates)
+					transitions.Add(nTrans)
+					pruned.Add(nPruned)
+				}
 			})
 		}
+		ins.layer("map_chain", b, layerT0, states.Load(), transitions.Load(), pruned.Load())
 	}
 
 	// Close the chain: states with b == k charge the open module's response
@@ -306,6 +328,7 @@ func MapChain(c *model.Chain, pl model.Platform, opt Options) (model.Mapping, er
 	for i := range rev {
 		mods[i] = rev[len(rev)-1-i]
 	}
+	ins.done("map_chain", k, P, solveT0)
 	return model.Mapping{Chain: c, Modules: mods}, nil
 }
 
@@ -340,13 +363,7 @@ func AssignClustered(c *model.Chain, pl model.Platform, spans []model.Span, opt 
 		return model.Mapping{}, fmt.Errorf("dp: invalid clustering %v for %d tasks", spans, c.Len())
 	}
 	mc := model.CollapseClustering(c, spans)
-	var m model.Mapping
-	var err error
-	if opt.DisableReplication {
-		m, err = Assign(mc, pl)
-	} else {
-		m, err = AssignReplicated(mc, pl)
-	}
+	m, err := assignEngine(mc, pl, !opt.DisableReplication, opt)
 	if err != nil {
 		return model.Mapping{}, err
 	}

@@ -31,6 +31,9 @@ type ftRun struct {
 	edges []Edge
 	rec   *Recorder
 	n     int
+	// tidBase[i] is the trace thread id of stage i's instance 0; instance b
+	// traces on tidBase[i]+b, giving every replica its own viewer row.
+	tidBase []int
 
 	inbox []chan ftEnvelope
 	done  []atomic.Int64 // envelopes forwarded past each stage
@@ -63,12 +66,22 @@ func (p *Pipeline) runFT(source func(i int) DataSet, n, warmup int, edges []Edge
 		edges:   edges,
 		rec:     NewRecorder(),
 		n:       n,
+		tidBase: make([]int, l),
 		inbox:   make([]chan ftEnvelope, l+1),
 		done:    make([]atomic.Int64, l),
 		quit:    make([]chan struct{}, l),
 		once:    make([]sync.Once, l),
 		live:    make([]atomic.Int32, l),
 		release: make(chan struct{}),
+	}
+	for i, base := 0, 0; i < l; i++ {
+		r.tidBase[i] = base
+		if p.Obs != nil {
+			for b := 0; b < p.Stages[i].Replicas; b++ {
+				p.Obs.NameThread(base+b, fmt.Sprintf("%s/%d", p.Stages[i].Name, b))
+			}
+		}
+		base += p.Stages[i].Replicas
 	}
 	for i := 0; i <= l; i++ {
 		// Capacity covers all n envelopes plus every possible death
@@ -168,6 +181,8 @@ func (r *ftRun) instance(i, b int) {
 
 func (r *ftRun) serve(i, b int, st Stage, g *Group, attempts *sync.WaitGroup) {
 	ctx := &StageCtx{Group: g, Instance: b, Rec: r.rec}
+	tr := r.p.Obs
+	tid := r.tidBase[i] + b
 	deadline := r.p.deadlineFor(i)
 	maxAttempts := r.p.Retry.MaxRetries + 1
 	consecFail := 0
@@ -183,7 +198,15 @@ func (r *ftRun) serve(i, b int, st Stage, g *Group, attempts *sync.WaitGroup) {
 			continue
 		}
 		for {
+			t0 := time.Now()
 			out, err, timedOut := r.attempt(ctx, i, b, st, deadline, attempts, &env)
+			outcome := "ok"
+			if timedOut {
+				outcome = "timeout"
+			} else if err != nil {
+				outcome = "error"
+			}
+			tr.StageSpan(st.Name, tid, env.idx, env.attempts, outcome, t0, time.Since(t0))
 			if err == nil {
 				env.ds = out
 				env.attempts = 0
@@ -202,6 +225,10 @@ func (r *ftRun) serve(i, b int, st Stage, g *Group, attempts *sync.WaitGroup) {
 				// cannot process.
 				if r.live[i].Add(-1) >= 1 {
 					r.deaths.Add(1)
+					if tr.Enabled() {
+						tr.InstantArgs("fault", "instance-death", tid, time.Now(),
+							map[string]any{"dataset": env.idx, "stage": st.Name})
+					}
 					env.attempts = 0 // fresh budget on a surviving instance
 					r.requeue(i, env)
 					return
@@ -212,6 +239,10 @@ func (r *ftRun) serve(i, b int, st Stage, g *Group, attempts *sync.WaitGroup) {
 				env.dropped = true
 				env.ds = nil
 				r.droppedN.Add(1)
+				if tr.Enabled() {
+					tr.InstantArgs("fault", "drop", tid, time.Now(),
+						map[string]any{"dataset": env.idx, "stage": st.Name})
+				}
 				r.forward(i, env)
 				break
 			}

@@ -1,0 +1,25 @@
+package fxrt
+
+import "pipemap/internal/obs"
+
+// ExportMetrics publishes the run's statistics into reg under the "fxrt."
+// prefix, unifying runtime measurements with solver metrics collected in
+// the same registry: retry/drop/timeout/death counters, throughput and
+// latency gauges, and one histogram per recorded operation (failed
+// attempts appear under name+"/error", see Recorder.Time).
+func (s Stats) ExportMetrics(reg *obs.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.Add("fxrt.datasets", int64(s.DataSets))
+	reg.Add("fxrt.retried", int64(s.Retried))
+	reg.Add("fxrt.dropped", int64(s.Dropped))
+	reg.Add("fxrt.timeouts", int64(s.Timeouts))
+	reg.Add("fxrt.dead", int64(s.Dead))
+	reg.Set("fxrt.throughput", s.Throughput)
+	reg.Set("fxrt.latency_seconds", s.Latency.Seconds())
+	reg.Set("fxrt.elapsed_seconds", s.Elapsed.Seconds())
+	for name, st := range s.OpStats {
+		reg.ObserveAgg("fxrt.op."+name, int64(st.Count), st.Mean*float64(st.Count), st.Min, st.Max)
+	}
+}

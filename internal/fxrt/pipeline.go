@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pipemap/internal/obs"
 )
 
 // DataSet is one unit of streaming data flowing through a pipeline.
@@ -109,10 +111,15 @@ func (r *Recorder) Observe(name string, seconds float64) {
 	r.mu.Unlock()
 }
 
-// Time runs f and records its duration under name.
+// Time runs f and records its duration under name, or under name+"/error"
+// when f fails, so the cost of failed (retried) attempts stays visible in
+// metrics instead of silently inflating the success samples.
 func (r *Recorder) Time(name string, f func() error) error {
 	start := time.Now()
 	err := f()
+	if err != nil {
+		name += "/error"
+	}
 	r.Observe(name, time.Since(start).Seconds())
 	return err
 }
@@ -165,6 +172,10 @@ type Pipeline struct {
 	DeadAfter int
 	// Faults injects deterministic failures for testing (see Fault).
 	Faults []Fault
+	// Obs receives one trace span per data set × stage × attempt in
+	// fault-tolerant runs, plus instant events for instance deaths and
+	// dropped data sets; nil disables tracing with no overhead.
+	Obs *obs.Tracer
 }
 
 // envelope carries a data set with its stream index.

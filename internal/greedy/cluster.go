@@ -2,6 +2,7 @@ package greedy
 
 import (
 	"fmt"
+	"time"
 
 	"pipemap/internal/model"
 )
@@ -18,6 +19,7 @@ func Map(c *model.Chain, pl model.Platform, opt Options) (model.Mapping, error) 
 	if err := pl.Validate(); err != nil {
 		return model.Mapping{}, err
 	}
+	start := time.Now()
 	spans := model.Singletons(c.Len())
 	if !opt.DisableClustering {
 		var err error
@@ -26,7 +28,16 @@ func Map(c *model.Chain, pl model.Platform, opt Options) (model.Mapping, error) 
 			return model.Mapping{}, err
 		}
 	}
-	return Assign(c, pl, spans, opt)
+	m, err := Assign(c, pl, spans, opt)
+	if err != nil {
+		return model.Mapping{}, err
+	}
+	if opt.Trace.Enabled() || opt.Metrics.Enabled() {
+		opt.Trace.SpanArgs("greedy", "map", 0, start, time.Since(start),
+			map[string]any{"k": c.Len(), "P": pl.Procs, "modules": len(spans)})
+		opt.Metrics.Observe("greedy.map_seconds", time.Since(start).Seconds())
+	}
+	return m, nil
 }
 
 // Cluster runs the approximate clustering phase: greedy-assign processors
@@ -36,6 +47,8 @@ func Map(c *model.Chain, pl model.Platform, opt Options) (model.Mapping, error) 
 // each merged module for profitable splits. The sweep repeats until a pass
 // makes no change.
 func Cluster(c *model.Chain, pl model.Platform, opt Options) ([]model.Span, error) {
+	start := time.Now()
+	var mergeTests, splitTests, passes int64
 	spans := model.Singletons(c.Len())
 	// Approximate assignment to seed the merge decisions.
 	raw, s, err := assignRaw(c, pl, spans, opt)
@@ -47,9 +60,11 @@ func Cluster(c *model.Chain, pl model.Platform, opt Options) ([]model.Span, erro
 		return clusterFallback(c, pl, opt)
 	}
 	for pass := 0; pass < len(spans); pass++ {
+		passes++
 		changed := false
 		// Merge sweep.
 		for i := 0; i+1 < len(spans); {
+			mergeTests++
 			if mergeImproves(c, pl, s, spans, raw, i, opt) {
 				newHi := spans[i+1].Hi
 				spans = append(spans[:i+1], spans[i+2:]...)
@@ -70,6 +85,7 @@ func Cluster(c *model.Chain, pl model.Platform, opt Options) ([]model.Span, erro
 			if sp.Hi-sp.Lo < 2 {
 				continue
 			}
+			splitTests++
 			cut, ok := splitImproves(c, pl, spans, raw, i, opt)
 			if ok {
 				ns := make([]model.Span, 0, len(spans)+1)
@@ -85,6 +101,14 @@ func Cluster(c *model.Chain, pl model.Platform, opt Options) ([]model.Span, erro
 		if !changed {
 			break
 		}
+	}
+	if opt.Trace.Enabled() || opt.Metrics.Enabled() {
+		opt.Trace.SpanArgs("greedy", "cluster", 0, start, time.Since(start),
+			map[string]any{"passes": passes, "merge_tests": mergeTests,
+				"split_tests": splitTests, "modules": len(spans)})
+		opt.Metrics.Add("greedy.cluster.merge_tests", mergeTests)
+		opt.Metrics.Add("greedy.cluster.split_tests", splitTests)
+		opt.Metrics.Add("greedy.cluster.passes", passes)
 	}
 	return spans, nil
 }

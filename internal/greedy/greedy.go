@@ -28,8 +28,10 @@ package greedy
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"pipemap/internal/model"
+	"pipemap/internal/obs"
 )
 
 // Variant selects which modules are candidates for the next processor.
@@ -59,6 +61,11 @@ type Options struct {
 	Backtrack int
 	// MaxBacktrackRounds caps post-pass sweeps; zero means a small default.
 	MaxBacktrackRounds int
+	// Trace receives solver spans (assignment and clustering phases with
+	// evaluation counts); nil disables tracing.
+	Trace *obs.Tracer
+	// Metrics receives solver counters; nil disables.
+	Metrics *obs.Registry
 }
 
 // state evaluates candidate assignments for one module chain. It caches
@@ -73,6 +80,8 @@ type state struct {
 	// scratch for effective counts.
 	eff  []int
 	reps []int
+	// evals counts throughput evaluations, the unit of greedy search work.
+	evals int64
 }
 
 func newState(mc *model.Chain, pl model.Platform, opt Options) (*state, error) {
@@ -107,6 +116,7 @@ func newState(mc *model.Chain, pl model.Platform, opt Options) (*state, error) {
 // throughput evaluates the current raw assignment: 1 / max effective
 // response. It also returns the bottleneck module index.
 func (s *state) throughput() (float64, int) {
+	s.evals++
 	k := len(s.raw)
 	for i := 0; i < k; i++ {
 		r := model.SplitReplicas(s.raw[i], s.min[i], s.repl[i])
@@ -168,9 +178,17 @@ func Assign(c *model.Chain, pl model.Platform, spans []model.Span, opt Options) 
 	if err != nil {
 		return model.Mapping{}, err
 	}
+	start := time.Now()
 	raw := greedyLoop(s, opt)
 	if opt.Backtrack > 0 {
 		raw = backtrack(s, raw, opt)
+	}
+	if opt.Trace.Enabled() || opt.Metrics.Enabled() {
+		opt.Trace.SpanArgs("greedy", "assign", 0, start, time.Since(start),
+			map[string]any{"modules": len(spans), "P": pl.Procs, "evals": s.evals})
+		opt.Metrics.Add("greedy.evals", s.evals)
+		opt.Metrics.Inc("greedy.assigns")
+		opt.Metrics.Observe("greedy.assign_seconds", time.Since(start).Seconds())
 	}
 	return buildMapping(c, spans, s, raw), nil
 }

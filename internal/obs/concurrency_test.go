@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentTracer hammers one tracer from many goroutines — the shape
+// of a fault-tolerant run where every stage instance emits spans — while a
+// reader snapshots concurrently. Run under -race this is the data-race
+// check the ISSUE requires.
+func TestConcurrentTracer(t *testing.T) {
+	const goroutines = 16
+	const perG = 200
+	tr := NewTracer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				switch i % 4 {
+				case 0:
+					tr.StageSpan("stage", g, i, 0, "ok", start, time.Microsecond)
+				case 1:
+					tr.Span("cat", "op", g, start, time.Microsecond)
+				case 2:
+					tr.Instant("fault", "death", g, start)
+				default:
+					tr.NameThread(g, fmt.Sprintf("w%d", g))
+				}
+			}
+		}(g)
+	}
+	// Concurrent readers: Events/Len/WriteJSON must be safe mid-write.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = tr.Len()
+			_ = tr.Events()
+			var buf bytes.Buffer
+			if err := tr.WriteJSON(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if got := tr.Len(); got != goroutines*perG {
+		t.Errorf("lost events: got %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestConcurrentRegistry hammers counters, gauges and histograms from many
+// goroutines with concurrent snapshots.
+func TestConcurrentRegistry(t *testing.T) {
+	const goroutines = 16
+	const perG = 500
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Inc("ops")
+				r.Add("states", 3)
+				r.Set("gauge", float64(i))
+				r.Observe("lat", float64(i%100)*1e-3)
+				if i%10 == 0 {
+					r.ObserveAgg("agg", 2, 0.2, 0.05, 0.15)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			s := r.Snapshot()
+			var buf bytes.Buffer
+			if err := s.WriteText(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["ops"] != goroutines*perG {
+		t.Errorf("ops = %d, want %d", s.Counters["ops"], goroutines*perG)
+	}
+	if s.Counters["states"] != 3*goroutines*perG {
+		t.Errorf("states = %d, want %d", s.Counters["states"], 3*goroutines*perG)
+	}
+	if s.Histograms["lat"].Count != goroutines*perG {
+		t.Errorf("lat count = %d, want %d", s.Histograms["lat"].Count, goroutines*perG)
+	}
+	wantAgg := int64(goroutines * perG / 10 * 2)
+	if s.Histograms["agg"].Count != wantAgg {
+		t.Errorf("agg count = %d, want %d", s.Histograms["agg"].Count, wantAgg)
+	}
+}

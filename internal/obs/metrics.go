@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Histogram bucket layout: log-spaced buckets covering 1ns .. ~1000s of
+// seconds (or any positive unit), 8 buckets per decade across 14 decades,
+// plus an underflow and an overflow bucket. Quantiles are estimated as the
+// upper bound of the bucket where the cumulative count crosses the rank,
+// which bounds the relative error at one bucket width (~33%).
+const (
+	histDecades      = 14
+	histPerDecade    = 8
+	histFirstDecade  = -9 // buckets start at 1e-9
+	histBuckets      = histDecades*histPerDecade + 2
+	histUnderflowIdx = 0
+)
+
+func bucketOf(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return histUnderflowIdx
+	}
+	d := math.Log10(v) - histFirstDecade
+	i := int(math.Floor(d*histPerDecade)) + 1
+	if i < 1 {
+		return histUnderflowIdx
+	}
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper is the upper bound of bucket i (the quantile estimate).
+func bucketUpper(i int) float64 {
+	if i <= histUnderflowIdx {
+		return 0
+	}
+	return math.Pow(10, float64(i)/histPerDecade+histFirstDecade)
+}
+
+type hist struct {
+	count    int64
+	sum      float64
+	min, max float64
+	buckets  [histBuckets]int64
+}
+
+func (h *hist) observe(v float64, n int64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count += n
+	h.sum += v * float64(n)
+	h.buckets[bucketOf(v)] += n
+}
+
+func (h *hist) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, b := range h.buckets {
+		cum += b
+		if cum >= rank {
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			if u < h.min {
+				u = h.min
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// Registry is a thread-safe snapshot registry of counters, gauges and
+// histograms. A nil *Registry is a valid disabled registry: all recording
+// methods are no-ops. Metric names are flat dotted strings, e.g.
+// "dp.map_chain.states" or "fxrt.retried".
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*hist
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]int64{},
+		gauges:   map[string]float64{},
+		hists:    map[string]*hist{},
+	}
+}
+
+// Enabled reports whether the registry records samples.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// Add increments counter name by delta.
+func (r *Registry) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Inc increments counter name by one.
+func (r *Registry) Inc(name string) { r.Add(name, 1) }
+
+// Set records the current value of gauge name.
+func (r *Registry) Set(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Observe adds one sample to histogram name.
+func (r *Registry) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &hist{}
+		r.hists[name] = h
+	}
+	h.observe(v, 1)
+	r.mu.Unlock()
+}
+
+// ObserveAgg merges a pre-aggregated sample set — count samples with the
+// given sum, min and max — into histogram name. It is used to import
+// aggregate-only sources such as fxrt.Recorder summaries; for quantile
+// purposes the mass is placed at the mean.
+func (r *Registry) ObserveAgg(name string, count int64, sum, min, max float64) {
+	if r == nil || count <= 0 {
+		return
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &hist{}
+		r.hists[name] = h
+	}
+	mean := sum / float64(count)
+	h.observe(mean, count)
+	// observe placed min/max at the mean; restore the true envelope.
+	h.sum += sum - mean*float64(count)
+	if min < h.min {
+		h.min = min
+	}
+	if max > h.max {
+		h.max = max
+	}
+	r.mu.Unlock()
+}
+
+// HistStat is the exported summary of one histogram.
+type HistStat struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	Counters   map[string]int64    `json:"counters"`
+	Gauges     map[string]float64  `json:"gauges"`
+	Histograms map[string]HistStat `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state. A nil registry yields an
+// empty (non-nil-map) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistStat{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range r.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range r.gauges {
+		s.Gauges[k] = v
+	}
+	for k, h := range r.hists {
+		s.Histograms[k] = HistStat{
+			Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+			Mean: h.sum / float64(h.count),
+			P50:  h.quantile(0.50), P90: h.quantile(0.90), P99: h.quantile(0.99),
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("obs: writing metrics: %w", err)
+	}
+	return nil
+}
+
+// WriteText writes the snapshot as expvar-style "name value" lines sorted
+// by name; histograms expand to name.count/mean/min/max/p50/p90/p99.
+func (s Snapshot) WriteText(w io.Writer) error {
+	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+7*len(s.Histograms))
+	for k, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	for k, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %g", k, v))
+	}
+	for k, h := range s.Histograms {
+		lines = append(lines,
+			fmt.Sprintf("%s.count %d", k, h.Count),
+			fmt.Sprintf("%s.mean %g", k, h.Mean),
+			fmt.Sprintf("%s.min %g", k, h.Min),
+			fmt.Sprintf("%s.max %g", k, h.Max),
+			fmt.Sprintf("%s.p50 %g", k, h.P50),
+			fmt.Sprintf("%s.p90 %g", k, h.P90),
+			fmt.Sprintf("%s.p99 %g", k, h.P99),
+		)
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return fmt.Errorf("obs: writing metrics: %w", err)
+		}
+	}
+	return nil
+}

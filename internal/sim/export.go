@@ -4,7 +4,10 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
+
+	"pipemap/internal/obs"
 )
 
 // WriteTraceCSV writes a simulation trace as CSV with the header
@@ -31,4 +34,46 @@ func WriteTraceCSV(w io.Writer, trace []Segment) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// WriteTraceChrome writes a simulation trace as Chrome trace_event JSON on
+// a virtual timeline, so simulated Gantt charts and real runtime traces
+// (fxrt via obs.Tracer) render in the same viewer — chrome://tracing or
+// https://ui.perfetto.dev. Each module instance becomes one named thread
+// row; processor-failure events render as instants.
+func WriteTraceChrome(w io.Writer, trace []Segment) error {
+	tr := obs.NewTracer()
+	// Assign one compact, deterministic thread id per (module, instance)
+	// row, in row order.
+	type row struct{ mod, inst int }
+	seen := map[row]bool{}
+	for _, s := range trace {
+		seen[row{s.Module, s.Instance}] = true
+	}
+	rows := make([]row, 0, len(seen))
+	for r := range seen {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].mod != rows[j].mod {
+			return rows[i].mod < rows[j].mod
+		}
+		return rows[i].inst < rows[j].inst
+	})
+	tids := make(map[row]int, len(rows))
+	for i, r := range rows {
+		tids[r] = i
+		tr.NameThread(i, fmt.Sprintf("m%d.%d", r.mod, r.inst))
+	}
+	for _, s := range trace {
+		tid := tids[row{s.Module, s.Instance}]
+		if s.Kind == OpFail {
+			tr.VirtualInstant("fault", "fail", tid, s.Start,
+				map[string]any{"module": s.Module, "instance": s.Instance})
+			continue
+		}
+		tr.VirtualSpan("sim", s.Kind.String(), tid, s.Start, s.End,
+			map[string]any{"dataset": s.DataSet, "task": s.Task})
+	}
+	return tr.WriteJSON(w)
 }

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pipemap/internal/obs"
+)
+
+// chromeTrace runs the standard test pipeline with a fixed seed and
+// returns its Chrome trace JSON.
+func chromeTrace(t *testing.T) []byte {
+	t.Helper()
+	_, m := pipelineChain()
+	res, err := New(Options{DataSets: 8, Noise: 0.05, Seed: 42, Trace: true}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceChrome(&buf, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestChromeTraceGolden pins the exporter's byte-exact output for a fixed
+// seed: the simulated timeline is deterministic, so the trace must be
+// stable across runs and refactors. Regenerate with
+// UPDATE_GOLDEN=1 go test ./internal/sim -run TestChromeTraceGolden.
+func TestChromeTraceGolden(t *testing.T) {
+	got := chromeTrace(t)
+	golden := filepath.Join("testdata", "golden_trace.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("trace output drifted from golden file (len %d vs %d); "+
+			"if intentional, regenerate with UPDATE_GOLDEN=1", len(got), len(want))
+	}
+	// And it must be stable within one process, too.
+	if again := chromeTrace(t); !bytes.Equal(got, again) {
+		t.Error("two identical runs produced different traces")
+	}
+}
+
+// TestChromeTraceSchema validates the exporter output against the Chrome
+// trace_event contract: parseable, known phases, complete spans with
+// non-negative durations, and one thread_name row per module instance.
+func TestChromeTraceSchema(t *testing.T) {
+	raw := chromeTrace(t)
+	var tf struct {
+		TraceEvents []obs.Event `json:"traceEvents"`
+		Unit        string      `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	names := map[int]bool{}
+	for _, e := range tf.TraceEvents {
+		switch e.Phase {
+		case "X":
+			if e.Dur < 0 {
+				t.Errorf("span %q has negative duration %g", e.Name, e.Dur)
+			}
+			if e.TS < 0 {
+				t.Errorf("span %q has negative timestamp %g", e.Name, e.TS)
+			}
+		case "i":
+			if e.Scope != "t" {
+				t.Errorf("instant %q has scope %q, want t", e.Name, e.Scope)
+			}
+		case "M":
+			if e.Name != "thread_name" {
+				t.Errorf("unexpected metadata event %q", e.Name)
+			}
+			names[e.TID] = true
+		default:
+			t.Errorf("unknown phase %q on event %q", e.Phase, e.Name)
+		}
+		if e.Name == "" {
+			t.Error("event with empty name")
+		}
+	}
+	// pipelineChain maps module 0 with 2 replicas and module 1 with 1:
+	// three rows, tids 0..2.
+	for tid := 0; tid < 3; tid++ {
+		if !names[tid] {
+			t.Errorf("no thread_name for tid %d", tid)
+		}
+	}
+}
+
+// TestChromeTraceFailureInstants checks that processor-failure segments
+// become instant events rather than zero-length spans.
+func TestChromeTraceFailureInstants(t *testing.T) {
+	trace := []Segment{
+		{Module: 0, Instance: 0, Task: 0, Kind: OpExec, DataSet: 0, Start: 0, End: 1},
+		{Module: 0, Instance: 0, Kind: OpFail, Start: 1.5, End: 1.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceChrome(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []obs.Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	foundFail := false
+	for _, e := range tf.TraceEvents {
+		if e.Name == "fail" {
+			foundFail = true
+			if e.Phase != "i" {
+				t.Errorf("fail event phase = %q, want i", e.Phase)
+			}
+			if e.TS != 1.5e6 {
+				t.Errorf("fail event ts = %g, want 1.5e6", e.TS)
+			}
+		}
+	}
+	if !foundFail {
+		t.Error("no fail instant in trace")
+	}
+}

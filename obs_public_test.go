@@ -1,0 +1,43 @@
+package pipemap_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pipemap"
+)
+
+// TestPublicObservability exercises the observability surface through the
+// public API only: attach a tracer and registry to a request, solve, and
+// export both.
+func TestPublicObservability(t *testing.T) {
+	chain := exampleChain()
+	pl := pipemap.Platform{Procs: 16, MemPerProc: 1}
+	tr := pipemap.NewTracer()
+	reg := pipemap.NewMetricsRegistry()
+	res, err := pipemap.Map(pipemap.Request{Chain: chain, Platform: pl, Trace: tr, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("no throughput predicted")
+	}
+	if tr.Len() == 0 {
+		t.Error("tracer collected no spans")
+	}
+	var trace bytes.Buffer
+	if err := tr.WriteJSON(&trace); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(trace.String(), `"traceEvents"`) {
+		t.Errorf("trace output not Chrome trace JSON: %s", trace.String())
+	}
+	var txt bytes.Buffer
+	if err := reg.Snapshot().WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "core.map_seconds.count 1") {
+		t.Errorf("metrics missing core.map_seconds:\n%s", txt.String())
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"pipemap/internal/greedy"
 	"pipemap/internal/machine"
 	"pipemap/internal/model"
+	"pipemap/internal/obs"
 	"pipemap/internal/sim"
 	"pipemap/internal/tradeoff"
 )
@@ -210,6 +211,26 @@ type Certificate = greedy.Certificate
 // Certify analyzes a chain's cost functions and reports which greedy
 // configuration, if any, is provably optimal for it.
 func Certify(c *Chain, pl Platform) Certificate { return greedy.Certify(c, pl) }
+
+// Observability types (extension; see DESIGN.md §8). Attach a Tracer
+// and/or MetricsRegistry to Request.Trace / Request.Metrics to collect
+// solver spans and counters; nil instruments are disabled and free.
+type (
+	// Tracer collects spans and writes Chrome trace_event JSON for
+	// chrome://tracing or ui.perfetto.dev.
+	Tracer = obs.Tracer
+	// MetricsRegistry collects counters, gauges and timing histograms,
+	// exportable as JSON or expvar-style text via Snapshot.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// NewTracer returns an enabled trace collector.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewMetricsRegistry returns an enabled metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // Objective selects what Map optimizes.
 type Objective = core.Objective
