@@ -1,0 +1,76 @@
+// Command benchrun records the repo's performance trajectory: it times the
+// DP and greedy solvers on the committed chain specs, measures the
+// fault-tolerant runtime's throughput against the model bound, and writes
+// the report to BENCH_solver.json. Commit the refreshed file to extend the
+// perf history; CI runs a reduced-size pass (-quick) and uploads the
+// report as an artifact.
+//
+// Usage:
+//
+//	go run ./cmd/benchrun [-out BENCH_solver.json] [-quick] [spec...]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pipemap/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchrun", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_solver.json", "output path for the JSON report (empty = stdout only)")
+	quick := fs.Bool("quick", false, "reduced-size run for CI (fewer data sets and repetitions)")
+	runs := fs.Int("runs", 0, "timing repetitions per solver (0 = default)")
+	datasets := fs.Int("datasets", 0, "data sets streamed through the runtime (0 = default)")
+	speedup := fs.Float64("speedup", 0, "runtime time compression (0 = default)")
+	fs.SetOutput(stdout)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	specs := fs.Args()
+	if len(specs) == 0 {
+		specs = []string{"specs/ffthist256.json", "specs/threestage.json"}
+	}
+	opt := bench.PerfOptions{Runs: *runs, DataSets: *datasets, Speedup: *speedup}
+	if *quick {
+		if opt.Runs == 0 {
+			opt.Runs = 2
+		}
+		if opt.DataSets == 0 {
+			opt.DataSets = 80
+		}
+		if opt.Speedup == 0 {
+			opt.Speedup = 200
+		}
+	}
+
+	rep, err := bench.RunPerf(specs, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, bench.RenderPerf(rep))
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *out)
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-quick", "-datasets", "20", "-runs", "1", "-out", out,
+		"../../specs/threestage.json",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "threestage") || !strings.Contains(buf.String(), "wrote ") {
+		t.Errorf("output missing table/confirmation:\n%s", buf.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Specs []struct {
+			Spec           string  `json:"spec"`
+			DPSolveSeconds float64 `json:"dpSolveSeconds"`
+		} `json:"specs"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if len(rep.Specs) != 1 || rep.Specs[0].DPSolveSeconds <= 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestRunBadSpec(t *testing.T) {
+	if err := run([]string{"-out", "", "no-such.json"}, &bytes.Buffer{}); err == nil {
+		t.Error("missing spec accepted")
+	}
+}

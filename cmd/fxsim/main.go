@@ -5,14 +5,25 @@
 // Usage:
 //
 //	fxsim -spec chain.json [-mapping mapping.json] [-n 400] [-noise 0.03]
-//	      [-seed 1] [-gantt] [-trace out.json] [-cpuprofile cpu.pb]
-//	      [-memprofile mem.pb]
+//	      [-seed 1] [-gantt] [-trace out.json] [-fail t:module:instance,...]
+//	      [-serve addr] [-serve-for dur] [-serve-speed X]
+//	      [-cpuprofile cpu.pb] [-memprofile mem.pb]
 //
 // Without -mapping, the optimal mapping is computed first (like running
 // the mapping tool and then the program). -gantt prints an ASCII timeline
 // of the first data sets; -trace exports the full simulated timeline as
 // Chrome trace_event JSON so it renders in the same viewer
 // (chrome://tracing, ui.perfetto.dev) as real runtime traces.
+//
+// -fail schedules fail-stop processor failures on the simulated timeline
+// (comma-separated time:module:instance triples). -serve replays the
+// simulated timeline through the live health model in virtual time and
+// serves the same endpoints as `pipemap -serve` (/metrics, /healthz,
+// /readyz, /pipeline, /events, /debug/pprof): uptime, periods and event
+// timestamps are *simulated* seconds. -serve-speed paces the replay in
+// virtual seconds per wall second (0 = instant); -serve-for bounds how
+// long the server stays up after the replay (default: until killed).
+// See DESIGN.md §9.
 package main
 
 import (
@@ -23,9 +34,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+	"time"
 
 	"pipemap/internal/core"
 	"pipemap/internal/model"
+	"pipemap/internal/obs/live"
 	"pipemap/internal/sim"
 )
 
@@ -50,6 +64,10 @@ func run(args []string, stdout io.Writer) error {
 	tracePath := fs.String("trace", "", "write the simulated timeline as Chrome trace_event JSON to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	serveAddr := fs.String("serve", "", "replay the simulated timeline in virtual time through a live observability server on this address (e.g. :9090 or 127.0.0.1:0)")
+	serveFor := fs.Duration("serve-for", 0, "with -serve: keep serving this long after the replay, then exit (0 = serve until killed)")
+	serveSpeed := fs.Float64("serve-speed", 0, "with -serve: play back at this many virtual seconds per wall second (0 = replay instantly)")
+	failSpec := fs.String("fail", "", "inject fail-stop failures: comma-separated time:module:instance triples (e.g. 2.5:1:0)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -110,11 +128,18 @@ func run(args []string, stdout io.Writer) error {
 
 	opts := sim.Options{
 		DataSets: *n, Noise: *noise, Seed: *seed,
-		Trace: *gantt || *csvPath != "" || *tracePath != "",
+		Trace: *gantt || *csvPath != "" || *tracePath != "" || *serveAddr != "",
 	}
 	if *stragMod >= 0 && *stragFactor > 1 {
 		opts.StragglerModule = *stragMod
 		opts.StragglerFactor = *stragFactor
+	}
+	if *failSpec != "" {
+		failures, err := parseFailures(*failSpec)
+		if err != nil {
+			return err
+		}
+		opts.Failures = failures
 	}
 	res, err := sim.New(opts).Run(m)
 	if err != nil {
@@ -171,7 +196,57 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "\ntimeline (first 6 data sets):\n%s", sim.Gantt(cut, 100))
 	}
+	if *serveAddr != "" {
+		return serveReplay(stdout, m, res, *serveAddr, *serveFor, *serveSpeed)
+	}
 	return nil
+}
+
+// serveReplay plays the simulated timeline through a live observability
+// server in virtual time: the monitor's clock is the replay's virtual
+// clock, so /metrics and /pipeline report windowed rates and health as of
+// the simulated timeline, not the wall clock.
+func serveReplay(stdout io.Writer, m model.Mapping, res sim.Result,
+	addr string, serveFor time.Duration, speed float64) error {
+	vc := live.NewVirtualClock()
+	cfg := live.ConfigFromMapping(m)
+	cfg.Options.Clock = vc.Clock()
+	mon := live.NewMonitor(cfg)
+	srv := live.NewServer(live.ServerOptions{Monitor: mon})
+	if err := srv.Start(addr); err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(stdout, "serving virtual-time replay on http://%s (/metrics /pipeline /events)\n", srv.Addr())
+	var pace func(float64)
+	if speed > 0 {
+		pace = func(dv float64) {
+			time.Sleep(time.Duration(dv / speed * float64(time.Second)))
+		}
+	}
+	sim.Replay(res, mon, vc, pace)
+	fmt.Fprintf(stdout, "replay complete: %d datasets over %.4f virtual seconds\n",
+		res.TraceDataSets(), res.Makespan)
+	if serveFor > 0 {
+		time.Sleep(serveFor)
+		return nil
+	}
+	select {} // serve until killed
+}
+
+// parseFailures parses the -fail flag: comma-separated
+// time:module:instance triples.
+func parseFailures(spec string) ([]sim.FailureEvent, error) {
+	var out []sim.FailureEvent
+	for _, part := range strings.Split(spec, ",") {
+		var fe sim.FailureEvent
+		if n, err := fmt.Sscanf(strings.TrimSpace(part), "%g:%d:%d",
+			&fe.Time, &fe.Module, &fe.Instance); err != nil || n != 3 {
+			return nil, fmt.Errorf("bad -fail entry %q (want time:module:instance)", part)
+		}
+		out = append(out, fe)
+	}
+	return out, nil
 }
 
 // writeHeapProfile best-effort writes a heap profile; -memprofile is a

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var addrRe = regexp.MustCompile(`http://([0-9.]+:[0-9]+)`)
+
+func waitFor(t *testing.T, buf *syncBuffer, re *regexp.Regexp, done <-chan error) []string {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := re.FindStringSubmatch(buf.String()); m != nil {
+			return m
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("run exited early (err=%v), output:\n%s", err, buf.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	t.Fatalf("timeout waiting for %v, output:\n%s", re, buf.String())
+	return nil
+}
+
+// TestServeReplay drives -serve end to end: simulate the spec with an
+// injected fail-stop failure, replay the timeline in virtual time, and
+// check the health model reports the death at its simulated timestamp.
+func TestServeReplay(t *testing.T) {
+	buf := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-spec", "../../specs/ffthist256.json",
+			"-n", "80",
+			"-fail", "1.5:1:0",
+			"-serve", "127.0.0.1:0",
+			"-serve-for", "4s",
+		}, buf)
+	}()
+	addr := waitFor(t, buf, addrRe, done)[1]
+	waitFor(t, buf, regexp.MustCompile(`replay complete`), done)
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/pipeline")
+	if code != http.StatusOK {
+		t.Fatalf("/pipeline = %d", code)
+	}
+	var h struct {
+		Status        string  `json:"status"`
+		Finished      bool    `json:"finished"`
+		UptimeSeconds float64 `json:"uptimeSeconds"`
+		Deaths        int64   `json:"deaths"`
+		Completed     int64   `json:"completed"`
+		Stages        []struct {
+			Live int `json:"live"`
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/pipeline JSON: %v\n%s", err, body)
+	}
+	if h.Deaths != 1 || h.Status != "degraded" {
+		t.Errorf("deaths=%d status=%q, want 1/degraded", h.Deaths, h.Status)
+	}
+	if h.Completed != 80 || !h.Finished {
+		t.Errorf("completed=%d finished=%v, want 80/true", h.Completed, h.Finished)
+	}
+	if len(h.Stages) != 2 || h.Stages[1].Live != 9 {
+		t.Errorf("stage live counts = %+v, want module 1 at 9/10", h.Stages)
+	}
+	// Virtual uptime is the simulated makespan, not the wall time of the
+	// instant replay.
+	if h.UptimeSeconds < 1 || h.UptimeSeconds > 60 {
+		t.Errorf("virtual uptime = %g, want simulated makespan scale", h.UptimeSeconds)
+	}
+
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.Contains(body, "pipemap_stage_deaths_total") ||
+		!strings.Contains(body, "pipemap_degraded 1") {
+		t.Errorf("/metrics missing death/degraded series:\n%s", body)
+	}
+
+	code, body = get("/events?follow=0")
+	if code != http.StatusOK || !strings.Contains(body, `"kind":"death"`) {
+		t.Errorf("/events = %d, want death event:\n%s", code, body)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestFailFlagValidation(t *testing.T) {
+	if err := run([]string{"-spec", "../../specs/threestage.json", "-fail", "nonsense"},
+		io.Discard); err == nil {
+		t.Error("malformed -fail accepted")
+	}
+	if err := run([]string{"-spec", "../../specs/threestage.json", "-fail", "1.0:9:9"},
+		io.Discard); err == nil {
+		t.Error("out-of-range -fail accepted")
+	}
+}

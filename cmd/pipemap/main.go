@@ -6,6 +6,8 @@
 //
 //	pipemap [-algo auto|dp|greedy] [-grid RxC] [-systolic] [-json]
 //	        [-fail-procs N] [-trace out.json] [-metrics]
+//	        [-serve addr] [-serve-n N] [-serve-speedup X]
+//	        [-serve-for dur] [-serve-kill auto|stage:instance]
 //	        [-cpuprofile cpu.pb] [-memprofile mem.pb] [spec.json]
 //
 // With no file argument the spec is read from standard input. -grid adds
@@ -21,6 +23,17 @@
 // viewable in chrome://tracing or https://ui.perfetto.dev; -metrics
 // appends a counters/histograms snapshot to the report; -cpuprofile and
 // -memprofile write standard pprof profiles.
+//
+// Live observability: -serve addr runs the solved mapping on the
+// fault-tolerant runtime and serves /metrics (Prometheus text 0.0.4),
+// /healthz, /readyz, /pipeline (health-model JSON: per-stage observed
+// period vs predicted f_i/r_i, bottleneck, replica liveness), /events
+// (NDJSON) and /debug/pprof. -serve-n sets the number of data sets
+// streamed, -serve-speedup compresses the emulated stage times,
+// -serve-kill injects a permanent instance death ("auto" picks the first
+// replicated stage) to demonstrate the degraded path, and -serve-for
+// bounds how long the server stays up after the run (default: until
+// killed). Not combinable with -json. See DESIGN.md §9.
 package main
 
 import (
@@ -62,8 +75,16 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	metrics := fs.Bool("metrics", false, "print a solver metrics snapshot after the report")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	serveAddr := fs.String("serve", "", "after solving, run the mapping on the fault-tolerant runtime and serve live observability on this address (e.g. :9090 or 127.0.0.1:0)")
+	serveN := fs.Int("serve-n", 200, "with -serve: number of data sets to stream")
+	serveSpeedup := fs.Float64("serve-speedup", 20, "with -serve: compress emulated stage times by this factor")
+	serveFor := fs.Duration("serve-for", 0, "with -serve: keep serving this long after the run, then exit (0 = serve until killed)")
+	serveKill := fs.String("serve-kill", "", "with -serve: permanently fail one stage instance (\"stage:instance\" or \"auto\")")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *serveAddr != "" && *asJSON {
+		return fmt.Errorf("-serve is not combinable with -json")
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -105,6 +126,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		req.Trace = obs.NewTracer()
 	}
 	if *metrics {
+		req.Metrics = obs.NewRegistry()
+	}
+	if *serveAddr != "" && req.Metrics == nil {
+		// Collect solver metrics so /metrics merges them into the live
+		// exposition even without -metrics.
 		req.Metrics = obs.NewRegistry()
 	}
 	switch *objective {
@@ -201,6 +227,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "\ntrace written to %s (%d events) — open in chrome://tracing or ui.perfetto.dev\n",
 			*tracePath, req.Trace.Len())
+	}
+	if *serveAddr != "" {
+		fmt.Fprintln(stdout)
+		return serveRun(stdout, res.Mapping, req.Metrics, serveConfig{
+			addr: *serveAddr, n: *serveN, speedup: *serveSpeedup,
+			serveFor: *serveFor, kill: *serveKill,
+		})
 	}
 	return nil
 }

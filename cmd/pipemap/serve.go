@@ -1,0 +1,127 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"pipemap/internal/fxrt"
+	"pipemap/internal/model"
+	"pipemap/internal/obs"
+	"pipemap/internal/obs/live"
+)
+
+// serveConfig carries the -serve* flags.
+type serveConfig struct {
+	addr     string
+	n        int
+	speedup  float64
+	serveFor time.Duration
+	kill     string
+}
+
+// serveRun executes the solved mapping on the fault-tolerant runtime with a
+// live observability server attached: one emulated stage per module,
+// replicated per the mapping, with stage times compressed by the speedup
+// factor. The health model compares observed per-stage periods against the
+// model's f_i/r_i (scaled identically), so /pipeline shows the predicted
+// bottleneck reproducing live — and, with -serve-kill, how losing a replica
+// moves the pipeline to degraded.
+func serveRun(stdout io.Writer, m model.Mapping, metrics *obs.Registry, sc serveConfig) error {
+	if sc.n < 2 {
+		return fmt.Errorf("-serve-n must be >= 2, got %d", sc.n)
+	}
+	pl, err := fxrt.ModelPipeline(m, sc.speedup)
+	if err != nil {
+		return err
+	}
+	// Always run fault-tolerant: retries and death detection are what the
+	// live health model observes.
+	pl.Retry = fxrt.RetryPolicy{MaxRetries: 2, Backoff: time.Millisecond}
+	pl.DeadAfter = 2
+	if sc.kill != "" {
+		stage, inst, err := resolveKill(sc.kill, m)
+		if err != nil {
+			return err
+		}
+		// A permanent failure on one instance: it fails every attempt, is
+		// declared dead after DeadAfter consecutive failures, and its share
+		// of the stream requeues onto the surviving replicas.
+		pl.Faults = append(pl.Faults, fxrt.Fault{
+			Stage: stage, Instance: inst, DataSet: -1, Kind: fxrt.FaultFail,
+		})
+		fmt.Fprintf(stdout, "injecting permanent failure: stage %d instance %d\n", stage, inst)
+	}
+	mon := live.NewMonitor(live.ConfigFromMapping(m).Scale(sc.speedup))
+	pl.Monitor = mon
+
+	opts := live.ServerOptions{Monitor: mon}
+	if metrics != nil {
+		opts.Static = metrics.Snapshot
+	}
+	srv := live.NewServer(opts)
+	if err := srv.Start(sc.addr); err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(stdout, "serving live observability on http://%s (/metrics /pipeline /healthz /readyz /events)\n", srv.Addr())
+
+	stats, err := pl.Run(func(i int) fxrt.DataSet { return i }, sc.n, 0)
+	if err != nil {
+		return err
+	}
+	h := mon.Health()
+	fmt.Fprintf(stdout, "run complete: %d data sets, %.4f data sets/s observed (model predicts %.4f at %gx speedup)\n",
+		stats.DataSets, stats.Throughput, m.Throughput()*sc.speedup, sc.speedup)
+	fmt.Fprintf(stdout, "health: %s", h.Status)
+	if h.Reason != "" {
+		fmt.Fprintf(stdout, " (%s)", h.Reason)
+	}
+	fmt.Fprintf(stdout, "; bottleneck stage %d (%s), predicted %d\n",
+		h.BottleneckStage, h.Stages[h.BottleneckStage].Name, h.PredictedBottleneck)
+	if stats.Retried+stats.Dropped+stats.Dead > 0 {
+		fmt.Fprintf(stdout, "faults: %d retried, %d dropped, %d instance death(s)\n",
+			stats.Retried, stats.Dropped, stats.Dead)
+	}
+	if sc.serveFor > 0 {
+		time.Sleep(sc.serveFor)
+		return nil
+	}
+	fmt.Fprintln(stdout, "serving until killed (ctrl-c to exit)")
+	select {}
+}
+
+// resolveKill parses -serve-kill: "auto" picks instance 0 of the first
+// replicated stage; otherwise "stage:instance".
+func resolveKill(spec string, m model.Mapping) (int, int, error) {
+	if spec == "auto" {
+		for i, mod := range m.Modules {
+			if mod.Replicas > 1 {
+				return i, 0, nil
+			}
+		}
+		return 0, 0, fmt.Errorf("-serve-kill auto: no replicated stage to kill (killing the only instance would only drop data sets)")
+	}
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("-serve-kill %q is not stage:instance or auto", spec)
+	}
+	stage, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("-serve-kill stage %q: %w", parts[0], err)
+	}
+	inst, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("-serve-kill instance %q: %w", parts[1], err)
+	}
+	if stage < 0 || stage >= len(m.Modules) {
+		return 0, 0, fmt.Errorf("-serve-kill stage %d outside the %d-module mapping", stage, len(m.Modules))
+	}
+	if inst < 0 || inst >= m.Modules[stage].Replicas {
+		return 0, 0, fmt.Errorf("-serve-kill instance %d outside stage %d's %d replicas",
+			inst, stage, m.Modules[stage].Replicas)
+	}
+	return stage, inst, nil
+}

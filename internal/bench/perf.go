@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"pipemap/internal/core"
+	"pipemap/internal/fxrt"
+)
+
+// PerfOptions configures a performance-trajectory run.
+type PerfOptions struct {
+	// Runs is the number of timing repetitions per solver; the median is
+	// reported (default 3).
+	Runs int
+	// DataSets is the number of data sets streamed through the
+	// fault-tolerant runtime (default 400).
+	DataSets int
+	// Speedup compresses the emulated stage times so a run finishes in
+	// manageable wall time (default 50). Reported runtime throughput is
+	// rescaled back to model units, so results are comparable across
+	// speedups up to scheduler jitter.
+	Speedup float64
+}
+
+func (o PerfOptions) withDefaults() PerfOptions {
+	if o.Runs <= 0 {
+		o.Runs = 3
+	}
+	if o.DataSets <= 0 {
+		o.DataSets = 400
+	}
+	if o.Speedup <= 0 {
+		o.Speedup = 50
+	}
+	return o
+}
+
+// SpecPerf is the performance record of one chain spec: solver latencies
+// and the fault-tolerant runtime's achieved throughput against the model
+// bound.
+type SpecPerf struct {
+	Spec  string `json:"spec"`
+	Tasks int    `json:"tasks"`
+	Procs int    `json:"procs"`
+	// DPSolveSeconds and GreedySolveSeconds are median wall times of one
+	// full solve.
+	DPSolveSeconds     float64 `json:"dpSolveSeconds"`
+	GreedySolveSeconds float64 `json:"greedySolveSeconds"`
+	// DPThroughput and GreedyThroughput are the predicted throughputs of
+	// the two solvers' mappings (data sets/s, model units).
+	DPThroughput     float64 `json:"dpThroughput"`
+	GreedyThroughput float64 `json:"greedyThroughput"`
+	// FxrtThroughput is the throughput the fault-tolerant executor achieved
+	// emulating the DP mapping, rescaled to model units; FxrtEfficiency is
+	// its fraction of the model bound.
+	FxrtThroughput float64 `json:"fxrtThroughput"`
+	FxrtEfficiency float64 `json:"fxrtEfficiency"`
+	Mapping        string  `json:"mapping"`
+}
+
+// PerfReport is the full performance trajectory written to
+// BENCH_solver.json. Committed snapshots of this report over time are the
+// repo's perf history.
+type PerfReport struct {
+	GoVersion   string     `json:"goVersion"`
+	GOOS        string     `json:"goos"`
+	GOARCH      string     `json:"goarch"`
+	CPUs        int        `json:"cpus"`
+	Runs        int        `json:"runs"`
+	DataSets    int        `json:"dataSets"`
+	Speedup     float64    `json:"speedup"`
+	GeneratedAt string     `json:"generatedAt"`
+	Specs       []SpecPerf `json:"specs"`
+}
+
+// RunPerf measures solver latency (DP and greedy) and fault-tolerant
+// runtime throughput for each chain spec file.
+func RunPerf(specPaths []string, opt PerfOptions) (PerfReport, error) {
+	opt = opt.withDefaults()
+	rep := PerfReport{
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		Runs:        opt.Runs,
+		DataSets:    opt.DataSets,
+		Speedup:     opt.Speedup,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, path := range specPaths {
+		sp, err := perfSpec(path, opt)
+		if err != nil {
+			return PerfReport{}, fmt.Errorf("bench: %s: %w", path, err)
+		}
+		rep.Specs = append(rep.Specs, sp)
+	}
+	return rep, nil
+}
+
+func perfSpec(path string, opt PerfOptions) (SpecPerf, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return SpecPerf{}, err
+	}
+	chain, pl, err := core.ParseChainSpec(f)
+	f.Close()
+	if err != nil {
+		return SpecPerf{}, err
+	}
+	sp := SpecPerf{Spec: path, Tasks: chain.Len(), Procs: pl.Procs}
+
+	dpRes, dpTime, err := timeSolve(core.Request{Chain: chain, Platform: pl, Algorithm: core.DP}, opt.Runs)
+	if err != nil {
+		return SpecPerf{}, err
+	}
+	sp.DPSolveSeconds = dpTime
+	sp.DPThroughput = dpRes.Throughput
+	sp.Mapping = dpRes.Mapping.String()
+
+	grRes, grTime, err := timeSolve(core.Request{Chain: chain, Platform: pl, Algorithm: core.Greedy}, opt.Runs)
+	if err != nil {
+		return SpecPerf{}, err
+	}
+	sp.GreedySolveSeconds = grTime
+	sp.GreedyThroughput = grRes.Throughput
+
+	// Runtime throughput: emulate the DP mapping on the fault-tolerant
+	// executor (the same path `pipemap -serve` exercises) and rescale the
+	// observed rate back to model units.
+	p, err := fxrt.ModelPipeline(dpRes.Mapping, opt.Speedup)
+	if err != nil {
+		return SpecPerf{}, err
+	}
+	p.Retry = fxrt.RetryPolicy{MaxRetries: 1}
+	stats, err := p.Run(func(i int) fxrt.DataSet { return i }, opt.DataSets, 0)
+	if err != nil {
+		return SpecPerf{}, err
+	}
+	sp.FxrtThroughput = stats.Throughput / opt.Speedup
+	if sp.DPThroughput > 0 {
+		sp.FxrtEfficiency = sp.FxrtThroughput / sp.DPThroughput
+	}
+	return sp, nil
+}
+
+// timeSolve solves the request runs times and returns the last result and
+// the median wall time.
+func timeSolve(req core.Request, runs int) (core.Result, float64, error) {
+	var res core.Result
+	times := make([]float64, 0, runs)
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		r, err := core.Map(req)
+		if err != nil {
+			return core.Result{}, 0, err
+		}
+		times = append(times, time.Since(start).Seconds())
+		res = r
+	}
+	sort.Float64s(times)
+	return res, times[len(times)/2], nil
+}
+
+// RenderPerf formats the report as a readable table.
+func RenderPerf(rep PerfReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "perf trajectory (%s %s/%s, %d CPUs, %d data sets, %gx speedup, median of %d):\n",
+		rep.GoVersion, rep.GOOS, rep.GOARCH, rep.CPUs, rep.DataSets, rep.Speedup, rep.Runs)
+	fmt.Fprintf(&b, "%-28s %12s %12s %10s %10s %8s\n",
+		"spec", "dp solve", "greedy solve", "model t/s", "fxrt t/s", "eff")
+	for _, sp := range rep.Specs {
+		fmt.Fprintf(&b, "%-28s %10.3fms %10.3fms %10.4f %10.4f %7.1f%%\n",
+			sp.Spec, sp.DPSolveSeconds*1e3, sp.GreedySolveSeconds*1e3,
+			sp.DPThroughput, sp.FxrtThroughput, 100*sp.FxrtEfficiency)
+	}
+	return b.String()
+}

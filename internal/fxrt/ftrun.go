@@ -104,6 +104,8 @@ func (p *Pipeline) runFT(source func(i int) DataSet, n, warmup int, edges []Edge
 		}
 	}
 
+	mon := p.Monitor
+	mon.Start()
 	start := time.Now()
 	wg.Add(1)
 	go func() {
@@ -127,6 +129,7 @@ func (p *Pipeline) runFT(source func(i int) DataSet, n, warmup int, edges []Edge
 		}
 		now := time.Now()
 		latSum += now.Sub(env.t0)
+		mon.Completed(now.Sub(env.t0).Seconds())
 		completed++
 		windowEnd = now
 		if completed == warmup+1 {
@@ -135,6 +138,7 @@ func (p *Pipeline) runFT(source func(i int) DataSet, n, warmup int, edges []Edge
 	}
 	wg.Wait()
 	close(r.release)
+	mon.Finish()
 
 	stats := Stats{
 		DataSets: n,
@@ -182,6 +186,7 @@ func (r *ftRun) instance(i, b int) {
 func (r *ftRun) serve(i, b int, st Stage, g *Group, attempts *sync.WaitGroup) {
 	ctx := &StageCtx{Group: g, Instance: b, Rec: r.rec}
 	tr := r.p.Obs
+	mon := r.p.Monitor
 	tid := r.tidBase[i] + b
 	deadline := r.p.deadlineFor(i)
 	maxAttempts := r.p.Retry.MaxRetries + 1
@@ -208,6 +213,7 @@ func (r *ftRun) serve(i, b int, st Stage, g *Group, attempts *sync.WaitGroup) {
 			}
 			tr.StageSpan(st.Name, tid, env.idx, env.attempts, outcome, t0, time.Since(t0))
 			if err == nil {
+				mon.StageDone(i, time.Since(t0).Seconds())
 				env.ds = out
 				env.attempts = 0
 				consecFail = 0
@@ -218,6 +224,7 @@ func (r *ftRun) serve(i, b int, st Stage, g *Group, attempts *sync.WaitGroup) {
 			consecFail++
 			if timedOut {
 				r.timeouts.Add(1)
+				mon.StageTimeout(i, env.idx)
 			}
 			if r.p.DeadAfter > 0 && consecFail >= r.p.DeadAfter {
 				// Die only if another live instance remains to serve the
@@ -225,6 +232,7 @@ func (r *ftRun) serve(i, b int, st Stage, g *Group, attempts *sync.WaitGroup) {
 				// cannot process.
 				if r.live[i].Add(-1) >= 1 {
 					r.deaths.Add(1)
+					mon.InstanceDeath(i, env.idx)
 					if tr.Enabled() {
 						tr.InstantArgs("fault", "instance-death", tid, time.Now(),
 							map[string]any{"dataset": env.idx, "stage": st.Name})
@@ -239,6 +247,7 @@ func (r *ftRun) serve(i, b int, st Stage, g *Group, attempts *sync.WaitGroup) {
 				env.dropped = true
 				env.ds = nil
 				r.droppedN.Add(1)
+				mon.StageDrop(i, env.idx)
 				if tr.Enabled() {
 					tr.InstantArgs("fault", "drop", tid, time.Now(),
 						map[string]any{"dataset": env.idx, "stage": st.Name})
@@ -247,6 +256,7 @@ func (r *ftRun) serve(i, b int, st Stage, g *Group, attempts *sync.WaitGroup) {
 				break
 			}
 			r.retried.Add(1)
+			mon.StageRetry(i, env.idx)
 			if d := r.p.Retry.backoffFor(env.attempts); d > 0 {
 				time.Sleep(d)
 			}
@@ -332,6 +342,7 @@ func (r *ftRun) requeue(i int, env ftEnvelope) {
 		env.dropped = true
 		env.ds = nil
 		r.droppedN.Add(1)
+		r.p.Monitor.StageDrop(i, env.idx)
 		r.forward(i, env)
 	}
 }

@@ -1,0 +1,50 @@
+package fxrt
+
+import (
+	"fmt"
+	"time"
+
+	"pipemap/internal/model"
+)
+
+// ModelPipeline builds a runnable fault-tolerant pipeline that emulates a
+// solved mapping: one stage per module, replicated as the mapping
+// prescribes, whose work function sleeps for the module's predicted
+// response time f_i divided by speedup. Replication is what makes the
+// emulation interesting — the live observed period of stage i converges to
+// f_i/(speedup·r_i), so the bottleneck structure of the mapping reproduces
+// in the served health model, and killing a replica visibly degrades it.
+//
+// Each stage runs with Workers=1: the emulation spends the module's
+// response time as wall-clock sleep rather than spreading real work over
+// mod.Procs workers, so the mapping's per-instance processor counts are
+// carried in the monitor's StageInfo, not in goroutine counts.
+//
+// speedup <= 0 defaults to 1 (real time). Use a large speedup to compress
+// slow mappings into fast demo/CI runs without changing the relative stage
+// periods.
+func ModelPipeline(m model.Mapping, speedup float64) (*Pipeline, error) {
+	if m.Chain == nil || len(m.Modules) == 0 {
+		return nil, fmt.Errorf("fxrt: model pipeline needs a solved mapping")
+	}
+	if speedup <= 0 {
+		speedup = 1
+	}
+	resp := m.ResponseTimes()
+	stages := make([]Stage, len(m.Modules))
+	for i, mod := range m.Modules {
+		d := time.Duration(resp[i] / speedup * float64(time.Second))
+		stages[i] = Stage{
+			Name:     m.Chain.TaskNames(mod.Lo, mod.Hi),
+			Workers:  1,
+			Replicas: mod.Replicas,
+			Run: func(_ *StageCtx, in DataSet) (DataSet, error) {
+				if d > 0 {
+					time.Sleep(d)
+				}
+				return in, nil
+			},
+		}
+	}
+	return &Pipeline{Stages: stages}, nil
+}

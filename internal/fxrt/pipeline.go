@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pipemap/internal/obs"
+	"pipemap/internal/obs/live"
 )
 
 // DataSet is one unit of streaming data flowing through a pipeline.
@@ -176,6 +177,13 @@ type Pipeline struct {
 	// fault-tolerant runs, plus instant events for instance deaths and
 	// dropped data sets; nil disables tracing with no overhead.
 	Obs *obs.Tracer
+	// Monitor receives live per-attempt observations (completions with
+	// latency, retries, timeouts, drops, instance deaths) in
+	// fault-tolerant runs, feeding the health model served by obs/live.
+	// nil disables live monitoring with no overhead. The strict rendezvous
+	// executor does not report to it; attach fault-tolerance options (even
+	// just a RetryPolicy) to serve live traffic.
+	Monitor *live.Monitor
 }
 
 // envelope carries a data set with its stream index.

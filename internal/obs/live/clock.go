@@ -1,0 +1,40 @@
+package live
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock returns the current time in nanoseconds. Wall-clock pipelines use
+// the default clock; virtual-time replays drive a VirtualClock so windowed
+// rates and quantiles are computed on the simulated timeline.
+type Clock func() int64
+
+func wallClock() int64 { return time.Now().UnixNano() }
+
+// VirtualClock is a manually-advanced clock for replaying recorded or
+// simulated timelines through live instruments. The zero value reads 0;
+// it is safe for concurrent use.
+type VirtualClock struct {
+	now atomic.Int64
+}
+
+// NewVirtualClock returns a virtual clock at time zero.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// Set moves the clock to the given nanosecond timestamp. Moving backwards
+// is allowed (instruments treat it as a new slot epoch) but rarely useful.
+func (c *VirtualClock) Set(nanos int64) { c.now.Store(nanos) }
+
+// SetSeconds moves the clock to the given timestamp in seconds, the unit
+// of simulator timelines.
+func (c *VirtualClock) SetSeconds(s float64) { c.now.Store(int64(s * 1e9)) }
+
+// Advance moves the clock forward by d.
+func (c *VirtualClock) Advance(d time.Duration) { c.now.Add(int64(d)) }
+
+// Now returns the current virtual time in nanoseconds.
+func (c *VirtualClock) Now() int64 { return c.now.Load() }
+
+// Clock adapts the virtual clock to the Clock interface.
+func (c *VirtualClock) Clock() Clock { return c.now.Load }

@@ -1,0 +1,162 @@
+package live
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options configures a Registry or Monitor.
+type Options struct {
+	// Window is the rolling window length (default DefaultWindow).
+	Window time.Duration
+	// Clock supplies timestamps; nil uses the wall clock. Replays install
+	// a VirtualClock's Clock here.
+	Clock Clock
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window <= 0 {
+		o.Window = DefaultWindow
+	}
+	if o.Clock == nil {
+		o.Clock = wallClock
+	}
+	return o
+}
+
+// Registry is a named collection of live instruments following the same
+// flat dotted naming scheme as obs.Registry ("fxrt.completed",
+// "serve.http_requests"). Instrument handles are create-on-first-use and
+// stable, so hot paths fetch them once and record lock-locally afterwards.
+// A nil *Registry is a valid disabled registry: it hands out nil
+// instruments, which are themselves disabled and free.
+type Registry struct {
+	mu       sync.Mutex
+	opt      Options
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an enabled registry.
+func NewRegistry(opt Options) *Registry {
+	return &Registry{
+		opt:      opt.withDefaults(),
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Enabled reports whether the registry records samples.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// Counter returns the named windowed counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = newCounter(r.opt.Clock, r.opt.Window)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = newGauge()
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named windowed histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram(r.opt.Clock, r.opt.Window)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterStat is the exported state of one windowed counter.
+type CounterStat struct {
+	Total  int64   `json:"total"`
+	Window int64   `json:"window"`
+	Rate   float64 `json:"rate"`
+}
+
+// Snapshot is a point-in-time copy of every live instrument.
+type Snapshot struct {
+	Counters   map[string]CounterStat `json:"counters"`
+	Gauges     map[string]float64     `json:"gauges"`
+	Histograms map[string]WindowStat  `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state; a nil registry yields an
+// empty (non-nil-map) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]CounterStat{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]WindowStat{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	// Instrument reads take per-instrument locks; don't hold the registry
+	// lock across them.
+	for k, c := range counters {
+		s.Counters[k] = CounterStat{Total: c.Total(), Window: c.WindowSum(), Rate: c.Rate()}
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = h.Window()
+	}
+	return s
+}
+
+// sortedKeys returns the keys of a map in sorted order, for deterministic
+// exposition output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

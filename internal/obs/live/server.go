@@ -1,0 +1,205 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"pipemap/internal/obs"
+)
+
+// ServerOptions configures a live observability server. All sources are
+// optional; endpoints backed by an absent source degrade gracefully
+// (empty exposition, 503 readiness).
+type ServerOptions struct {
+	// Monitor is the pipeline health model behind /pipeline, /readyz and
+	// the pipemap_* exposition series.
+	Monitor *Monitor
+	// Registry adds generic live instruments to /metrics.
+	Registry *Registry
+	// Static, when set, is called per scrape to merge a cumulative
+	// obs.Registry snapshot (e.g. solver metrics) into /metrics.
+	Static func() obs.Snapshot
+	// DisablePprof removes the /debug/pprof handlers.
+	DisablePprof bool
+}
+
+// Server is the embeddable live observability HTTP server. Construct with
+// NewServer, then either mount Handler on an existing mux or call Start to
+// listen on an address.
+type Server struct {
+	opt ServerOptions
+	mux *http.ServeMux
+
+	ln   net.Listener
+	http *http.Server
+}
+
+// NewServer builds the server and its routes.
+func NewServer(opt ServerOptions) *Server {
+	s := &Server{opt: opt, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.index)
+	s.mux.HandleFunc("/metrics", s.metrics)
+	s.mux.HandleFunc("/healthz", s.healthz)
+	s.mux.HandleFunc("/readyz", s.readyz)
+	s.mux.HandleFunc("/pipeline", s.pipeline)
+	s.mux.HandleFunc("/events", s.events)
+	if !opt.DisablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s
+}
+
+// Handler returns the server's routes for embedding in another mux or for
+// httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (e.g. ":9090" or "127.0.0.1:0") and serves in a
+// background goroutine until Close.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("live: listening on %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.http.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound address after Start (empty before).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener. In-flight /events streams end with their
+// connections.
+func (s *Server) Close() error {
+	if s.http == nil {
+		return nil
+	}
+	return s.http.Close()
+}
+
+func (s *Server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `pipemap live observability
+  /metrics      Prometheus text exposition
+  /healthz      liveness
+  /readyz       readiness (503 while starting or degraded)
+  /pipeline     pipeline health model (JSON)
+  /events       fault event stream (NDJSON; ?follow=0 for history only)
+  /debug/pprof  profiling
+`)
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var static *obs.Snapshot
+	if s.opt.Static != nil {
+		snap := s.opt.Static()
+		static = &snap
+	}
+	_ = WriteProm(w, s.opt.Monitor, s.opt.Registry, static)
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) readyz(w http.ResponseWriter, _ *http.Request) {
+	h := s.opt.Monitor.Health()
+	w.Header().Set("Content-Type", "application/json")
+	if !h.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"ready":  h.Ready,
+		"status": h.Status,
+		"reason": h.Reason,
+	})
+}
+
+func (s *Server) pipeline(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.opt.Monitor.Health())
+}
+
+// events streams the fault-event history followed by live events as NDJSON
+// until the client disconnects. ?follow=0 returns the history and closes,
+// which is what curl and smoke tests want.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	hub := s.opt.Monitor.Events()
+	enc := json.NewEncoder(w)
+	follow := true
+	if v := r.URL.Query().Get("follow"); v != "" {
+		if b, err := strconv.ParseBool(v); err == nil {
+			follow = b
+		}
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if hub == nil {
+		return
+	}
+	// Subscribe before reading history so no event can fall between the
+	// two; events published between the subscribe and the history read are
+	// both in the replayed history and on the channel, so exactly
+	// histSeq-subSeq leading channel events are duplicates to skip.
+	ch, subSeq, cancel := hub.Subscribe(64)
+	defer cancel()
+	hist, histSeq := hub.HistoryN()
+	for _, ev := range hist {
+		if err := enc.Encode(ev); err != nil {
+			return
+		}
+	}
+	if canFlush {
+		flusher.Flush()
+	}
+	if !follow {
+		return
+	}
+	skip := histSeq - subSeq
+	if skip < 0 {
+		skip = 0
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if skip > 0 {
+				skip--
+				continue
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if canFlush {
+				flusher.Flush()
+			}
+		}
+	}
+}

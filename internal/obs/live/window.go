@@ -1,0 +1,296 @@
+package live
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pipemap/internal/obs"
+)
+
+// DefaultWindow is the rolling window length used when an Options.Window
+// is zero.
+const DefaultWindow = 30 * time.Second
+
+const (
+	// counterSlots is the ring size of a windowed counter; the window is
+	// divided into this many slots, which bounds the expiry granularity at
+	// window/counterSlots.
+	counterSlots = 16
+	// histSlots is the ring size of a windowed histogram. Each slot carries
+	// a full bucket array, so the ring is kept shorter than the counter's.
+	histSlots = 8
+)
+
+// Counter is a monotonically increasing counter that additionally tracks a
+// rolling window, so it reports both a cumulative total (for Prometheus
+// counter semantics) and a windowed rate. A nil *Counter is a valid
+// disabled instrument: all methods are no-ops or return zero.
+type Counter struct {
+	mu      sync.Mutex
+	clock   Clock
+	slot    int64 // nanoseconds per ring slot
+	created int64
+	epochs  [counterSlots]int64
+	vals    [counterSlots]int64
+	total   int64
+}
+
+func newCounter(clock Clock, window time.Duration) *Counter {
+	c := &Counter{clock: clock, slot: int64(window) / counterSlots}
+	if c.slot <= 0 {
+		c.slot = 1
+	}
+	for i := range c.epochs {
+		c.epochs[i] = -1
+	}
+	c.created = clock()
+	return c
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	e := c.clock() / c.slot
+	i := int(e % counterSlots)
+	if i < 0 {
+		i += counterSlots
+	}
+	if c.epochs[i] != e {
+		c.epochs[i] = e
+		c.vals[i] = 0
+	}
+	c.vals[i] += delta
+	c.total += delta
+	c.mu.Unlock()
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Total returns the cumulative count since creation.
+func (c *Counter) Total() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// windowSumLocked sums the slots that fall inside the window ending now.
+func (c *Counter) windowSumLocked(now int64) int64 {
+	e := now / c.slot
+	var sum int64
+	for i := range c.epochs {
+		if d := e - c.epochs[i]; d >= 0 && d < counterSlots {
+			sum += c.vals[i]
+		}
+	}
+	return sum
+}
+
+// WindowSum returns the count accumulated inside the rolling window.
+func (c *Counter) WindowSum() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.windowSumLocked(c.clock())
+}
+
+// Rate returns the windowed rate in events per second. Before a full
+// window has elapsed the divisor is the time since creation, so early
+// rates are not diluted by the empty remainder of the window.
+func (c *Counter) Rate() float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock()
+	sum := c.windowSumLocked(now)
+	elapsed := now - c.created
+	if window := c.slot * counterSlots; elapsed > window {
+		elapsed = window
+	}
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(sum) / (float64(elapsed) / 1e9)
+}
+
+// Gauge is a last-value instrument. A nil *Gauge is a valid disabled
+// instrument. Gauges are lock-free (atomic bit stores).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+func newGauge() *Gauge { return &Gauge{} }
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last recorded value (zero if never set).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histSlot is one time bucket of a windowed histogram.
+type histSlot struct {
+	epoch    int64
+	count    int64
+	sum      float64
+	min, max float64
+	buckets  [obs.HistogramBuckets]int64
+}
+
+// Histogram is a rolling-window histogram: a ring of time slots, each
+// holding a full log-spaced bucket array (the same layout as package obs),
+// merged at read time into windowed quantiles. Cumulative count and sum
+// are tracked separately so exposition can emit monotone _count/_sum
+// series alongside windowed quantiles. A nil *Histogram is a valid
+// disabled instrument.
+type Histogram struct {
+	mu         sync.Mutex
+	clock      Clock
+	slot       int64
+	created    int64
+	slots      [histSlots]histSlot
+	total      int64
+	totalSum   float64
+	allMin     float64
+	allMax     float64
+	everSawOne bool
+}
+
+func newHistogram(clock Clock, window time.Duration) *Histogram {
+	h := &Histogram{clock: clock, slot: int64(window) / histSlots}
+	if h.slot <= 0 {
+		h.slot = 1
+	}
+	for i := range h.slots {
+		h.slots[i].epoch = -1
+	}
+	h.created = clock()
+	return h
+}
+
+// Observe adds one sample. The hot path touches only ring arrays: no
+// allocation, one mutex.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	e := h.clock() / h.slot
+	i := int(e % histSlots)
+	if i < 0 {
+		i += histSlots
+	}
+	s := &h.slots[i]
+	if s.epoch != e {
+		*s = histSlot{epoch: e}
+	}
+	if s.count == 0 || v < s.min {
+		s.min = v
+	}
+	if s.count == 0 || v > s.max {
+		s.max = v
+	}
+	s.count++
+	s.sum += v
+	s.buckets[obs.HistogramBucketOf(v)]++
+	h.total++
+	h.totalSum += v
+	if !h.everSawOne || v < h.allMin {
+		h.allMin = v
+	}
+	if !h.everSawOne || v > h.allMax {
+		h.allMax = v
+	}
+	h.everSawOne = true
+	h.mu.Unlock()
+}
+
+// WindowStat summarizes the samples inside the rolling window.
+type WindowStat struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Rate  float64 `json:"rate"` // samples per second over the window
+}
+
+// Window merges the live slots and returns the windowed summary.
+func (h *Histogram) Window() WindowStat {
+	if h == nil {
+		return WindowStat{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.clock()
+	e := now / h.slot
+	var merged [obs.HistogramBuckets]int64
+	var st WindowStat
+	first := true
+	for i := range h.slots {
+		s := &h.slots[i]
+		if d := e - s.epoch; d < 0 || d >= histSlots || s.count == 0 {
+			continue
+		}
+		st.Count += s.count
+		st.Sum += s.sum
+		if first || s.min < st.Min {
+			st.Min = s.min
+		}
+		if first || s.max > st.Max {
+			st.Max = s.max
+		}
+		first = false
+		for b, n := range s.buckets {
+			merged[b] += n
+		}
+	}
+	if st.Count > 0 {
+		st.Mean = st.Sum / float64(st.Count)
+		st.P50 = obs.QuantileFromBuckets(merged[:], st.Count, 0.50, st.Min, st.Max)
+		st.P90 = obs.QuantileFromBuckets(merged[:], st.Count, 0.90, st.Min, st.Max)
+		st.P99 = obs.QuantileFromBuckets(merged[:], st.Count, 0.99, st.Min, st.Max)
+	}
+	elapsed := now - h.created
+	if window := h.slot * histSlots; elapsed > window {
+		elapsed = window
+	}
+	if elapsed > 0 {
+		st.Rate = float64(st.Count) / (float64(elapsed) / 1e9)
+	}
+	return st
+}
+
+// Total returns the cumulative sample count and value sum since creation.
+func (h *Histogram) Total() (count int64, sum float64) {
+	if h == nil {
+		return 0, 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total, h.totalSum
+}

@@ -65,28 +65,49 @@ func (h *hist) observe(v float64, n int64) {
 }
 
 func (h *hist) quantile(q float64) float64 {
-	if h.count == 0 {
+	return QuantileFromBuckets(h.buckets[:], h.count, q, h.min, h.max)
+}
+
+// HistogramBuckets is the number of buckets in the shared log-spaced
+// layout, including the underflow and overflow buckets. The rolling-window
+// instruments in obs/live reuse the same layout so windowed and cumulative
+// quantiles are directly comparable.
+const HistogramBuckets = histBuckets
+
+// HistogramBucketOf returns the index of the bucket v falls in.
+func HistogramBucketOf(v float64) int { return bucketOf(v) }
+
+// QuantileFromBuckets estimates quantile q from a bucket array laid out
+// per HistogramBucketOf with count total samples, clamped to the observed
+// [min, max] envelope. The last bucket is the overflow bucket: its upper
+// bound is +Inf, so a rank that lands there reports the observed max
+// rather than a (meaningless, finite) bucket boundary.
+func QuantileFromBuckets(buckets []int64, count int64, q, min, max float64) float64 {
+	if count == 0 {
 		return 0
 	}
-	rank := int64(math.Ceil(q * float64(h.count)))
+	rank := int64(math.Ceil(q * float64(count)))
 	if rank < 1 {
 		rank = 1
 	}
 	var cum int64
-	for i, b := range h.buckets {
+	for i, b := range buckets {
 		cum += b
 		if cum >= rank {
-			u := bucketUpper(i)
-			if u > h.max {
-				u = h.max
+			if i == len(buckets)-1 {
+				return max
 			}
-			if u < h.min {
-				u = h.min
+			u := bucketUpper(i)
+			if u > max {
+				u = max
+			}
+			if u < min {
+				u = min
 			}
 			return u
 		}
 	}
-	return h.max
+	return max
 }
 
 // Registry is a thread-safe snapshot registry of counters, gauges and

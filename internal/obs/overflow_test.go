@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// Regression: values above the top finite bucket land in the overflow
+// bucket, whose upper bound is +Inf. Quantiles that resolve there must
+// report the observed max, not the last finite bucket boundary (which
+// could understate the value by orders of magnitude).
+func TestQuantileOverflowBucketReportsObservedMax(t *testing.T) {
+	topFinite := bucketUpper(histBuckets - 2)
+	huge := topFinite * 100
+
+	r := NewRegistry()
+	r.Observe("h", huge)
+	s := r.Snapshot().Histograms["h"]
+	for q, got := range map[string]float64{"p50": s.P50, "p90": s.P90, "p99": s.P99} {
+		if got != huge {
+			t.Errorf("%s = %g, want observed max %g (overflow bucket must clamp to +Inf semantics)", q, got, huge)
+		}
+	}
+}
+
+func TestQuantileMixedOverflow(t *testing.T) {
+	r := NewRegistry()
+	// 99 small samples, one huge outlier: p50/p90 stay small, p100-ish
+	// ranks report the outlier.
+	for i := 0; i < 99; i++ {
+		r.Observe("h", 1.0)
+	}
+	huge := bucketUpper(histBuckets-2) * 1e3
+	r.Observe("h", huge)
+	s := r.Snapshot().Histograms["h"]
+	if s.P50 > 2 {
+		t.Errorf("p50 = %g, want ~1 (outlier must not drag the median)", s.P50)
+	}
+	if got := quantileOf(t, r, "h", 1.0); got != huge {
+		t.Errorf("q=1.0 = %g, want observed max %g", got, huge)
+	}
+	if s.Max != huge {
+		t.Errorf("max = %g, want %g", s.Max, huge)
+	}
+}
+
+func quantileOf(t *testing.T, r *Registry, name string, q float64) float64 {
+	t.Helper()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		t.Fatalf("histogram %q not found", name)
+	}
+	return h.quantile(q)
+}
+
+func TestQuantileFromBucketsEmpty(t *testing.T) {
+	var b [HistogramBuckets]int64
+	if got := QuantileFromBuckets(b[:], 0, 0.5, 0, 0); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+}
+
+func TestHistogramBucketOfMatchesInternal(t *testing.T) {
+	for _, v := range []float64{-1, 0, 1e-12, 1e-9, 0.5, 1, 3.7, 1e4, 1e30, math.Inf(1)} {
+		if got, want := HistogramBucketOf(v), bucketOf(v); got != want {
+			t.Errorf("HistogramBucketOf(%g) = %d, want %d", v, got, want)
+		}
+	}
+}

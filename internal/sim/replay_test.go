@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"pipemap/internal/obs/live"
+)
+
+func TestReplayFeedsHealthModel(t *testing.T) {
+	_, m := pipelineChain()
+	res, err := New(Options{DataSets: 60, Trace: true}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := live.NewVirtualClock()
+	cfg := live.ConfigFromMapping(m)
+	cfg.Options.Clock = vc.Clock()
+	mon := live.NewMonitor(cfg)
+	Replay(res, mon, vc, nil)
+
+	h := mon.Health()
+	if !h.Started || !h.Finished {
+		t.Fatalf("started/finished = %v/%v, want true/true", h.Started, h.Finished)
+	}
+	if h.Completed != 60 {
+		t.Errorf("completed = %d, want 60", h.Completed)
+	}
+	if math.Abs(h.UptimeSeconds-res.Makespan) > 1e-9 {
+		t.Errorf("uptime = %g, want makespan %g", h.UptimeSeconds, res.Makespan)
+	}
+	if h.Status != "nominal" || !h.Ready {
+		t.Errorf("status = %q ready=%v, want nominal/ready", h.Status, h.Ready)
+	}
+	// The observed bottleneck of the replayed timeline matches the model's
+	// argmax f_i/r_i: the simulated busy time per data set is the response
+	// time, and the monitor divides by live replicas.
+	predicted, _ := m.Bottleneck()
+	if h.BottleneckStage != predicted {
+		t.Errorf("observed bottleneck = %d, model bottleneck = %d\nstages: %+v",
+			h.BottleneckStage, predicted, h.Stages)
+	}
+	// Observed per-stage periods track the predictions within the window.
+	for i, sh := range h.Stages {
+		if sh.Latency.Count == 0 {
+			t.Errorf("stage %d saw no samples", i)
+			continue
+		}
+		if sh.ObservedPeriod < sh.PredictedPeriod*0.5 || sh.ObservedPeriod > sh.PredictedPeriod*2 {
+			t.Errorf("stage %d observed period %g far from predicted %g",
+				i, sh.ObservedPeriod, sh.PredictedPeriod)
+		}
+	}
+}
+
+func TestReplayFailuresDegrade(t *testing.T) {
+	_, m := pipelineChain()
+	res, err := New(Options{
+		DataSets: 40, Trace: true,
+		Failures: []FailureEvent{{Time: 5, Module: 0, Instance: 1}},
+	}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := live.NewVirtualClock()
+	cfg := live.ConfigFromMapping(m)
+	cfg.Options.Clock = vc.Clock()
+	mon := live.NewMonitor(cfg)
+	Replay(res, mon, vc, nil)
+
+	h := mon.Health()
+	if h.Deaths != 1 || h.Stages[0].Live != 1 {
+		t.Errorf("deaths=%d live=%d, want 1/1", h.Deaths, h.Stages[0].Live)
+	}
+	if h.Status != "degraded" || h.Ready {
+		t.Errorf("status = %q ready=%v, want degraded/not-ready", h.Status, h.Ready)
+	}
+	var sawDeath bool
+	for _, ev := range mon.Events().History() {
+		if ev.Kind == "death" {
+			sawDeath = true
+			if ev.TS < 4.99 || ev.TS > 5.01 {
+				t.Errorf("death event at virtual t=%g, want 5", ev.TS)
+			}
+		}
+	}
+	if !sawDeath {
+		t.Error("no death event replayed")
+	}
+	if h.Completed != 40 {
+		t.Errorf("completed = %d, want 40 (failures reassign, not drop)", h.Completed)
+	}
+}
+
+func TestReplayPacing(t *testing.T) {
+	_, m := pipelineChain()
+	res, err := New(Options{DataSets: 10, Trace: true}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := live.NewMonitor(live.ConfigFromMapping(m))
+	var virtual float64
+	Replay(res, mon, live.NewVirtualClock(), func(dv float64) {
+		if dv <= 0 {
+			t.Fatalf("non-positive pace delta %g", dv)
+		}
+		virtual += dv
+	})
+	// The pace callbacks cover the whole timeline up to the last event.
+	if virtual <= 0 || virtual > res.Makespan+1e-9 {
+		t.Errorf("paced virtual time %g outside (0, makespan=%g]", virtual, res.Makespan)
+	}
+}
+
+func TestTraceDataSets(t *testing.T) {
+	_, m := pipelineChain()
+	res, err := New(Options{DataSets: 12, Trace: true}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.TraceDataSets(); got != 12 {
+		t.Errorf("TraceDataSets = %d, want 12", got)
+	}
+	if got := (Result{}).TraceDataSets(); got != 0 {
+		t.Errorf("empty TraceDataSets = %d, want 0", got)
+	}
+}

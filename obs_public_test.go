@@ -2,6 +2,9 @@ package pipemap_test
 
 import (
 	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -39,5 +42,61 @@ func TestPublicObservability(t *testing.T) {
 	}
 	if !strings.Contains(txt.String(), "core.map_seconds.count 1") {
 		t.Errorf("metrics missing core.map_seconds:\n%s", txt.String())
+	}
+}
+
+// TestPublicLiveObservability drives the live health surface through the
+// public API only: solve a mapping, derive a monitor from it, feed
+// observations, and scrape the embeddable HTTP handler.
+func TestPublicLiveObservability(t *testing.T) {
+	chain := exampleChain()
+	pl := pipemap.Platform{Procs: 16, MemPerProc: 1}
+	res, err := pipemap.Map(pipemap.Request{Chain: chain, Platform: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mon := pipemap.NewLiveMonitor(pipemap.LiveConfigFromMapping(res.Mapping))
+	mon.Start()
+	for i := 0; i < 5; i++ {
+		for s := range res.Mapping.Modules {
+			mon.StageDone(s, 0.01)
+		}
+		mon.Completed(0.05)
+	}
+	h := mon.Health()
+	if !h.Started || h.Completed != 5 || h.Status != "nominal" || !h.Ready {
+		t.Fatalf("health = %+v, want started/nominal/ready with 5 completions", h)
+	}
+
+	srv := pipemap.NewLiveServer(pipemap.LiveServerOptions{Monitor: mon})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for path, want := range map[string]string{
+		"/metrics":  "pipemap_datasets_completed_total 5",
+		"/healthz":  "ok",
+		"/readyz":   `"ready":true`,
+		"/pipeline": `"status": "nominal"`,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), want) {
+			t.Errorf("GET %s = %d, missing %q:\n%s", path, resp.StatusCode, want, body)
+		}
+	}
+
+	// A nil monitor is the disabled instrument.
+	var off *pipemap.LiveMonitor
+	off.StageDone(0, 1)
+	off.Completed(1)
+	if off.Enabled() || off.Health().Status != "disabled" {
+		t.Errorf("nil monitor health = %+v, want disabled", off.Health())
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"pipemap/internal/machine"
 	"pipemap/internal/model"
 	"pipemap/internal/obs"
+	"pipemap/internal/obs/live"
 	"pipemap/internal/sim"
 	"pipemap/internal/tradeoff"
 )
@@ -231,6 +232,47 @@ func NewTracer() *Tracer { return obs.NewTracer() }
 
 // NewMetricsRegistry returns an enabled metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// Live observability types (extension; see DESIGN.md §9). A LiveMonitor
+// ingests per-attempt runtime observations (stage completions with
+// latency, retries, timeouts, drops, instance deaths) and computes a
+// pipeline health model against the mapping's predictions: per-stage
+// observed period vs f_i/r_i, current bottleneck stage, replica liveness,
+// degraded-vs-nominal status. LiveServer exposes it over embeddable HTTP:
+// /metrics (Prometheus text 0.0.4), /healthz, /readyz, /pipeline JSON,
+// /events NDJSON, /debug/pprof. A nil *LiveMonitor is the disabled
+// instrument: every method is a no-op and allocation-free.
+type (
+	// LiveMonitor is the ingestion point and health-model evaluator.
+	LiveMonitor = live.Monitor
+	// LiveConfig declares the monitored stages and window/clock options.
+	LiveConfig = live.Config
+	// LiveStageInfo describes one monitored stage (name, replicas,
+	// predicted per-data-set period).
+	LiveStageInfo = live.StageInfo
+	// LiveHealth is the computed health model, JSON-serializable (the
+	// /pipeline payload).
+	LiveHealth = live.Health
+	// LiveServer is the embeddable HTTP server over a monitor.
+	LiveServer = live.Server
+	// LiveServerOptions configures the server (monitor, extra registry,
+	// static snapshot source, pprof toggle).
+	LiveServerOptions = live.ServerOptions
+	// LiveEvent is one streamed pipeline event (/events NDJSON records).
+	LiveEvent = live.Event
+)
+
+// NewLiveMonitor returns an enabled monitor for the configured stages.
+func NewLiveMonitor(cfg LiveConfig) *LiveMonitor { return live.NewMonitor(cfg) }
+
+// LiveConfigFromMapping derives monitor configuration from a solved
+// mapping: one stage per module with the model-predicted period
+// f_i/r_i as the health baseline.
+func LiveConfigFromMapping(m Mapping) LiveConfig { return live.ConfigFromMapping(m) }
+
+// NewLiveServer returns an unstarted server; call Start(addr) to listen
+// or mount Handler() into an existing mux.
+func NewLiveServer(opt LiveServerOptions) *LiveServer { return live.NewServer(opt) }
 
 // Objective selects what Map optimizes.
 type Objective = core.Objective

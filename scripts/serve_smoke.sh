@@ -1,0 +1,71 @@
+#!/usr/bin/env sh
+# Smoke test for the live observability server: start `pipemap -serve` on
+# the fft+histogram spec with an injected instance death, scrape the
+# endpoints, and fail on malformed Prometheus exposition or a missing
+# health signal. CI runs this after the unit tests; it needs only curl
+# and the go toolchain.
+set -eu
+
+ADDR=127.0.0.1:9127
+OUT=$(mktemp -d)
+trap 'kill $PID 2>/dev/null || true; rm -rf "$OUT"' EXIT
+
+go run ./cmd/pipemap -serve "$ADDR" -serve-n 120 -serve-speedup 400 \
+    -serve-for 30s -serve-kill auto specs/ffthist256.json >"$OUT/run.log" 2>&1 &
+PID=$!
+
+# Wait for the server to come up.
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "serve_smoke: server never came up" >&2
+        cat "$OUT/run.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+# Let the run finish so the injected death and final health are settled.
+i=0
+until grep -q "run complete" "$OUT/run.log"; do
+    i=$((i + 1))
+    if [ "$i" -ge 150 ]; then
+        echo "serve_smoke: run never completed" >&2
+        cat "$OUT/run.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+fail() {
+    echo "serve_smoke: $1" >&2
+    exit 1
+}
+
+curl -fsS "http://$ADDR/healthz" | grep -q ok || fail "/healthz not ok"
+
+curl -fsS "http://$ADDR/metrics" >"$OUT/metrics"
+grep -q 'pipemap_stage_period_seconds{stage=' "$OUT/metrics" \
+    || fail "/metrics missing stage period series"
+grep -q '^pipemap_up 1$' "$OUT/metrics" || fail "/metrics missing pipemap_up"
+grep -q '^pipemap_degraded 1$' "$OUT/metrics" \
+    || fail "/metrics not degraded after injected death"
+# Lint: every non-comment line must be `name{labels} value`.
+BAD=$(grep -v '^#' "$OUT/metrics" | grep -cvE \
+    '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]Inf|[-+0-9.eE]+)$' || true)
+[ "$BAD" -eq 0 ] || {
+    grep -v '^#' "$OUT/metrics" | grep -vE \
+        '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]Inf|[-+0-9.eE]+)$' >&2
+    fail "malformed exposition lines"
+}
+
+curl -fsS "http://$ADDR/pipeline" >"$OUT/pipeline"
+grep -q '"bottleneckStage"' "$OUT/pipeline" || fail "/pipeline missing bottleneck"
+grep -q '"status": "degraded"' "$OUT/pipeline" || fail "/pipeline not degraded"
+
+# /readyz must report 503 while degraded.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/readyz")
+[ "$CODE" = 503 ] || fail "/readyz = $CODE, want 503 when degraded"
+
+echo "serve_smoke: ok"
