@@ -1,9 +1,11 @@
 // Command benchrun records the repo's performance trajectory: it times the
-// DP and greedy solvers on the committed chain specs, measures the
-// fault-tolerant runtime's throughput against the model bound, and writes
-// the report to BENCH_solver.json. Commit the refreshed file to extend the
-// perf history; CI runs a reduced-size pass (-quick) and uploads the
-// report as an artifact.
+// DP and greedy solvers on the committed chain specs, times one adaptive
+// controller decision cycle (ingest + refit + re-solve — the latency the
+// closed loop adds between stream segments), measures the fault-tolerant
+// runtime's throughput against the model bound, and writes the report to
+// BENCH_solver.json. Commit the refreshed file to extend the perf history;
+// CI runs a reduced-size pass (-quick) and uploads the report as an
+// artifact.
 //
 // Usage:
 //

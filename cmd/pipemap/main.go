@@ -8,6 +8,7 @@
 //	        [-fail-procs N] [-trace out.json] [-metrics]
 //	        [-serve addr] [-serve-n N] [-serve-speedup X]
 //	        [-serve-for dur] [-serve-kill auto|stage:instance]
+//	        [-adapt] [-adapt-interval dur] [-adapt-threshold G]
 //	        [-cpuprofile cpu.pb] [-memprofile mem.pb] [spec.json]
 //
 // With no file argument the spec is read from standard input. -grid adds
@@ -34,6 +35,19 @@
 // replicated stage) to demonstrate the degraded path, and -serve-for
 // bounds how long the server stays up after the run (default: until
 // killed). Not combinable with -json. See DESIGN.md §9.
+//
+// Adaptive remapping: -adapt closes the loop — the served pipeline streams
+// in bounded segments, and between segments a controller refits the cost
+// models from observed stage latencies, re-solves the mapping against the
+// surviving processors, and live-migrates (drain-and-switch) when the
+// predicted gain clears -adapt-threshold. -adapt-interval sets the target
+// wall-clock period between decisions (it sizes the drain segments).
+// Controller state (generation, last decision, refit residuals) is served
+// under the "controller" key of /pipeline and as adapt_* series on
+// /metrics; /readyz reports 503 during a migration drain. Combine with
+// -serve-kill to watch a death trigger a remap: the injected fault applies
+// to generation 0 only, so the migrated pipeline returns to nominal. See
+// DESIGN.md §10.
 package main
 
 import (
@@ -45,6 +59,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"pipemap/internal/core"
 	"pipemap/internal/greedy"
@@ -80,11 +95,17 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	serveSpeedup := fs.Float64("serve-speedup", 20, "with -serve: compress emulated stage times by this factor")
 	serveFor := fs.Duration("serve-for", 0, "with -serve: keep serving this long after the run, then exit (0 = serve until killed)")
 	serveKill := fs.String("serve-kill", "", "with -serve: permanently fail one stage instance (\"stage:instance\" or \"auto\")")
+	adapt := fs.Bool("adapt", false, "with -serve: run the adaptive remapping controller (refit cost models online, re-solve, migrate)")
+	adaptInterval := fs.Duration("adapt-interval", 2*time.Second, "with -serve -adapt: target wall-clock period between controller decisions")
+	adaptThreshold := fs.Float64("adapt-threshold", 0.1, "with -serve -adapt: minimum predicted relative throughput gain before migrating")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *serveAddr != "" && *asJSON {
 		return fmt.Errorf("-serve is not combinable with -json")
+	}
+	if *adapt && *serveAddr == "" {
+		return fmt.Errorf("-adapt requires -serve")
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -230,9 +251,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if *serveAddr != "" {
 		fmt.Fprintln(stdout)
-		return serveRun(stdout, res.Mapping, req.Metrics, serveConfig{
+		return serveRun(stdout, res, req, serveConfig{
 			addr: *serveAddr, n: *serveN, speedup: *serveSpeedup,
 			serveFor: *serveFor, kill: *serveKill,
+			adapt: *adapt, adaptInterval: *adaptInterval, adaptThreshold: *adaptThreshold,
 		})
 	}
 	return nil

@@ -7,19 +7,24 @@ import (
 	"strings"
 	"time"
 
+	"pipemap/internal/adapt"
+	"pipemap/internal/core"
 	"pipemap/internal/fxrt"
 	"pipemap/internal/model"
-	"pipemap/internal/obs"
 	"pipemap/internal/obs/live"
 )
 
-// serveConfig carries the -serve* flags.
+// serveConfig carries the -serve* and -adapt* flags.
 type serveConfig struct {
 	addr     string
 	n        int
 	speedup  float64
 	serveFor time.Duration
 	kill     string
+
+	adapt          bool
+	adaptInterval  time.Duration
+	adaptThreshold float64
 }
 
 // serveRun executes the solved mapping on the fault-tolerant runtime with a
@@ -29,10 +34,14 @@ type serveConfig struct {
 // model's f_i/r_i (scaled identically), so /pipeline shows the predicted
 // bottleneck reproducing live — and, with -serve-kill, how losing a replica
 // moves the pipeline to degraded.
-func serveRun(stdout io.Writer, m model.Mapping, metrics *obs.Registry, sc serveConfig) error {
+func serveRun(stdout io.Writer, res core.Result, req core.Request, sc serveConfig) error {
 	if sc.n < 2 {
 		return fmt.Errorf("-serve-n must be >= 2, got %d", sc.n)
 	}
+	if sc.adapt {
+		return serveAdaptive(stdout, res, req, sc)
+	}
+	m, metrics := res.Mapping, req.Metrics
 	pl, err := fxrt.ModelPipeline(m, sc.speedup)
 	if err != nil {
 		return err
@@ -91,6 +100,125 @@ func serveRun(stdout io.Writer, m model.Mapping, metrics *obs.Registry, sc serve
 	}
 	fmt.Fprintln(stdout, "serving until killed (ctrl-c to exit)")
 	select {}
+}
+
+// serveAdaptive runs the closed loop: the solved mapping executes in
+// bounded segments on the fault-tolerant runtime, and between segments the
+// adaptive controller refits the cost models from observed stage
+// latencies, re-solves on the surviving processors, and live-migrates when
+// the predicted gain clears the threshold. The observability server
+// follows the current generation's monitor and serves the controller state
+// under /pipeline's "controller" key. An injected -serve-kill fault
+// applies to generation 0 only, so a death-triggered remap visibly returns
+// the pipeline to nominal.
+func serveAdaptive(stdout io.Writer, res core.Result, req core.Request, sc serveConfig) error {
+	m := res.Mapping
+	ctrl, err := adapt.NewController(adapt.Config{
+		Chain:     req.Chain,
+		Platform:  req.Platform,
+		Initial:   m,
+		Threshold: sc.adaptThreshold,
+		TimeScale: sc.speedup,
+		Trace:     req.Trace,
+		Metrics:   req.Metrics,
+	})
+	if err != nil {
+		return err
+	}
+
+	killStage, killInst := -1, -1
+	if sc.kill != "" {
+		killStage, killInst, err = resolveKill(sc.kill, m)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "injecting permanent failure: stage %d instance %d (generation 0 only)\n",
+			killStage, killInst)
+	}
+
+	rt := &adapt.Runtime{
+		Controller: ctrl,
+		Factory: func(gm model.Mapping, gen int) (*fxrt.Pipeline, error) {
+			pl, err := fxrt.ModelPipeline(gm, sc.speedup)
+			if err != nil {
+				return nil, err
+			}
+			pl.Retry = fxrt.RetryPolicy{MaxRetries: 2, Backoff: time.Millisecond}
+			pl.DeadAfter = 2
+			if gen == 0 && killStage >= 0 {
+				pl.Faults = append(pl.Faults, fxrt.Fault{
+					Stage: killStage, Instance: killInst, DataSet: -1, Kind: fxrt.FaultFail,
+				})
+			}
+			return pl, nil
+		},
+		MonitorConfig: func(gm model.Mapping) live.Config {
+			return live.ConfigFromMapping(gm).Scale(sc.speedup)
+		},
+		SegmentSize: adaptSegmentSize(m, sc),
+		OnSegment: func(gen, segment int, stats fxrt.Stats, d adapt.Decision) {
+			if d.Action != adapt.ActionHold {
+				fmt.Fprintf(stdout, "cycle %d: %s -> generation %d: %s\n",
+					d.Cycle, d.Action, d.Generation, d.Reason)
+			}
+		},
+	}
+
+	opts := live.ServerOptions{
+		Source:     rt.Monitor,
+		Controller: func() any { return ctrl.Status() },
+	}
+	if req.Metrics != nil {
+		opts.Static = req.Metrics.Snapshot
+	}
+	srv := live.NewServer(opts)
+	if err := srv.Start(sc.addr); err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(stdout, "serving adaptive pipeline on http://%s (segment size %d; /pipeline carries controller state)\n",
+		srv.Addr(), rt.SegmentSize)
+
+	stats, err := rt.Run(sc.n)
+	if err != nil {
+		return err
+	}
+	st := ctrl.Status()
+	fmt.Fprintf(stdout, "run complete: %d data sets across %d generation(s); %d migration(s), %d rollback(s), %d processor(s) lost\n",
+		stats.DataSets, len(stats.Generations), stats.Migrations, stats.Rollbacks, st.LostProcs)
+	for _, g := range stats.Generations {
+		tag := ""
+		if g.Rollback {
+			tag = " (rollback)"
+		}
+		fmt.Fprintf(stdout, "  gen %d%s: %d data sets, %.4f data sets/s observed — %s\n",
+			g.Generation, tag, g.DataSets, g.Throughput, g.Mapping)
+	}
+	if sc.serveFor > 0 {
+		time.Sleep(sc.serveFor)
+		return nil
+	}
+	fmt.Fprintln(stdout, "serving until killed (ctrl-c to exit)")
+	select {}
+}
+
+// adaptSegmentSize targets one controller decision per -adapt-interval of
+// wall time: the mapping's predicted runtime throughput times the interval,
+// clamped to [8, 256] so a drain never strands an unbounded number of
+// in-flight data sets and a decision always has a few observations.
+func adaptSegmentSize(m model.Mapping, sc serveConfig) int {
+	interval := sc.adaptInterval.Seconds()
+	if interval <= 0 {
+		interval = 2
+	}
+	n := int(m.Throughput() * sc.speedup * interval)
+	if n < 8 {
+		n = 8
+	}
+	if n > 256 {
+		n = 256
+	}
+	return n
 }
 
 // resolveKill parses -serve-kill: "auto" picks instance 0 of the first

@@ -226,3 +226,100 @@ func TestServeFlagValidation(t *testing.T) {
 		t.Error("malformed -serve-kill accepted")
 	}
 }
+
+// TestServeAdaptiveAcceptance drives the closed loop through the CLI: a
+// kill-injected generation 0 degrades, the controller remaps onto the
+// surviving processors, and /pipeline's controller key reports the
+// generation bump; adapt_* series appear on /metrics.
+func TestServeAdaptiveAcceptance(t *testing.T) {
+	buf := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-serve", "127.0.0.1:0",
+			"-serve-n", "400",
+			"-serve-speedup", "400",
+			"-serve-for", "4s",
+			"-serve-kill", "auto",
+			"-adapt",
+			"-adapt-interval", "250ms",
+			"-adapt-threshold", "0.02",
+			"../../specs/threestage.json",
+		}, strings.NewReader(""), buf)
+	}()
+	addr := waitFor(t, buf, addrRe, done)
+	waitFor(t, buf, regexp.MustCompile(`run complete`), done)
+
+	code, body, _ := httpGet(t, "http://"+addr[1]+"/pipeline")
+	if code != http.StatusOK {
+		t.Fatalf("/pipeline = %d", code)
+	}
+	var payload struct {
+		Controller struct {
+			Enabled    bool    `json:"enabled"`
+			Generation int     `json:"generation"`
+			Migrations int     `json:"migrations"`
+			LostProcs  int     `json:"lostProcs"`
+			Threshold  float64 `json:"threshold"`
+			LastDecision *struct {
+				Action string `json:"action"`
+			} `json:"lastDecision"`
+		} `json:"controller"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("/pipeline JSON: %v\n%s", err, body)
+	}
+	ctrl := payload.Controller
+	if !ctrl.Enabled {
+		t.Error("controller not reported enabled on /pipeline")
+	}
+	if ctrl.Generation < 1 || ctrl.Migrations < 1 {
+		t.Errorf("generation=%d migrations=%d, want both >= 1 after the injected death",
+			ctrl.Generation, ctrl.Migrations)
+	}
+	if ctrl.LostProcs < 1 {
+		t.Errorf("lostProcs=%d, want >= 1", ctrl.LostProcs)
+	}
+	if ctrl.Threshold != 0.02 {
+		t.Errorf("threshold=%g, want the -adapt-threshold value 0.02", ctrl.Threshold)
+	}
+	if ctrl.LastDecision == nil {
+		t.Error("no lastDecision on /pipeline controller payload")
+	}
+
+	code, body, _ = httpGet(t, "http://"+addr[1]+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	lintExposition(t, body)
+	for _, want := range []string{"adapt_cycles", "adapt_generation", "adapt_migrations"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The migrated generation carries no injected fault, so the served
+	// (current-generation) health model is nominal and ready again.
+	code, _, _ = httpGet(t, "http://"+addr[1]+"/readyz")
+	if code != http.StatusOK {
+		t.Errorf("/readyz = %d after remap, want 200 (new generation is healthy)", code)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !regexp.MustCompile(`migrate -> generation [1-9]`).MatchString(out) {
+		t.Errorf("run output has no migration line:\n%s", out)
+	}
+	if !strings.Contains(out, "generation(s)") {
+		t.Errorf("run output has no generation summary:\n%s", out)
+	}
+}
+
+func TestAdaptFlagValidation(t *testing.T) {
+	if err := run([]string{"-adapt", "../../specs/threestage.json"},
+		strings.NewReader(""), io.Discard); err == nil {
+		t.Error("-adapt without -serve accepted")
+	}
+}

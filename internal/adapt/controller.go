@@ -1,0 +1,598 @@
+package adapt
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"pipemap/internal/estimate"
+	"pipemap/internal/model"
+	"pipemap/internal/obs"
+	"pipemap/internal/obs/live"
+)
+
+// Config configures a Controller.
+type Config struct {
+	// Chain is the believed chain: the cost models the current mapping was
+	// solved against. The controller refits a working copy; the original is
+	// never mutated.
+	Chain *model.Chain
+	// Platform is the nominal platform. Instance deaths shrink the live
+	// processor budget the controller re-solves against.
+	Platform model.Platform
+	// Initial is the generation-0 mapping in force when the loop starts.
+	Initial model.Mapping
+	// Threshold is the hysteresis gate: a migration needs a predicted
+	// relative throughput gain of at least this much (default 0.10).
+	Threshold float64
+	// RollbackTolerance triggers a rollback when the first post-migration
+	// segment's observed throughput falls more than this fraction below the
+	// pre-migration observation (default 0.20).
+	RollbackTolerance float64
+	// MinStageSamples gates refitting on the monitor window: a stage's
+	// cycle observation is used only when the window holds at least this
+	// many latency samples (default 5).
+	MinStageSamples int
+	// FitWindow and FitCycles configure the per-stage online fitter: the
+	// window of retained cycle means (default 8) and the minimum cycles
+	// before a refit is trusted (default 2).
+	FitWindow int
+	FitCycles int
+	// Budget bounds the decision latency of one re-solve; instances whose
+	// estimated DP cost exceeds it use the greedy heuristic
+	// (default 200ms).
+	Budget time.Duration
+	// CooldownCycles holds decisions after a rollback so the controller
+	// does not oscillate back onto the mapping that just failed
+	// (default 3).
+	CooldownCycles int
+	// TimeScale converts observed runtime seconds to model seconds: the
+	// emulation speedup factor when driving fxrt.ModelPipeline (observed
+	// seconds × TimeScale = model seconds, observed throughput ÷ TimeScale
+	// = model throughput). Default 1.
+	TimeScale float64
+	// DisableReplication and DisableClustering are forwarded to every
+	// re-solve, mirroring the knobs of the original request.
+	DisableReplication bool
+	DisableClustering  bool
+	// Trace receives one span per controller phase (refit, resolve,
+	// migrate) per decision cycle; nil disables.
+	Trace *obs.Tracer
+	// Metrics receives controller counters and gauges (adapt.* names);
+	// nil disables.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold <= 0 {
+		c.Threshold = 0.10
+	}
+	if c.RollbackTolerance <= 0 {
+		c.RollbackTolerance = 0.20
+	}
+	if c.MinStageSamples <= 0 {
+		c.MinStageSamples = 5
+	}
+	if c.FitWindow <= 0 {
+		c.FitWindow = 8
+	}
+	if c.FitCycles <= 0 {
+		c.FitCycles = 2
+	}
+	if c.Budget <= 0 {
+		c.Budget = 200 * time.Millisecond
+	}
+	if c.CooldownCycles <= 0 {
+		c.CooldownCycles = 3
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 1
+	}
+	return c
+}
+
+// Decision actions.
+const (
+	// ActionHold keeps the current mapping.
+	ActionHold = "hold"
+	// ActionMigrate switches to the candidate mapping.
+	ActionMigrate = "migrate"
+	// ActionRollback reverts to the pre-migration mapping after the new
+	// one underperformed.
+	ActionRollback = "rollback"
+)
+
+// Decision is the outcome of one controller cycle, JSON-shaped for the
+// /pipeline controller payload.
+type Decision struct {
+	Cycle      int    `json:"cycle"`
+	Action     string `json:"action"`
+	Reason     string `json:"reason"`
+	Generation int    `json:"generation"` // generation in force after the decision
+	Mapping    string `json:"mapping"`    // mapping in force after the decision
+	Candidate  string `json:"candidate,omitempty"`
+	Algorithm  string `json:"algorithm,omitempty"`
+	// ResolveSeconds is the measured decision latency of the re-solve.
+	ResolveSeconds float64 `json:"resolveSeconds"`
+	// CurrentPredicted and CandidatePredicted are model throughputs under
+	// the refitted models: the current mapping at live replica counts, and
+	// the candidate.
+	CurrentPredicted   float64 `json:"currentPredicted"`
+	CandidatePredicted float64 `json:"candidatePredicted"`
+	// PredictedGain is (candidate - current) / current.
+	PredictedGain float64 `json:"predictedGain"`
+	// ObservedThroughput is the segment's observed throughput in model
+	// units.
+	ObservedThroughput float64 `json:"observedThroughput"`
+}
+
+// StageRefit is the per-stage refit state surfaced in Status.
+type StageRefit struct {
+	Stage    int     `json:"stage"`
+	Name     string  `json:"name"`
+	Ratio    float64 `json:"ratio"`    // observed/predicted correction applied
+	RMSE     float64 `json:"rmse"`     // refit residual against the window
+	Cycles   int     `json:"cycles"`   // accepted cycle observations
+	Rejected int     `json:"rejected"` // outliers rejected
+}
+
+// Status is the controller state served under the "controller" key of
+// /pipeline.
+type Status struct {
+	Enabled    bool `json:"enabled"`
+	Generation int  `json:"generation"`
+	Cycles     int  `json:"cycles"`
+	Migrations int  `json:"migrations"`
+	Rollbacks  int  `json:"rollbacks"`
+	// LostProcs and SurvivingProcs account instance deaths across all
+	// generations against the nominal platform.
+	LostProcs      int     `json:"lostProcs"`
+	SurvivingProcs int     `json:"survivingProcs"`
+	Threshold      float64 `json:"threshold"`
+	Mapping        string  `json:"mapping"`
+	// PredictedThroughput is the current mapping's model throughput under
+	// the refitted cost models (model units).
+	PredictedThroughput float64 `json:"predictedThroughput"`
+	// PredictedGain is the last migration's predicted relative gain;
+	// ObservedGain is the measured relative gain of its first
+	// post-migration segment (0 until evaluated).
+	PredictedGain float64 `json:"predictedGain"`
+	ObservedGain  float64 `json:"observedGain"`
+	// Refits is the per-stage refit state of the current generation.
+	Refits []StageRefit `json:"refits,omitempty"`
+	// LastDecision is the most recent cycle's decision.
+	LastDecision *Decision `json:"lastDecision,omitempty"`
+}
+
+// Observation is one completed segment's runtime evidence.
+type Observation struct {
+	// Health is the live monitor's health model after the segment.
+	Health live.Health
+	// Throughput is the segment's observed sink throughput in runtime
+	// (wall-clock) units; the controller divides by TimeScale.
+	Throughput float64
+}
+
+// Controller is the closed-loop decision engine. Drive it with Step once
+// per segment; it assumes the caller (Runtime) executes every migrate and
+// rollback decision it returns. All methods are safe for concurrent use
+// with a running Step (status readers never block the loop for long).
+type Controller struct {
+	mu  sync.Mutex
+	cfg Config
+
+	// Per-task beliefs: base execution models and the current and
+	// generation-start multiplicative corrections.
+	baseExec []model.CostFunc
+	ratio    []float64
+	genRatio []float64
+
+	cur     model.Mapping // current mapping (Chain = refitted beliefs)
+	gen     int
+	fitters []*estimate.OnlineFitter
+	refits  []StageRefit
+	deaths  []int64 // per-stage deaths already accounted this generation
+	lost    int     // processors lost across all generations
+
+	cycles     int
+	migrations int
+	rollbacks  int
+
+	// Rollback bookkeeping.
+	prevMapping  model.Mapping
+	preObserved  float64
+	evalPending  bool
+	cooldown     int
+	vetoed       string
+	predGain     float64
+	obsGain      float64
+	lastDecision *Decision
+}
+
+// NewController validates the configuration and returns a controller at
+// generation 0 on the initial mapping.
+func NewController(cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Chain == nil {
+		return nil, fmt.Errorf("adapt: config has no chain")
+	}
+	if err := cfg.Chain.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Platform.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Initial.Validate(cfg.Platform); err != nil {
+		return nil, fmt.Errorf("adapt: initial mapping: %w", err)
+	}
+	c := &Controller{
+		cfg:      cfg,
+		baseExec: make([]model.CostFunc, cfg.Chain.Len()),
+		ratio:    make([]float64, cfg.Chain.Len()),
+		genRatio: make([]float64, cfg.Chain.Len()),
+	}
+	for i := range c.baseExec {
+		c.baseExec[i] = cfg.Chain.Tasks[i].Exec
+		c.ratio[i] = 1
+		c.genRatio[i] = 1
+	}
+	c.installMapping(cfg.Initial.Modules)
+	return c, nil
+}
+
+// beliefChain materializes the current beliefs: the configured chain with
+// every task's execution model scaled by its learned correction.
+func (c *Controller) beliefChain() *model.Chain {
+	tasks := append([]model.Task(nil), c.cfg.Chain.Tasks...)
+	for i := range tasks {
+		if c.ratio[i] != 1 {
+			tasks[i].Exec = model.ScaleCost{F: c.baseExec[i], K: c.ratio[i]}
+		} else {
+			tasks[i].Exec = c.baseExec[i]
+		}
+	}
+	return &model.Chain{Tasks: tasks, ICom: c.cfg.Chain.ICom, ECom: c.cfg.Chain.ECom}
+}
+
+// installMapping makes modules the current mapping, snapshots the beliefs
+// as the generation baseline, and rebuilds the per-stage fitters against
+// them.
+func (c *Controller) installMapping(modules []model.Module) {
+	copy(c.genRatio, c.ratio)
+	chain := c.beliefChain()
+	c.cur = model.Mapping{Chain: chain, Modules: append([]model.Module(nil), modules...)}
+	c.deaths = make([]int64, len(modules))
+	c.fitters = make([]*estimate.OnlineFitter, len(modules))
+	c.refits = make([]StageRefit, len(modules))
+	for i := range modules {
+		mod := modules[i]
+		prior := c.moduleResponse(chain, modules, i)
+		c.fitters[i] = estimate.NewOnlineFitter(prior, mod.Procs, estimate.OnlineOptions{
+			Window:     c.cfg.FitWindow,
+			MinSamples: c.cfg.FitCycles,
+		})
+		c.refits[i] = StageRefit{Stage: i, Name: chain.TaskNames(mod.Lo, mod.Hi), Ratio: 1}
+	}
+}
+
+// moduleResponse returns stage i's response time as a function of its own
+// per-instance processor count, with the neighbouring modules' counts
+// frozen at the current mapping: the prior an online fitter refits
+// against. It mirrors Mapping.ResponseTimes (exec plus both edge
+// transfers), which is exactly what the runtime observes per attempt.
+func (c *Controller) moduleResponse(chain *model.Chain, modules []model.Module, i int) model.CostFunc {
+	mod := modules[i]
+	exec := chain.ModuleExec(mod.Lo, mod.Hi)
+	var prevProcs, nextProcs int
+	if i > 0 {
+		prevProcs = modules[i-1].Procs
+	}
+	if i < len(modules)-1 {
+		nextProcs = modules[i+1].Procs
+	}
+	ecom := chain.ECom
+	lo, hi := mod.Lo, mod.Hi
+	return model.CostFuncOf(func(p int) float64 {
+		f := exec.Eval(p)
+		if prevProcs > 0 {
+			f += ecom[lo-1].Eval(prevProcs, p)
+		}
+		if nextProcs > 0 {
+			f += ecom[hi-1].Eval(p, nextProcs)
+		}
+		return f
+	})
+}
+
+// Generation returns the current mapping generation (0 before any
+// migration).
+func (c *Controller) Generation() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// Mapping returns the mapping currently in force; its Chain carries the
+// refitted beliefs, so monitor configs derived from it predict what the
+// controller currently expects.
+func (c *Controller) Mapping() model.Mapping {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur
+}
+
+// Platform returns the surviving platform: the nominal platform minus the
+// processors lost to instance deaths across all generations.
+func (c *Controller) Platform() model.Platform {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.survivingLocked()
+}
+
+func (c *Controller) survivingLocked() model.Platform {
+	pl := c.cfg.Platform
+	pl.Procs -= c.lost
+	return pl
+}
+
+// Status snapshots the controller state for /pipeline.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{
+		Enabled:             true,
+		Generation:          c.gen,
+		Cycles:              c.cycles,
+		Migrations:          c.migrations,
+		Rollbacks:           c.rollbacks,
+		LostProcs:           c.lost,
+		SurvivingProcs:      c.cfg.Platform.Procs - c.lost,
+		Threshold:           c.cfg.Threshold,
+		Mapping:             c.cur.String(),
+		PredictedThroughput: c.cur.Throughput(),
+		PredictedGain:       c.predGain,
+		ObservedGain:        c.obsGain,
+		Refits:              append([]StageRefit(nil), c.refits...),
+	}
+	if c.lastDecision != nil {
+		d := *c.lastDecision
+		st.LastDecision = &d
+	}
+	return st
+}
+
+// Step ingests one completed segment's observation and decides: hold,
+// migrate, or roll back. The caller must execute migrate/rollback
+// decisions (rebuild the data plane on Mapping()) before the next Step.
+func (c *Controller) Step(o Observation) Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	start := time.Now()
+	c.cycles++
+	d := Decision{
+		Cycle:              c.cycles,
+		Action:             ActionHold,
+		Generation:         c.gen,
+		ObservedThroughput: o.Throughput / c.cfg.TimeScale,
+	}
+
+	c.ingestDeaths(o.Health)
+	c.ingestLatencies(o.Health)
+	c.applyRefits()
+
+	// Re-solve on the refitted beliefs and the surviving platform. The
+	// current mapping is re-anchored on the same beliefs so its predicted
+	// throughput (status, monitor config) tracks what the controller now
+	// believes, not the stale generation-start models.
+	chain := c.beliefChain()
+	c.cur.Chain = chain
+	cand, solveTime, err := Resolve(chain, c.survivingLocked(), ResolveOptions{
+		Budget:             c.cfg.Budget,
+		DisableReplication: c.cfg.DisableReplication,
+		DisableClustering:  c.cfg.DisableClustering,
+		Trace:              c.cfg.Trace,
+		Metrics:            c.cfg.Metrics,
+	})
+	d.ResolveSeconds = solveTime.Seconds()
+	c.cfg.Metrics.Observe("adapt.resolve_seconds", d.ResolveSeconds)
+	if err != nil {
+		d.Reason = fmt.Sprintf("re-solve failed: %v", err)
+		c.finishCycle(&d, start)
+		return d
+	}
+	d.Candidate = cand.Mapping.String()
+	d.Algorithm = cand.Algorithm.String()
+	d.CandidatePredicted = cand.Throughput
+	d.CurrentPredicted = c.currentEffective(chain, o.Health)
+	if d.CurrentPredicted > 0 {
+		d.PredictedGain = (d.CandidatePredicted - d.CurrentPredicted) / d.CurrentPredicted
+	}
+
+	switch {
+	case c.evalPending:
+		c.decideEvaluation(&d)
+	case c.cooldown > 0:
+		c.cooldown--
+		d.Reason = fmt.Sprintf("cooldown after rollback (%d cycles left)", c.cooldown)
+	case d.Candidate == c.vetoed:
+		d.Reason = "candidate was rolled back; vetoed"
+	case d.Candidate == c.cur.String():
+		d.Reason = "current mapping is (still) the best known"
+	case d.PredictedGain < c.cfg.Threshold:
+		d.Reason = fmt.Sprintf("predicted gain %.1f%% below %.1f%% threshold",
+			100*d.PredictedGain, 100*c.cfg.Threshold)
+	default:
+		c.migrate(&d, cand.Mapping.Modules, ActionMigrate,
+			fmt.Sprintf("predicted gain %.1f%% clears %.1f%% threshold",
+				100*d.PredictedGain, 100*c.cfg.Threshold))
+		c.predGain = d.PredictedGain
+		c.preObserved = d.ObservedThroughput
+		c.evalPending = true
+	}
+	c.finishCycle(&d, start)
+	return d
+}
+
+// decideEvaluation judges the first post-migration segment: keep the new
+// mapping or roll back to the previous one.
+func (c *Controller) decideEvaluation(d *Decision) {
+	post := d.ObservedThroughput
+	c.evalPending = false
+	if c.preObserved > 0 {
+		c.obsGain = (post - c.preObserved) / c.preObserved
+		c.cfg.Metrics.Set("adapt.observed_gain", c.obsGain)
+	}
+	if c.preObserved > 0 && post < c.preObserved*(1-c.cfg.RollbackTolerance) {
+		prev := c.prevMapping
+		if prev.Chain == nil || prev.TotalProcs() > c.survivingLocked().Procs {
+			d.Reason = fmt.Sprintf("observed %.4f/s regressed %.1f%% but previous mapping no longer fits; holding",
+				post, -100*c.obsGain)
+			return
+		}
+		c.vetoed = c.cur.String()
+		c.cooldown = c.cfg.CooldownCycles
+		c.migrate(d, prev.Modules, ActionRollback,
+			fmt.Sprintf("observed %.4f/s vs %.4f/s pre-migration (%.1f%% regression > %.0f%% tolerance)",
+				post, c.preObserved, -100*c.obsGain, 100*c.cfg.RollbackTolerance))
+		c.rollbacks++
+		c.cfg.Metrics.Inc("adapt.rollbacks")
+		return
+	}
+	d.Reason = fmt.Sprintf("migration evaluated: observed %.4f/s vs %.4f/s pre-migration; keeping",
+		post, c.preObserved)
+}
+
+// migrate switches the controller onto modules and tags the decision.
+func (c *Controller) migrate(d *Decision, modules []model.Module, action, reason string) {
+	prev := c.cur
+	c.installMapping(modules)
+	c.prevMapping = prev
+	c.gen++
+	c.migrations++
+	d.Action = action
+	d.Reason = reason
+	d.Generation = c.gen
+	c.cfg.Metrics.Inc("adapt.migrations")
+	if c.cfg.Trace.Enabled() {
+		c.cfg.Trace.InstantArgs("adapt", action, 0, time.Now(), map[string]any{
+			"generation": c.gen, "mapping": c.cur.String(), "reason": reason,
+		})
+	}
+}
+
+// ingestDeaths accounts new instance deaths against the surviving
+// processor budget. Each death of stage i costs the *current generation's*
+// per-instance processor count of that stage — accounting against any
+// other generation's mapping is exactly the drift Remap agreement tests
+// guard against. Per generation a stage can lose at most Replicas-1
+// instances (the runtime never removes the last live one); deaths beyond
+// that are re-kills of a rebuilt segment run, not new processor loss.
+func (c *Controller) ingestDeaths(h live.Health) {
+	n := len(h.Stages)
+	if n > len(c.cur.Modules) {
+		n = len(c.cur.Modules)
+	}
+	for i := 0; i < n; i++ {
+		seen := h.Stages[i].Deaths
+		if max := int64(c.cur.Modules[i].Replicas - 1); seen > max {
+			seen = max
+		}
+		if delta := seen - c.deaths[i]; delta > 0 {
+			c.lost += int(delta) * c.cur.Modules[i].Procs
+			c.deaths[i] = seen
+		}
+	}
+	if max := c.cfg.Platform.Procs - 1; c.lost > max {
+		c.lost = max // never remap onto zero processors
+	}
+	c.cfg.Metrics.Set("adapt.lost_procs", float64(c.lost))
+}
+
+// ingestLatencies feeds each stage's windowed mean service time (converted
+// to model seconds) into its online fitter, gated on the monitor window
+// holding enough samples.
+func (c *Controller) ingestLatencies(h live.Health) {
+	n := len(h.Stages)
+	if n > len(c.fitters) {
+		n = len(c.fitters)
+	}
+	for i := 0; i < n; i++ {
+		lat := h.Stages[i].Latency
+		if lat.Count >= int64(c.cfg.MinStageSamples) && lat.Mean > 0 {
+			c.fitters[i].Observe(lat.Mean * c.cfg.TimeScale)
+		}
+	}
+}
+
+// cycleRatioClamp bounds one generation's learned correction so a burst of
+// garbage observations cannot blow the models up beyond recovery.
+const cycleRatioClamp = 50.0
+
+// applyRefits refits every stage with enough evidence and folds the
+// corrections into the per-task ratios. Returns whether any belief moved.
+func (c *Controller) applyRefits() bool {
+	moved := false
+	start := time.Now()
+	maxProcs := c.cfg.Platform.Procs
+	for i, fit := range c.fitters {
+		r, err := fit.Refit(maxProcs)
+		if err != nil {
+			continue // gated or degenerate: keep current beliefs
+		}
+		c.refits[i].RMSE = r.Stats.RMSE
+		c.refits[i].Cycles = r.Samples
+		c.refits[i].Rejected = r.Rejected
+		if r.Ratio <= 0 {
+			continue // prior predicted nothing; cannot scale task models
+		}
+		ratio := math.Min(math.Max(r.Ratio, 1/cycleRatioClamp), cycleRatioClamp)
+		c.refits[i].Ratio = ratio
+		mod := c.cur.Modules[i]
+		for t := mod.Lo; t < mod.Hi; t++ {
+			next := c.genRatio[t] * ratio
+			if math.Abs(next-c.ratio[t]) > 1e-9 {
+				c.ratio[t] = next
+				moved = true
+			}
+		}
+	}
+	if moved && c.cfg.Trace.Enabled() {
+		c.cfg.Trace.SpanArgs("adapt", "refit", 0, start, time.Since(start), nil)
+	}
+	return moved
+}
+
+// currentEffective predicts the current mapping's throughput under the
+// refitted beliefs at the *live* replica counts, so a mapping running
+// degraded (dead instances) is compared honestly against candidates.
+func (c *Controller) currentEffective(chain *model.Chain, h live.Health) float64 {
+	modules := append([]model.Module(nil), c.cur.Modules...)
+	n := len(h.Stages)
+	if n > len(modules) {
+		n = len(modules)
+	}
+	for i := 0; i < n; i++ {
+		if live := h.Stages[i].Live; live >= 1 && live < modules[i].Replicas {
+			modules[i].Replicas = live
+		}
+	}
+	m := model.Mapping{Chain: chain, Modules: modules}
+	return m.Throughput()
+}
+
+// finishCycle records the decision and cycle-level instrumentation.
+func (c *Controller) finishCycle(d *Decision, start time.Time) {
+	d.Mapping = c.cur.String()
+	copyD := *d
+	c.lastDecision = &copyD
+	c.cfg.Metrics.Inc("adapt.cycles")
+	c.cfg.Metrics.Set("adapt.generation", float64(c.gen))
+	c.cfg.Metrics.Set("adapt.predicted_gain", d.PredictedGain)
+	if c.cfg.Trace.Enabled() {
+		c.cfg.Trace.SpanArgs("adapt", "cycle", 0, start, time.Since(start), map[string]any{
+			"cycle": d.Cycle, "action": d.Action, "generation": d.Generation,
+			"gain": d.PredictedGain, "reason": d.Reason,
+		})
+	}
+}

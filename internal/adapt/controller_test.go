@@ -1,0 +1,344 @@
+package adapt
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"pipemap/internal/core"
+	"pipemap/internal/model"
+	"pipemap/internal/obs/live"
+)
+
+// twoStage returns a two-task non-replicable chain with free communication:
+// with clustering disabled the only mapping freedom is the processor split,
+// so solver decisions are easy to predict in tests.
+func twoStage(aC2, bC2 float64) (*model.Chain, model.Platform) {
+	chain := &model.Chain{
+		Tasks: []model.Task{
+			{Name: "a", Exec: model.PolyExec{C2: aC2}},
+			{Name: "b", Exec: model.PolyExec{C2: bC2}},
+		},
+		ICom: []model.CostFunc{model.ZeroExec()},
+		ECom: []model.CommFunc{model.ZeroComm()},
+	}
+	return chain, model.Platform{Procs: 8, MemPerProc: 1}
+}
+
+// mapStr renders a mapping value (String has a pointer receiver).
+func mapStr(m model.Mapping) string { return (&m).String() }
+
+func mustMapping(t *testing.T, chain *model.Chain, pl model.Platform, modules []model.Module) model.Mapping {
+	t.Helper()
+	m := model.Mapping{Chain: chain, Modules: modules}
+	if err := m.Validate(pl); err != nil {
+		t.Fatalf("test mapping invalid: %v", err)
+	}
+	return m
+}
+
+func TestControllerHoldsBelowThreshold(t *testing.T) {
+	chain, pl := twoStage(8, 1)
+	// Suboptimal split: optimal is [a p=7][b p=1] (period 8/7), this one's
+	// period is 8/6, a ~16.7% candidate gain — below a 50% threshold.
+	initial := mustMapping(t, chain, pl, []model.Module{
+		{Lo: 0, Hi: 1, Procs: 6, Replicas: 1},
+		{Lo: 1, Hi: 2, Procs: 2, Replicas: 1},
+	})
+	c, err := NewController(Config{
+		Chain: chain, Platform: pl, Initial: initial,
+		Threshold: 0.50, DisableClustering: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Step(Observation{Throughput: 0.75})
+	if d.Action != ActionHold {
+		t.Fatalf("action %q, want hold: %s", d.Action, d.Reason)
+	}
+	if !strings.Contains(d.Reason, "below") {
+		t.Errorf("hold reason %q does not mention the threshold", d.Reason)
+	}
+	if d.PredictedGain <= 0 || d.PredictedGain >= 0.5 {
+		t.Errorf("predicted gain %g outside (0, 0.5)", d.PredictedGain)
+	}
+	if c.Generation() != 0 || mapStr(c.Mapping()) != initial.String() {
+		t.Errorf("hold decision changed the mapping: gen %d, %s", c.Generation(), mapStr(c.Mapping()))
+	}
+}
+
+func TestControllerMigratesAboveThreshold(t *testing.T) {
+	chain, pl := twoStage(8, 1)
+	initial := mustMapping(t, chain, pl, []model.Module{
+		{Lo: 0, Hi: 1, Procs: 6, Replicas: 1},
+		{Lo: 1, Hi: 2, Procs: 2, Replicas: 1},
+	})
+	c, err := NewController(Config{
+		Chain: chain, Platform: pl, Initial: initial,
+		Threshold: 0.05, DisableClustering: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Step(Observation{Throughput: 0.75})
+	if d.Action != ActionMigrate {
+		t.Fatalf("action %q, want migrate: %s", d.Action, d.Reason)
+	}
+	if c.Generation() != 1 {
+		t.Errorf("generation %d after migration, want 1", c.Generation())
+	}
+	if got := mapStr(c.Mapping()); got != d.Candidate {
+		t.Errorf("installed mapping %s, decision candidate %s", got, d.Candidate)
+	}
+	if c.Mapping().Modules[0].Procs != 7 {
+		t.Errorf("migrated to %s, want [a p=7][b p=1]", mapStr(c.Mapping()))
+	}
+}
+
+func TestControllerRollsBackOnRegression(t *testing.T) {
+	chain, pl := twoStage(8, 1)
+	initial := mustMapping(t, chain, pl, []model.Module{
+		{Lo: 0, Hi: 1, Procs: 6, Replicas: 1},
+		{Lo: 1, Hi: 2, Procs: 2, Replicas: 1},
+	})
+	c, err := NewController(Config{
+		Chain: chain, Platform: pl, Initial: initial,
+		Threshold: 0.05, DisableClustering: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Step(Observation{Throughput: 0.75})
+	if d.Action != ActionMigrate {
+		t.Fatalf("setup migration did not happen: %s", d.Reason)
+	}
+	migrated := mapStr(c.Mapping())
+
+	// The first post-migration segment regresses 60% — far past the 20%
+	// default tolerance — so the controller must revert.
+	d = c.Step(Observation{Throughput: 0.30})
+	if d.Action != ActionRollback {
+		t.Fatalf("action %q, want rollback: %s", d.Action, d.Reason)
+	}
+	if got := mapStr(c.Mapping()); got != initial.String() {
+		t.Errorf("rolled back to %s, want the pre-migration mapping %s", got, initial.String())
+	}
+	st := c.Status()
+	if st.Rollbacks != 1 || st.Generation != 2 {
+		t.Errorf("rollbacks=%d generation=%d, want 1 and 2", st.Rollbacks, st.Generation)
+	}
+	if st.ObservedGain >= 0 {
+		t.Errorf("observed gain %g after a regression, want negative", st.ObservedGain)
+	}
+
+	// During cooldown the controller holds even though the vetoed candidate
+	// still looks better on paper.
+	d = c.Step(Observation{Throughput: 0.75})
+	if d.Action != ActionHold || !strings.Contains(d.Reason, "cooldown") {
+		t.Fatalf("during cooldown got %q (%s), want a cooldown hold", d.Action, d.Reason)
+	}
+	for i := 0; i < 2; i++ {
+		d = c.Step(Observation{Throughput: 0.75})
+	}
+	// Cooldown over: the candidate re-emerges but stays vetoed.
+	d = c.Step(Observation{Throughput: 0.75})
+	if d.Action != ActionHold || !strings.Contains(d.Reason, "vetoed") {
+		t.Fatalf("after cooldown got %q (%s), want a vetoed hold", d.Action, d.Reason)
+	}
+	if d.Candidate != migrated {
+		t.Errorf("vetoed candidate %s, want %s", d.Candidate, migrated)
+	}
+}
+
+// healthFor fabricates a health model for the mapping: every stage fully
+// live except the listed per-stage death counts, with latency windows left
+// empty so refitting stays gated and the pure remap path is isolated.
+func healthFor(m model.Mapping, deaths map[int]int64) live.Health {
+	h := live.Health{Stages: make([]live.StageHealth, len(m.Modules))}
+	for i, mod := range m.Modules {
+		liveN := mod.Replicas - int(deaths[i])
+		if liveN < 1 {
+			liveN = 1
+		}
+		h.Stages[i] = live.StageHealth{
+			Stage: i, Replicas: mod.Replicas, Live: liveN, Deaths: deaths[i],
+		}
+	}
+	return h
+}
+
+// TestControllerRemapAgreementAcrossDeaths kills one instance per decision
+// cycle across mapping generations and checks that the controller's
+// surviving processor count and re-solve agree exactly with core.Remap fed
+// the same cumulative loss — the degraded-mode ground truth. Divergence
+// here is the drift bug this test exists to catch.
+func TestControllerRemapAgreementAcrossDeaths(t *testing.T) {
+	f, err := os.Open("../../specs/threestage.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	chain, pl, err := core.ParseChainSpec(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := core.Request{Chain: chain, Platform: pl, Algorithm: core.DP}
+	res, err := core.Map(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewController(Config{
+		Chain: chain, Platform: pl, Initial: res.Mapping, Threshold: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lost := 0
+	deaths := map[int]int64{}
+	lastGen := 0
+	for round := 0; round < 3; round++ {
+		cur := c.Mapping()
+		if c.Generation() != lastGen {
+			// A migration rebuilt the data plane: the fabricated monitor
+			// starts fresh, like the runtime's per-generation monitors.
+			deaths = map[int]int64{}
+			lastGen = c.Generation()
+		}
+		// Kill one more instance of the first stage that still has a spare
+		// replica under the current mapping.
+		stage := -1
+		for i, mod := range cur.Modules {
+			if int64(mod.Replicas-1) > deaths[i] {
+				stage = i
+				break
+			}
+		}
+		if stage < 0 {
+			t.Fatalf("round %d: no stage with a spare replica in %s", round, cur.String())
+		}
+		deaths[stage]++
+		lost += cur.Modules[stage].Procs
+
+		d := c.Step(Observation{Health: healthFor(cur, deaths), Throughput: 1})
+
+		if got := c.Platform().Procs; got != pl.Procs-lost {
+			t.Fatalf("round %d: surviving procs %d, want %d (%d lost)", round, got, pl.Procs-lost, lost)
+		}
+		want, err := core.Remap(req, lost)
+		if err != nil {
+			t.Fatalf("round %d: remap: %v", round, err)
+		}
+		if d.Candidate != want.Mapping.String() {
+			t.Fatalf("round %d: controller candidate %s, core.Remap says %s",
+				round, d.Candidate, want.Mapping.String())
+		}
+	}
+	if c.Status().LostProcs != lost {
+		t.Errorf("status reports %d lost procs, want %d", c.Status().LostProcs, lost)
+	}
+}
+
+// TestControllerDeathAccountingClampedPerGeneration re-reports the same
+// death count across segments of one generation (as re-built segment runs
+// do) and checks the loss is not double counted.
+func TestControllerDeathAccountingClampedPerGeneration(t *testing.T) {
+	f, err := os.Open("../../specs/threestage.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	chain, pl, err := core.ParseChainSpec(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Map(core.Request{Chain: chain, Platform: pl, Algorithm: core.DP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sky-high threshold pins the controller on generation 0 so the same
+	// health is ingested repeatedly.
+	c, err := NewController(Config{
+		Chain: chain, Platform: pl, Initial: res.Mapping, Threshold: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage := -1
+	for i, mod := range res.Mapping.Modules {
+		if mod.Replicas > 1 {
+			stage = i
+			break
+		}
+	}
+	if stage < 0 {
+		t.Fatalf("no replicated stage in %s", res.Mapping.String())
+	}
+	want := res.Mapping.Modules[stage].Procs
+	for seg := 0; seg < 4; seg++ {
+		c.Step(Observation{Health: healthFor(res.Mapping, map[int]int64{stage: 1}), Throughput: 1})
+		if got := c.Status().LostProcs; got != want {
+			t.Fatalf("segment %d: lost %d procs, want %d (single death double counted)", seg, got, want)
+		}
+	}
+	// Deaths beyond Replicas-1 are executor re-kill artifacts, not new
+	// processor loss.
+	huge := int64(res.Mapping.Modules[stage].Replicas + 3)
+	c.Step(Observation{Health: healthFor(res.Mapping, map[int]int64{stage: huge}), Throughput: 1})
+	maxLoss := (res.Mapping.Modules[stage].Replicas - 1) * res.Mapping.Modules[stage].Procs
+	if got := c.Status().LostProcs; got != maxLoss {
+		t.Fatalf("lost %d procs after %d reported deaths, want clamp at %d", got, huge, maxLoss)
+	}
+}
+
+// TestControllerHammerConcurrentReaders drives Step while Status, Mapping,
+// Platform and Generation are read concurrently; run with -race.
+func TestControllerHammerConcurrentReaders(t *testing.T) {
+	chain, pl := twoStage(8, 1)
+	initial := mustMapping(t, chain, pl, []model.Module{
+		{Lo: 0, Hi: 1, Procs: 6, Replicas: 1},
+		{Lo: 1, Hi: 2, Procs: 2, Replicas: 1},
+	})
+	c, err := NewController(Config{
+		Chain: chain, Platform: pl, Initial: initial,
+		Threshold: 0.05, DisableClustering: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				st := c.Status()
+				if st.SurvivingProcs < 1 {
+					t.Error("surviving procs below 1")
+					return
+				}
+				_ = mapStr(c.Mapping())
+				_ = c.Platform()
+				_ = c.Generation()
+			}
+		}()
+	}
+	// Alternate strong and weak throughput so migrations, evaluations and
+	// rollbacks all happen under the readers.
+	for i := 0; i < 50; i++ {
+		tput := 0.75
+		if i%3 == 1 {
+			tput = 0.2
+		}
+		c.Step(Observation{Throughput: tput})
+	}
+	close(done)
+	wg.Wait()
+}

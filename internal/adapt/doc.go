@@ -1,0 +1,26 @@
+// Package adapt is the closed-loop remapping controller (DESIGN.md §10),
+// the control plane layered over the solver and the fault-tolerant
+// runtime. The paper solves the mapping once, offline, against cost models
+// fitted from a handful of profiled runs; adapt closes the loop at
+// runtime:
+//
+//	observe  per-stage service times and replica liveness (obs/live.Monitor)
+//	refit    the polynomial cost models online (estimate.OnlineFitter:
+//	         windowed observations, MAD outlier rejection, sample-count
+//	         confidence gating)
+//	re-solve the mapping on the refitted models and the surviving
+//	         processor count, under a decision-latency budget (DP when it
+//	         fits the budget, greedy otherwise)
+//	migrate  when the predicted throughput gain clears a hysteresis
+//	         threshold: drain-and-switch on the fxrt executor with a
+//	         bounded number of in-flight data sets, generation-tagged
+//	         stats, and rollback if the new mapping underperforms
+//
+// Controller holds the decision logic and is driven one segment at a time
+// through Step, which makes it deterministic and unit-testable. Runtime is
+// the execution harness: it streams data sets through the current
+// generation's pipeline in bounded segments, calls Step at each segment
+// boundary (a natural drain point: every in-flight data set of the old
+// generation completes before the swap), and executes the returned
+// decision.
+package adapt

@@ -1,0 +1,159 @@
+package adapt
+
+import (
+	"testing"
+
+	"pipemap/internal/core"
+	"pipemap/internal/fxrt"
+	"pipemap/internal/model"
+	"pipemap/internal/obs/live"
+)
+
+// TestRuntimeCorrectsWrongCostModel is the end-to-end closed loop: the
+// believed cost models say task a is heavy and b is cheap, so the solver
+// gives a almost all processors — but the emulated ground truth is the
+// opposite. The controller must observe the real stage service times,
+// refit the models online, re-solve, live-migrate, and the post-migration
+// generation's observed throughput must beat the pre-migration one.
+func TestRuntimeCorrectsWrongCostModel(t *testing.T) {
+	believed, pl := twoStage(8, 1)
+	truth, _ := twoStage(1, 8)
+	const speedup = 400.0
+
+	res, err := core.Map(core.Request{
+		Chain: believed, Platform: pl, Algorithm: core.DP, DisableClustering: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mapping.Modules[0].Procs <= res.Mapping.Modules[1].Procs {
+		t.Fatalf("precondition: believed solve %s should favor task a", res.Mapping.String())
+	}
+
+	ctrl, err := NewController(Config{
+		Chain: believed, Platform: pl, Initial: res.Mapping,
+		Threshold: 0.2, TimeScale: speedup, DisableClustering: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := &Runtime{
+		Controller: ctrl,
+		Factory: func(m model.Mapping, gen int) (*fxrt.Pipeline, error) {
+			// The data plane executes the truth, whatever the solver believed.
+			return fxrt.ModelPipelineOn(m, truth, speedup)
+		},
+		MonitorConfig: func(m model.Mapping) live.Config {
+			return live.ConfigFromMapping(m).Scale(speedup)
+		},
+		SegmentSize: 8,
+	}
+	stats, err := rt.Run(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := ctrl.Status()
+	if st.Migrations < 1 {
+		t.Fatalf("controller never migrated; last decision: %+v", st.LastDecision)
+	}
+	if st.Rollbacks != 0 {
+		t.Errorf("unexpected rollback(s): %d", st.Rollbacks)
+	}
+	if st.Generation < 1 {
+		t.Errorf("generation %d, want >= 1", st.Generation)
+	}
+	final := ctrl.Mapping()
+	if final.Modules[1].Procs <= final.Modules[0].Procs {
+		t.Errorf("final mapping %s still favors task a after refit", mapStr(final))
+	}
+
+	gens := stats.Generations
+	if len(gens) < 2 {
+		t.Fatalf("expected at least two generations, got %+v", gens)
+	}
+	pre, post := gens[0].Throughput, gens[len(gens)-1].Throughput
+	if post <= pre {
+		t.Errorf("post-migration observed throughput %.2f/s does not beat pre-migration %.2f/s", post, pre)
+	}
+	if stats.DataSets != 64 {
+		t.Errorf("streamed %d data sets, want 64", stats.DataSets)
+	}
+
+	// The per-stage refits must have moved in the right direction: stage b
+	// corrected upward, stage a downward.
+	var sawUp bool
+	for _, r := range st.Refits {
+		if r.Ratio > 2 {
+			sawUp = true
+		}
+	}
+	// Refits reset at each generation; inspect the last migrate decision's
+	// predicted gain instead when the new generation has not refit yet.
+	if !sawUp && st.LastDecision != nil && st.PredictedGain <= 0 {
+		t.Errorf("no upward refit recorded and no positive predicted gain: %+v", st.Refits)
+	}
+}
+
+// TestRuntimeMonitorFollowsGenerations checks the served monitor pointer
+// swaps on migration and the retired generation's monitor saw the drain
+// markers — what /readyz keys off during the switch window.
+func TestRuntimeMonitorFollowsGenerations(t *testing.T) {
+	believed, pl := twoStage(8, 1)
+	truth, _ := twoStage(1, 8)
+	const speedup = 400.0
+	res, err := core.Map(core.Request{
+		Chain: believed, Platform: pl, Algorithm: core.DP, DisableClustering: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(Config{
+		Chain: believed, Platform: pl, Initial: res.Mapping,
+		Threshold: 0.2, TimeScale: speedup, DisableClustering: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstMon *live.Monitor
+	rt := &Runtime{
+		Controller: ctrl,
+		Factory: func(m model.Mapping, gen int) (*fxrt.Pipeline, error) {
+			return fxrt.ModelPipelineOn(m, truth, speedup)
+		},
+		MonitorConfig: func(m model.Mapping) live.Config {
+			return live.ConfigFromMapping(m).Scale(speedup)
+		},
+		SegmentSize: 8,
+	}
+	rt.OnSegment = func(gen, segment int, stats fxrt.Stats, d Decision) {
+		if firstMon == nil {
+			firstMon = rt.Monitor()
+		}
+	}
+	if _, err := rt.Run(48); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Generation() < 1 {
+		t.Fatalf("no migration happened; cannot check monitor swap")
+	}
+	if rt.Monitor() == firstMon {
+		t.Error("served monitor did not swap after migration")
+	}
+	var sawDrainStart, sawDrainEnd bool
+	for _, ev := range firstMon.Events().History() {
+		switch ev.Kind {
+		case "drain-start":
+			sawDrainStart = true
+		case "drain-end":
+			sawDrainEnd = true
+		}
+	}
+	if !sawDrainStart || !sawDrainEnd {
+		t.Errorf("retired monitor missing drain events (start=%v end=%v)", sawDrainStart, sawDrainEnd)
+	}
+	h := firstMon.Health()
+	if !h.Finished {
+		t.Error("retired generation's monitor not marked finished")
+	}
+}

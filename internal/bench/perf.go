@@ -8,8 +8,11 @@ import (
 	"strings"
 	"time"
 
+	"pipemap/internal/adapt"
 	"pipemap/internal/core"
 	"pipemap/internal/fxrt"
+	"pipemap/internal/model"
+	"pipemap/internal/obs/live"
 )
 
 // PerfOptions configures a performance-trajectory run.
@@ -51,6 +54,11 @@ type SpecPerf struct {
 	// full solve.
 	DPSolveSeconds     float64 `json:"dpSolveSeconds"`
 	GreedySolveSeconds float64 `json:"greedySolveSeconds"`
+	// AdaptDecisionSeconds is the median wall time of one adaptive
+	// controller decision cycle (ingest observations, refit the cost
+	// models, re-solve, decide) — the latency the closed loop adds between
+	// stream segments.
+	AdaptDecisionSeconds float64 `json:"adaptDecisionSeconds"`
 	// DPThroughput and GreedyThroughput are the predicted throughputs of
 	// the two solvers' mappings (data sets/s, model units).
 	DPThroughput     float64 `json:"dpThroughput"`
@@ -129,6 +137,12 @@ func perfSpec(path string, opt PerfOptions) (SpecPerf, error) {
 	sp.GreedySolveSeconds = grTime
 	sp.GreedyThroughput = grRes.Throughput
 
+	adTime, err := timeAdaptStep(chain, pl, dpRes.Mapping, opt.Runs)
+	if err != nil {
+		return SpecPerf{}, err
+	}
+	sp.AdaptDecisionSeconds = adTime
+
 	// Runtime throughput: emulate the DP mapping on the fault-tolerant
 	// executor (the same path `pipemap -serve` exercises) and rescale the
 	// observed rate back to model units.
@@ -146,6 +160,36 @@ func perfSpec(path string, opt PerfOptions) (SpecPerf, error) {
 		sp.FxrtEfficiency = sp.FxrtThroughput / sp.DPThroughput
 	}
 	return sp, nil
+}
+
+// timeAdaptStep measures the adaptive controller's decision latency: one
+// full Step (ingest the health model, refit the cost models, re-solve,
+// decide) on a fresh controller fed fabricated observations running 25%
+// over the model predictions, so the refit path is exercised. The median
+// of runs is reported.
+func timeAdaptStep(chain *model.Chain, pl model.Platform, m model.Mapping, runs int) (float64, error) {
+	resp := m.ResponseTimes()
+	times := make([]float64, 0, runs)
+	for i := 0; i < runs; i++ {
+		c, err := adapt.NewController(adapt.Config{
+			Chain: chain, Platform: pl, Initial: m, FitCycles: 1,
+		})
+		if err != nil {
+			return 0, err
+		}
+		h := live.Health{Stages: make([]live.StageHealth, len(m.Modules))}
+		for j, mod := range m.Modules {
+			h.Stages[j] = live.StageHealth{
+				Stage: j, Replicas: mod.Replicas, Live: mod.Replicas,
+				Latency: live.WindowStat{Count: 8, Mean: resp[j] * 1.25},
+			}
+		}
+		start := time.Now()
+		c.Step(adapt.Observation{Health: h, Throughput: m.Throughput()})
+		times = append(times, time.Since(start).Seconds())
+	}
+	sort.Float64s(times)
+	return times[len(times)/2], nil
 }
 
 // timeSolve solves the request runs times and returns the last result and
@@ -171,11 +215,11 @@ func RenderPerf(rep PerfReport) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "perf trajectory (%s %s/%s, %d CPUs, %d data sets, %gx speedup, median of %d):\n",
 		rep.GoVersion, rep.GOOS, rep.GOARCH, rep.CPUs, rep.DataSets, rep.Speedup, rep.Runs)
-	fmt.Fprintf(&b, "%-28s %12s %12s %10s %10s %8s\n",
-		"spec", "dp solve", "greedy solve", "model t/s", "fxrt t/s", "eff")
+	fmt.Fprintf(&b, "%-28s %12s %12s %12s %10s %10s %8s\n",
+		"spec", "dp solve", "greedy solve", "adapt step", "model t/s", "fxrt t/s", "eff")
 	for _, sp := range rep.Specs {
-		fmt.Fprintf(&b, "%-28s %10.3fms %10.3fms %10.4f %10.4f %7.1f%%\n",
-			sp.Spec, sp.DPSolveSeconds*1e3, sp.GreedySolveSeconds*1e3,
+		fmt.Fprintf(&b, "%-28s %10.3fms %10.3fms %10.3fms %10.4f %10.4f %7.1f%%\n",
+			sp.Spec, sp.DPSolveSeconds*1e3, sp.GreedySolveSeconds*1e3, sp.AdaptDecisionSeconds*1e3,
 			sp.DPThroughput, sp.FxrtThroughput, 100*sp.FxrtEfficiency)
 	}
 	return b.String()

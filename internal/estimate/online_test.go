@@ -1,0 +1,151 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"pipemap/internal/model"
+)
+
+func TestOnlineRefitGatedUntilMinSamples(t *testing.T) {
+	f := NewOnlineFitter(model.PolyExec{C2: 4}, 4, OnlineOptions{})
+	f.Observe(1.0)
+	f.Observe(1.1)
+	if _, err := f.Refit(8); err == nil {
+		t.Fatal("refit with 2 of 3 default min samples should be gated")
+	}
+	f.Observe(0.9)
+	if _, err := f.Refit(8); err != nil {
+		t.Fatalf("refit with min samples met: %v", err)
+	}
+}
+
+func TestOnlineRefitConstantObservations(t *testing.T) {
+	// A window of identical observations has zero MAD; the degenerate
+	// spread must not reject everything or blow up the fit.
+	prior := model.PolyExec{C1: 0.1, C2: 4, C3: 0.01}
+	f := NewOnlineFitter(prior, 4, OnlineOptions{})
+	for i := 0; i < 8; i++ {
+		f.Observe(2.0)
+	}
+	r, err := f.Refit(16)
+	if err != nil {
+		t.Fatalf("constant observations: %v", err)
+	}
+	if r.Samples != 8 || r.Rejected != 0 {
+		t.Errorf("samples=%d rejected=%d, want 8/0", r.Samples, r.Rejected)
+	}
+	wantRatio := 2.0 / prior.Eval(4)
+	if math.Abs(r.Ratio-wantRatio) > 1e-9 {
+		t.Errorf("ratio %g, want %g", r.Ratio, wantRatio)
+	}
+	if got := r.Exec.Eval(4); math.Abs(got-2.0) > 0.2 {
+		t.Errorf("refit predicts %g at the live count, want ~2.0", got)
+	}
+	if math.IsNaN(r.Stats.RMSE) || math.IsInf(r.Stats.RMSE, 0) {
+		t.Errorf("non-finite RMSE %g", r.Stats.RMSE)
+	}
+}
+
+func TestOnlineRefitSingleSampleWindow(t *testing.T) {
+	prior := model.PolyExec{C2: 8}
+	f := NewOnlineFitter(prior, 2, OnlineOptions{Window: 1, MinSamples: 1})
+	f.Observe(6.0) // prior predicts 4.0 at p=2: the stage runs 1.5x slow
+	r, err := f.Refit(8)
+	if err != nil {
+		t.Fatalf("single-sample window: %v", err)
+	}
+	if math.Abs(r.Ratio-1.5) > 1e-9 {
+		t.Errorf("ratio %g, want 1.5", r.Ratio)
+	}
+	if got := r.Exec.Eval(2); math.Abs(got-6.0) > 0.5 {
+		t.Errorf("refit predicts %g at the live count, want ~6.0", got)
+	}
+	// The window holds one slot: a new observation replaces the old one.
+	f.Observe(2.0)
+	if f.Len() != 1 {
+		t.Fatalf("window length %d, want 1", f.Len())
+	}
+	r, err = f.Refit(8)
+	if err != nil {
+		t.Fatalf("after replacement: %v", err)
+	}
+	if math.Abs(r.Ratio-0.5) > 1e-9 {
+		t.Errorf("ratio %g after replacement, want 0.5", r.Ratio)
+	}
+}
+
+func TestOnlineRefitIllConditionedNoPanic(t *testing.T) {
+	// procs=1 with maxProcs=1 collapses every anchor and observation onto
+	// p=1, so 1/p and p are indistinguishable and the normal equations are
+	// singular. The ridge fallback must produce a usable model, not a
+	// panic or a non-finite residual.
+	f := NewOnlineFitter(model.PolyExec{C2: 3}, 1, OnlineOptions{})
+	for i := 0; i < 5; i++ {
+		f.Observe(1.0)
+	}
+	r, err := f.Refit(1)
+	if err != nil {
+		t.Fatalf("ill-conditioned refit: %v", err)
+	}
+	if math.IsNaN(r.Stats.RMSE) || math.IsInf(r.Stats.RMSE, 0) {
+		t.Fatalf("non-finite RMSE %g", r.Stats.RMSE)
+	}
+	if got := r.Exec.Eval(1); math.Abs(got-1.0) > 0.3 {
+		t.Errorf("refit predicts %g at p=1, want ~1.0", got)
+	}
+}
+
+func TestOnlineRefitNilPriorIsObservationOnly(t *testing.T) {
+	f := NewOnlineFitter(nil, 4, OnlineOptions{})
+	for i := 0; i < 4; i++ {
+		f.Observe(0.5)
+	}
+	r, err := f.Refit(8)
+	if err != nil {
+		t.Fatalf("nil prior: %v", err)
+	}
+	if r.Ratio != 0 {
+		t.Errorf("ratio %g with no prior, want 0", r.Ratio)
+	}
+	if got := r.Exec.Eval(4); math.Abs(got-0.5) > 0.2 {
+		t.Errorf("observation-only refit predicts %g, want ~0.5", got)
+	}
+}
+
+func TestOnlineRefitRejectsOutliers(t *testing.T) {
+	prior := model.PolyExec{C2: 4}
+	f := NewOnlineFitter(prior, 4, OnlineOptions{})
+	for i := 0; i < 7; i++ {
+		f.Observe(1.0 + float64(i%3)*0.01)
+	}
+	f.Observe(50.0) // a stall: 50x the window median
+	r, err := f.Refit(8)
+	if err != nil {
+		t.Fatalf("refit with outlier: %v", err)
+	}
+	if r.Rejected < 1 {
+		t.Fatalf("outlier not rejected (rejected=%d)", r.Rejected)
+	}
+	if r.Ratio > 1.2 {
+		t.Errorf("ratio %g polluted by the outlier", r.Ratio)
+	}
+}
+
+func TestOnlineObserveIgnoresGarbage(t *testing.T) {
+	f := NewOnlineFitter(model.PolyExec{C2: 4}, 4, OnlineOptions{})
+	f.Observe(math.NaN())
+	f.Observe(math.Inf(1))
+	f.Observe(-1)
+	if f.Len() != 0 {
+		t.Fatalf("garbage observations retained: window length %d", f.Len())
+	}
+	var nilF *OnlineFitter
+	nilF.Observe(1) // nil fitter is a no-op, not a panic
+	if nilF.Len() != 0 {
+		t.Fatal("nil fitter reported observations")
+	}
+	if _, err := nilF.Refit(4); err == nil {
+		t.Fatal("nil fitter refit should error")
+	}
+}

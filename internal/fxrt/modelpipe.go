@@ -24,13 +24,27 @@ import (
 // slow mappings into fast demo/CI runs without changing the relative stage
 // periods.
 func ModelPipeline(m model.Mapping, speedup float64) (*Pipeline, error) {
+	return ModelPipelineOn(m, m.Chain, speedup)
+}
+
+// ModelPipelineOn is ModelPipeline with the emulated ground truth decoupled
+// from the mapping's belief: stage sleeps are the response times of
+// m.Modules evaluated against the truth chain. A truth chain whose costs
+// differ from m.Chain emulates a pipeline solved under a wrong cost model —
+// the scenario an adaptive controller exists to correct. truth == nil uses
+// m.Chain (beliefs are true).
+func ModelPipelineOn(m model.Mapping, truth *model.Chain, speedup float64) (*Pipeline, error) {
 	if m.Chain == nil || len(m.Modules) == 0 {
 		return nil, fmt.Errorf("fxrt: model pipeline needs a solved mapping")
+	}
+	if truth == nil {
+		truth = m.Chain
 	}
 	if speedup <= 0 {
 		speedup = 1
 	}
-	resp := m.ResponseTimes()
+	tm := model.Mapping{Chain: truth, Modules: m.Modules}
+	resp := tm.ResponseTimes()
 	stages := make([]Stage, len(m.Modules))
 	for i, mod := range m.Modules {
 		d := time.Duration(resp[i] / speedup * float64(time.Second))

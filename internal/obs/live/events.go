@@ -10,7 +10,8 @@ import "sync"
 type Event struct {
 	// TS is seconds since the monitor started (virtual seconds in replays).
 	TS float64 `json:"ts"`
-	// Kind is "death", "drop", "retry", "timeout" or "remap".
+	// Kind is "death", "drop", "retry", "timeout", "remap", "drain-start"
+	// or "drain-end".
 	Kind string `json:"kind"`
 	// Stage names the stage involved, when any.
 	Stage string `json:"stage,omitempty"`

@@ -109,6 +109,7 @@ type Monitor struct {
 	startNs   atomic.Int64
 	started   atomic.Bool
 	finished  atomic.Bool
+	draining  atomic.Bool
 }
 
 // NewMonitor returns a monitor for the configured pipeline.
@@ -169,6 +170,24 @@ func (m *Monitor) Finish() {
 		return
 	}
 	m.finished.Store(true)
+}
+
+// SetDraining marks (or clears) a migration drain: the pipeline is
+// switching mappings and in-flight data sets are completing on the old
+// generation. While draining, /readyz reports 503 even if the pipeline is
+// otherwise nominal — a load balancer must not route new work at a
+// pipeline mid-switch.
+func (m *Monitor) SetDraining(v bool) {
+	if m == nil {
+		return
+	}
+	if m.draining.Swap(v) != v {
+		kind := "drain-start"
+		if !v {
+			kind = "drain-end"
+		}
+		m.events.Publish(Event{TS: m.now(), Kind: kind, Dataset: -1, Detail: "migration drain"})
+	}
 }
 
 func (m *Monitor) stage(i int) *stageState {
@@ -303,9 +322,12 @@ type Health struct {
 	// degraded.
 	Ready bool `json:"ready"`
 	// Reason explains a not-ready or degraded state.
-	Reason   string `json:"reason,omitempty"`
-	Started  bool   `json:"started"`
-	Finished bool   `json:"finished"`
+	Reason string `json:"reason,omitempty"`
+	// Draining reports a migration drain in progress: /readyz is 503 while
+	// the pipeline switches mapping generations.
+	Draining bool `json:"draining,omitempty"`
+	Started  bool `json:"started"`
+	Finished bool `json:"finished"`
 	// UptimeSeconds is time since Start (virtual in replays).
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 	Mapping       string  `json:"mapping,omitempty"`
@@ -409,9 +431,12 @@ func (m *Monitor) Health() Health {
 		h.Status = "degraded"
 		h.Reason = fmt.Sprintf("%d dropped data set(s) in window", windowDrops)
 	}
-	h.Ready = h.Started && h.Status == "nominal"
+	h.Draining = m.draining.Load()
+	h.Ready = h.Started && h.Status == "nominal" && !h.Draining
 	if !h.Started {
 		h.Reason = "pipeline not started"
+	} else if h.Draining && h.Reason == "" {
+		h.Reason = "migration drain in progress"
 	}
 	return h
 }

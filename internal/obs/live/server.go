@@ -19,6 +19,14 @@ type ServerOptions struct {
 	// Monitor is the pipeline health model behind /pipeline, /readyz and
 	// the pipemap_* exposition series.
 	Monitor *Monitor
+	// Source, when set, supplies the monitor per request instead of
+	// Monitor. An adaptive runtime wires its current-generation monitor
+	// here so the served health model follows live migrations.
+	Source func() *Monitor
+	// Controller, when set, is called per /pipeline request and its result
+	// serialized under the "controller" key of the payload (the adaptive
+	// controller's status).
+	Controller func() any
 	// Registry adds generic live instruments to /metrics.
 	Registry *Registry
 	// Static, when set, is called per scrape to merge a cumulative
@@ -61,6 +69,14 @@ func NewServer(opt ServerOptions) *Server {
 // Handler returns the server's routes for embedding in another mux or for
 // httptest.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// monitor resolves the monitor serving this request.
+func (s *Server) monitor() *Monitor {
+	if s.opt.Source != nil {
+		return s.opt.Source()
+	}
+	return s.opt.Monitor
+}
 
 // Start listens on addr (e.g. ":9090" or "127.0.0.1:0") and serves in a
 // background goroutine until Close.
@@ -115,7 +131,7 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		snap := s.opt.Static()
 		static = &snap
 	}
-	_ = WriteProm(w, s.opt.Monitor, s.opt.Registry, static)
+	_ = WriteProm(w, s.monitor(), s.opt.Registry, static)
 }
 
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
@@ -124,7 +140,7 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) readyz(w http.ResponseWriter, _ *http.Request) {
-	h := s.opt.Monitor.Health()
+	h := s.monitor().Health()
 	w.Header().Set("Content-Type", "application/json")
 	if !h.Ready {
 		w.WriteHeader(http.StatusServiceUnavailable)
@@ -140,7 +156,15 @@ func (s *Server) pipeline(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(s.opt.Monitor.Health())
+	h := s.monitor().Health()
+	if s.opt.Controller == nil {
+		_ = enc.Encode(h)
+		return
+	}
+	_ = enc.Encode(struct {
+		Health
+		Controller any `json:"controller"`
+	}{h, s.opt.Controller()})
 }
 
 // events streams the fault-event history followed by live events as NDJSON
@@ -148,7 +172,7 @@ func (s *Server) pipeline(w http.ResponseWriter, _ *http.Request) {
 // which is what curl and smoke tests want.
 func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	hub := s.opt.Monitor.Events()
+	hub := s.monitor().Events()
 	enc := json.NewEncoder(w)
 	follow := true
 	if v := r.URL.Query().Get("follow"); v != "" {

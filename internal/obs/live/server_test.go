@@ -338,3 +338,97 @@ func TestServerStartClose(t *testing.T) {
 		t.Fatal("server still serving after Close")
 	}
 }
+
+func TestReadyzDuringDrain(t *testing.T) {
+	ts, mon, _ := testServer(t)
+
+	resp, _ := get(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz %d before drain, want 200", resp.StatusCode)
+	}
+
+	mon.SetDraining(true)
+	resp, body := get(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz %d during drain, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(body, "migration drain in progress") {
+		t.Errorf("readyz drain body %q missing the drain reason", body)
+	}
+	_, body = get(t, ts.URL+"/pipeline")
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("pipeline JSON: %v", err)
+	}
+	if !h.Draining || h.Ready {
+		t.Errorf("pipeline during drain: draining=%v ready=%v, want true/false", h.Draining, h.Ready)
+	}
+
+	mon.SetDraining(false)
+	resp, _ = get(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz %d after drain, want 200", resp.StatusCode)
+	}
+
+	var starts, ends int
+	for _, ev := range mon.Events().History() {
+		switch ev.Kind {
+		case "drain-start":
+			starts++
+		case "drain-end":
+			ends++
+		}
+	}
+	if starts != 1 || ends != 1 {
+		t.Errorf("drain events start=%d end=%d, want 1/1", starts, ends)
+	}
+	// Setting the same state twice must not duplicate events.
+	mon.SetDraining(false)
+	if got := len(mon.Events().History()); got != 2 {
+		t.Errorf("%d events after idempotent SetDraining, want 2", got)
+	}
+}
+
+func TestPipelineControllerKeyAndSourceSwap(t *testing.T) {
+	monA := NewMonitor(Config{Mapping: "gen-0", Stages: []StageInfo{{Name: "a", Replicas: 1}}})
+	monA.Start()
+	monB := NewMonitor(Config{Mapping: "gen-1", Stages: []StageInfo{{Name: "a", Replicas: 1}}})
+	monB.Start()
+
+	current := monA
+	srv := NewServer(ServerOptions{
+		Source:     func() *Monitor { return current },
+		Controller: func() any { return map[string]any{"generation": 7} },
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	_, body := get(t, ts.URL+"/pipeline")
+	var payload struct {
+		Health
+		Controller map[string]any `json:"controller"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("pipeline JSON: %v", err)
+	}
+	if payload.Mapping != "gen-0" {
+		t.Errorf("pipeline mapping %q, want gen-0", payload.Mapping)
+	}
+	if payload.Controller["generation"] != float64(7) {
+		t.Errorf("controller payload %v missing generation", payload.Controller)
+	}
+
+	// A generation swap behind the Source follows on the next request.
+	current = monB
+	_, body = get(t, ts.URL+"/pipeline")
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("pipeline JSON after swap: %v", err)
+	}
+	if payload.Mapping != "gen-1" {
+		t.Errorf("pipeline mapping %q after source swap, want gen-1", payload.Mapping)
+	}
+	resp, _ := get(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("readyz %d via Source, want 200", resp.StatusCode)
+	}
+}

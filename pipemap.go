@@ -29,6 +29,7 @@
 package pipemap
 
 import (
+	"pipemap/internal/adapt"
 	"pipemap/internal/core"
 	"pipemap/internal/estimate"
 	"pipemap/internal/greedy"
@@ -273,6 +274,35 @@ func LiveConfigFromMapping(m Mapping) LiveConfig { return live.ConfigFromMapping
 // NewLiveServer returns an unstarted server; call Start(addr) to listen
 // or mount Handler() into an existing mux.
 func NewLiveServer(opt LiveServerOptions) *LiveServer { return live.NewServer(opt) }
+
+// Adaptive remapping types (extension; see DESIGN.md §10). An
+// AdaptController closes the loop over a served pipeline: it ingests
+// per-stage observed service times and replica liveness from a
+// LiveMonitor's health model, incrementally refits the cost models online,
+// periodically re-solves the mapping against the refitted models and the
+// surviving processor count, and decides hold / migrate / rollback under a
+// hysteresis threshold. An AdaptRuntime executes those decisions on the
+// fault-tolerant runtime with bounded-segment drain-and-switch migration.
+type (
+	// AdaptConfig configures the controller (chain, platform, initial
+	// mapping, thresholds, decision-latency budget).
+	AdaptConfig = adapt.Config
+	// AdaptController is the closed-loop decision engine.
+	AdaptController = adapt.Controller
+	// AdaptDecision is one controller cycle's outcome.
+	AdaptDecision = adapt.Decision
+	// AdaptStatus is the controller state served on /pipeline.
+	AdaptStatus = adapt.Status
+	// AdaptObservation is one segment's runtime evidence for Step.
+	AdaptObservation = adapt.Observation
+	// AdaptRuntime executes controller decisions on the fault-tolerant
+	// runtime with segment-bounded live migration.
+	AdaptRuntime = adapt.Runtime
+)
+
+// NewAdaptController validates the configuration and returns a controller
+// at generation 0 on the initial mapping.
+func NewAdaptController(cfg AdaptConfig) (*AdaptController, error) { return adapt.NewController(cfg) }
 
 // Objective selects what Map optimizes.
 type Objective = core.Objective

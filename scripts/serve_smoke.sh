@@ -2,13 +2,16 @@
 # Smoke test for the live observability server: start `pipemap -serve` on
 # the fft+histogram spec with an injected instance death, scrape the
 # endpoints, and fail on malformed Prometheus exposition or a missing
-# health signal. CI runs this after the unit tests; it needs only curl
-# and the go toolchain.
+# health signal. A second phase runs the adaptive controller (-adapt) with
+# the same injected death and requires /pipeline to report a migrated
+# mapping generation. CI runs this after the unit tests; it needs only
+# curl and the go toolchain.
 set -eu
 
 ADDR=127.0.0.1:9127
+ADDR2=127.0.0.1:9128
 OUT=$(mktemp -d)
-trap 'kill $PID 2>/dev/null || true; rm -rf "$OUT"' EXIT
+trap 'kill $PID 2>/dev/null || true; kill $PID2 2>/dev/null || true; rm -rf "$OUT"' EXIT
 
 go run ./cmd/pipemap -serve "$ADDR" -serve-n 120 -serve-speedup 400 \
     -serve-for 30s -serve-kill auto specs/ffthist256.json >"$OUT/run.log" 2>&1 &
@@ -67,5 +70,50 @@ grep -q '"status": "degraded"' "$OUT/pipeline" || fail "/pipeline not degraded"
 # /readyz must report 503 while degraded.
 CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/readyz")
 [ "$CODE" = 503 ] || fail "/readyz = $CODE, want 503 when degraded"
+
+kill $PID 2>/dev/null || true
+
+# --- Adaptive phase: kill an instance, watch the controller remap. ---
+go run ./cmd/pipemap -serve "$ADDR2" -serve-n 400 -serve-speedup 400 \
+    -serve-for 30s -serve-kill auto \
+    -adapt -adapt-interval 250ms -adapt-threshold 0.02 \
+    specs/threestage.json >"$OUT/adapt.log" 2>&1 &
+PID2=$!
+
+i=0
+until curl -fsS "http://$ADDR2/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "serve_smoke: adaptive server never came up" >&2
+        cat "$OUT/adapt.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+# Poll /pipeline until the controller reports a post-migration generation;
+# fail on timeout — the injected death must trigger a remap.
+i=0
+while :; do
+    curl -fsS "http://$ADDR2/pipeline" >"$OUT/adapt_pipeline" 2>/dev/null || true
+    if grep -q '"generation": [1-9]' "$OUT/adapt_pipeline"; then
+        break
+    fi
+    i=$((i + 1))
+    if [ "$i" -ge 150 ]; then
+        echo "serve_smoke: controller never migrated to a new generation" >&2
+        cat "$OUT/adapt_pipeline" >&2
+        cat "$OUT/adapt.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+grep -q '"controller"' "$OUT/adapt_pipeline" || fail "/pipeline missing controller state"
+grep -q '"lastDecision"' "$OUT/adapt_pipeline" || fail "/pipeline missing last decision"
+
+curl -fsS "http://$ADDR2/metrics" >"$OUT/adapt_metrics"
+grep -q 'adapt_cycles' "$OUT/adapt_metrics" || fail "/metrics missing adapt_cycles"
+grep -q 'adapt_migrations' "$OUT/adapt_metrics" || fail "/metrics missing adapt_migrations"
 
 echo "serve_smoke: ok"
