@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-quick serve-smoke
+.PHONY: build test race bench bench-quick serve-smoke ingest-smoke
 
 build:
 	$(GO) build ./...
@@ -23,3 +23,7 @@ bench-quick:
 # Start the live observability server briefly and scrape it (used by CI).
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Ingestion data plane overload smoke: submit, burst, assert sheds, drain.
+ingest-smoke:
+	./scripts/serve_smoke.sh ingest

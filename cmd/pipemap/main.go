@@ -51,14 +51,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"pipemap/internal/core"
@@ -69,13 +72,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	// One context governs every serving mode: SIGINT/SIGTERM cancel it, and
+	// the serve loops drain and return instead of dying mid-flight.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "pipemap:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pipemap", flag.ContinueOnError)
 	algo := fs.String("algo", "auto", "mapping algorithm: auto, dp, or greedy")
 	grid := fs.String("grid", "", "grid dimensions RxC for rectangular feasibility (e.g. 8x8)")
@@ -98,6 +105,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	adapt := fs.Bool("adapt", false, "with -serve: run the adaptive remapping controller (refit cost models online, re-solve, migrate)")
 	adaptInterval := fs.Duration("adapt-interval", 2*time.Second, "with -serve -adapt: target wall-clock period between controller decisions")
 	adaptThreshold := fs.Float64("adapt-threshold", 0.1, "with -serve -adapt: minimum predicted relative throughput gain before migrating")
+	ingestApp := fs.String("ingest", "", "with -serve: run the real application kernels (ffthist, radar, or stereo) behind an ingestion data plane with POST /v1/submit on the live server")
+	queueDepth := fs.Int("queue-depth", 64, "with -ingest: bounded admission queue depth (queue_full sheds beyond it)")
+	shedDeadline := fs.Duration("shed-deadline", 2*time.Second, "with -ingest: default per-request deadline budget; requests whose queue wait exceeds it are shed")
+	tenantRate := fs.Float64("tenant-rate", 0, "with -ingest: per-tenant admission rate limit in requests/s (0 = unlimited)")
+	ingestSize := fs.Int("ingest-size", 0, "with -ingest: problem size (ffthist matrix N, radar range gates, stereo image width; 0 = a serving default)")
+	ingestDispatchers := fs.Int("ingest-dispatchers", 4, "with -ingest: concurrent pipeline dispatchers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,6 +119,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if *adapt && *serveAddr == "" {
 		return fmt.Errorf("-adapt requires -serve")
+	}
+	if *ingestApp != "" && *serveAddr == "" {
+		return fmt.Errorf("-ingest requires -serve")
+	}
+	if *queueDepth < 1 {
+		return fmt.Errorf("-queue-depth must be >= 1, got %d", *queueDepth)
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -251,10 +270,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if *serveAddr != "" {
 		fmt.Fprintln(stdout)
-		return serveRun(stdout, res, req, serveConfig{
+		return serveRun(ctx, stdout, res, req, serveConfig{
 			addr: *serveAddr, n: *serveN, speedup: *serveSpeedup,
 			serveFor: *serveFor, kill: *serveKill,
 			adapt: *adapt, adaptInterval: *adaptInterval, adaptThreshold: *adaptThreshold,
+			ingestApp: *ingestApp, queueDepth: *queueDepth, shedDeadline: *shedDeadline,
+			tenantRate: *tenantRate, ingestSize: *ingestSize, dispatchers: *ingestDispatchers,
 		})
 	}
 	return nil

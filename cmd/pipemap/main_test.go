@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -20,7 +21,7 @@ const specJSON = `{
 
 func TestRunFromStdin(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(nil, strings.NewReader(specJSON), &out); err != nil {
+	if err := run(context.Background(), nil, strings.NewReader(specJSON), &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"mapping:", "throughput:", "latency:", "processors:"} {
@@ -32,7 +33,7 @@ func TestRunFromStdin(t *testing.T) {
 
 func TestRunFromFile(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"testdata/ffthist256.json"}, nil, &out); err != nil {
+	if err := run(context.Background(), []string{"testdata/ffthist256.json"}, nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "rowffts+hist") {
@@ -42,7 +43,7 @@ func TestRunFromFile(t *testing.T) {
 
 func TestRunJSONOutput(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-json"}, strings.NewReader(specJSON), &out); err != nil {
+	if err := run(context.Background(), []string{"-json"}, strings.NewReader(specJSON), &out); err != nil {
 		t.Fatal(err)
 	}
 	var spec struct {
@@ -60,7 +61,7 @@ func TestRunJSONOutput(t *testing.T) {
 
 func TestRunWithGrid(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-grid", "4x4"}, strings.NewReader(specJSON), &out); err != nil {
+	if err := run(context.Background(), []string{"-grid", "4x4"}, strings.NewReader(specJSON), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "layout on 4x4 grid") {
@@ -71,7 +72,7 @@ func TestRunWithGrid(t *testing.T) {
 func TestRunAlgorithms(t *testing.T) {
 	for _, algo := range []string{"dp", "greedy", "auto"} {
 		var out bytes.Buffer
-		if err := run([]string{"-algo", algo}, strings.NewReader(specJSON), &out); err != nil {
+		if err := run(context.Background(), []string{"-algo", algo}, strings.NewReader(specJSON), &out); err != nil {
 			t.Errorf("algo %s: %v", algo, err)
 		}
 	}
@@ -79,7 +80,7 @@ func TestRunAlgorithms(t *testing.T) {
 
 func TestRunCertifyAndFrontier(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-certify", "-frontier"}, strings.NewReader(specJSON), &out); err != nil {
+	if err := run(context.Background(), []string{"-certify", "-frontier"}, strings.NewReader(specJSON), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "certificate:") {
@@ -92,14 +93,14 @@ func TestRunCertifyAndFrontier(t *testing.T) {
 
 func TestRunObjectives(t *testing.T) {
 	var lat bytes.Buffer
-	if err := run([]string{"-objective", "latency"}, strings.NewReader(specJSON), &lat); err != nil {
+	if err := run(context.Background(), []string{"-objective", "latency"}, strings.NewReader(specJSON), &lat); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(lat.String(), "latency:") {
 		t.Errorf("latency output missing:\n%s", lat.String())
 	}
 	var bounded bytes.Buffer
-	if err := run([]string{"-latency-bound", "100"}, strings.NewReader(specJSON), &bounded); err != nil {
+	if err := run(context.Background(), []string{"-latency-bound", "100"}, strings.NewReader(specJSON), &bounded); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(bounded.String(), "mapping:") {
@@ -118,12 +119,12 @@ func TestRunErrors(t *testing.T) {
 	}
 	for _, args := range cases {
 		var out bytes.Buffer
-		if err := run(args, strings.NewReader(specJSON), &out); err == nil {
+		if err := run(context.Background(), args, strings.NewReader(specJSON), &out); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
 	var out bytes.Buffer
-	if err := run(nil, strings.NewReader("{"), &out); err == nil {
+	if err := run(context.Background(), nil, strings.NewReader("{"), &out); err == nil {
 		t.Error("malformed spec accepted")
 	}
 }
@@ -146,7 +147,7 @@ func TestParseGrid(t *testing.T) {
 
 func TestRunFailProcs(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-fail-procs", "4"}, strings.NewReader(specJSON), &out); err != nil {
+	if err := run(context.Background(), []string{"-fail-procs", "4"}, strings.NewReader(specJSON), &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -166,7 +167,7 @@ func TestRunFailProcsErrors(t *testing.T) {
 		{"-fail-procs", "4", "-json"},
 	} {
 		var out bytes.Buffer
-		if err := run(args, strings.NewReader(specJSON), &out); err == nil {
+		if err := run(context.Background(), args, strings.NewReader(specJSON), &out); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
@@ -176,7 +177,7 @@ func TestRunFailProcsErrors(t *testing.T) {
 // specs/threestage.json baseline and asserts a clean error (no panic).
 func TestRunMalformedSpecs(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"../../specs/threestage.json"}, nil, &out); err != nil {
+	if err := run(context.Background(), []string{"../../specs/threestage.json"}, nil, &out); err != nil {
 		t.Fatalf("valid baseline spec rejected: %v", err)
 	}
 	cases := map[string]string{
@@ -213,7 +214,7 @@ func TestRunMalformedSpecs(t *testing.T) {
 	}
 	for name, spec := range cases {
 		var out bytes.Buffer
-		if err := run(nil, strings.NewReader(spec), &out); err == nil {
+		if err := run(context.Background(), nil, strings.NewReader(spec), &out); err == nil {
 			t.Errorf("%s: malformed spec accepted", name)
 		}
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -62,7 +63,7 @@ func checkChromeTrace(t *testing.T, path string) chromeTraceFile {
 func TestRunTraceAndMetrics(t *testing.T) {
 	tracePath := filepath.Join(t.TempDir(), "out.json")
 	var out bytes.Buffer
-	if err := run([]string{"-trace", tracePath, "-metrics", "testdata/ffthist256.json"}, nil, &out); err != nil {
+	if err := run(context.Background(), []string{"-trace", tracePath, "-metrics", "testdata/ffthist256.json"}, nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	tf := checkChromeTrace(t, tracePath)
@@ -107,7 +108,7 @@ func TestRunTraceAndMetrics(t *testing.T) {
 func TestRunTraceWithJSONOutput(t *testing.T) {
 	tracePath := filepath.Join(t.TempDir(), "out.json")
 	var out bytes.Buffer
-	if err := run([]string{"-json", "-trace", tracePath}, strings.NewReader(specJSON), &out); err != nil {
+	if err := run(context.Background(), []string{"-json", "-trace", tracePath}, strings.NewReader(specJSON), &out); err != nil {
 		t.Fatal(err)
 	}
 	var mapping map[string]any
@@ -126,7 +127,7 @@ func TestRunProfiles(t *testing.T) {
 	cpu := filepath.Join(dir, "cpu.pb")
 	mem := filepath.Join(dir, "mem.pb")
 	var out bytes.Buffer
-	if err := run([]string{"-cpuprofile", cpu, "-memprofile", mem}, strings.NewReader(specJSON), &out); err != nil {
+	if err := run(context.Background(), []string{"-cpuprofile", cpu, "-memprofile", mem}, strings.NewReader(specJSON), &out); err != nil {
 		t.Fatal(err)
 	}
 	// The heap profile is written by a deferred helper; both files must

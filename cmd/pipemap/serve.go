@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -25,6 +26,27 @@ type serveConfig struct {
 	adapt          bool
 	adaptInterval  time.Duration
 	adaptThreshold float64
+
+	ingestApp    string
+	queueDepth   int
+	shedDeadline time.Duration
+	tenantRate   float64
+	ingestSize   int
+	dispatchers  int
+}
+
+// serveWait blocks until the configured serving window elapses or the
+// process is signalled, then reports whether a drain is due to a signal.
+func serveWait(ctx context.Context, stdout io.Writer, serveFor time.Duration) {
+	if serveFor > 0 {
+		select {
+		case <-time.After(serveFor):
+		case <-ctx.Done():
+		}
+		return
+	}
+	fmt.Fprintln(stdout, "serving until killed (ctrl-c or SIGTERM to exit)")
+	<-ctx.Done()
 }
 
 // serveRun executes the solved mapping on the fault-tolerant runtime with a
@@ -34,12 +56,15 @@ type serveConfig struct {
 // model's f_i/r_i (scaled identically), so /pipeline shows the predicted
 // bottleneck reproducing live — and, with -serve-kill, how losing a replica
 // moves the pipeline to degraded.
-func serveRun(stdout io.Writer, res core.Result, req core.Request, sc serveConfig) error {
+func serveRun(ctx context.Context, stdout io.Writer, res core.Result, req core.Request, sc serveConfig) error {
 	if sc.n < 2 {
 		return fmt.Errorf("-serve-n must be >= 2, got %d", sc.n)
 	}
+	if sc.ingestApp != "" {
+		return serveIngest(ctx, stdout, res, req, sc)
+	}
 	if sc.adapt {
-		return serveAdaptive(stdout, res, req, sc)
+		return serveAdaptive(ctx, stdout, res, req, sc)
 	}
 	m, metrics := res.Mapping, req.Metrics
 	pl, err := fxrt.ModelPipeline(m, sc.speedup)
@@ -94,12 +119,8 @@ func serveRun(stdout io.Writer, res core.Result, req core.Request, sc serveConfi
 		fmt.Fprintf(stdout, "faults: %d retried, %d dropped, %d instance death(s)\n",
 			stats.Retried, stats.Dropped, stats.Dead)
 	}
-	if sc.serveFor > 0 {
-		time.Sleep(sc.serveFor)
-		return nil
-	}
-	fmt.Fprintln(stdout, "serving until killed (ctrl-c to exit)")
-	select {}
+	serveWait(ctx, stdout, sc.serveFor)
+	return nil
 }
 
 // serveAdaptive runs the closed loop: the solved mapping executes in
@@ -111,7 +132,7 @@ func serveRun(stdout io.Writer, res core.Result, req core.Request, sc serveConfi
 // under /pipeline's "controller" key. An injected -serve-kill fault
 // applies to generation 0 only, so a death-triggered remap visibly returns
 // the pipeline to nominal.
-func serveAdaptive(stdout io.Writer, res core.Result, req core.Request, sc serveConfig) error {
+func serveAdaptive(ctx context.Context, stdout io.Writer, res core.Result, req core.Request, sc serveConfig) error {
 	m := res.Mapping
 	ctrl, err := adapt.NewController(adapt.Config{
 		Chain:     req.Chain,
@@ -194,12 +215,8 @@ func serveAdaptive(stdout io.Writer, res core.Result, req core.Request, sc serve
 		fmt.Fprintf(stdout, "  gen %d%s: %d data sets, %.4f data sets/s observed — %s\n",
 			g.Generation, tag, g.DataSets, g.Throughput, g.Mapping)
 	}
-	if sc.serveFor > 0 {
-		time.Sleep(sc.serveFor)
-		return nil
-	}
-	fmt.Fprintln(stdout, "serving until killed (ctrl-c to exit)")
-	select {}
+	serveWait(ctx, stdout, sc.serveFor)
+	return nil
 }
 
 // adaptSegmentSize targets one controller decision per -adapt-interval of

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -74,7 +75,7 @@ func TestServeAcceptance(t *testing.T) {
 	buf := &syncBuffer{}
 	done := make(chan error, 1)
 	go func() {
-		done <- run([]string{
+		done <- run(context.Background(), []string{
 			"-serve", "127.0.0.1:0",
 			"-serve-n", "120",
 			"-serve-speedup", "400",
@@ -209,19 +210,19 @@ func lintExposition(t *testing.T, body string) {
 }
 
 func TestServeFlagValidation(t *testing.T) {
-	if err := run([]string{"-serve", ":0", "-json", "../../specs/threestage.json"},
+	if err := run(context.Background(), []string{"-serve", ":0", "-json", "../../specs/threestage.json"},
 		strings.NewReader(""), io.Discard); err == nil {
 		t.Error("-serve -json accepted")
 	}
-	if err := run([]string{"-serve", ":0", "-serve-n", "1", "../../specs/threestage.json"},
+	if err := run(context.Background(), []string{"-serve", ":0", "-serve-n", "1", "../../specs/threestage.json"},
 		strings.NewReader(""), io.Discard); err == nil {
 		t.Error("-serve-n 1 accepted")
 	}
-	if err := run([]string{"-serve", ":0", "-serve-kill", "9:9", "-serve-for", "1ms",
+	if err := run(context.Background(), []string{"-serve", ":0", "-serve-kill", "9:9", "-serve-for", "1ms",
 		"../../specs/threestage.json"}, strings.NewReader(""), io.Discard); err == nil {
 		t.Error("out-of-range -serve-kill accepted")
 	}
-	if err := run([]string{"-serve", ":0", "-serve-kill", "bogus", "-serve-for", "1ms",
+	if err := run(context.Background(), []string{"-serve", ":0", "-serve-kill", "bogus", "-serve-for", "1ms",
 		"../../specs/threestage.json"}, strings.NewReader(""), io.Discard); err == nil {
 		t.Error("malformed -serve-kill accepted")
 	}
@@ -235,7 +236,7 @@ func TestServeAdaptiveAcceptance(t *testing.T) {
 	buf := &syncBuffer{}
 	done := make(chan error, 1)
 	go func() {
-		done <- run([]string{
+		done <- run(context.Background(), []string{
 			"-serve", "127.0.0.1:0",
 			"-serve-n", "400",
 			"-serve-speedup", "400",
@@ -256,11 +257,11 @@ func TestServeAdaptiveAcceptance(t *testing.T) {
 	}
 	var payload struct {
 		Controller struct {
-			Enabled    bool    `json:"enabled"`
-			Generation int     `json:"generation"`
-			Migrations int     `json:"migrations"`
-			LostProcs  int     `json:"lostProcs"`
-			Threshold  float64 `json:"threshold"`
+			Enabled      bool    `json:"enabled"`
+			Generation   int     `json:"generation"`
+			Migrations   int     `json:"migrations"`
+			LostProcs    int     `json:"lostProcs"`
+			Threshold    float64 `json:"threshold"`
 			LastDecision *struct {
 				Action string `json:"action"`
 			} `json:"lastDecision"`
@@ -318,7 +319,7 @@ func TestServeAdaptiveAcceptance(t *testing.T) {
 }
 
 func TestAdaptFlagValidation(t *testing.T) {
-	if err := run([]string{"-adapt", "../../specs/threestage.json"},
+	if err := run(context.Background(), []string{"-adapt", "../../specs/threestage.json"},
 		strings.NewReader(""), io.Discard); err == nil {
 		t.Error("-adapt without -serve accepted")
 	}

@@ -163,6 +163,22 @@ type Status struct {
 	Refits []StageRefit `json:"refits,omitempty"`
 	// LastDecision is the most recent cycle's decision.
 	LastDecision *Decision `json:"lastDecision,omitempty"`
+	// Ingest is the most recent observation's ingestion load, when the
+	// runtime serves an ingestion plane.
+	Ingest *IngestLoad `json:"ingest,omitempty"`
+}
+
+// IngestLoad is the ingestion data plane's load evidence attached to an
+// observation: the controller records it so operators can correlate
+// migrate/hold decisions with real admission pressure.
+type IngestLoad struct {
+	// QueueDepth and InFlight are point-in-time admission-queue and
+	// dispatch occupancy.
+	QueueDepth int   `json:"queueDepth"`
+	InFlight   int64 `json:"inFlight"`
+	// AdmitRate and ShedRate are windowed requests/second at the door.
+	AdmitRate float64 `json:"admitRate"`
+	ShedRate  float64 `json:"shedRate"`
 }
 
 // Observation is one completed segment's runtime evidence.
@@ -172,6 +188,9 @@ type Observation struct {
 	// Throughput is the segment's observed sink throughput in runtime
 	// (wall-clock) units; the controller divides by TimeScale.
 	Throughput float64
+	// Ingest, when the segment served an ingestion plane, carries its load
+	// evidence.
+	Ingest *IngestLoad
 }
 
 // Controller is the closed-loop decision engine. Drive it with Step once
@@ -208,6 +227,7 @@ type Controller struct {
 	predGain     float64
 	obsGain      float64
 	lastDecision *Decision
+	lastIngest   *IngestLoad
 }
 
 // NewController validates the configuration and returns a controller at
@@ -359,6 +379,10 @@ func (c *Controller) Status() Status {
 		d := *c.lastDecision
 		st.LastDecision = &d
 	}
+	if c.lastIngest != nil {
+		l := *c.lastIngest
+		st.Ingest = &l
+	}
 	return st
 }
 
@@ -377,6 +401,10 @@ func (c *Controller) Step(o Observation) Decision {
 		ObservedThroughput: o.Throughput / c.cfg.TimeScale,
 	}
 
+	if o.Ingest != nil {
+		l := *o.Ingest
+		c.lastIngest = &l
+	}
 	c.ingestDeaths(o.Health)
 	c.ingestLatencies(o.Health)
 	c.applyRefits()

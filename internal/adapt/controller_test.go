@@ -342,3 +342,33 @@ func TestControllerHammerConcurrentReaders(t *testing.T) {
 	close(done)
 	wg.Wait()
 }
+
+func TestControllerRecordsIngestLoad(t *testing.T) {
+	chain, pl := twoStage(8, 1)
+	initial := mustMapping(t, chain, pl, []model.Module{
+		{Lo: 0, Hi: 1, Procs: 6, Replicas: 1},
+		{Lo: 1, Hi: 2, Procs: 2, Replicas: 1},
+	})
+	c, err := NewController(Config{
+		Chain: chain, Platform: pl, Initial: initial,
+		Threshold: 0.50, DisableClustering: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Status().Ingest != nil {
+		t.Fatal("ingest load set before any observation carried one")
+	}
+	c.Step(Observation{Throughput: 0.75, Ingest: &IngestLoad{
+		QueueDepth: 7, InFlight: 2, AdmitRate: 10, ShedRate: 3,
+	}})
+	got := c.Status().Ingest
+	if got == nil || got.QueueDepth != 7 || got.ShedRate != 3 {
+		t.Fatalf("status ingest = %+v, want the observed load", got)
+	}
+	// An observation without ingest evidence keeps the last known load.
+	c.Step(Observation{Throughput: 0.75})
+	if got := c.Status().Ingest; got == nil || got.QueueDepth != 7 {
+		t.Fatalf("status ingest after plain step = %+v, want retained load", got)
+	}
+}

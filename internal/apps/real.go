@@ -195,10 +195,23 @@ func (r FFTHistRunner) Run(m model.Mapping) (fxrt.Stats, error) {
 	return p.RunWithEdges(func(i int) fxrt.DataSet {
 		mat := kernels.NewMatrix(r.N, r.N)
 		copy(mat.Data, template.Data)
-		// Vary the stream slightly so runs are not trivially cacheable.
-		mat.Data[i%len(mat.Data)] += complex(float64(i%7), 0)
+		perturb(mat, i)
 		return mat
 	}, n, 0, edges)
+}
+
+// perturb varies the stream slightly so runs are not trivially cacheable.
+func perturb(mat kernels.Matrix, i int) {
+	mat.Data[i%len(mat.Data)] += complex(float64(i%7), 0)
+}
+
+// Input synthesizes the i-th stream data set: the tone template with a
+// per-index perturbation. Run amortizes the template across the stream;
+// this builds one standalone data set, for ingestion.
+func (r FFTHistRunner) Input(i int) kernels.Matrix {
+	mat := r.template()
+	perturb(mat, i)
+	return mat
 }
 
 // template synthesizes the input data set: a sum of tones plus structure.

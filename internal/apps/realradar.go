@@ -189,39 +189,56 @@ func (r RadarRunner) Run(m model.Mapping) (fxrt.Stats, map[[2]int]int, error) {
 	if err != nil {
 		return fxrt.Stats{}, nil, err
 	}
-	pulses, gates := r.dims()
 	n := r.DataSets
 	if n <= 0 {
 		n = 12
 	}
-	tg, td := r.TargetGate, r.TargetDoppler
-	if tg == 0 {
-		tg = gates / 4
-	}
-	if td == 0 {
-		td = 3
-	}
-	chirp := make([]complex128, 16)
-	for i := range chirp {
-		phase := 0.08 * float64(i*i)
-		chirp[i] = complex(math.Cos(phase), math.Sin(phase))
-	}
 	stats, err := p.Run(func(i int) fxrt.DataSet {
-		cube := kernels.NewMatrix(pulses, gates)
-		// Deterministic low-level clutter plus the target echo.
-		for idx := range cube.Data {
-			cube.Data[idx] = complex(0.02*math.Sin(float64(idx+i)), 0)
-		}
-		for pu := 0; pu < pulses; pu++ {
-			ph := 2 * math.Pi * float64(td) * float64(pu) / float64(pulses)
-			rot := complex(math.Cos(ph), math.Sin(ph))
-			for j := 0; j < len(chirp) && tg+j < gates; j++ {
-				cube.Set(pu, tg+j, cube.At(pu, tg+j)+chirp[j]*rot*complex(2, 0))
-			}
-		}
-		return &radarData{cube: cube}
+		return r.input(i)
 	}, n, 0)
 	return stats, tracks, err
+}
+
+// target resolves the synthetic target cell, applying defaults.
+func (r RadarRunner) target() (gate, doppler int) {
+	_, gates := r.dims()
+	gate, doppler = r.TargetGate, r.TargetDoppler
+	if gate == 0 {
+		gate = gates / 4
+	}
+	if doppler == 0 {
+		doppler = 3
+	}
+	return gate, doppler
+}
+
+// input synthesizes the i-th coherent-interval cube: deterministic
+// low-level clutter plus the target echo at the runner's target cell.
+func (r RadarRunner) input(i int) *radarData {
+	tg, td := r.target()
+	return r.inputAt(i, tg, td)
+}
+
+// inputAt synthesizes a cube with the target at (gate tg, doppler td).
+func (r RadarRunner) inputAt(i, tg, td int) *radarData {
+	pulses, gates := r.dims()
+	chirp := make([]complex128, 16)
+	for j := range chirp {
+		phase := 0.08 * float64(j*j)
+		chirp[j] = complex(math.Cos(phase), math.Sin(phase))
+	}
+	cube := kernels.NewMatrix(pulses, gates)
+	for idx := range cube.Data {
+		cube.Data[idx] = complex(0.02*math.Sin(float64(idx+i)), 0)
+	}
+	for pu := 0; pu < pulses; pu++ {
+		ph := 2 * math.Pi * float64(td) * float64(pu) / float64(pulses)
+		rot := complex(math.Cos(ph), math.Sin(ph))
+		for j := 0; j < len(chirp) && tg+j < gates; j++ {
+			cube.Set(pu, tg+j, cube.At(pu, tg+j)+chirp[j]*rot*complex(2, 0))
+		}
+	}
+	return &radarData{cube: cube}
 }
 
 var _ estimate.Profiler = RadarRunner{}

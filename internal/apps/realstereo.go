@@ -181,7 +181,6 @@ func (r StereoRunner) Run(m model.Mapping) (fxrt.Stats, *stereoData, error) {
 	if err != nil {
 		return fxrt.Stats{}, nil, err
 	}
-	w, h, _, td := r.dims()
 	n := r.DataSets
 	if n <= 0 {
 		n = 12
@@ -198,22 +197,29 @@ func (r StereoRunner) Run(m model.Mapping) (fxrt.Stats, *stereoData, error) {
 		return out, err
 	}
 	stats, err := p.Run(func(i int) fxrt.DataSet {
-		ref := kernels.NewImage(w, h)
-		for idx := range ref.Pix {
-			// Deterministic texture with enough variation for matching.
-			ref.Pix[idx] = 0.5 + 0.5*math.Sin(float64(idx*31+i*7)*0.7)
-		}
-		target := kernels.NewImage(w, h)
-		for y := 0; y < h; y++ {
-			for x := 0; x < w; x++ {
-				if x-td >= 0 {
-					target.Set(x, y, ref.At(x-td, y))
-				}
-			}
-		}
-		return &stereoData{ref: ref, target: target}
+		return r.input(i)
 	}, n, 0)
 	return stats, last, err
+}
+
+// input synthesizes the i-th image pair: a deterministic textured
+// reference and a target shifted by the scene's true disparity.
+func (r StereoRunner) input(i int) *stereoData {
+	w, h, _, td := r.dims()
+	ref := kernels.NewImage(w, h)
+	for idx := range ref.Pix {
+		// Deterministic texture with enough variation for matching.
+		ref.Pix[idx] = 0.5 + 0.5*math.Sin(float64(idx*31+i*7)*0.7)
+	}
+	target := kernels.NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x-td >= 0 {
+				target.Set(x, y, ref.At(x-td, y))
+			}
+		}
+	}
+	return &stereoData{ref: ref, target: target}
 }
 
 // VerifyDepth reports the fraction of interior pixels whose recovered

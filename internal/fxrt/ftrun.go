@@ -268,25 +268,37 @@ func (r *ftRun) serve(i, b int, st Stage, g *Group, attempts *sync.WaitGroup) {
 // (if any), injected faults, and the stage function, bounded by deadline.
 func (r *ftRun) attempt(ctx *StageCtx, i, b int, st Stage, deadline time.Duration,
 	attempts *sync.WaitGroup, env *ftEnvelope) (DataSet, error, bool) {
-	in, idx, attemptNo := env.ds, env.idx, env.attempts
+	return attemptOnce(r.p, r.rec, r.edges, r.release, ctx, i, b, st, deadline,
+		attempts, env.ds, env.idx, env.attempts)
+}
+
+// attemptOnce executes one try of stage i on a data set: the incoming edge
+// transfer (if any), injected faults, and the stage function, bounded by
+// deadline. It is shared by the batch fault-tolerant executor and the
+// streaming executor. release unblocks injected hangs when the run ends;
+// attempts tracks abandoned (timed-out) goroutines so the instance's group
+// closes only after they finish.
+func attemptOnce(p *Pipeline, rec *Recorder, edges []Edge, release chan struct{},
+	ctx *StageCtx, i, b int, st Stage, deadline time.Duration,
+	attempts *sync.WaitGroup, in DataSet, idx, attemptNo int) (DataSet, error, bool) {
 	run := func() (DataSet, error) {
 		v := in
-		if i > 0 && r.edges != nil && r.edges[i-1].Transfer != nil {
+		if i > 0 && edges != nil && edges[i-1].Transfer != nil {
 			t := time.Now()
-			out, err := r.edges[i-1].Transfer(ctx, v)
-			r.rec.Observe(r.edges[i-1].Name, time.Since(t).Seconds())
+			out, err := edges[i-1].Transfer(ctx, v)
+			rec.Observe(edges[i-1].Name, time.Since(t).Seconds())
 			if err != nil {
-				return nil, fmt.Errorf("fxrt: edge %s data set %d: %w", r.edges[i-1].Name, idx, err)
+				return nil, fmt.Errorf("fxrt: edge %s data set %d: %w", edges[i-1].Name, idx, err)
 			}
 			v = out
 		}
-		if f := r.p.matchFault(i, b, idx, attemptNo); f != nil {
+		if f := p.matchFault(i, b, idx, attemptNo); f != nil {
 			switch f.Kind {
 			case FaultFail:
 				return nil, fmt.Errorf("fxrt: injected failure at stage %s instance %d data set %d attempt %d",
 					st.Name, b, idx, attemptNo)
 			case FaultHang:
-				<-r.release
+				<-release
 				return nil, fmt.Errorf("fxrt: injected hang at stage %s instance %d data set %d released",
 					st.Name, b, idx)
 			case FaultSlow:

@@ -1,0 +1,32 @@
+// Package ingest is the overload-safe ingestion data plane: it accepts
+// data sets (typically over HTTP), admits them through a bounded
+// multi-tenant queue with weighted fairness and per-tenant token-bucket
+// rate limits, feeds admitted requests into a real fxrt pipeline stream,
+// and returns each request's result — or a structured shed error.
+//
+// Robustness is the design center. The plane degrades predictably under
+// overload instead of falling over:
+//
+//   - Admission control: the queue is bounded (queue_full shed) and
+//     requests whose predicted queue wait already exceeds their deadline
+//     budget are rejected at the door (deadline shed) — reject early
+//     rather than time out late.
+//   - Head-of-line shedding: dispatch re-checks the actual sojourn
+//     (CoDel-style head drop), so a burst never converts into a convoy of
+//     requests that are all served too late.
+//   - Per-tenant fairness: a weighted round-robin over per-tenant FIFOs
+//     keeps one hot tenant from starving the rest; token buckets bound
+//     each tenant's admission rate (rate_limited shed, with Retry-After).
+//   - Circuit breaking: when a stage's live replica fraction falls below
+//     the liveness floor, the breaker opens and requests shed immediately
+//     (circuit_open) instead of queueing against a pipeline that cannot
+//     serve them.
+//   - Graceful drain: Drain stops admission (draining shed), flushes the
+//     queue and every in-flight request to completion, and only then tears
+//     the pipeline stream down — zero in-flight loss on SIGTERM.
+//
+// The plane exports live metrics (admit/shed counters by reason, queue
+// depth, sojourn and service histograms) through an obs/live Registry and
+// surfaces its state on the live server's /pipeline payload. See DESIGN.md
+// §11.
+package ingest

@@ -1,0 +1,396 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pipemap/internal/fxrt"
+	"pipemap/internal/obs/live"
+)
+
+// Config configures a Plane.
+type Config struct {
+	// Queue configures the bounded multi-tenant admission queue.
+	Queue QueueConfig
+	// Dispatchers is the number of concurrent dispatch loops feeding the
+	// pipeline stream (default 4). It bounds pipeline concurrency from the
+	// ingest side.
+	Dispatchers int
+	// DefaultBudget is the deadline budget applied when a request names
+	// none (default 2s). A request whose queue sojourn — predicted at
+	// admission or actual at dispatch — exceeds its budget is shed.
+	DefaultBudget time.Duration
+	// LivenessFloor opens the circuit breaker when any stage's live/replica
+	// fraction falls below it (e.g. 0.5). <= 0 disables the breaker.
+	LivenessFloor float64
+	// BreakerProbe is how often the breaker re-reads pipeline health
+	// (default 100ms); between probes the cached verdict is used.
+	BreakerProbe time.Duration
+	// Registry receives the plane's metrics; nil disables them.
+	Registry *live.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dispatchers <= 0 {
+		c.Dispatchers = 4
+	}
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 2 * time.Second
+	}
+	if c.BreakerProbe <= 0 {
+		c.BreakerProbe = 100 * time.Millisecond
+	}
+	return c
+}
+
+// backend pairs a pipeline stream with the monitor observing it, so a live
+// swap replaces both atomically.
+type backend struct {
+	s   *fxrt.Stream
+	mon *live.Monitor
+}
+
+// Plane is the ingestion data plane: a bounded admission queue in front of
+// a real pipeline stream, with load shedding, fairness, circuit breaking,
+// and graceful drain. See the package documentation for the design.
+type Plane struct {
+	cfg   Config
+	queue *Queue
+	be    atomic.Pointer[backend]
+
+	dispWg    sync.WaitGroup
+	draining  atomic.Bool
+	drainOnce sync.Once
+	drainRes  DrainStats
+
+	admitted  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	dispatch  atomic.Int64 // currently dispatching
+	shedBy    map[ShedReason]*atomic.Int64
+
+	ewmaMu sync.Mutex
+	ewma   float64 // seconds per request through the pipeline
+
+	brMu   sync.Mutex
+	brOpen bool
+	brLast time.Time
+
+	// metric instruments (nil-safe when Registry is nil)
+	cAdmit, cShed, cDone, cFail *live.Counter
+	cShedReason                 map[ShedReason]*live.Counter
+	hSojourn, hService          *live.Histogram
+	gDepth, gInflight           *live.Gauge
+}
+
+// New builds the plane around a started stream of pl and launches its
+// dispatchers. The pipeline's Monitor (pl.Monitor) feeds the circuit
+// breaker and is marked draining during Drain.
+func New(cfg Config, pl *fxrt.Pipeline, opts fxrt.StreamOptions) (*Plane, error) {
+	cfg = cfg.withDefaults()
+	s, err := pl.Stream(opts)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plane{
+		cfg:         cfg,
+		queue:       NewQueue(cfg.Queue),
+		shedBy:      map[ShedReason]*atomic.Int64{},
+		cShedReason: map[ShedReason]*live.Counter{},
+	}
+	p.be.Store(&backend{s: s, mon: pl.Monitor})
+	reg := cfg.Registry
+	p.cAdmit = reg.Counter("ingest.admit")
+	p.cShed = reg.Counter("ingest.shed")
+	p.cDone = reg.Counter("ingest.complete")
+	p.cFail = reg.Counter("ingest.fail")
+	p.hSojourn = reg.Histogram("ingest.sojourn_ms")
+	p.hService = reg.Histogram("ingest.service_ms")
+	p.gDepth = reg.Gauge("ingest.queue_depth")
+	p.gInflight = reg.Gauge("ingest.inflight")
+	for _, r := range shedReasons {
+		p.shedBy[r] = &atomic.Int64{}
+		p.cShedReason[r] = reg.Counter("ingest.shed." + string(r))
+	}
+	for i := 0; i < cfg.Dispatchers; i++ {
+		p.dispWg.Add(1)
+		go p.dispatcher()
+	}
+	return p, nil
+}
+
+// shed records a shed and returns it as the error to surface.
+func (p *Plane) shed(e *ShedError) *ShedError {
+	p.shedBy[e.Reason].Add(1)
+	p.cShed.Inc()
+	p.cShedReason[e.Reason].Inc()
+	return e
+}
+
+// Submit admits one decoded data set for tenant and blocks until its
+// outcome: the pipeline's output, a structured *ShedError (at admission or
+// at dispatch), or ctx's error if the caller gives up first. budget <= 0
+// uses the configured default.
+func (p *Plane) Submit(ctx context.Context, tenant string, ds fxrt.DataSet, budget time.Duration) (Outcome, error) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	if budget <= 0 {
+		budget = p.cfg.DefaultBudget
+	}
+	if p.draining.Load() {
+		return Outcome{}, p.shed(&ShedError{Reason: ReasonDraining, Detail: "plane draining for shutdown"})
+	}
+	if p.breakerOpen() {
+		return Outcome{}, p.shed(&ShedError{
+			Reason:     ReasonCircuitOpen,
+			Detail:     fmt.Sprintf("stage liveness below floor %.2f", p.cfg.LivenessFloor),
+			RetryAfter: p.cfg.BreakerProbe,
+		})
+	}
+	// Early rejection: if the predicted queue wait alone already blows the
+	// budget, a late answer is the only possible answer — shed now.
+	if w := p.predictedWait(); w > budget {
+		return Outcome{}, p.shed(&ShedError{
+			Reason:     ReasonDeadline,
+			Detail:     fmt.Sprintf("predicted queue wait %v exceeds budget %v", w.Round(time.Millisecond), budget),
+			RetryAfter: w - budget,
+		})
+	}
+	it := &Item{
+		Tenant:   tenant,
+		Payload:  ds,
+		Budget:   budget,
+		Enqueued: time.Now(),
+		out:      make(chan Outcome, 1),
+		canceled: make(chan struct{}),
+	}
+	if err := p.queue.Offer(it); err != nil {
+		if se, ok := err.(*ShedError); ok {
+			return Outcome{}, p.shed(se)
+		}
+		return Outcome{}, err
+	}
+	p.admitted.Add(1)
+	p.cAdmit.Inc()
+	p.gDepth.Set(float64(p.queue.Len()))
+	select {
+	case out := <-it.out:
+		return out, nil
+	case <-ctx.Done():
+		it.Cancel()
+		return Outcome{}, ctx.Err()
+	}
+}
+
+// predictedWait estimates the queue wait a newly admitted request would
+// see: the EWMA per-request service time times the backlog share each
+// dispatcher carries. Zero until the first request completes.
+func (p *Plane) predictedWait() time.Duration {
+	p.ewmaMu.Lock()
+	ewma := p.ewma
+	p.ewmaMu.Unlock()
+	if ewma <= 0 {
+		return 0
+	}
+	backlog := p.queue.Len() + 1
+	perDispatcher := float64(backlog) / float64(p.cfg.Dispatchers)
+	return time.Duration(perDispatcher * ewma * float64(time.Second))
+}
+
+// observeService folds one completed request's pipeline time into the EWMA.
+func (p *Plane) observeService(d time.Duration) {
+	const alpha = 0.2
+	p.ewmaMu.Lock()
+	if p.ewma <= 0 {
+		p.ewma = d.Seconds()
+	} else {
+		p.ewma = (1-alpha)*p.ewma + alpha*d.Seconds()
+	}
+	p.ewmaMu.Unlock()
+}
+
+// breakerOpen reports whether any stage's liveness is below the floor,
+// probing pipeline health at most once per BreakerProbe.
+func (p *Plane) breakerOpen() bool {
+	if p.cfg.LivenessFloor <= 0 {
+		return false
+	}
+	p.brMu.Lock()
+	defer p.brMu.Unlock()
+	now := time.Now()
+	if !p.brLast.IsZero() && now.Sub(p.brLast) < p.cfg.BreakerProbe {
+		return p.brOpen
+	}
+	p.brLast = now
+	h := p.be.Load().mon.Health()
+	open := false
+	for _, st := range h.Stages {
+		if st.Replicas > 0 && float64(st.Live)/float64(st.Replicas) < p.cfg.LivenessFloor {
+			open = true
+			break
+		}
+	}
+	p.brOpen = open
+	return open
+}
+
+// dispatcher pops admitted items and runs them through the pipeline
+// stream, re-checking each item's deadline at the head of the line.
+func (p *Plane) dispatcher() {
+	defer p.dispWg.Done()
+	for {
+		it, err := p.queue.Pop(nil)
+		if err != nil {
+			return // queue closed and flushed
+		}
+		p.gDepth.Set(float64(p.queue.Len()))
+		p.serve(it)
+	}
+}
+
+// serve runs one item: head-of-line deadline check, push into the stream
+// (retrying once across a live swap), and outcome delivery.
+func (p *Plane) serve(it *Item) {
+	if it.Canceled() {
+		p.canceled.Add(1)
+		return
+	}
+	sojourn := time.Since(it.Enqueued)
+	p.hSojourn.Observe(float64(sojourn) / float64(time.Millisecond))
+	// Head-of-line drop: the sojourn already spent the budget, so serving
+	// this request can only produce a late answer — shed it and move to
+	// fresher work (CoDel-style head drop under standing queues).
+	if it.Budget > 0 && sojourn > it.Budget {
+		e := p.shed(&ShedError{
+			Reason: ReasonDeadline,
+			Detail: fmt.Sprintf("queue sojourn %v exceeded budget %v", sojourn.Round(time.Millisecond), it.Budget),
+		})
+		it.out <- Outcome{Err: e, Sojourn: sojourn}
+		return
+	}
+	p.dispatch.Add(1)
+	p.gInflight.Set(float64(p.dispatch.Load()))
+	defer func() {
+		p.dispatch.Add(-1)
+		p.gInflight.Set(float64(p.dispatch.Load()))
+	}()
+	var r fxrt.StreamResult
+	for attempt := 0; ; attempt++ {
+		be := p.be.Load()
+		res, err := be.s.Push(nil, it.Payload)
+		if err == fxrt.ErrStreamClosed && attempt == 0 {
+			continue // a live swap replaced the backend; retry on the new one
+		}
+		if err != nil {
+			p.failed.Add(1)
+			p.cFail.Inc()
+			it.out <- Outcome{Err: err, Sojourn: sojourn}
+			return
+		}
+		r = <-res
+		break
+	}
+	p.hService.Observe(float64(r.Latency) / float64(time.Millisecond))
+	p.observeService(r.Latency)
+	if r.Err != nil {
+		p.failed.Add(1)
+		p.cFail.Inc()
+	} else {
+		p.completed.Add(1)
+		p.cDone.Inc()
+	}
+	it.out <- Outcome{Output: r.DS, Err: r.Err, Sojourn: sojourn, Service: r.Latency}
+}
+
+// Swap replaces the backing pipeline stream with a fresh stream of pl —
+// a live migration. The old stream is marked draining, drained of its
+// in-flight work, and torn down; dispatchers that race the swap retry
+// their push on the new stream. Admission never pauses.
+func (p *Plane) Swap(pl *fxrt.Pipeline, opts fxrt.StreamOptions) error {
+	ns, err := pl.Stream(opts)
+	if err != nil {
+		return err
+	}
+	old := p.be.Swap(&backend{s: ns, mon: pl.Monitor})
+	if old != nil {
+		old.mon.SetDraining(true)
+		old.s.Close() // blocks until the old stream's in-flight resolves
+	}
+	return nil
+}
+
+// DrainStats summarizes a graceful drain.
+type DrainStats struct {
+	// Flushed is how many queued/in-flight requests completed during the
+	// drain; Stream is the final pipeline stream statistics.
+	Flushed int64
+	Stream  fxrt.Stats
+}
+
+// Drain gracefully shuts the plane down: new submissions shed as
+// draining, the queued backlog and every in-flight request run to
+// completion (each submitter receives its outcome — zero loss), and the
+// pipeline stream is torn down. Drain is idempotent; every call blocks
+// until the drain completes.
+func (p *Plane) Drain() DrainStats {
+	p.drainOnce.Do(func() {
+		p.draining.Store(true)
+		p.be.Load().mon.SetDraining(true)
+		before := p.completed.Load() + p.failed.Load()
+		p.queue.Close()
+		p.dispWg.Wait() // backlog flushed, every outcome delivered
+		p.drainRes.Stream = p.be.Load().s.Close()
+		p.drainRes.Flushed = p.completed.Load() + p.failed.Load() - before
+	})
+	return p.drainRes
+}
+
+// Stats is the plane's observable state, embedded into the live server's
+// /pipeline payload and served at /v1/ingest.
+type Stats struct {
+	Draining       bool             `json:"draining"`
+	BreakerOpen    bool             `json:"breakerOpen"`
+	QueueDepth     int              `json:"queueDepth"`
+	QueueHighWater int              `json:"queueHighWater"`
+	Dispatching    int64            `json:"dispatching"`
+	Admitted       int64            `json:"admitted"`
+	Completed      int64            `json:"completed"`
+	Failed         int64            `json:"failed"`
+	Canceled       int64            `json:"canceled"`
+	Shed           map[string]int64 `json:"shed"`
+	EWMAServiceMS  float64          `json:"ewmaServiceMs"`
+	StreamInFlight int              `json:"streamInFlight"`
+}
+
+// Stats snapshots the plane.
+func (p *Plane) Stats() Stats {
+	p.ewmaMu.Lock()
+	ewma := p.ewma
+	p.ewmaMu.Unlock()
+	p.brMu.Lock()
+	open := p.brOpen
+	p.brMu.Unlock()
+	st := Stats{
+		Draining:       p.draining.Load(),
+		BreakerOpen:    open,
+		QueueDepth:     p.queue.Len(),
+		QueueHighWater: p.queue.HighWater(),
+		Dispatching:    p.dispatch.Load(),
+		Admitted:       p.admitted.Load(),
+		Completed:      p.completed.Load(),
+		Failed:         p.failed.Load(),
+		Canceled:       p.canceled.Load(),
+		Shed:           map[string]int64{},
+		EWMAServiceMS:  ewma * 1000,
+		StreamInFlight: p.be.Load().s.InFlight(),
+	}
+	for r, n := range p.shedBy {
+		st.Shed[string(r)] = n.Load()
+	}
+	return st
+}

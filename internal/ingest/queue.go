@@ -1,0 +1,277 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pipemap/internal/fxrt"
+)
+
+// ErrQueueDrained is returned by Pop once the queue is closed and empty:
+// the dispatcher's signal to exit.
+var ErrQueueDrained = errors.New("ingest: queue closed and drained")
+
+// ErrPopStopped is returned by Pop when its stop channel fires first.
+var ErrPopStopped = errors.New("ingest: pop stopped")
+
+// Item is one admitted request waiting for dispatch.
+type Item struct {
+	// Tenant is the fairness/rate-limit key ("" maps to "default").
+	Tenant string
+	// Payload is the decoded pipeline data set.
+	Payload fxrt.DataSet
+	// Budget is the request's deadline budget: the maximum acceptable
+	// queue sojourn, enforced at admission (predicted) and dispatch
+	// (actual).
+	Budget time.Duration
+	// Enqueued is the admission timestamp.
+	Enqueued time.Time
+
+	// out receives the request's outcome exactly once.
+	out chan Outcome
+
+	canceled chan struct{} // closed when the submitter gave up
+	cancel   sync.Once
+}
+
+// Cancel marks the item abandoned by its submitter; the dispatcher skips
+// it without occupying the pipeline.
+func (it *Item) Cancel() {
+	it.cancel.Do(func() { close(it.canceled) })
+}
+
+// Canceled reports whether the submitter gave up.
+func (it *Item) Canceled() bool {
+	select {
+	case <-it.canceled:
+		return true
+	default:
+		return false
+	}
+}
+
+// Outcome resolves one admitted request.
+type Outcome struct {
+	// Output is the pipeline's result data set on success.
+	Output fxrt.DataSet
+	// Err is a *ShedError (shed after admission, e.g. head drop), or the
+	// pipeline's processing error.
+	Err error
+	// Sojourn is queue wait; Service is pipeline time.
+	Sojourn, Service time.Duration
+}
+
+// tenantQ is one tenant's FIFO plus its fairness and rate-limit state.
+type tenantQ struct {
+	name    string
+	items   []*Item
+	weight  int
+	quantum int
+	bucket  *bucket
+}
+
+// QueueConfig configures the admission queue.
+type QueueConfig struct {
+	// Depth bounds the total queued items across all tenants (default 64).
+	Depth int
+	// Rate and Burst parameterize each tenant's token bucket; Rate <= 0
+	// disables rate limiting. Burst defaults to max(1, Rate).
+	Rate, Burst float64
+	// Weights gives per-tenant round-robin weights (default 1): a tenant
+	// with weight 2 is served twice per cycle under saturation.
+	Weights map[string]int
+	// MaxTenants bounds the tenant table so an attacker cycling tenant
+	// names cannot grow memory without bound (default 1024).
+	MaxTenants int
+}
+
+// Queue is the bounded, multi-tenant admission queue: per-tenant FIFOs
+// drained by weighted round-robin, per-tenant token buckets at the door,
+// and a hard bound on total depth. All methods are safe for concurrent
+// use.
+type Queue struct {
+	cfg QueueConfig
+
+	mu      sync.Mutex
+	size    int
+	high    int // high-water mark
+	tenants map[string]*tenantQ
+	order   []*tenantQ
+	rr      int
+	closed  bool
+	wake    chan struct{} // broadcast: closed and replaced on every signal
+}
+
+// NewQueue builds the queue.
+func NewQueue(cfg QueueConfig) *Queue {
+	if cfg.Depth <= 0 {
+		cfg.Depth = 64
+	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = 1024
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.Rate
+	}
+	return &Queue{
+		cfg:     cfg,
+		tenants: map[string]*tenantQ{},
+		wake:    make(chan struct{}),
+	}
+}
+
+// broadcastLocked wakes every waiting Pop.
+func (q *Queue) broadcastLocked() {
+	close(q.wake)
+	q.wake = make(chan struct{})
+}
+
+// tenant returns (creating if needed) the tenant's queue state.
+func (q *Queue) tenantLocked(name string) (*tenantQ, error) {
+	t := q.tenants[name]
+	if t != nil {
+		return t, nil
+	}
+	if len(q.tenants) >= q.cfg.MaxTenants {
+		return nil, &ShedError{
+			Reason: ReasonQueueFull,
+			Detail: fmt.Sprintf("tenant table full (%d tenants)", len(q.tenants)),
+		}
+	}
+	w := q.cfg.Weights[name]
+	if w < 1 {
+		w = 1
+	}
+	t = &tenantQ{
+		name:    name,
+		weight:  w,
+		quantum: w,
+		bucket:  newBucket(q.cfg.Rate, q.cfg.Burst),
+	}
+	q.tenants[name] = t
+	q.order = append(q.order, t)
+	return t, nil
+}
+
+// Offer admits it into the queue or returns a *ShedError (rate_limited,
+// queue_full) / ErrQueueDrained (closed).
+func (q *Queue) Offer(it *Item) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return &ShedError{Reason: ReasonDraining, Detail: "queue closed"}
+	}
+	t, err := q.tenantLocked(it.Tenant)
+	if err != nil {
+		return err
+	}
+	if ok, retry := t.bucket.take(time.Now()); !ok {
+		return &ShedError{
+			Reason:     ReasonRateLimited,
+			Detail:     fmt.Sprintf("tenant %q over its admission rate", it.Tenant),
+			RetryAfter: retry,
+		}
+	}
+	if q.size >= q.cfg.Depth {
+		return &ShedError{
+			Reason: ReasonQueueFull,
+			Detail: fmt.Sprintf("admission queue at depth %d", q.cfg.Depth),
+		}
+	}
+	t.items = append(t.items, it)
+	q.size++
+	if q.size > q.high {
+		q.high = q.size
+	}
+	q.broadcastLocked()
+	return nil
+}
+
+// Len returns the current queued count; HighWater the maximum ever
+// reached.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// HighWater returns the deepest the queue has ever been.
+func (q *Queue) HighWater() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.high
+}
+
+// popLocked picks the next item by weighted round-robin: scan tenants from
+// the rotor, serving a non-empty tenant while it has quantum; when every
+// non-empty tenant's quantum is spent, refill all quanta and rescan.
+func (q *Queue) popLocked() *Item {
+	if q.size == 0 {
+		return nil
+	}
+	n := len(q.order)
+	for pass := 0; pass < 2; pass++ {
+		for k := 0; k < n; k++ {
+			j := (q.rr + k) % n
+			t := q.order[j]
+			if len(t.items) == 0 || t.quantum <= 0 {
+				continue
+			}
+			it := t.items[0]
+			copy(t.items, t.items[1:])
+			t.items[len(t.items)-1] = nil
+			t.items = t.items[:len(t.items)-1]
+			t.quantum--
+			q.size--
+			// Stay on this tenant while it has quantum; else move past it.
+			if t.quantum <= 0 {
+				q.rr = (j + 1) % n
+			} else {
+				q.rr = j
+			}
+			return it
+		}
+		// All non-empty tenants exhausted their quanta: start a new cycle.
+		for _, t := range q.order {
+			t.quantum = t.weight
+		}
+	}
+	return nil // unreachable while size > 0
+}
+
+// Pop blocks until an item is available (returning it), the queue is
+// closed and empty (ErrQueueDrained), or stop fires (ErrPopStopped).
+func (q *Queue) Pop(stop <-chan struct{}) (*Item, error) {
+	for {
+		q.mu.Lock()
+		if it := q.popLocked(); it != nil {
+			q.mu.Unlock()
+			return it, nil
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return nil, ErrQueueDrained
+		}
+		wake := q.wake
+		q.mu.Unlock()
+		select {
+		case <-wake:
+		case <-stop:
+			return nil, ErrPopStopped
+		}
+	}
+}
+
+// Close stops admission. Queued items remain poppable; Pop returns
+// ErrQueueDrained once the backlog is flushed.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.broadcastLocked()
+}

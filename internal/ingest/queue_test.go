@@ -1,0 +1,187 @@
+package ingest
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func mkItem(tenant string) *Item {
+	return &Item{
+		Tenant:   tenant,
+		Enqueued: time.Now(),
+		out:      make(chan Outcome, 1),
+		canceled: make(chan struct{}),
+	}
+}
+
+func popNow(t *testing.T, q *Queue) *Item {
+	t.Helper()
+	stop := make(chan struct{})
+	close(stop)
+	it, err := q.Pop(stop)
+	if err != nil {
+		t.Fatalf("pop: %v", err)
+	}
+	return it
+}
+
+func TestQueueFIFOWithinTenant(t *testing.T) {
+	q := NewQueue(QueueConfig{Depth: 8})
+	for i := 0; i < 4; i++ {
+		it := mkItem("a")
+		it.Payload = i
+		if err := q.Offer(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if got := popNow(t, q).Payload.(int); got != i {
+			t.Fatalf("pop %d: got %d, want FIFO order", i, got)
+		}
+	}
+}
+
+func TestQueueBoundedDepth(t *testing.T) {
+	q := NewQueue(QueueConfig{Depth: 2})
+	if err := q.Offer(mkItem("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Offer(mkItem("b")); err != nil {
+		t.Fatal(err)
+	}
+	err := q.Offer(mkItem("c"))
+	var se *ShedError
+	if !errors.As(err, &se) || se.Reason != ReasonQueueFull {
+		t.Fatalf("offer past depth = %v, want queue_full shed", err)
+	}
+	if q.HighWater() != 2 {
+		t.Fatalf("high water = %d, want 2", q.HighWater())
+	}
+}
+
+func TestQueueWeightedRoundRobin(t *testing.T) {
+	q := NewQueue(QueueConfig{Depth: 16, Weights: map[string]int{"heavy": 2}})
+	for i := 0; i < 6; i++ {
+		it := mkItem("heavy")
+		it.Payload = "h"
+		if err := q.Offer(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		it := mkItem("light")
+		it.Payload = "l"
+		if err := q.Offer(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got string
+	for i := 0; i < 9; i++ {
+		got += popNow(t, q).Payload.(string)
+	}
+	// Weight 2 vs 1 under saturation: two heavy per light, each cycle.
+	if got != "hhlhhlhhl" {
+		t.Fatalf("pop order = %q, want hhlhhlhhl (2:1 weighted round-robin)", got)
+	}
+}
+
+func TestQueueRateLimit(t *testing.T) {
+	q := NewQueue(QueueConfig{Depth: 8, Rate: 0.5, Burst: 1})
+	if err := q.Offer(mkItem("a")); err != nil {
+		t.Fatal(err)
+	}
+	err := q.Offer(mkItem("a"))
+	var se *ShedError
+	if !errors.As(err, &se) || se.Reason != ReasonRateLimited {
+		t.Fatalf("second offer = %v, want rate_limited shed", err)
+	}
+	if se.RetryAfter <= 0 {
+		t.Fatalf("rate_limited shed carries no retry hint: %+v", se)
+	}
+	// A different tenant has its own bucket.
+	if err := q.Offer(mkItem("b")); err != nil {
+		t.Fatalf("tenant b rate-limited by tenant a's bucket: %v", err)
+	}
+}
+
+func TestQueueMaxTenants(t *testing.T) {
+	q := NewQueue(QueueConfig{Depth: 8, MaxTenants: 2})
+	if err := q.Offer(mkItem("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Offer(mkItem("b")); err != nil {
+		t.Fatal(err)
+	}
+	err := q.Offer(mkItem("c"))
+	var se *ShedError
+	if !errors.As(err, &se) || se.Reason != ReasonQueueFull {
+		t.Fatalf("offer from tenant past cap = %v, want queue_full shed", err)
+	}
+}
+
+func TestQueuePopBlocksUntilOffer(t *testing.T) {
+	q := NewQueue(QueueConfig{Depth: 8})
+	done := make(chan *Item, 1)
+	go func() {
+		it, err := q.Pop(nil)
+		if err != nil {
+			t.Errorf("pop: %v", err)
+		}
+		done <- it
+	}()
+	select {
+	case <-done:
+		t.Fatal("pop returned from an empty queue")
+	case <-time.After(10 * time.Millisecond):
+	}
+	want := mkItem("a")
+	if err := q.Offer(want); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case it := <-done:
+		if it != want {
+			t.Fatal("pop returned a different item")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pop did not wake on offer")
+	}
+}
+
+func TestQueueCloseFlushesThenDrains(t *testing.T) {
+	q := NewQueue(QueueConfig{Depth: 8})
+	if err := q.Offer(mkItem("a")); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	var se *ShedError
+	if err := q.Offer(mkItem("a")); !errors.As(err, &se) || se.Reason != ReasonDraining {
+		t.Fatalf("offer after close = %v, want draining shed", err)
+	}
+	if _, err := q.Pop(nil); err != nil {
+		t.Fatalf("queued item not poppable after close: %v", err)
+	}
+	if _, err := q.Pop(nil); err != ErrQueueDrained {
+		t.Fatalf("pop on closed empty queue = %v, want ErrQueueDrained", err)
+	}
+}
+
+func TestQueuePopStop(t *testing.T) {
+	q := NewQueue(QueueConfig{Depth: 8})
+	stop := make(chan struct{})
+	errs := make(chan error, 1)
+	go func() {
+		_, err := q.Pop(stop)
+		errs <- err
+	}()
+	close(stop)
+	select {
+	case err := <-errs:
+		if err != ErrPopStopped {
+			t.Fatalf("pop = %v, want ErrPopStopped", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pop ignored its stop channel")
+	}
+}

@@ -1,0 +1,58 @@
+package ingest
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ShedReason classifies why the plane refused to serve a request.
+type ShedReason string
+
+const (
+	// ReasonQueueFull: the bounded admission queue is at capacity.
+	ReasonQueueFull ShedReason = "queue_full"
+	// ReasonRateLimited: the tenant exceeded its token-bucket rate.
+	ReasonRateLimited ShedReason = "rate_limited"
+	// ReasonDeadline: the request's sojourn (actual or predicted) exceeds
+	// its deadline budget, so serving it would only deliver a late answer.
+	ReasonDeadline ShedReason = "deadline"
+	// ReasonDraining: the plane is draining for shutdown or migration and
+	// admits no new work.
+	ReasonDraining ShedReason = "draining"
+	// ReasonCircuitOpen: the pipeline's replica liveness fell below the
+	// floor and the breaker is shedding to protect the survivors.
+	ReasonCircuitOpen ShedReason = "circuit_open"
+)
+
+// shedReasons enumerates every reason, for metrics registration and stats.
+var shedReasons = []ShedReason{
+	ReasonQueueFull, ReasonRateLimited, ReasonDeadline, ReasonDraining, ReasonCircuitOpen,
+}
+
+// ShedError is the structured refusal returned for requests the plane
+// sheds. It is an error and carries everything an HTTP surface needs: the
+// machine-readable reason, human detail, and an optional retry hint.
+type ShedError struct {
+	Reason ShedReason
+	Detail string
+	// RetryAfter, when positive, hints when the client may retry
+	// (Retry-After header).
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("ingest: shed (%s)", e.Reason)
+	}
+	return fmt.Sprintf("ingest: shed (%s): %s", e.Reason, e.Detail)
+}
+
+// HTTPStatus maps the shed reason to a response status: 429 for rate
+// limits, 503 for everything the client should back off and retry.
+func (e *ShedError) HTTPStatus() int {
+	if e.Reason == ReasonRateLimited {
+		return http.StatusTooManyRequests
+	}
+	return http.StatusServiceUnavailable
+}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"time"
 
@@ -32,6 +33,14 @@ type ServerOptions struct {
 	// Static, when set, is called per scrape to merge a cumulative
 	// obs.Registry snapshot (e.g. solver metrics) into /metrics.
 	Static func() obs.Snapshot
+	// Ingest, when set, is called per /pipeline request and its result
+	// serialized under the "ingest" key of the payload (the ingestion
+	// plane's stats).
+	Ingest func() any
+	// Extra mounts additional handlers on the server's mux by pattern
+	// (e.g. "/v1/submit" for an ingestion plane). Patterns collide with
+	// built-in routes at the mux's discretion; pick distinct ones.
+	Extra map[string]http.Handler
 	// DisablePprof removes the /debug/pprof handlers.
 	DisablePprof bool
 }
@@ -40,8 +49,9 @@ type ServerOptions struct {
 // NewServer, then either mount Handler on an existing mux or call Start to
 // listen on an address.
 type Server struct {
-	opt ServerOptions
-	mux *http.ServeMux
+	opt   ServerOptions
+	mux   *http.ServeMux
+	extra []string
 
 	ln   net.Listener
 	http *http.Server
@@ -63,6 +73,11 @@ func NewServer(opt ServerOptions) *Server {
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
+	for pat, h := range opt.Extra {
+		s.mux.Handle(pat, h)
+		s.extra = append(s.extra, pat)
+	}
+	sort.Strings(s.extra)
 	return s
 }
 
@@ -122,6 +137,9 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
   /events       fault event stream (NDJSON; ?follow=0 for history only)
   /debug/pprof  profiling
 `)
+	for _, pat := range s.extra {
+		fmt.Fprintf(w, "  %s\n", pat)
+	}
 }
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
@@ -157,14 +175,26 @@ func (s *Server) pipeline(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	h := s.monitor().Health()
-	if s.opt.Controller == nil {
+	switch {
+	case s.opt.Controller != nil && s.opt.Ingest != nil:
+		_ = enc.Encode(struct {
+			Health
+			Controller any `json:"controller"`
+			Ingest     any `json:"ingest"`
+		}{h, s.opt.Controller(), s.opt.Ingest()})
+	case s.opt.Controller != nil:
+		_ = enc.Encode(struct {
+			Health
+			Controller any `json:"controller"`
+		}{h, s.opt.Controller()})
+	case s.opt.Ingest != nil:
+		_ = enc.Encode(struct {
+			Health
+			Ingest any `json:"ingest"`
+		}{h, s.opt.Ingest()})
+	default:
 		_ = enc.Encode(h)
-		return
 	}
-	_ = enc.Encode(struct {
-		Health
-		Controller any `json:"controller"`
-	}{h, s.opt.Controller()})
 }
 
 // events streams the fault-event history followed by live events as NDJSON
@@ -191,7 +221,16 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	ch, subSeq, cancel := hub.Subscribe(64)
 	defer cancel()
 	hist, histSeq := hub.HistoryN()
+	done := r.Context().Done()
 	for _, ev := range hist {
+		// A gone client's writes may buffer without erroring for a while;
+		// the context is the authoritative disconnect signal, so check it
+		// every iteration rather than spinning through a long replay.
+		select {
+		case <-done:
+			return
+		default:
+		}
 		if err := enc.Encode(ev); err != nil {
 			return
 		}

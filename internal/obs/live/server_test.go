@@ -2,6 +2,7 @@ package live
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -430,5 +431,96 @@ func TestPipelineControllerKeyAndSourceSwap(t *testing.T) {
 	resp, _ := get(t, ts.URL+"/readyz")
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("readyz %d via Source, want 200", resp.StatusCode)
+	}
+}
+
+func TestEventsClientDisconnectUnblocksFollow(t *testing.T) {
+	mon := NewMonitor(Config{Stages: []StageInfo{{Name: "s0", Workers: 1, Replicas: 1}}})
+	mon.Start()
+	srv := NewServer(ServerOptions{Monitor: mon, DisablePprof: true})
+	req := httptest.NewRequest("GET", "/events", nil)
+	ctx, cancel := context.WithCancel(req.Context())
+	req = req.WithContext(ctx)
+	done := make(chan struct{})
+	go func() {
+		srv.Handler().ServeHTTP(httptest.NewRecorder(), req)
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the handler enter its follow loop
+	mon.StageRetry(0, 1)
+	select {
+	case <-done:
+		t.Fatal("follow stream ended while the client was still connected")
+	default:
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("events handler did not return after the client disconnected")
+	}
+}
+
+func TestEventsCanceledContextAbortsHistoryReplay(t *testing.T) {
+	mon := NewMonitor(Config{Stages: []StageInfo{{Name: "s0", Workers: 1, Replicas: 1}}})
+	mon.Start()
+	for i := 0; i < 200; i++ {
+		mon.StageRetry(0, i)
+	}
+	srv := NewServer(ServerOptions{Monitor: mon, DisablePprof: true})
+	req := httptest.NewRequest("GET", "/events", nil)
+	ctx, cancel := context.WithCancel(req.Context())
+	cancel() // the client is already gone
+	req = req.WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		srv.Handler().ServeHTTP(rec, req)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("events handler pinned on history replay for a gone client")
+	}
+	if body := rec.Body.String(); strings.Count(body, "\n") >= 200 {
+		t.Fatalf("full history replayed to a disconnected client (%d lines)", strings.Count(body, "\n"))
+	}
+}
+
+func TestPipelineIngestKeyAndExtraRoutes(t *testing.T) {
+	mon := NewMonitor(Config{Stages: []StageInfo{{Name: "s0", Workers: 1, Replicas: 1}}})
+	mon.Start()
+	srv := NewServer(ServerOptions{
+		Monitor: mon,
+		Ingest:  func() any { return map[string]any{"queueDepth": 3} },
+		Extra: map[string]http.Handler{
+			"/v1/echo": http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+				io.WriteString(w, "echo")
+			}),
+		},
+		DisablePprof: true,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, body := get(t, ts.URL+"/pipeline")
+	var payload struct {
+		Health
+		Ingest map[string]any `json:"ingest"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("pipeline JSON: %v", err)
+	}
+	if payload.Ingest["queueDepth"] != float64(3) {
+		t.Fatalf("pipeline ingest payload = %v, want queueDepth 3", payload.Ingest)
+	}
+	resp, body := get(t, ts.URL+"/v1/echo")
+	if resp.StatusCode != http.StatusOK || body != "echo" {
+		t.Fatalf("/v1/echo = %d %q, want mounted extra handler", resp.StatusCode, body)
+	}
+	_, body = get(t, ts.URL+"/")
+	if !strings.Contains(body, "/v1/echo") {
+		t.Fatalf("index does not list the extra route: %q", body)
 	}
 }

@@ -32,7 +32,9 @@ import (
 	"pipemap/internal/adapt"
 	"pipemap/internal/core"
 	"pipemap/internal/estimate"
+	"pipemap/internal/fxrt"
 	"pipemap/internal/greedy"
+	"pipemap/internal/ingest"
 	"pipemap/internal/machine"
 	"pipemap/internal/model"
 	"pipemap/internal/obs"
@@ -303,6 +305,41 @@ type (
 // NewAdaptController validates the configuration and returns a controller
 // at generation 0 on the initial mapping.
 func NewAdaptController(cfg AdaptConfig) (*AdaptController, error) { return adapt.NewController(cfg) }
+
+// Ingestion data plane types (extension; see DESIGN.md §11). An
+// IngestPlane fronts a running pipeline stream with a bounded multi-tenant
+// admission queue: weighted fair dequeue, per-tenant rate limits,
+// deadline-based load shedding (predictive at admission, CoDel-style head
+// drop at dispatch), a replica-liveness circuit breaker, live migration
+// via Swap, and zero-loss graceful drain. Rejections are structured
+// IngestShedError values that map onto HTTP 429/503.
+type (
+	// IngestConfig configures the plane (queue bounds, dispatchers,
+	// deadline budget, breaker floor, metrics registry).
+	IngestConfig = ingest.Config
+	// IngestQueueConfig bounds the admission queue (depth, per-tenant
+	// rate/burst, weights, tenant cap).
+	IngestQueueConfig = ingest.QueueConfig
+	// IngestPlane is the data plane; Submit blocks for an outcome.
+	IngestPlane = ingest.Plane
+	// IngestOutcome is one request's result (output, error, sojourn,
+	// service time).
+	IngestOutcome = ingest.Outcome
+	// IngestShedError is a structured overload rejection with a reason
+	// and optional retry-after hint.
+	IngestShedError = ingest.ShedError
+	// IngestCodec translates HTTP JSON payloads to pipeline data sets.
+	IngestCodec = ingest.Codec
+	// IngestStats is the plane's observable state (served on /v1/ingest
+	// and under /pipeline's "ingest" key).
+	IngestStats = ingest.Stats
+)
+
+// NewIngestPlane starts a stream of pl and builds the admission plane
+// around it.
+func NewIngestPlane(cfg IngestConfig, pl *fxrt.Pipeline, opts fxrt.StreamOptions) (*IngestPlane, error) {
+	return ingest.New(cfg, pl, opts)
+}
 
 // Objective selects what Map optimizes.
 type Objective = core.Objective

@@ -1,119 +1,243 @@
 #!/usr/bin/env sh
-# Smoke test for the live observability server: start `pipemap -serve` on
-# the fft+histogram spec with an injected instance death, scrape the
-# endpoints, and fail on malformed Prometheus exposition or a missing
-# health signal. A second phase runs the adaptive controller (-adapt) with
-# the same injected death and requires /pipeline to report a migrated
-# mapping generation. CI runs this after the unit tests; it needs only
-# curl and the go toolchain.
+# Smoke test for the live serving modes. Three phases, selectable by the
+# first argument (default: all):
+#
+#   serve   start `pipemap -serve` on the fft+histogram spec with an
+#           injected instance death, scrape the endpoints, and fail on
+#           malformed Prometheus exposition or a missing health signal.
+#   adapt   run the adaptive controller (-adapt) with the same injected
+#           death and require /pipeline to report a migrated generation.
+#   ingest  stand up the real ingestion data plane (-ingest), submit a
+#           data set and read the computed result back, overload it with a
+#           concurrent burst and require structured 429/503 sheds plus a
+#           positive ingest_shed_total, then SIGTERM it and require a
+#           graceful zero-loss drain. Writes a summary to $INGEST_REPORT
+#           (default: <tmp>/ingest_report.txt) for CI artifact upload.
+#
+# CI runs this after the unit tests; it needs only curl and the go
+# toolchain.
 set -eu
 
-ADDR=127.0.0.1:9127
-ADDR2=127.0.0.1:9128
+PHASE=${1:-all}
 OUT=$(mktemp -d)
-trap 'kill $PID 2>/dev/null || true; kill $PID2 2>/dev/null || true; rm -rf "$OUT"' EXIT
-
-go run ./cmd/pipemap -serve "$ADDR" -serve-n 120 -serve-speedup 400 \
-    -serve-for 30s -serve-kill auto specs/ffthist256.json >"$OUT/run.log" 2>&1 &
-PID=$!
-
-# Wait for the server to come up.
-i=0
-until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
-    i=$((i + 1))
-    if [ "$i" -ge 100 ]; then
-        echo "serve_smoke: server never came up" >&2
-        cat "$OUT/run.log" >&2
-        exit 1
-    fi
-    sleep 0.2
-done
-
-# Let the run finish so the injected death and final health are settled.
-i=0
-until grep -q "run complete" "$OUT/run.log"; do
-    i=$((i + 1))
-    if [ "$i" -ge 150 ]; then
-        echo "serve_smoke: run never completed" >&2
-        cat "$OUT/run.log" >&2
-        exit 1
-    fi
-    sleep 0.2
-done
+PID=; PID2=; PID3=
+trap 'kill $PID $PID2 $PID3 2>/dev/null || true; rm -rf "$OUT"' EXIT
 
 fail() {
     echo "serve_smoke: $1" >&2
     exit 1
 }
 
-curl -fsS "http://$ADDR/healthz" | grep -q ok || fail "/healthz not ok"
-
-curl -fsS "http://$ADDR/metrics" >"$OUT/metrics"
-grep -q 'pipemap_stage_period_seconds{stage=' "$OUT/metrics" \
-    || fail "/metrics missing stage period series"
-grep -q '^pipemap_up 1$' "$OUT/metrics" || fail "/metrics missing pipemap_up"
-grep -q '^pipemap_degraded 1$' "$OUT/metrics" \
-    || fail "/metrics not degraded after injected death"
-# Lint: every non-comment line must be `name{labels} value`.
-BAD=$(grep -v '^#' "$OUT/metrics" | grep -cvE \
-    '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]Inf|[-+0-9.eE]+)$' || true)
-[ "$BAD" -eq 0 ] || {
-    grep -v '^#' "$OUT/metrics" | grep -vE \
-        '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]Inf|[-+0-9.eE]+)$' >&2
-    fail "malformed exposition lines"
+# wait_http URL LOG: poll until URL answers or give up.
+wait_http() {
+    i=0
+    until curl -fsS "$1" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 100 ]; then
+            echo "serve_smoke: server at $1 never came up" >&2
+            cat "$2" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
 }
 
-curl -fsS "http://$ADDR/pipeline" >"$OUT/pipeline"
-grep -q '"bottleneckStage"' "$OUT/pipeline" || fail "/pipeline missing bottleneck"
-grep -q '"status": "degraded"' "$OUT/pipeline" || fail "/pipeline not degraded"
+# wait_log PATTERN LOG: poll until the pattern appears in the log.
+wait_log() {
+    i=0
+    until grep -q "$1" "$2"; do
+        i=$((i + 1))
+        if [ "$i" -ge 150 ]; then
+            echo "serve_smoke: never saw '$1' in the run log" >&2
+            cat "$2" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
 
-# /readyz must report 503 while degraded.
-CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/readyz")
-[ "$CODE" = 503 ] || fail "/readyz = $CODE, want 503 when degraded"
+phase_serve() {
+    ADDR=127.0.0.1:9127
+    go run ./cmd/pipemap -serve "$ADDR" -serve-n 120 -serve-speedup 400 \
+        -serve-for 30s -serve-kill auto specs/ffthist256.json >"$OUT/run.log" 2>&1 &
+    PID=$!
 
-kill $PID 2>/dev/null || true
+    wait_http "http://$ADDR/healthz" "$OUT/run.log"
+    # Let the run finish so the injected death and final health are settled.
+    wait_log "run complete" "$OUT/run.log"
 
-# --- Adaptive phase: kill an instance, watch the controller remap. ---
-go run ./cmd/pipemap -serve "$ADDR2" -serve-n 400 -serve-speedup 400 \
-    -serve-for 30s -serve-kill auto \
-    -adapt -adapt-interval 250ms -adapt-threshold 0.02 \
-    specs/threestage.json >"$OUT/adapt.log" 2>&1 &
-PID2=$!
+    curl -fsS "http://$ADDR/healthz" | grep -q ok || fail "/healthz not ok"
 
-i=0
-until curl -fsS "http://$ADDR2/healthz" >/dev/null 2>&1; do
-    i=$((i + 1))
-    if [ "$i" -ge 100 ]; then
-        echo "serve_smoke: adaptive server never came up" >&2
-        cat "$OUT/adapt.log" >&2
-        exit 1
+    curl -fsS "http://$ADDR/metrics" >"$OUT/metrics"
+    grep -q 'pipemap_stage_period_seconds{stage=' "$OUT/metrics" \
+        || fail "/metrics missing stage period series"
+    grep -q '^pipemap_up 1$' "$OUT/metrics" || fail "/metrics missing pipemap_up"
+    grep -q '^pipemap_degraded 1$' "$OUT/metrics" \
+        || fail "/metrics not degraded after injected death"
+    # Lint: every non-comment line must be `name{labels} value`.
+    BAD=$(grep -v '^#' "$OUT/metrics" | grep -cvE \
+        '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]Inf|[-+0-9.eE]+)$' || true)
+    [ "$BAD" -eq 0 ] || {
+        grep -v '^#' "$OUT/metrics" | grep -vE \
+            '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]Inf|[-+0-9.eE]+)$' >&2
+        fail "malformed exposition lines"
+    }
+
+    curl -fsS "http://$ADDR/pipeline" >"$OUT/pipeline"
+    grep -q '"bottleneckStage"' "$OUT/pipeline" || fail "/pipeline missing bottleneck"
+    grep -q '"status": "degraded"' "$OUT/pipeline" || fail "/pipeline not degraded"
+
+    # /readyz must report 503 while degraded.
+    CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/readyz")
+    [ "$CODE" = 503 ] || fail "/readyz = $CODE, want 503 when degraded"
+
+    kill $PID 2>/dev/null || true
+    PID=
+    echo "serve_smoke: serve phase ok"
+}
+
+phase_adapt() {
+    ADDR2=127.0.0.1:9128
+    go run ./cmd/pipemap -serve "$ADDR2" -serve-n 400 -serve-speedup 400 \
+        -serve-for 30s -serve-kill auto \
+        -adapt -adapt-interval 250ms -adapt-threshold 0.02 \
+        specs/threestage.json >"$OUT/adapt.log" 2>&1 &
+    PID2=$!
+
+    wait_http "http://$ADDR2/healthz" "$OUT/adapt.log"
+
+    # Poll /pipeline until the controller reports a post-migration
+    # generation; fail on timeout — the injected death must trigger a remap.
+    i=0
+    while :; do
+        curl -fsS "http://$ADDR2/pipeline" >"$OUT/adapt_pipeline" 2>/dev/null || true
+        if grep -q '"generation": [1-9]' "$OUT/adapt_pipeline"; then
+            break
+        fi
+        i=$((i + 1))
+        if [ "$i" -ge 150 ]; then
+            echo "serve_smoke: controller never migrated to a new generation" >&2
+            cat "$OUT/adapt_pipeline" >&2
+            cat "$OUT/adapt.log" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+
+    grep -q '"controller"' "$OUT/adapt_pipeline" || fail "/pipeline missing controller state"
+    grep -q '"lastDecision"' "$OUT/adapt_pipeline" || fail "/pipeline missing last decision"
+
+    curl -fsS "http://$ADDR2/metrics" >"$OUT/adapt_metrics"
+    grep -q 'adapt_cycles' "$OUT/adapt_metrics" || fail "/metrics missing adapt_cycles"
+    grep -q 'adapt_migrations' "$OUT/adapt_metrics" || fail "/metrics missing adapt_migrations"
+
+    kill $PID2 2>/dev/null || true
+    PID2=
+    echo "serve_smoke: adapt phase ok"
+}
+
+phase_ingest() {
+    ADDR3=127.0.0.1:9129
+    REPORT=${INGEST_REPORT:-$OUT/ingest_report.txt}
+    # A real binary (not `go run`) so SIGTERM reaches the server directly
+    # and the graceful-drain path is what's exercised.
+    go build -o "$OUT/pipemap" ./cmd/pipemap
+    "$OUT/pipemap" -serve "$ADDR3" -ingest ffthist -ingest-size 64 \
+        -queue-depth 4 -ingest-dispatchers 1 -shed-deadline 10s \
+        specs/ffthist256.json >"$OUT/ingest.log" 2>&1 &
+    PID3=$!
+
+    wait_http "http://$ADDR3/healthz" "$OUT/ingest.log"
+
+    # A well-formed submission returns a computed histogram.
+    curl -fsS -X POST -H 'Content-Type: application/json' \
+        -d '{"tenant":"smoke","input":{"seed":1}}' \
+        "http://$ADDR3/v1/submit" >"$OUT/submit.json" \
+        || fail "POST /v1/submit failed"
+    grep -q '"result"' "$OUT/submit.json" || fail "/v1/submit carries no result"
+    grep -q '"count"' "$OUT/submit.json" || fail "/v1/submit result has no histogram count"
+
+    # Overload burst: 80 concurrent submissions against queue depth 4 and a
+    # single dispatcher. The plane must keep answering — some 200s, and the
+    # overflow shed with structured 429/503 responses, never a hang.
+    mkdir -p "$OUT/burst"
+    BPIDS=
+    i=0
+    while [ "$i" -lt 80 ]; do
+        (
+            curl -s -o "$OUT/burst/body.$i" -w '%{http_code}' \
+                -X POST -H 'Content-Type: application/json' \
+                -d "{\"tenant\":\"t$((i % 4))\",\"input\":{\"seed\":$i}}" \
+                "http://$ADDR3/v1/submit" >"$OUT/burst/code.$i"
+        ) &
+        BPIDS="$BPIDS $!"
+        i=$((i + 1))
+    done
+    # Wait for the burst only — a bare `wait` would also wait on the
+    # server, which is still running.
+    wait $BPIDS
+    # The status files carry no trailing newline; count per-file with -l.
+    OK=$(grep -lx '200' "$OUT"/burst/code.* 2>/dev/null | wc -l)
+    SHED=$(grep -lxE '429|503' "$OUT"/burst/code.* 2>/dev/null | wc -l)
+    OTHER=$((80 - OK - SHED))
+    [ "$OK" -ge 1 ] || fail "no burst submission completed (ok=$OK shed=$SHED other=$OTHER)"
+    [ "$SHED" -ge 1 ] || fail "no burst submission shed (ok=$OK shed=$SHED other=$OTHER)"
+    [ "$OTHER" -eq 0 ] || fail "burst produced unexpected statuses (ok=$OK shed=$SHED other=$OTHER)"
+    # Shed bodies are structured errors.
+    for f in "$OUT"/burst/code.*; do
+        if grep -qxE '429|503' "$f"; then
+            b="$OUT/burst/body.${f##*.}"
+            grep -q '"reason"' "$b" || fail "shed body is not structured: $(cat "$b")"
+            break
+        fi
+    done
+
+    curl -fsS "http://$ADDR3/metrics" >"$OUT/ingest_metrics"
+    grep -qE 'ingest_shed_total [1-9]' "$OUT/ingest_metrics" \
+        || fail "/metrics ingest_shed_total not positive after overload"
+    grep -q 'ingest_admit_total' "$OUT/ingest_metrics" \
+        || fail "/metrics missing ingest_admit_total"
+
+    curl -fsS "http://$ADDR3/v1/ingest" >"$OUT/ingest_stats.json"
+    grep -q '"admitted"' "$OUT/ingest_stats.json" || fail "/v1/ingest missing stats"
+
+    # Graceful drain: SIGTERM must flush in-flight work and exit cleanly.
+    kill -TERM $PID3
+    if ! wait $PID3; then
+        cat "$OUT/ingest.log" >&2
+        fail "server exited non-zero on SIGTERM"
     fi
-    sleep 0.2
-done
+    PID3=
+    grep -q "drain complete" "$OUT/ingest.log" || fail "no drain summary after SIGTERM"
 
-# Poll /pipeline until the controller reports a post-migration generation;
-# fail on timeout — the injected death must trigger a remap.
-i=0
-while :; do
-    curl -fsS "http://$ADDR2/pipeline" >"$OUT/adapt_pipeline" 2>/dev/null || true
-    if grep -q '"generation": [1-9]' "$OUT/adapt_pipeline"; then
-        break
-    fi
-    i=$((i + 1))
-    if [ "$i" -ge 150 ]; then
-        echo "serve_smoke: controller never migrated to a new generation" >&2
-        cat "$OUT/adapt_pipeline" >&2
-        cat "$OUT/adapt.log" >&2
-        exit 1
-    fi
-    sleep 0.2
-done
+    {
+        echo "# ingest overload smoke"
+        echo "burst: 80 requests, ok=$OK shed=$SHED"
+        echo
+        echo "## /v1/ingest"
+        cat "$OUT/ingest_stats.json"
+        echo
+        echo "## ingest metrics"
+        grep '^ingest_' "$OUT/ingest_metrics" || true
+        echo
+        echo "## drain"
+        grep -E 'drain|admitted' "$OUT/ingest.log" || true
+    } >"$REPORT"
+    echo "serve_smoke: ingest phase ok (report: $REPORT)"
+}
 
-grep -q '"controller"' "$OUT/adapt_pipeline" || fail "/pipeline missing controller state"
-grep -q '"lastDecision"' "$OUT/adapt_pipeline" || fail "/pipeline missing last decision"
-
-curl -fsS "http://$ADDR2/metrics" >"$OUT/adapt_metrics"
-grep -q 'adapt_cycles' "$OUT/adapt_metrics" || fail "/metrics missing adapt_cycles"
-grep -q 'adapt_migrations' "$OUT/adapt_metrics" || fail "/metrics missing adapt_migrations"
+case "$PHASE" in
+serve) phase_serve ;;
+adapt) phase_adapt ;;
+ingest) phase_ingest ;;
+all)
+    phase_serve
+    phase_adapt
+    phase_ingest
+    ;;
+*)
+    fail "unknown phase '$PHASE' (want serve, adapt, ingest, or all)"
+    ;;
+esac
 
 echo "serve_smoke: ok"
