@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"pipemap/internal/bench"
 )
@@ -32,6 +33,7 @@ func main() {
 func run(argv []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchrun", flag.ContinueOnError)
 	out := fs.String("out", "BENCH_solver.json", "output path for the JSON report (empty = stdout only)")
+	gate := fs.String("gate", "", "baseline BENCH_solver.json to gate against: fail when a spec's adapt decision latency regresses more than 2x (with a 0.5ms absolute floor)")
 	quick := fs.Bool("quick", false, "reduced-size run for CI (fewer data sets and repetitions)")
 	runs := fs.Int("runs", 0, "timing repetitions per solver (0 = default)")
 	datasets := fs.Int("datasets", 0, "data sets streamed through the runtime (0 = default)")
@@ -73,6 +75,53 @@ func run(argv []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *out)
+	}
+	if *gate != "" {
+		if err := gateAgainst(*gate, rep, stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gateFloorSeconds is the absolute regression floor: sub-half-millisecond
+// decision latencies are within scheduler noise of each other, so a 2x
+// move below the floor is not a regression.
+const gateFloorSeconds = 0.0005
+
+// gateAgainst compares the fresh report's adapt decision latencies to the
+// committed baseline and fails on a >2x regression above the floor. Specs
+// absent from the baseline pass (they are new).
+func gateAgainst(baselinePath string, rep bench.PerfReport, stdout io.Writer) error {
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("gate baseline: %w", err)
+	}
+	var base bench.PerfReport
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("gate baseline %s: %w", baselinePath, err)
+	}
+	baseline := make(map[string]float64, len(base.Specs))
+	for _, sp := range base.Specs {
+		baseline[sp.Spec] = sp.AdaptDecisionSeconds
+	}
+	var failures []string
+	for _, sp := range rep.Specs {
+		old, ok := baseline[sp.Spec]
+		if !ok || old <= 0 {
+			continue
+		}
+		verdict := "ok"
+		if sp.AdaptDecisionSeconds > 2*old && sp.AdaptDecisionSeconds > gateFloorSeconds {
+			verdict = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: adapt decision %.3fms vs baseline %.3fms (>2x)",
+				sp.Spec, sp.AdaptDecisionSeconds*1e3, old*1e3))
+		}
+		fmt.Fprintf(stdout, "gate %-28s adapt %8.3fms baseline %8.3fms  %s\n",
+			sp.Spec, sp.AdaptDecisionSeconds*1e3, old*1e3, verdict)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("adapt decision latency gate failed:\n  %s", strings.Join(failures, "\n  "))
 	}
 	return nil
 }

@@ -47,6 +47,18 @@ type Config struct {
 	// does not oscillate back onto the mapping that just failed
 	// (default 3).
 	CooldownCycles int
+	// RefitEpsilon is the relative dead-band on applying refitted cost
+	// corrections (default 1e-3): a per-task correction moving less than
+	// this is not applied, so the believed cost model stays bit-identical
+	// and the solve cache can recognize the tick as unchanged. Corrections
+	// keep gating against the last *applied* value, so sustained drift
+	// still lands.
+	RefitEpsilon float64
+	// Cache memoizes re-solves across Step calls and routes small cost
+	// updates to the incremental DP solver. Nil gets a private cache; pass
+	// a shared one to pool memoization across controllers of the same
+	// spec.
+	Cache *SolveCache
 	// TimeScale converts observed runtime seconds to model seconds: the
 	// emulation speedup factor when driving fxrt.ModelPipeline (observed
 	// seconds × TimeScale = model seconds, observed throughput ÷ TimeScale
@@ -89,6 +101,12 @@ func (c Config) withDefaults() Config {
 	if c.TimeScale <= 0 {
 		c.TimeScale = 1
 	}
+	if c.RefitEpsilon <= 0 {
+		c.RefitEpsilon = 1e-3
+	}
+	if c.Cache == nil {
+		c.Cache = NewSolveCache()
+	}
 	return c
 }
 
@@ -113,6 +131,13 @@ type Decision struct {
 	Mapping    string `json:"mapping"`    // mapping in force after the decision
 	Candidate  string `json:"candidate,omitempty"`
 	Algorithm  string `json:"algorithm,omitempty"`
+	// SolvePath reports how the re-solve was obtained: "memo" (cache hit,
+	// no solve), "incremental" (partial DP recompute), "dp" or "greedy"
+	// (full solve).
+	SolvePath string `json:"solvePath,omitempty"`
+	// ChangedTasks is the number of task cost corrections applied this
+	// cycle (moves above RefitEpsilon).
+	ChangedTasks int `json:"changedTasks"`
 	// ResolveSeconds is the measured decision latency of the re-solve.
 	ResolveSeconds float64 `json:"resolveSeconds"`
 	// CurrentPredicted and CandidatePredicted are model throughputs under
@@ -161,6 +186,8 @@ type Status struct {
 	ObservedGain  float64 `json:"observedGain"`
 	// Refits is the per-stage refit state of the current generation.
 	Refits []StageRefit `json:"refits,omitempty"`
+	// Memo is the solve cache's effectiveness snapshot.
+	Memo *SolveCacheStats `json:"memo,omitempty"`
 	// LastDecision is the most recent cycle's decision.
 	LastDecision *Decision `json:"lastDecision,omitempty"`
 	// Ingest is the most recent observation's ingestion load, when the
@@ -202,10 +229,13 @@ type Controller struct {
 	cfg Config
 
 	// Per-task beliefs: base execution models and the current and
-	// generation-start multiplicative corrections.
+	// generation-start multiplicative corrections. tracker gates which
+	// correction moves are material (above RefitEpsilon) and records the
+	// per-cycle change set.
 	baseExec []model.CostFunc
 	ratio    []float64
 	genRatio []float64
+	tracker  *estimate.ChangeTracker
 
 	cur     model.Mapping // current mapping (Chain = refitted beliefs)
 	gen     int
@@ -251,6 +281,7 @@ func NewController(cfg Config) (*Controller, error) {
 		baseExec: make([]model.CostFunc, cfg.Chain.Len()),
 		ratio:    make([]float64, cfg.Chain.Len()),
 		genRatio: make([]float64, cfg.Chain.Len()),
+		tracker:  estimate.NewChangeTracker(cfg.Chain.Len(), cfg.RefitEpsilon),
 	}
 	for i := range c.baseExec {
 		c.baseExec[i] = cfg.Chain.Tasks[i].Exec
@@ -375,6 +406,8 @@ func (c *Controller) Status() Status {
 		ObservedGain:        c.obsGain,
 		Refits:              append([]StageRefit(nil), c.refits...),
 	}
+	memo := c.cfg.Cache.Stats()
+	st.Memo = &memo
 	if c.lastDecision != nil {
 		d := *c.lastDecision
 		st.LastDecision = &d
@@ -407,23 +440,29 @@ func (c *Controller) Step(o Observation) Decision {
 	}
 	c.ingestDeaths(o.Health)
 	c.ingestLatencies(o.Health)
+	c.tracker.Reset()
 	c.applyRefits()
+	d.ChangedTasks = len(c.tracker.Changed())
 
-	// Re-solve on the refitted beliefs and the surviving platform. The
-	// current mapping is re-anchored on the same beliefs so its predicted
-	// throughput (status, monitor config) tracks what the controller now
-	// believes, not the stale generation-start models.
+	// Re-solve on the refitted beliefs and the surviving platform, through
+	// the memo cache: an unchanged tick is a cache hit, a few moved costs
+	// route to the incremental DP. The current mapping is re-anchored on
+	// the same beliefs so its predicted throughput (status, monitor
+	// config) tracks what the controller now believes, not the stale
+	// generation-start models.
 	chain := c.beliefChain()
 	c.cur.Chain = chain
-	cand, solveTime, err := Resolve(chain, c.survivingLocked(), ResolveOptions{
+	cand, solveTime, path, err := c.cfg.Cache.Resolve(chain, c.survivingLocked(), ResolveOptions{
 		Budget:             c.cfg.Budget,
 		DisableReplication: c.cfg.DisableReplication,
 		DisableClustering:  c.cfg.DisableClustering,
 		Trace:              c.cfg.Trace,
 		Metrics:            c.cfg.Metrics,
 	})
+	d.SolvePath = path
 	d.ResolveSeconds = solveTime.Seconds()
 	c.cfg.Metrics.Observe("adapt.resolve_seconds", d.ResolveSeconds)
+	c.cfg.Cache.Publish(c.cfg.Metrics)
 	if err != nil {
 		d.Reason = fmt.Sprintf("re-solve failed: %v", err)
 		c.finishCycle(&d, start)
@@ -558,7 +597,10 @@ func (c *Controller) ingestLatencies(h live.Health) {
 const cycleRatioClamp = 50.0
 
 // applyRefits refits every stage with enough evidence and folds the
-// corrections into the per-task ratios. Returns whether any belief moved.
+// corrections into the per-task ratios. Moves inside the RefitEpsilon
+// dead-band are dropped — the believed chain stays bit-identical, so the
+// solve cache recognizes the tick — and applied moves are recorded in the
+// tracker's change set. Returns whether any belief moved.
 func (c *Controller) applyRefits() bool {
 	moved := false
 	start := time.Now()
@@ -578,9 +620,8 @@ func (c *Controller) applyRefits() bool {
 		c.refits[i].Ratio = ratio
 		mod := c.cur.Modules[i]
 		for t := mod.Lo; t < mod.Hi; t++ {
-			next := c.genRatio[t] * ratio
-			if math.Abs(next-c.ratio[t]) > 1e-9 {
-				c.ratio[t] = next
+			if c.tracker.Offer(t, c.genRatio[t]*ratio) {
+				c.ratio[t] = c.tracker.Value(t)
 				moved = true
 			}
 		}

@@ -2,8 +2,6 @@ package dp
 
 import (
 	"fmt"
-	"sync/atomic"
-	"time"
 
 	"pipemap/internal/model"
 	"pipemap/internal/obs"
@@ -118,218 +116,18 @@ func MapChain(c *model.Chain, pl model.Platform, opt Options) (model.Mapping, er
 	if opt.DisableClustering {
 		return assignEngine(c, pl, !opt.DisableReplication, opt)
 	}
-	s, err := newSpanTables(c, pl, opt)
+	s, err := NewSolver(c, pl, opt)
 	if err != nil {
 		return model.Mapping{}, err
 	}
-	ins := opt.instrument()
-	solveT0 := time.Now()
-	k, P := s.k, s.P
-	stride := P + 1
-
-	// State: (b, l, pt, pcur, peffPrev) — tasks [0, b) are covered, the
-	// last (still "open") module spans [b-l, b) with pcur raw processors,
-	// the module before it has effective processor count peffPrev (0 if
-	// none), and pt raw processors are used in total. The value is the
-	// minimal bottleneck over all *closed* modules (everything before the
-	// open one). The open module's response is charged when the next module
-	// is placed — at that point its output edge partner is known — or at
-	// the end of the chain.
-	type layerKey struct{ b, l int }
-	layerSize := stride * stride * stride
-	vidx := func(pt, pcur, peffPrev int) int { return (pt*stride+pcur)*stride + peffPrev }
-	layers := make(map[layerKey][]float64)
-	type choiceRec struct {
-		prevL    int // span of the previous module (0 if none)
-		prevPCur int // raw processors of the previous module
-		prevEff  int // peffPrev of the source state
+	m, err := s.Solve()
+	if err != nil {
+		return model.Mapping{}, err
 	}
-	choices := make(map[layerKey][]choiceRec)
-
-	getLayer := func(b, l int) []float64 {
-		key := layerKey{b, l}
-		lay, ok := layers[key]
-		if !ok {
-			lay = make([]float64, layerSize)
-			fill(lay, inf)
-			layers[key] = lay
-			ch := make([]choiceRec, layerSize)
-			choices[key] = ch
-		}
-		return lay
-	}
-
-	// Seed: the first module spans [0, l) with pcur processors.
-	for l := 1; l <= k; l++ {
-		if s.min[0][l] > P {
-			continue
-		}
-		lay := getLayer(l, l)
-		for pcur := s.min[0][l]; pcur <= P; pcur++ {
-			// No closed modules yet. Unused processors are permitted
-			// because the final scan accepts any total pt <= P.
-			lay[vidx(pcur, pcur, 0)] = 0
-		}
-	}
-
-	// Expand states in order of b, then by open-module span l.
-	for b := 1; b < k; b++ {
-		layerT0 := time.Now()
-		var states, transitions, pruned atomic.Int64
-		for l := 1; l <= b; l++ {
-			key := layerKey{b, l}
-			lay, ok := layers[key]
-			if !ok {
-				continue
-			}
-			a := b - l // open module is [a, b)
-			execOpen := s.execEff[a][b]
-			effOpen := s.eff[a][b]
-			repOpen := s.rep[a][b]
-			inTab := []float64(nil)
-			if a > 0 {
-				inTab = s.ecomV[a-1]
-			}
-			outTab := s.ecomV[b-1]
-			// Place the next module [b, b+l2) with p2 raw processors. The l2
-			// options write to distinct target layers (b+l2, l2) and only
-			// read the shared source layer, so they run in parallel.
-			targets := make([]int, 0, k-b)
-			for l2 := 1; l2 <= k-b; l2++ {
-				if s.min[b][b+l2] > P {
-					continue
-				}
-				// Materialize target layers serially (map writes).
-				getLayer(b+l2, l2)
-				targets = append(targets, l2)
-			}
-			parallelFor(len(targets), func(ti int) {
-				l2 := targets[ti]
-				min2 := s.min[b][b+l2]
-				eff2 := s.eff[b][b+l2]
-				nkey := layerKey{b + l2, l2}
-				nlay := layers[nkey]
-				nch := choices[nkey]
-				var nStates, nTrans, nPruned int64
-				for pt := 0; pt <= P; pt++ {
-					for pcur := s.min[a][b]; pcur <= pt; pcur++ {
-						base := (pt*stride + pcur) * stride
-						e := effOpen[pcur]
-						if e == 0 {
-							nPruned++
-							continue
-						}
-						r := float64(repOpen[pcur])
-						for peffPrev := 0; peffPrev <= P; peffPrev++ {
-							v := lay[base+peffPrev]
-							if v == inf {
-								nPruned++
-								continue
-							}
-							nStates++
-							in := 0.0
-							if inTab != nil {
-								in = inTab[peffPrev*stride+e]
-							}
-							partial := (in + execOpen[pcur]) / r
-							for p2 := min2; p2 <= P-pt; p2++ {
-								resp := partial + outTab[e*stride+eff2[p2]]/r
-								nv := v
-								if resp > nv {
-									nv = resp
-								}
-								ni := vidx(pt+p2, p2, e)
-								if nv < nlay[ni] {
-									nlay[ni] = nv
-									nch[ni] = choiceRec{prevL: l, prevPCur: pcur, prevEff: peffPrev}
-								}
-							}
-							if p2n := P - pt - min2 + 1; p2n > 0 {
-								nTrans += int64(p2n)
-							}
-						}
-					}
-				}
-				if ins.on {
-					states.Add(nStates)
-					transitions.Add(nTrans)
-					pruned.Add(nPruned)
-				}
-			})
-		}
-		ins.layer("map_chain", b, layerT0, states.Load(), transitions.Load(), pruned.Load())
-	}
-
-	// Close the chain: states with b == k charge the open module's response
-	// without an output edge.
-	best := inf
-	var bestL, bestPT, bestPCur, bestEff int
-	for l := 1; l <= k; l++ {
-		key := layerKey{k, l}
-		lay, ok := layers[key]
-		if !ok {
-			continue
-		}
-		a := k - l
-		inTab := []float64(nil)
-		if a > 0 {
-			inTab = s.ecomV[a-1]
-		}
-		for pt := 0; pt <= P; pt++ {
-			for pcur := s.min[a][k]; pcur <= pt; pcur++ {
-				e := s.eff[a][k][pcur]
-				if e == 0 {
-					continue
-				}
-				r := float64(s.rep[a][k][pcur])
-				base := (pt*stride + pcur) * stride
-				for peffPrev := 0; peffPrev <= P; peffPrev++ {
-					v := lay[base+peffPrev]
-					if v == inf {
-						continue
-					}
-					in := 0.0
-					if inTab != nil {
-						in = inTab[peffPrev*stride+e]
-					}
-					resp := (in + s.execEff[a][k][pcur]) / r
-					if resp > v {
-						v = resp
-					}
-					if v < best {
-						best = v
-						bestL, bestPT, bestPCur, bestEff = l, pt, pcur, peffPrev
-					}
-				}
-			}
-		}
-	}
-	if best == inf {
-		return model.Mapping{}, fmt.Errorf("dp: no feasible mapping of %d tasks onto %d processors", k, P)
-	}
-
-	// Reconstruct modules right to left.
-	var rev []model.Module
-	b, l, pt, pcur, effPrev := k, bestL, bestPT, bestPCur, bestEff
-	for {
-		a := b - l
-		rev = append(rev, model.Module{
-			Lo: a, Hi: b,
-			Procs:    s.eff[a][b][pcur],
-			Replicas: s.rep[a][b][pcur],
-		})
-		if a == 0 {
-			break
-		}
-		ch := choices[layerKey{b, l}][vidx(pt, pcur, effPrev)]
-		b, l, pt, pcur, effPrev = a, ch.prevL, pt-pcur, ch.prevPCur, ch.prevEff
-	}
-	mods := make([]model.Module, len(rev))
-	for i := range rev {
-		mods[i] = rev[len(rev)-1-i]
-	}
-	ins.done("map_chain", k, P, solveT0)
-	return model.Mapping{Chain: c, Modules: mods}, nil
+	// The solve result aliases solver-owned scratch; detach it so the
+	// solver (and its arenas) can be collected.
+	m.Modules = append([]model.Module(nil), m.Modules...)
+	return m, nil
 }
 
 // MapExhaustive enumerates all 2^(k-1) clusterings of the chain and solves

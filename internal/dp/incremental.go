@@ -1,0 +1,562 @@
+package dp
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"pipemap/internal/model"
+)
+
+// Solver is a reusable, incrementally-updatable engine for the full
+// mapping DP of MapChain (clustering + replication + assignment). It
+// exists because the adaptive controller re-solves the same instance on
+// every refit tick with only a few module cost estimates moved; a fresh
+// solve re-derives every layer table from scratch, while the Solver
+// snapshots per-layer DP tables and recomputes only the layers a cost
+// change can actually reach.
+//
+// # State and invalidation
+//
+// The DP state is (b, l, pt, pcur, peffPrev): tasks [0, b) covered, the
+// open module spans [b-l, b) with pcur raw processors, pt processors used
+// in total, and the previous module's effective count is peffPrev. The
+// value of a state is the minimal bottleneck over the *closed* modules —
+// the modules covering [0, b-l). It therefore depends only on the
+// execution costs of tasks in [0, b-l) (plus structural tables and edge
+// transfer costs, which do not change under an execution-cost update).
+//
+// That gives the invalidation rule: after changing the execution costs of
+// task set C with m = min(C), every layer (b, l) with b-l <= m is still
+// bit-exact and is reused; every layer with b-l > m is cleared and
+// recomputed. Transitions out of layer (b, l) write only into layers
+// (b+l2, l2) whose open-module start is b, so the recompute re-runs the
+// expansion passes for b = m+1 .. k-1 in order and nothing else. The
+// final close scan is always re-run: it charges the last open module
+// [k-l, k), which contains a changed task whenever anything changed.
+//
+// # Dominance pruning
+//
+// Two states in the same layer with equal (pcur, peffPrev) admit exactly
+// the same continuations: any suffix of modules feasible from the state
+// using pt total processors is feasible from a state using pt' <= pt, and
+// contributes the same future response times. A state is therefore
+// dropped ("dominated") when another state in its (pcur, peffPrev) column
+// has both fewer-or-equal processors used and a smaller-or-equal value.
+// Dropping it cannot change the optimal period: every completion of the
+// dominated state is matched by a completion of the dominator that is no
+// worse in period and no greater in processors used. Pruning is computed
+// from a layer's completed contents only — never during writes — so it is
+// a pure function of the table and the incremental recompute reproduces
+// it bit-exactly.
+//
+// # Allocation discipline
+//
+// All tables, layer arenas and live-state lists are allocated at
+// construction (or grown during the first solves); a Resolve call on a
+// warmed solver performs zero heap allocations, so a fleet of pipelines
+// can re-solve on every adapt tick without GC churn. Incremental
+// re-solves run single-threaded: the recomputed region is small and the
+// callers (many controllers sharing one process) provide the
+// parallelism.
+//
+// A Solver is NOT safe for concurrent use; callers serialize access (the
+// adapt memo cache holds one solver under its lock).
+type Solver struct {
+	pl  model.Platform
+	opt Options
+	// chain is the most recently supplied cost view (NewSolver's chain
+	// until a Resolve supplies a newer one); returned mappings carry it.
+	chain *model.Chain
+
+	k, P, stride int
+	lsize        int // stride^3, one (b,l) layer slab
+
+	// Structural per-span tables, flattened at [a*(k+1)+b]; these depend
+	// on memory models, MinProcs and Replicable flags only and never
+	// change across Resolve calls.
+	minP []int // minimum procs of span [a,b); P+1 = infeasible span
+	// eff, rep, execEff are per raw processor count: index
+	// (a*(k+1)+b)*(P+1)+p.
+	eff     []int32
+	rep     []int32
+	execEff []float64 // the only table an exec-cost update touches
+	// ecomV[(e*(P+1)+ps)*(P+1)+pr] is edge e's external transfer cost at
+	// effective endpoint counts (ps, pr).
+	ecomV []float64
+
+	// Layer arena: k(k+1)/2 slabs of lsize values/choices, ordinal
+	// b(b-1)/2 + (l-1) for layer (b, l), 1 <= l <= b <= k.
+	val    []float64
+	choice []uint64
+	// live[ord] lists the non-inf, non-dominated state indices of a layer
+	// in deterministic (pt, pcur, peffPrev) scan order; rebuilt whenever
+	// the layer is recomputed, reused read-only otherwise.
+	live [][]int32
+
+	colMin  []float64 // stride^2 dominance scratch, one (pcur,peff) column each
+	changed []bool    // k-length scratch: which tasks moved this Resolve
+	tgts    []int     // per-pass feasible target spans scratch
+
+	solved bool
+	mods   []model.Module // reconstruction scratch; returned mappings alias it
+}
+
+// choicePack packs (prevL, prevPCur, prevEff) into one word; 21 bits each
+// bounds P and k at 2^21-1, far beyond any instance the cubic tables fit.
+func choicePack(l, pcur, peff int) uint64 {
+	return uint64(l)<<42 | uint64(pcur)<<21 | uint64(peff)
+}
+
+func choiceUnpack(c uint64) (l, pcur, peff int) {
+	return int(c >> 42), int(c >> 21 & (1<<21 - 1)), int(c & (1<<21 - 1))
+}
+
+// NewSolver validates the instance and builds all tables and arenas. The
+// chain's execution costs are tabulated as given; later Resolve calls
+// retabulate only the spans whose tasks are reported changed.
+func NewSolver(c *model.Chain, pl model.Platform, opt Options) (*Solver, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	k, P := c.Len(), pl.Procs
+	stride := P + 1
+	s := &Solver{
+		pl: pl, opt: opt, chain: c,
+		k: k, P: P, stride: stride,
+		lsize:   stride * stride * stride,
+		minP:    make([]int, k*(k+1)),
+		eff:     make([]int32, k*(k+1)*stride),
+		rep:     make([]int32, k*(k+1)*stride),
+		execEff: make([]float64, k*(k+1)*stride),
+		ecomV:   make([]float64, (k-1)*stride*stride),
+		colMin:  make([]float64, stride*stride),
+		changed: make([]bool, k),
+		tgts:    make([]int, 0, k),
+		mods:    make([]model.Module, 0, k),
+	}
+	nLayers := k * (k + 1) / 2
+	s.val = make([]float64, nLayers*s.lsize)
+	s.choice = make([]uint64, nLayers*s.lsize)
+	s.live = make([][]int32, nLayers)
+	fill(s.val, inf)
+	fill(s.execEff, inf)
+
+	// Structural span tables (min procs, replication splits).
+	for a := 0; a < k; a++ {
+		for b := a + 1; b <= k; b++ {
+			min := c.ModuleMinProcs(a, b, pl.MemPerProc)
+			if min < 0 || min > P {
+				// Infeasible as a module on this platform; other
+				// clusterings may avoid the span, so mark rather than fail.
+				s.minP[a*(k+1)+b] = P + 1
+				continue
+			}
+			s.minP[a*(k+1)+b] = min
+			repl := c.ModuleReplicable(a, b) && !opt.DisableReplication
+			base := (a*(k+1) + b) * stride
+			for p := 0; p <= P; p++ {
+				r := model.SplitReplicas(p, min, repl)
+				if r.Replicas == 0 {
+					continue
+				}
+				s.eff[base+p] = int32(r.ProcsPerInstance)
+				s.rep[base+p] = int32(r.Replicas)
+			}
+		}
+	}
+	for e := 0; e < k-1; e++ {
+		base := e * stride * stride
+		for ps := 1; ps <= P; ps++ {
+			for pr := 1; pr <= P; pr++ {
+				s.ecomV[base+ps*stride+pr] = c.ECom[e].Eval(ps, pr)
+			}
+		}
+	}
+	s.tabulateExecAll(c)
+	s.seed()
+	return s, nil
+}
+
+// spanExec evaluates the composed execution cost of span [a, b) at
+// per-instance processor count pe without materializing a SumCost: the
+// member tasks' execution costs plus the internal redistributions.
+func spanExec(c *model.Chain, a, b, pe int) float64 {
+	t := 0.0
+	for i := a; i < b; i++ {
+		t += c.Tasks[i].Exec.Eval(pe)
+		if i+1 < b {
+			t += c.ICom[i].Eval(pe)
+		}
+	}
+	return t
+}
+
+// tabulateSpanExec refreshes execEff for one span from the chain's
+// current execution costs.
+func (s *Solver) tabulateSpanExec(c *model.Chain, a, b int) {
+	base := (a*(s.k+1) + b) * s.stride
+	for p := 0; p <= s.P; p++ {
+		pe := int(s.eff[base+p])
+		if pe == 0 {
+			s.execEff[base+p] = inf
+			continue
+		}
+		s.execEff[base+p] = spanExec(c, a, b, pe)
+	}
+}
+
+func (s *Solver) tabulateExecAll(c *model.Chain) {
+	for a := 0; a < s.k; a++ {
+		for b := a + 1; b <= s.k; b++ {
+			if s.minP[a*(s.k+1)+b] > s.P {
+				continue
+			}
+			s.tabulateSpanExec(c, a, b)
+		}
+	}
+}
+
+// ord is the arena ordinal of layer (b, l), 1 <= l <= b <= k.
+func (s *Solver) ord(b, l int) int { return b*(b-1)/2 + (l - 1) }
+
+// vidx is the in-layer index of state (pt, pcur, peffPrev).
+func (s *Solver) vidx(pt, pcur, peff int) int { return (pt*s.stride+pcur)*s.stride + peff }
+
+// seed writes the first-module states: module [0, l) holding pcur
+// processors, value 0 (no closed modules yet). Seed layers have open
+// module start 0, so no execution-cost change ever invalidates them.
+func (s *Solver) seed() {
+	for l := 1; l <= s.k; l++ {
+		min := s.minP[0*(s.k+1)+l]
+		if min > s.P {
+			continue
+		}
+		off := s.ord(l, l) * s.lsize
+		for pcur := min; pcur <= s.P; pcur++ {
+			s.val[off+s.vidx(pcur, pcur, 0)] = 0
+		}
+		s.buildLive(s.ord(l, l))
+	}
+}
+
+// buildLive rebuilds a layer's live-state list: finite values, minus the
+// dominance-pruned ones, in (pt, pcur, peffPrev) ascending order. It is a
+// pure function of the layer's contents, so fresh and incremental solves
+// produce identical lists. Returns the number of dominated states
+// dropped.
+func (s *Solver) buildLive(ord int) int64 {
+	fill(s.colMin, inf)
+	off := ord * s.lsize
+	list := s.live[ord][:0]
+	pruned := int64(0)
+	idx := 0
+	for pt := 0; pt <= s.P; pt++ {
+		for pcur := 0; pcur <= s.P; pcur++ {
+			col := pcur * s.stride
+			for peff := 0; peff <= s.P; peff++ {
+				v := s.val[off+idx]
+				if v < inf {
+					if s.colMin[col+peff] <= v {
+						pruned++ // dominated: smaller pt, no worse value
+					} else {
+						list = append(list, int32(idx))
+						s.colMin[col+peff] = v
+					}
+				}
+				idx++
+			}
+		}
+	}
+	s.live[ord] = list
+	return pruned
+}
+
+// target applies every source layer (b, l) to target layer (b+l2, l2):
+// sources in ascending l, states in live-list (ascending index) order,
+// which fixes the tie-breaking deterministically. Returns state and
+// transition counts for instrumentation.
+func (s *Solver) target(b, l2 int) (nStates, nTrans int64) {
+	k, P, stride := s.k, s.P, s.stride
+	min2 := s.minP[b*(k+1)+b+l2]
+	eff2 := s.eff[(b*(k+1)+b+l2)*stride:]
+	nOff := s.ord(b+l2, l2) * s.lsize
+	outTab := s.ecomV[(b-1)*stride*stride:]
+	for l := 1; l <= b; l++ {
+		a := b - l
+		if s.minP[a*(k+1)+b] > P {
+			continue
+		}
+		srcOff := s.ord(b, l) * s.lsize
+		spanBase := (a*(k+1) + b) * stride
+		var inTab []float64
+		if a > 0 {
+			inTab = s.ecomV[(a-1)*stride*stride:]
+		}
+		for _, idx32 := range s.live[s.ord(b, l)] {
+			idx := int(idx32)
+			peff := idx % stride
+			rest := idx / stride
+			pcur := rest % stride
+			pt := rest / stride
+			e := int(s.eff[spanBase+pcur])
+			if e == 0 {
+				continue
+			}
+			nStates++
+			v := s.val[srcOff+idx]
+			r := float64(s.rep[spanBase+pcur])
+			in := 0.0
+			if inTab != nil {
+				in = inTab[peff*stride+e]
+			}
+			partial := (in + s.execEff[spanBase+pcur]) / r
+			outRow := outTab[e*stride:]
+			ch := choicePack(l, pcur, peff)
+			for p2 := min2; p2 <= P-pt; p2++ {
+				resp := partial + outRow[int(eff2[p2])]/r
+				nv := v
+				if resp > nv {
+					nv = resp
+				}
+				ni := ((pt+p2)*stride+p2)*stride + e
+				if nv < s.val[nOff+ni] {
+					s.val[nOff+ni] = nv
+					s.choice[nOff+ni] = ch
+				}
+			}
+			if n := P - pt - min2 + 1; n > 0 {
+				nTrans += int64(n)
+			}
+		}
+	}
+	return nStates, nTrans
+}
+
+// pass expands every layer at open-module start b: transitions from
+// sources (b, l) into targets (b+l2, l2). Targets are disjoint slabs, so
+// the fresh solve computes them in parallel; the incremental path stays
+// serial (and allocation-free) because the recomputed region is small and
+// concurrent controllers provide the parallelism.
+func (s *Solver) pass(b int, par bool, ins instrument) {
+	k, P := s.k, s.P
+	layerT0 := time.Time{}
+	if ins.on {
+		layerT0 = time.Now()
+	}
+	s.tgts = s.tgts[:0]
+	for l2 := 1; l2 <= k-b; l2++ {
+		if s.minP[b*(k+1)+b+l2] <= P {
+			s.tgts = append(s.tgts, l2)
+		}
+	}
+	var states, transitions, pruned int64
+	if par {
+		var aSt, aTr atomic.Int64
+		tgts := s.tgts
+		parallelFor(len(tgts), func(ti int) {
+			st, tr := s.target(b, tgts[ti])
+			aSt.Add(st)
+			aTr.Add(tr)
+		})
+		states, transitions = aSt.Load(), aTr.Load()
+	} else {
+		for _, l2 := range s.tgts {
+			st, tr := s.target(b, l2)
+			states += st
+			transitions += tr
+		}
+	}
+	// Targets are final once every source l has been applied: build their
+	// live lists now (dominance is a pure function of the completed slab).
+	for _, l2 := range s.tgts {
+		pruned += s.buildLive(s.ord(b+l2, l2))
+	}
+	ins.layer("map_chain", b, layerT0, states, transitions, pruned)
+}
+
+// scan closes the chain: every layer (k, l) charges its open module's
+// response without an output edge, and the best state wins. Iteration
+// order (l, then live order) matches the expansion tie-breaking.
+func (s *Solver) scan() (model.Mapping, error) {
+	k, P, stride := s.k, s.P, s.stride
+	best := inf
+	var bestL, bestPT, bestPCur, bestEff int
+	for l := 1; l <= k; l++ {
+		a := k - l
+		if s.minP[a*(k+1)+k] > P {
+			continue
+		}
+		off := s.ord(k, l) * s.lsize
+		spanBase := (a*(k+1) + k) * stride
+		var inTab []float64
+		if a > 0 {
+			inTab = s.ecomV[(a-1)*stride*stride:]
+		}
+		for _, idx32 := range s.live[s.ord(k, l)] {
+			idx := int(idx32)
+			peff := idx % stride
+			rest := idx / stride
+			pcur := rest % stride
+			pt := rest / stride
+			e := int(s.eff[spanBase+pcur])
+			if e == 0 {
+				continue
+			}
+			v := s.val[off+idx]
+			in := 0.0
+			if inTab != nil {
+				in = inTab[peff*stride+e]
+			}
+			resp := (in + s.execEff[spanBase+pcur]) / float64(s.rep[spanBase+pcur])
+			if resp > v {
+				v = resp
+			}
+			if v < best {
+				best = v
+				bestL, bestPT, bestPCur, bestEff = l, pt, pcur, peff
+			}
+		}
+	}
+	if best == inf {
+		return model.Mapping{}, fmt.Errorf("dp: no feasible mapping of %d tasks onto %d processors", k, P)
+	}
+
+	// Reconstruct right to left into the reusable scratch.
+	s.mods = s.mods[:0]
+	b, l, pt, pcur, effPrev := k, bestL, bestPT, bestPCur, bestEff
+	for {
+		a := b - l
+		spanBase := (a*(k+1) + b) * stride
+		s.mods = append(s.mods, model.Module{
+			Lo: a, Hi: b,
+			Procs:    int(s.eff[spanBase+pcur]),
+			Replicas: int(s.rep[spanBase+pcur]),
+		})
+		if a == 0 {
+			break
+		}
+		pl, pp, pe := choiceUnpack(s.choice[s.ord(b, l)*s.lsize+s.vidx(pt, pcur, effPrev)])
+		b, l, pt, pcur, effPrev = a, pl, pt-pcur, pp, pe
+	}
+	for i, j := 0, len(s.mods)-1; i < j; i, j = i+1, j-1 {
+		s.mods[i], s.mods[j] = s.mods[j], s.mods[i]
+	}
+	return model.Mapping{Chain: s.chain, Modules: s.mods}, nil
+}
+
+// run recomputes every layer whose open-module start exceeds m and
+// re-scans the close states. m = 0 recomputes everything (a fresh solve);
+// m = k-1 recomputes nothing and only re-scans.
+func (s *Solver) run(m int, par bool, ins instrument) (model.Mapping, error) {
+	solveT0 := time.Time{}
+	if ins.on {
+		solveT0 = time.Now()
+	}
+	cleared := 0
+	for b := 1; b <= s.k; b++ {
+		for l := 1; l <= b; l++ {
+			if b-l <= m {
+				continue
+			}
+			ord := s.ord(b, l)
+			off := ord * s.lsize
+			fill(s.val[off:off+s.lsize], inf)
+			s.live[ord] = s.live[ord][:0]
+			cleared++
+		}
+	}
+	for b := m + 1; b < s.k; b++ {
+		s.pass(b, par, ins)
+	}
+	mapping, err := s.scan()
+	if err != nil {
+		return model.Mapping{}, err
+	}
+	if ins.on {
+		ins.metrics.Add("dp.incremental.layers_cleared", int64(cleared))
+		ins.metrics.Add("dp.incremental.layers_reused", int64(s.k*(s.k+1)/2-cleared))
+		ins.done("map_chain", s.k, s.P, solveT0)
+	}
+	s.solved = true
+	return mapping, nil
+}
+
+// Solve runs a fresh full solve (parallel across layer targets) and
+// returns the optimal mapping. The mapping's Modules alias solver-owned
+// scratch that the next Solve/Resolve overwrites; callers that retain the
+// result across solves must copy it.
+func (s *Solver) Solve() (model.Mapping, error) {
+	return s.run(0, true, s.opt.instrument())
+}
+
+// Resolve incrementally re-solves after an execution-cost update. chain
+// must be structurally identical to the chain the solver was built from —
+// same length, memory models, MinProcs, Replicable flags, and identical
+// internal and external communication costs — and may differ from the
+// previously solved costs only in the Exec functions of the tasks listed
+// in changed. An empty changed set re-derives the previous answer from
+// the retained tables (a cheap close-scan).
+//
+// The result is bit-identical to a fresh Solve on chain: the reused
+// layers are exactly the ones an exhaustive recompute would reproduce,
+// and the recomputed ones replay the same deterministic transition order.
+// Resolve runs single-threaded and performs zero heap allocations once
+// the solver is warm. The returned mapping aliases solver-owned scratch,
+// exactly as for Solve.
+func (s *Solver) Resolve(chain *model.Chain, changed []int) (model.Mapping, error) {
+	if chain.Len() != s.k {
+		return model.Mapping{}, fmt.Errorf("dp: incremental resolve with %d tasks on a %d-task solver",
+			chain.Len(), s.k)
+	}
+	for i := range s.changed {
+		s.changed[i] = false
+	}
+	m := s.k // min changed index; k = nothing changed
+	for _, i := range changed {
+		if i < 0 || i >= s.k {
+			return model.Mapping{}, fmt.Errorf("dp: changed task %d out of range [0,%d)", i, s.k)
+		}
+		if !s.changed[i] {
+			s.changed[i] = true
+			if i < m {
+				m = i
+			}
+		}
+	}
+	ins := s.opt.instrument()
+	s.chain = chain
+	if !s.solved {
+		// Never solved: whatever the caller believes changed, every span
+		// must be tabulated from this chain.
+		s.tabulateExecAll(chain)
+		return s.run(0, false, ins)
+	}
+	if m < s.k {
+		// Refresh execEff for every feasible span touching a changed task.
+		for a := 0; a < s.k; a++ {
+			for b := a + 1; b <= s.k; b++ {
+				if s.minP[a*(s.k+1)+b] > s.P {
+					continue
+				}
+				touched := false
+				for i := a; i < b; i++ {
+					if s.changed[i] {
+						touched = true
+						break
+					}
+				}
+				if touched {
+					s.tabulateSpanExec(chain, a, b)
+				}
+			}
+		}
+	}
+	if m > s.k-1 {
+		m = s.k - 1 // nothing changed: reuse every layer, re-scan only
+	}
+	return s.run(m, false, ins)
+}

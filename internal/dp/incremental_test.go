@@ -1,0 +1,240 @@
+package dp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pipemap/internal/model"
+	"pipemap/internal/testutil"
+)
+
+// scaledChain returns a structurally identical copy of c where task i's
+// execution cost is factors[i] * original. Only Exec differs, which is
+// exactly the update class Solver.Resolve supports.
+func scaledChain(c *model.Chain, factors []float64) *model.Chain {
+	tasks := make([]model.Task, len(c.Tasks))
+	copy(tasks, c.Tasks)
+	for i, f := range factors {
+		if f != 1 {
+			tasks[i].Exec = model.ScaleCost{F: c.Tasks[i].Exec, K: f}
+		}
+	}
+	return &model.Chain{Tasks: tasks, ICom: c.ICom, ECom: c.ECom}
+}
+
+// perturbStep picks the changed-task set for step number step of a random
+// walk: the first three steps pin the corner cases the harness must cover
+// (zero-change tick, single-task tick, all-tasks tick), later steps are
+// random non-empty-or-empty subsets.
+func perturbStep(rng *rand.Rand, step, k int) []int {
+	switch step {
+	case 0:
+		return nil // zero-change tick: pure memo of the retained tables
+	case 1:
+		return []int{rng.Intn(k)}
+	case 2:
+		all := make([]int, k)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	var changed []int
+	for i := 0; i < k; i++ {
+		if rng.Intn(3) == 0 {
+			changed = append(changed, i)
+		}
+	}
+	return changed
+}
+
+// checkIncrementalMatchesFresh drives one random instance through a
+// sequence of execution-cost perturbations and asserts, at every step, that
+// the incremental re-solve is bit-identical — same modules, same
+// replication, same period — to a from-scratch solve of the perturbed
+// chain.
+func checkIncrementalMatchesFresh(t *testing.T, seed int64, steps int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	procs := 2 + rng.Intn(7) // 2..8
+	c, pl := testutil.RandChain(rng, diffConfig, procs)
+	k := c.Len()
+
+	s, err := NewSolver(c, pl, Options{})
+	if err != nil {
+		t.Fatalf("seed %d: NewSolver: %v", seed, err)
+	}
+	if _, err := s.Solve(); err != nil {
+		// Structurally infeasible instance: perturbing exec costs cannot
+		// make it feasible, and there are no tables to reuse. Skip.
+		return
+	}
+
+	factors := make([]float64, k)
+	for i := range factors {
+		factors[i] = 1
+	}
+	for step := 0; step < steps; step++ {
+		changed := perturbStep(rng, step, k)
+		for _, i := range changed {
+			factors[i] *= 0.5 + 1.5*rng.Float64() // 0.5x .. 2x, compounding
+		}
+		pc := scaledChain(c, factors)
+
+		inc, incErr := s.Resolve(pc, changed)
+		fresh, freshErr := MapChain(pc, pl, Options{})
+		if (incErr == nil) != (freshErr == nil) {
+			t.Fatalf("seed %d step %d (changed %v): feasibility disagreement: incremental err=%v, fresh err=%v",
+				seed, step, changed, incErr, freshErr)
+		}
+		if incErr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(inc.Modules, fresh.Modules) {
+			t.Fatalf("seed %d step %d (changed %v): incremental mapping diverged from fresh solve\nincremental: %v\nfresh:       %v",
+				seed, step, changed, &inc, &fresh)
+		}
+		if it, ft := inc.Throughput(), fresh.Throughput(); it != ft {
+			t.Fatalf("seed %d step %d (changed %v): period diverged: incremental %v, fresh %v",
+				seed, step, changed, 1/it, 1/ft)
+		}
+	}
+}
+
+// FuzzIncrementalMatchesFresh is the differential fuzz target for the
+// incremental solver: a random instance walked through a random sequence of
+// module-cost perturbations must re-solve bit-identically to a fresh DP at
+// every step. The first three steps of every walk are forced corner cases —
+// a zero-change tick, a single-task tick, and an all-tasks-changed tick —
+// so the committed corpus always exercises them. Run with
+// `go test -fuzz FuzzIncrementalMatchesFresh ./internal/dp` to search.
+func FuzzIncrementalMatchesFresh(f *testing.F) {
+	for _, seed := range []int64{0, 1, 2, 7, 42, 1995, 65536, -1, 1 << 40} {
+		f.Add(seed, uint8(6))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, steps uint8) {
+		// At least 3 steps so the forced corner cases always run; cap to
+		// keep a single fuzz execution fast.
+		n := 3 + int(steps)%8
+		checkIncrementalMatchesFresh(t, seed, n)
+	})
+}
+
+// TestIncrementalMatchesFreshTable is the deterministic companion: a fixed
+// batch of random walks replayed on every plain `go test`.
+func TestIncrementalMatchesFreshTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential table is slow under -short")
+	}
+	for seed := int64(0); seed < 120; seed++ {
+		checkIncrementalMatchesFresh(t, seed, 6)
+	}
+}
+
+// TestResolveChangedSetValidation pins the contract errors: wrong chain
+// length and out-of-range changed indices are rejected, not misapplied.
+func TestResolveChangedSetValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c, pl := testutil.RandChain(rng, testutil.RandChainConfig{MinTasks: 3, MaxTasks: 3}, 4)
+	s, err := NewSolver(c, pl, Options{})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	short := &model.Chain{Tasks: c.Tasks[:2], ICom: c.ICom[:1], ECom: c.ECom[:1]}
+	if _, err := s.Resolve(short, nil); err == nil {
+		t.Error("Resolve accepted a chain of the wrong length")
+	}
+	if _, err := s.Resolve(c, []int{3}); err == nil {
+		t.Error("Resolve accepted an out-of-range changed index")
+	}
+	if _, err := s.Resolve(c, []int{-1}); err == nil {
+		t.Error("Resolve accepted a negative changed index")
+	}
+}
+
+// TestResolveWithoutSolve asserts Resolve on a never-solved solver falls
+// back to a full tabulation + solve and still matches fresh.
+func TestResolveWithoutSolve(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		procs := 2 + rng.Intn(7)
+		c, pl := testutil.RandChain(rng, diffConfig, procs)
+		factors := make([]float64, c.Len())
+		for i := range factors {
+			factors[i] = 0.5 + 1.5*rng.Float64()
+		}
+		pc := scaledChain(c, factors)
+
+		// Solver built on c, first call is a Resolve with pc claiming only
+		// task 0 changed — a lie the never-solved path must tolerate by
+		// retabulating everything.
+		s, err := NewSolver(c, pl, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: NewSolver: %v", seed, err)
+		}
+		inc, incErr := s.Resolve(pc, []int{0})
+		fresh, freshErr := MapChain(pc, pl, Options{})
+		if (incErr == nil) != (freshErr == nil) {
+			t.Fatalf("seed %d: feasibility disagreement: incremental err=%v, fresh err=%v",
+				seed, incErr, freshErr)
+		}
+		if incErr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(inc.Modules, fresh.Modules) {
+			t.Fatalf("seed %d: cold Resolve diverged from fresh solve\nincremental: %v\nfresh:       %v",
+				seed, &inc, &fresh)
+		}
+	}
+}
+
+// TestResolveZeroAllocs pins the warm incremental path to zero heap
+// allocations: after warm-up solves over both cost views, alternating
+// Resolve calls must not allocate at all.
+func TestResolveZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := testutil.RandChainConfig{MinTasks: 4, MaxTasks: 4, MaxMinProcs: 2, AllowNonReplicable: true}
+	c, pl := testutil.RandChain(rng, cfg, 12)
+	k := c.Len()
+
+	factorsA := make([]float64, k)
+	factorsB := make([]float64, k)
+	for i := range factorsA {
+		factorsA[i] = 1
+		factorsB[i] = 1
+	}
+	factorsB[k-2] = 1.7
+	a := scaledChain(c, factorsA)
+	b := scaledChain(c, factorsB)
+	changed := []int{k - 2}
+
+	s, err := NewSolver(c, pl, Options{})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	if _, err := s.Solve(); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// Warm-up: visit both cost views so live-state lists reach their final
+	// capacities before measuring.
+	for i := 0; i < 3; i++ {
+		if _, err := s.Resolve(b, changed); err != nil {
+			t.Fatalf("warm-up Resolve(b): %v", err)
+		}
+		if _, err := s.Resolve(a, changed); err != nil {
+			t.Fatalf("warm-up Resolve(a): %v", err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := s.Resolve(b, changed); err != nil {
+			t.Fatalf("Resolve(b): %v", err)
+		}
+		if _, err := s.Resolve(a, changed); err != nil {
+			t.Fatalf("Resolve(a): %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm incremental Resolve allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,99 @@
+package estimate
+
+import (
+	"math"
+	"sort"
+)
+
+// ChangeTracker decides which per-stage cost corrections are material and
+// remembers which stages actually moved. The adaptive controller refits
+// every stage on every cycle, but most refits reproduce the previous ratio
+// to within noise; applying those no-op corrections would still perturb the
+// cost model bit-wise and defeat both solver memoization (every tick would
+// hash differently) and incremental re-solve (every stage would look
+// changed). The tracker gates each proposed correction against an epsilon:
+// sub-epsilon moves are dropped, so the applied cost model stays
+// bit-identical, and supra-epsilon moves are committed and reported in
+// Changed() as the exact change set the incremental solver needs.
+//
+// A ChangeTracker is not safe for concurrent use; the controller owns one
+// and drives it from its single-threaded Step loop.
+type ChangeTracker struct {
+	eps     float64
+	applied []float64
+	moved   []bool
+	changed []int
+}
+
+// NewChangeTracker tracks stages stages, all starting at the neutral
+// correction 1. epsilon is the relative dead-band: a proposed value within
+// epsilon * max(1, |current|) of the current one is not a move. epsilon <=
+// 0 means every bit-level change counts.
+func NewChangeTracker(stages int, epsilon float64) *ChangeTracker {
+	t := &ChangeTracker{
+		eps:     epsilon,
+		applied: make([]float64, stages),
+		moved:   make([]bool, stages),
+		changed: make([]int, 0, stages),
+	}
+	for i := range t.applied {
+		t.applied[i] = 1
+	}
+	return t
+}
+
+// Offer proposes next as stage's correction. If the move from the last
+// accepted value exceeds the epsilon dead-band it is committed — Value
+// returns it and Changed reports the stage — and Offer returns true;
+// otherwise the proposal is dropped and the accepted value stands.
+// Out-of-range stages are ignored.
+func (t *ChangeTracker) Offer(stage int, next float64) bool {
+	if t == nil || stage < 0 || stage >= len(t.applied) {
+		return false
+	}
+	if math.IsNaN(next) || math.IsInf(next, 0) {
+		return false
+	}
+	cur := t.applied[stage]
+	diff := math.Abs(next - cur)
+	band := math.Max(t.eps, 0) * math.Max(1, math.Abs(cur))
+	if diff <= band {
+		return false
+	}
+	t.applied[stage] = next
+	if !t.moved[stage] {
+		t.moved[stage] = true
+		t.changed = append(t.changed, stage)
+	}
+	return true
+}
+
+// Value returns stage's last accepted correction (1 until a move commits).
+func (t *ChangeTracker) Value(stage int) float64 {
+	if t == nil || stage < 0 || stage >= len(t.applied) {
+		return 1
+	}
+	return t.applied[stage]
+}
+
+// Changed returns the stages with committed moves since the last Reset, in
+// ascending order. The returned slice is owned by the tracker.
+func (t *ChangeTracker) Changed() []int {
+	if t == nil {
+		return nil
+	}
+	sort.Ints(t.changed)
+	return t.changed
+}
+
+// Reset clears the change set; accepted values are kept, so the dead-band
+// keeps gating against what was actually applied.
+func (t *ChangeTracker) Reset() {
+	if t == nil {
+		return
+	}
+	for _, s := range t.changed {
+		t.moved[s] = false
+	}
+	t.changed = t.changed[:0]
+}

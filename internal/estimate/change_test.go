@@ -1,0 +1,112 @@
+package estimate
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestChangeTrackerEpsilonGate(t *testing.T) {
+	tr := NewChangeTracker(3, 0.01)
+	if tr.Offer(0, 1.005) {
+		t.Error("sub-epsilon move committed")
+	}
+	if tr.Value(0) != 1 {
+		t.Errorf("dropped move altered value: %v", tr.Value(0))
+	}
+	if !tr.Offer(0, 1.05) {
+		t.Error("supra-epsilon move dropped")
+	}
+	if tr.Value(0) != 1.05 {
+		t.Errorf("committed move not applied: %v", tr.Value(0))
+	}
+	if got := tr.Changed(); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("Changed = %v, want [0]", got)
+	}
+}
+
+// TestChangeTrackerDriftAccumulates pins the dead-band anchor: it gates
+// against the last *accepted* value, so a slow drift eventually commits
+// instead of being swallowed one sub-epsilon step at a time forever.
+func TestChangeTrackerDriftAccumulates(t *testing.T) {
+	tr := NewChangeTracker(1, 0.01)
+	v, committed := 1.0, 0
+	for i := 0; i < 100; i++ {
+		v += 0.002
+		if tr.Offer(0, v) {
+			committed++
+		}
+	}
+	if committed == 0 {
+		t.Error("slow drift never committed: dead-band re-anchors on proposals, not accepted values")
+	}
+	if tr.Value(0) == 1 {
+		t.Error("accepted value never moved under sustained drift")
+	}
+}
+
+func TestChangeTrackerResetKeepsValues(t *testing.T) {
+	tr := NewChangeTracker(4, 0.01)
+	tr.Offer(2, 2)
+	tr.Offer(1, 0.5)
+	if got := tr.Changed(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("Changed = %v, want [1 2]", got)
+	}
+	tr.Reset()
+	if got := tr.Changed(); len(got) != 0 {
+		t.Errorf("Changed after Reset = %v, want empty", got)
+	}
+	if tr.Value(2) != 2 || tr.Value(1) != 0.5 {
+		t.Error("Reset discarded accepted values")
+	}
+	// Post-reset gating is relative to the accepted 2, not the initial 1.
+	if tr.Offer(2, 2.01) {
+		t.Error("move inside the dead-band around the accepted value committed")
+	}
+	if !tr.Offer(2, 2.2) {
+		t.Error("move outside the dead-band dropped")
+	}
+	if got := tr.Changed(); !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("Changed = %v, want [2]", got)
+	}
+}
+
+func TestChangeTrackerZeroEpsilon(t *testing.T) {
+	tr := NewChangeTracker(1, 0)
+	if tr.Offer(0, 1) {
+		t.Error("identical value committed under zero epsilon")
+	}
+	if !tr.Offer(0, 1.0000001) {
+		t.Error("bit-level change dropped under zero epsilon")
+	}
+}
+
+func TestChangeTrackerRejectsBadInput(t *testing.T) {
+	tr := NewChangeTracker(2, 0.01)
+	if tr.Offer(-1, 5) || tr.Offer(2, 5) {
+		t.Error("out-of-range stage committed")
+	}
+	if tr.Offer(0, math.NaN()) {
+		t.Error("NaN committed")
+	}
+	if tr.Offer(0, math.Inf(1)) {
+		t.Error("+Inf committed")
+	}
+	var nilTr *ChangeTracker
+	if nilTr.Offer(0, 2) || nilTr.Changed() != nil || nilTr.Value(0) != 1 {
+		t.Error("nil tracker is not a safe no-op")
+	}
+	nilTr.Reset()
+}
+
+func TestChangeTrackerDedupesWithinCycle(t *testing.T) {
+	tr := NewChangeTracker(2, 0.01)
+	tr.Offer(1, 2)
+	tr.Offer(1, 3)
+	if got := tr.Changed(); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("Changed = %v, want [1] (deduped)", got)
+	}
+	if tr.Value(1) != 3 {
+		t.Errorf("second commit lost: %v", tr.Value(1))
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import "sync/atomic"
+
+// CacheStats counts hit/miss/invalidation events for a cache. All methods
+// are safe for concurrent use and nil-safe: a nil *CacheStats is a valid
+// disabled instance whose recording methods are no-ops, matching the
+// Registry convention so hot paths never branch on observability being
+// wired up.
+type CacheStats struct {
+	hits          atomic.Int64
+	misses        atomic.Int64
+	invalidations atomic.Int64
+}
+
+// Hit records one cache hit.
+func (c *CacheStats) Hit() {
+	if c != nil {
+		c.hits.Add(1)
+	}
+}
+
+// Miss records one cache miss.
+func (c *CacheStats) Miss() {
+	if c != nil {
+		c.misses.Add(1)
+	}
+}
+
+// Invalidate records one cache invalidation (an entry discarded because
+// its inputs changed, as opposed to never having been present).
+func (c *CacheStats) Invalidate() {
+	if c != nil {
+		c.invalidations.Add(1)
+	}
+}
+
+// Hits returns the number of hits recorded.
+func (c *CacheStats) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.hits.Load()
+}
+
+// Misses returns the number of misses recorded.
+func (c *CacheStats) Misses() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.misses.Load()
+}
+
+// Invalidations returns the number of invalidations recorded.
+func (c *CacheStats) Invalidations() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.invalidations.Load()
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (c *CacheStats) HitRate() float64 {
+	if c == nil {
+		return 0
+	}
+	h, m := c.hits.Load(), c.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Publish copies the current counts into reg as gauges named
+// prefix.hits/.misses/.invalidations/.hit_rate. Gauges (not counters) so
+// repeated publishes report absolute totals rather than re-adding them.
+func (c *CacheStats) Publish(reg *Registry, prefix string) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.Set(prefix+".hits", float64(c.hits.Load()))
+	reg.Set(prefix+".misses", float64(c.misses.Load()))
+	reg.Set(prefix+".invalidations", float64(c.invalidations.Load()))
+	reg.Set(prefix+".hit_rate", c.HitRate())
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCacheStatsCountsAndRate(t *testing.T) {
+	var c CacheStats
+	if c.HitRate() != 0 {
+		t.Errorf("HitRate before any lookup = %v, want 0", c.HitRate())
+	}
+	c.Hit()
+	c.Hit()
+	c.Hit()
+	c.Miss()
+	c.Invalidate()
+	if c.Hits() != 3 || c.Misses() != 1 || c.Invalidations() != 1 {
+		t.Errorf("counts = %d/%d/%d, want 3/1/1", c.Hits(), c.Misses(), c.Invalidations())
+	}
+	if c.HitRate() != 0.75 {
+		t.Errorf("HitRate = %v, want 0.75", c.HitRate())
+	}
+}
+
+func TestCacheStatsNilSafe(t *testing.T) {
+	var c *CacheStats
+	c.Hit()
+	c.Miss()
+	c.Invalidate()
+	if c.Hits() != 0 || c.Misses() != 0 || c.Invalidations() != 0 || c.HitRate() != 0 {
+		t.Error("nil CacheStats is not a zero no-op")
+	}
+	c.Publish(NewRegistry(), "x") // must not panic
+}
+
+func TestCacheStatsPublish(t *testing.T) {
+	var c CacheStats
+	c.Hit()
+	c.Miss()
+	reg := NewRegistry()
+	c.Publish(reg, "adapt.memo")
+	c.Publish(reg, "adapt.memo") // gauges: absolute, not additive
+	s := reg.Snapshot()
+	if s.Gauges["adapt.memo.hits"] != 1 || s.Gauges["adapt.memo.misses"] != 1 {
+		t.Errorf("published gauges = %+v", s.Gauges)
+	}
+	if s.Gauges["adapt.memo.hit_rate"] != 0.5 {
+		t.Errorf("hit_rate gauge = %v, want 0.5", s.Gauges["adapt.memo.hit_rate"])
+	}
+	c.Publish(nil, "adapt.memo") // nil registry must not panic
+}
+
+func TestCacheStatsConcurrent(t *testing.T) {
+	var c CacheStats
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Hit()
+				c.Miss()
+				c.Invalidate()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Hits() != 8000 || c.Misses() != 8000 || c.Invalidations() != 8000 {
+		t.Errorf("concurrent counts = %d/%d/%d, want 8000 each", c.Hits(), c.Misses(), c.Invalidations())
+	}
+}
