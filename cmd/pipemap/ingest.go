@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,7 +16,9 @@ import (
 	"pipemap/internal/fxrt"
 	"pipemap/internal/ingest"
 	"pipemap/internal/model"
+	"pipemap/internal/obs"
 	"pipemap/internal/obs/live"
+	"pipemap/internal/obs/slo"
 )
 
 // ingestLivenessFloor opens the admission circuit breaker when any stage
@@ -93,12 +96,47 @@ func serveIngest(ctx context.Context, stdout io.Writer, res core.Result, req cor
 	pl.Monitor = mon
 	reg := live.NewRegistry(live.Options{})
 
+	// Observability plumbing: flight recorder (always on — it is one ring
+	// of pointers), span exporter (only with -trace-spans), request tracer
+	// (only with -trace-sample > 0 or a forcing client header), and the SLO
+	// engine evaluating availability and p99 latency.
+	flight := obs.NewFlightRecorder(sc.flightSize)
+	var exporter *obs.SpanExporter
+	if sc.traceSpans != "" {
+		f, err := os.Create(sc.traceSpans)
+		if err != nil {
+			return fmt.Errorf("-trace-spans: %w", err)
+		}
+		defer f.Close()
+		exporter = obs.NewSpanExporter(f, 0)
+		defer exporter.Close()
+	}
+	tracer := obs.NewReqTracer(obs.ReqTracerConfig{
+		SampleRate: sc.traceSample,
+		Exporter:   exporter,
+		Flight:     flight,
+	})
+	sloP99 := sc.sloP99
+	if sloP99 <= 0 {
+		sloP99 = sc.shedDeadline
+	}
+	engine := slo.New(slo.Config{
+		Objectives: []slo.Objective{
+			{Name: "availability", Target: sc.sloAvailability},
+			{Name: "latency_p99", Target: 0.99, LatencyMS: float64(sloP99) / float64(time.Millisecond)},
+		},
+		PerTenant: true,
+		Registry:  reg,
+	})
+
 	plane, err := ingest.New(ingest.Config{
 		Queue:         ingest.QueueConfig{Depth: sc.queueDepth, Rate: sc.tenantRate},
 		Dispatchers:   sc.dispatchers,
 		DefaultBudget: sc.shedDeadline,
 		LivenessFloor: ingestLivenessFloor,
 		Registry:      reg,
+		Tracer:        tracer,
+		SLO:           engine,
 	}, pl, opts)
 	if err != nil {
 		return err
@@ -112,6 +150,8 @@ func serveIngest(ctx context.Context, stdout io.Writer, res core.Result, req cor
 		Source:   func() *live.Monitor { return curMon.Load() },
 		Registry: reg,
 		Ingest:   func() any { return plane.Stats() },
+		SLO:      func() any { return engine.Report() },
+		Flight:   flight.Snapshot,
 		Extra: map[string]http.Handler{
 			"/v1/submit": ingest.SubmitHandler(plane, codec),
 			"/v1/ingest": ingest.StatusHandler(plane),
@@ -130,6 +170,7 @@ func serveIngest(ctx context.Context, stdout io.Writer, res core.Result, req cor
 			TimeScale: 1,
 			Trace:     req.Trace,
 			Metrics:   req.Metrics,
+			Flight:    flight,
 		})
 		if err != nil {
 			plane.Drain() // the stream is already running; don't leak it
@@ -151,6 +192,12 @@ func serveIngest(ctx context.Context, stdout io.Writer, res core.Result, req cor
 		codec.App(), srv.Addr())
 	fmt.Fprintf(stdout, "admission: queue depth %d, deadline budget %s, rate %s, %d dispatcher(s)\n",
 		sc.queueDepth, sc.shedDeadline, rate, sc.dispatchers)
+	spans := "off"
+	if sc.traceSpans != "" {
+		spans = sc.traceSpans
+	}
+	fmt.Fprintf(stdout, "tracing: sample %g, span export %s, flight ring %d (/slo /debug/flightrecorder)\n",
+		sc.traceSample, spans, flight.Cap())
 
 	adaptDone := make(chan struct{})
 	var adaptWg sync.WaitGroup

@@ -111,8 +111,19 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 	tenantRate := fs.Float64("tenant-rate", 0, "with -ingest: per-tenant admission rate limit in requests/s (0 = unlimited)")
 	ingestSize := fs.Int("ingest-size", 0, "with -ingest: problem size (ffthist matrix N, radar range gates, stereo image width; 0 = a serving default)")
 	ingestDispatchers := fs.Int("ingest-dispatchers", 4, "with -ingest: concurrent pipeline dispatchers")
+	traceSample := fs.Float64("trace-sample", 0, "with -ingest: head-sampling rate for request traces in [0,1] (0 = tracing off; client traceparent sampled flags always force)")
+	traceSpans := fs.String("trace-spans", "", "with -ingest: export finished sampled traces as NDJSON to this file")
+	flightSize := fs.Int("flight", 256, "with -ingest: flight recorder ring size (last N traces/sheds/adapt decisions at /debug/flightrecorder)")
+	sloP99 := fs.Duration("slo-p99", 0, "with -ingest: p99 end-to-end latency objective (0 = the -shed-deadline budget)")
+	sloAvailability := fs.Float64("slo-availability", 0.999, "with -ingest: availability objective target in (0,1]")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceSample < 0 || *traceSample > 1 {
+		return fmt.Errorf("-trace-sample must be in [0,1], got %g", *traceSample)
+	}
+	if *sloAvailability <= 0 || *sloAvailability > 1 {
+		return fmt.Errorf("-slo-availability must be in (0,1], got %g", *sloAvailability)
 	}
 	if *serveAddr != "" && *asJSON {
 		return fmt.Errorf("-serve is not combinable with -json")
@@ -276,6 +287,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 			adapt: *adapt, adaptInterval: *adaptInterval, adaptThreshold: *adaptThreshold,
 			ingestApp: *ingestApp, queueDepth: *queueDepth, shedDeadline: *shedDeadline,
 			tenantRate: *tenantRate, ingestSize: *ingestSize, dispatchers: *ingestDispatchers,
+			traceSample: *traceSample, traceSpans: *traceSpans, flightSize: *flightSize,
+			sloP99: *sloP99, sloAvailability: *sloAvailability,
 		})
 	}
 	return nil

@@ -33,6 +33,12 @@ type serveConfig struct {
 	tenantRate   float64
 	ingestSize   int
 	dispatchers  int
+
+	traceSample     float64
+	traceSpans      string
+	flightSize      int
+	sloP99          time.Duration
+	sloAvailability float64
 }
 
 // serveWait blocks until the configured serving window elapses or the

@@ -74,6 +74,10 @@ type Config struct {
 	// Metrics receives controller counters and gauges (adapt.* names);
 	// nil disables.
 	Metrics *obs.Registry
+	// Flight, when set, records every migrate/rollback decision into the
+	// flight recorder so /debug/flightrecorder interleaves controller
+	// actions with request traces and sheds; nil disables.
+	Flight *obs.FlightRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -546,6 +550,12 @@ func (c *Controller) migrate(d *Decision, modules []model.Module, action, reason
 			"generation": c.gen, "mapping": c.cur.String(), "reason": reason,
 		})
 	}
+	c.cfg.Flight.Record(&obs.FlightEntry{
+		Kind:    obs.FlightAdapt,
+		Time:    time.Now(),
+		Outcome: action,
+		Detail:  fmt.Sprintf("gen %d -> %s: %s", c.gen, c.cur.String(), reason),
+	})
 }
 
 // ingestDeaths accounts new instance deaths against the surviving

@@ -13,6 +13,7 @@ import (
 	"pipemap/internal/dp"
 	"pipemap/internal/fxrt"
 	"pipemap/internal/model"
+	"pipemap/internal/obs"
 	"pipemap/internal/obs/live"
 )
 
@@ -78,6 +79,13 @@ type SpecPerf struct {
 	// its fraction of the model bound.
 	FxrtThroughput float64 `json:"fxrtThroughput"`
 	FxrtEfficiency float64 `json:"fxrtEfficiency"`
+	// TraceSpanNanos is the median cost of recording one stage span on a
+	// sampled request trace — the per-attempt overhead tracing adds to the
+	// runtime hot path when a request is sampled. TraceOffNanos is the
+	// same call on an unsampled (nil) trace, which the zero-alloc contract
+	// keeps at effectively zero.
+	TraceSpanNanos float64 `json:"traceSpanNanos"`
+	TraceOffNanos  float64 `json:"traceOffNanos"`
 	Mapping        string  `json:"mapping"`
 }
 
@@ -182,7 +190,43 @@ func perfSpec(path string, opt PerfOptions) (SpecPerf, error) {
 	if sp.DPThroughput > 0 {
 		sp.FxrtEfficiency = sp.FxrtThroughput / sp.DPThroughput
 	}
+	sp.TraceSpanNanos, sp.TraceOffNanos = timeTraceSpan(opt.Runs)
 	return sp, nil
+}
+
+// timeTraceSpan measures the per-stage-span cost of request tracing: the
+// median nanoseconds to record one attempt span on a sampled trace, and
+// the same call on an unsampled (nil) trace. The sampled loop uses a
+// fresh trace per repetition at a realistic span count, so slice growth
+// is amortized the way a real request's trace amortizes it.
+func timeTraceSpan(runs int) (on, off float64) {
+	const spans = 1024
+	tr := obs.NewReqTracer(obs.ReqTracerConfig{SampleRate: 1})
+	iters := 4 * runs
+	if iters < 8 {
+		iters = 8
+	}
+	onTimes := make([]float64, 0, iters)
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		_, rt := tr.Start(obs.TraceID{}, false, "bench", t0)
+		start := time.Now()
+		for j := 0; j < spans; j++ {
+			rt.StageSpan("stage", 1, 0, 0, "ok", t0, time.Microsecond)
+		}
+		onTimes = append(onTimes, float64(time.Since(start).Nanoseconds())/spans)
+		tr.Finish(rt, "ok", 0, 0)
+	}
+	sort.Float64s(onTimes)
+
+	var nilTrace *obs.ReqTrace
+	start := time.Now()
+	const offCalls = 1 << 18
+	for j := 0; j < offCalls; j++ {
+		nilTrace.StageSpan("stage", 1, 0, 0, "ok", t0, time.Microsecond)
+	}
+	off = float64(time.Since(start).Nanoseconds()) / offCalls
+	return onTimes[len(onTimes)/2], off
 }
 
 // timeAdaptStep measures the adaptive controller's steady-state decision
@@ -205,7 +249,7 @@ func timeAdaptStep(chain *model.Chain, pl model.Platform, m model.Mapping, runs 
 	if err != nil {
 		return 0, 0, err
 	}
-	obs := func(scale float64) adapt.Observation {
+	observe := func(scale float64) adapt.Observation {
 		h := live.Health{Stages: make([]live.StageHealth, len(m.Modules))}
 		for j, mod := range m.Modules {
 			s := 1.25
@@ -221,7 +265,7 @@ func timeAdaptStep(chain *model.Chain, pl model.Platform, m model.Mapping, runs 
 	}
 
 	scale := 1.25
-	c.Step(obs(scale)) // cold: full solve, warms solver + memo
+	c.Step(observe(scale)) // cold: full solve, warms solver + memo
 
 	iters := 4 * runs
 	if iters < 12 {
@@ -230,11 +274,11 @@ func timeAdaptStep(chain *model.Chain, pl model.Platform, m model.Mapping, runs 
 	times := make([]float64, 0, iters)
 	for i := 0; i < iters; i++ {
 		scale += 0.01 // ~0.8% belief move on the last stage: above epsilon
-		o := obs(scale)
+		o := observe(scale)
 		start := time.Now()
 		c.Step(o)
 		times = append(times, time.Since(start).Seconds())
-		c.Step(obs(scale)) // repeat: beliefs identical, memo hit
+		c.Step(observe(scale)) // repeat: beliefs identical, memo hit
 	}
 	sort.Float64s(times)
 	hitRate := 0.0
@@ -302,13 +346,13 @@ func RenderPerf(rep PerfReport) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "perf trajectory (%s %s/%s, %d CPUs, GOMAXPROCS=%d, %d data sets, %gx speedup, median of %d):\n",
 		rep.GoVersion, rep.GOOS, rep.GOARCH, rep.CPUs, rep.GoMaxProcs, rep.DataSets, rep.Speedup, rep.Runs)
-	fmt.Fprintf(&b, "%-28s %12s %12s %12s %12s %6s %10s %10s %8s\n",
-		"spec", "dp solve", "greedy solve", "incr solve", "adapt step", "memo", "model t/s", "fxrt t/s", "eff")
+	fmt.Fprintf(&b, "%-28s %12s %12s %12s %12s %6s %10s %10s %8s %10s\n",
+		"spec", "dp solve", "greedy solve", "incr solve", "adapt step", "memo", "model t/s", "fxrt t/s", "eff", "trace/span")
 	for _, sp := range rep.Specs {
-		fmt.Fprintf(&b, "%-28s %10.3fms %10.3fms %10.3fms %10.3fms %5.0f%% %10.4f %10.4f %7.1f%%\n",
+		fmt.Fprintf(&b, "%-28s %10.3fms %10.3fms %10.3fms %10.3fms %5.0f%% %10.4f %10.4f %7.1f%% %8.0fns\n",
 			sp.Spec, sp.DPSolveSeconds*1e3, sp.GreedySolveSeconds*1e3, sp.IncrementalSolveSeconds*1e3,
 			sp.AdaptDecisionSeconds*1e3, 100*sp.MemoHitRate,
-			sp.DPThroughput, sp.FxrtThroughput, 100*sp.FxrtEfficiency)
+			sp.DPThroughput, sp.FxrtThroughput, 100*sp.FxrtEfficiency, sp.TraceSpanNanos)
 	}
 	return b.String()
 }

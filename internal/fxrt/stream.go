@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pipemap/internal/obs"
 )
 
 // ErrStreamClosed is returned by Push after Close has begun: the stream no
@@ -45,6 +47,9 @@ type sEnvelope struct {
 	dropped  bool
 	err      error
 	res      chan StreamResult
+	// rt is the request trace accompanying a traced push (nil for the
+	// untraced fast path); every stage attempt records a span on it.
+	rt *obs.ReqTrace
 }
 
 // Stream is a long-running execution of a pipeline: data sets are pushed
@@ -155,6 +160,13 @@ func (p *Pipeline) Stream(opts StreamOptions) (*Stream, error) {
 // an admission queue converts into shedding — until ctx is done. A nil ctx
 // never expires.
 func (s *Stream) Push(ctx context.Context, ds DataSet) (<-chan StreamResult, error) {
+	return s.PushTraced(ctx, ds, nil)
+}
+
+// PushTraced is Push with a request trace attached: every stage attempt
+// (including retries and drops) records a span on rt. A nil rt is exactly
+// Push.
+func (s *Stream) PushTraced(ctx context.Context, ds DataSet, rt *obs.ReqTrace) (<-chan StreamResult, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -167,6 +179,7 @@ func (s *Stream) Push(ctx context.Context, ds DataSet) (<-chan StreamResult, err
 		ds:  ds,
 		t0:  time.Now(),
 		res: make(chan StreamResult, 1),
+		rt:  rt,
 	}
 	var done <-chan struct{}
 	if ctx != nil {
@@ -297,6 +310,7 @@ func (s *Stream) process(ctx *StageCtx, i, b int, st Stage, deadline time.Durati
 		out, err, timedOut := attemptOnce(s.p, s.rec, s.edges, s.release,
 			ctx, i, b, st, deadline, attempts, env.ds, env.idx, env.attempts)
 		if err == nil {
+			env.rt.StageSpan(st.Name, i, b, env.attempts, "ok", t0, time.Since(t0))
 			mon.StageDone(i, time.Since(t0).Seconds())
 			env.ds = out
 			env.attempts = 0
@@ -304,6 +318,11 @@ func (s *Stream) process(ctx *StageCtx, i, b int, st Stage, deadline time.Durati
 			s.forward(i, env)
 			return false
 		}
+		outcome := "error"
+		if timedOut {
+			outcome = "timeout"
+		}
+		env.rt.StageSpan(st.Name, i, b, env.attempts, outcome, t0, time.Since(t0))
 		env.attempts++
 		env.err = err
 		*consecFail++
@@ -317,6 +336,7 @@ func (s *Stream) process(ctx *StageCtx, i, b int, st Stage, deadline time.Durati
 			if s.live[i].Add(-1) >= 1 {
 				s.deaths.Add(1)
 				mon.InstanceDeath(i, env.idx)
+				env.rt.Instant("stage", st.Name, "instance death; requeued")
 				env.attempts = 0 // fresh budget on a surviving instance
 				s.requeue(i, env)
 				return true
@@ -346,6 +366,7 @@ func (s *Stream) drop(i int, env *sEnvelope) {
 	env.ds = nil
 	s.droppedN.Add(1)
 	s.p.Monitor.StageDrop(i, env.idx)
+	env.rt.Instant("stage", s.p.Stages[i].Name, "dropped: attempts exhausted")
 }
 
 // forward hands env to the next stage (or the sink). The send may block on

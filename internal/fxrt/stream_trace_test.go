@@ -1,0 +1,123 @@
+package fxrt
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pipemap/internal/obs"
+)
+
+func startedTrace(t *testing.T) *obs.ReqTrace {
+	t.Helper()
+	tr := obs.NewReqTracer(obs.ReqTracerConfig{SampleRate: 1})
+	_, rt := tr.Start(obs.TraceID{}, false, "tenant", time.Now())
+	if rt == nil {
+		t.Fatal("rate-1 tracer did not sample")
+	}
+	return rt
+}
+
+// TestPushTracedRecordsStageSpans asserts the streaming executor records
+// one stage span per attempt — including the failed attempt before a
+// retry — attributed to the right stage index and attempt number.
+func TestPushTracedRecordsStageSpans(t *testing.T) {
+	p := echoPipeline(2, 1)
+	p.Retry = RetryPolicy{MaxRetries: 2}
+	// Stage 1 fails its first attempt only: the trace must show the error
+	// attempt and the healing retry.
+	p.Faults = []Fault{{Stage: 1, Instance: -1, DataSet: -1, Kind: FaultFail, Attempts: 1}}
+	s, err := p.Stream(StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := startedTrace(t)
+	res, err := s.PushTraced(context.Background(), 0, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := <-res; r.Err != nil {
+		t.Fatalf("push result: %v", r.Err)
+	}
+	s.Close()
+
+	var stageSpans []obs.ReqSpan
+	for _, sp := range rt.Spans() {
+		if sp.Kind == obs.SpanStage && sp.DurUS >= 0 && sp.Name != "" {
+			stageSpans = append(stageSpans, sp)
+		}
+	}
+	if len(stageSpans) != 3 {
+		t.Fatalf("got %d stage spans %+v, want 3 (s0 ok, s1 error, s1 retry ok)", len(stageSpans), stageSpans)
+	}
+	want := []struct {
+		name    string
+		stage   int
+		attempt int
+		outcome string
+	}{
+		{"s0", 0, 0, "ok"},
+		{"s1", 1, 0, "error"},
+		{"s1", 1, 1, "ok"},
+	}
+	for i, w := range want {
+		sp := stageSpans[i]
+		if sp.Name != w.name || sp.Stage != w.stage || sp.Attempt != w.attempt || sp.Outcome != w.outcome {
+			t.Errorf("span %d = %+v, want %+v", i, sp, w)
+		}
+	}
+}
+
+// TestPushTracedRecordsDrop asserts an exhausted data set leaves a drop
+// marker on its trace.
+func TestPushTracedRecordsDrop(t *testing.T) {
+	p := echoPipeline(1, 1)
+	p.Retry = RetryPolicy{MaxRetries: 1}
+	p.Faults = []Fault{{Stage: 0, Instance: -1, DataSet: -1, Kind: FaultFail}}
+	s, err := p.Stream(StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := startedTrace(t)
+	res, err := s.PushTraced(context.Background(), 0, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := <-res; r.Err == nil {
+		t.Fatal("permanently faulty stage produced a result")
+	}
+	s.Close()
+
+	var drops, errorAttempts int
+	for _, sp := range rt.Spans() {
+		if sp.Kind == obs.SpanStage && sp.Outcome == "error" {
+			errorAttempts++
+		}
+		if sp.Kind == obs.SpanStage && sp.Detail != "" && sp.DurUS == 0 {
+			drops++
+		}
+	}
+	if errorAttempts != 2 {
+		t.Errorf("error attempts = %d, want 2 (initial + one retry)", errorAttempts)
+	}
+	if drops != 1 {
+		t.Errorf("drop markers = %d, want 1 (spans: %+v)", drops, rt.Spans())
+	}
+}
+
+// TestPushNilTraceUnchanged pins that the untraced path still flows (a nil
+// trace must not cost correctness or panic anywhere in the executor).
+func TestPushNilTraceUnchanged(t *testing.T) {
+	s, err := echoPipeline(2, 1).Stream(StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.PushTraced(context.Background(), 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := <-res; r.Err != nil || r.DS.(int) != 7 {
+		t.Fatalf("result = %+v, want 7", r)
+	}
+	s.Close()
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pipemap/internal/fxrt"
+	"pipemap/internal/obs"
 )
 
 // Codec adapts one application's wire format to the pipeline: it decodes a
@@ -43,6 +44,10 @@ type SubmitResponse struct {
 	Result    any     `json:"result"`
 	SojournMS float64 `json:"sojourn_ms"`
 	ServiceMS float64 `json:"service_ms"`
+	// TraceID is the request's trace ID (also in the X-Trace-Id and
+	// traceparent response headers), for correlating with server-side
+	// flight-recorder entries and exported spans.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ErrorBody is the structured refusal body for shed and failed requests.
@@ -51,6 +56,9 @@ type ErrorBody struct {
 		Reason       string `json:"reason"`
 		Detail       string `json:"detail,omitempty"`
 		RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+		// TraceID correlates a refusal (e.g. a 429/503 shed) with the
+		// server's flight recorder.
+		TraceID string `json:"trace_id,omitempty"`
 	} `json:"error"`
 }
 
@@ -59,10 +67,11 @@ type ErrorBody struct {
 const maxSubmitBody = 8 << 20
 
 // writeShed renders a *ShedError as its HTTP refusal.
-func writeShed(w http.ResponseWriter, se *ShedError) {
+func writeShed(w http.ResponseWriter, se *ShedError, traceID string) {
 	var body ErrorBody
 	body.Error.Reason = string(se.Reason)
 	body.Error.Detail = se.Detail
+	body.Error.TraceID = traceID
 	if se.RetryAfter > 0 {
 		body.Error.RetryAfterMS = se.RetryAfter.Milliseconds()
 		secs := int(se.RetryAfter.Seconds() + 0.999)
@@ -77,13 +86,32 @@ func writeShed(w http.ResponseWriter, se *ShedError) {
 }
 
 // writeError renders a non-shed failure with the given status.
-func writeError(w http.ResponseWriter, status int, reason, detail string) {
+func writeError(w http.ResponseWriter, status int, reason, detail, traceID string) {
 	var body ErrorBody
 	body.Error.Reason = reason
 	body.Error.Detail = detail
+	body.Error.TraceID = traceID
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(body)
+}
+
+// parseTraceHeaders extracts the request's trace context: a W3C
+// traceparent (whose sampled flag forces sampling) or, failing that, an
+// X-Trace-Id header (which always forces — a client that bothered to send
+// an ID wants the trace).
+func parseTraceHeaders(r *http.Request) (parent obs.TraceID, force bool) {
+	if h := r.Header.Get("traceparent"); h != "" {
+		if id, sampled, ok := obs.ParseTraceparent(h); ok {
+			return id, sampled
+		}
+	}
+	if h := r.Header.Get("X-Trace-Id"); h != "" {
+		if id, ok := obs.ParseTraceID(h); ok {
+			return id, true
+		}
+	}
+	return obs.TraceID{}, false
 }
 
 // SubmitHandler serves POST /v1/submit: decode via the codec, submit to
@@ -91,57 +119,88 @@ func writeError(w http.ResponseWriter, status int, reason, detail string) {
 // with a structured shed body, or 500 for pipeline processing failures.
 // The request context cancels the wait (not the work) when the client
 // disconnects.
+//
+// The handler owns the request trace: it accepts an inbound traceparent /
+// X-Trace-Id, starts the (possibly sampled) trace, echoes the ID in the
+// X-Trace-Id and traceparent response headers and in every body, records
+// the response-write span, and finishes the trace after the response.
 func SubmitHandler(p *Plane, codec Codec) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only", "")
 			return
 		}
 		var req SubmitRequest
 		r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBody)
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err.Error() != "EOF" {
-			writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decode body: %v", err))
+			writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decode body: %v", err), "")
 			return
 		}
 		if req.Tenant == "" {
 			req.Tenant = r.Header.Get("X-Tenant")
 		}
+		parent, force := parseTraceHeaders(r)
+		id, rt := p.Tracer().Start(parent, force, req.Tenant, time.Now())
+		if id.IsZero() {
+			// Tracing disabled: still echo a client-supplied ID so the
+			// caller's correlation keeps working.
+			id = parent
+		}
+		idStr := ""
+		if !id.IsZero() {
+			idStr = id.String()
+			w.Header().Set("X-Trace-Id", idStr)
+			w.Header().Set("traceparent", id.Traceparent(rt != nil))
+		}
+		finish := func(outcome string, sojourn, service time.Duration) {
+			p.Tracer().Finish(rt, outcome, sojourn, service)
+		}
 		ds, err := codec.Decode(req.Input)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad_input", err.Error())
+			writeError(w, http.StatusBadRequest, "bad_input", err.Error(), idStr)
+			finish("bad_input", 0, 0)
 			return
 		}
-		out, err := p.Submit(r.Context(), req.Tenant, ds, time.Duration(req.BudgetMS)*time.Millisecond)
+		out, err := p.SubmitTraced(r.Context(), req.Tenant, ds, time.Duration(req.BudgetMS)*time.Millisecond, id, rt)
 		if err != nil {
 			if se, ok := err.(*ShedError); ok {
-				writeShed(w, se)
+				writeShed(w, se, idStr)
+				finish("shed:"+string(se.Reason), out.Sojourn, out.Service)
 				return
 			}
 			// Context errors: the client went away; the status is moot but
 			// keep the log lines honest.
-			writeError(w, http.StatusRequestTimeout, "canceled", err.Error())
+			writeError(w, http.StatusRequestTimeout, "canceled", err.Error(), idStr)
+			finish("canceled", out.Sojourn, out.Service)
 			return
 		}
 		if out.Err != nil {
 			if se, ok := out.Err.(*ShedError); ok {
-				writeShed(w, se)
+				writeShed(w, se, idStr)
+				finish("shed:"+string(se.Reason), out.Sojourn, out.Service)
 				return
 			}
-			writeError(w, http.StatusInternalServerError, "processing_failed", out.Err.Error())
+			writeError(w, http.StatusInternalServerError, "processing_failed", out.Err.Error(), idStr)
+			finish("processing_failed", out.Sojourn, out.Service)
 			return
 		}
 		result, err := codec.Encode(out.Output)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "encode_failed", err.Error())
+			writeError(w, http.StatusInternalServerError, "encode_failed", err.Error(), idStr)
+			finish("encode_failed", out.Sojourn, out.Service)
 			return
 		}
+		tResp := time.Now()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(SubmitResponse{
 			App:       codec.App(),
 			Result:    result,
 			SojournMS: float64(out.Sojourn) / float64(time.Millisecond),
 			ServiceMS: float64(out.Service) / float64(time.Millisecond),
+			TraceID:   idStr,
 		})
+		rt.Span(obs.SpanResponse, "response", tResp, time.Since(tResp), "ok", "")
+		finish("ok", out.Sojourn, out.Service)
 	})
 }
 

@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"pipemap/internal/fxrt"
+	"pipemap/internal/obs"
 	"pipemap/internal/obs/live"
+	"pipemap/internal/obs/slo"
 )
 
 // Config configures a Plane.
@@ -31,6 +33,13 @@ type Config struct {
 	BreakerProbe time.Duration
 	// Registry receives the plane's metrics; nil disables them.
 	Registry *live.Registry
+	// Tracer, when set, samples request-scoped traces through admission,
+	// queue wait, the pipeline stages, and completion (DESIGN.md §13). Nil
+	// disables tracing with zero hot-path cost.
+	Tracer *obs.ReqTracer
+	// SLO, when set, receives one outcome record per terminal request
+	// (served, shed, or failed) for objective evaluation. Nil disables.
+	SLO *slo.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +94,12 @@ type Plane struct {
 	cShedReason                 map[ShedReason]*live.Counter
 	hSojourn, hService          *live.Histogram
 	gDepth, gInflight           *live.Gauge
+
+	// per-tenant families (nil-safe when Registry is nil)
+	cvAdmit, cvShed *live.CounterVec
+	hvSojourn       *live.HistogramVec
+	gvQueueDepth    *live.GaugeVec
+	gvQueueHigh     *live.GaugeVec
 }
 
 // New builds the plane around a started stream of pl and launches its
@@ -116,6 +131,11 @@ func New(cfg Config, pl *fxrt.Pipeline, opts fxrt.StreamOptions) (*Plane, error)
 		p.shedBy[r] = &atomic.Int64{}
 		p.cShedReason[r] = reg.Counter("ingest.shed." + string(r))
 	}
+	p.cvAdmit = reg.CounterVec("ingest.tenant.admit", "tenant")
+	p.cvShed = reg.CounterVec("ingest.tenant.shed", "tenant")
+	p.hvSojourn = reg.HistogramVec("ingest.tenant.sojourn_ms", "tenant")
+	p.gvQueueDepth = reg.GaugeVec("ingest.tenant.queue_depth", "tenant")
+	p.gvQueueHigh = reg.GaugeVec("ingest.tenant.queue_high_water", "tenant")
 	for i := 0; i < cfg.Dispatchers; i++ {
 		p.dispWg.Add(1)
 		go p.dispatcher()
@@ -123,30 +143,75 @@ func New(cfg Config, pl *fxrt.Pipeline, opts fxrt.StreamOptions) (*Plane, error)
 	return p, nil
 }
 
-// shed records a shed and returns it as the error to surface.
-func (p *Plane) shed(e *ShedError) *ShedError {
+// shed records a shed decision — aggregate and per-tenant counters, the
+// SLO engine, the flight recorder, and (when sampled) the request trace —
+// and returns it as the error to surface.
+func (p *Plane) shed(id obs.TraceID, tenant string, rt *obs.ReqTrace, e *ShedError) *ShedError {
 	p.shedBy[e.Reason].Add(1)
 	p.cShed.Inc()
 	p.cShedReason[e.Reason].Inc()
+	p.cvShed.With(tenant).Inc()
+	p.cfg.SLO.Record(tenant, false, 0)
+	rt.Instant(obs.SpanShed, string(e.Reason), e.Detail)
+	p.cfg.Tracer.RecordShed(id, tenant, string(e.Reason), e.Detail)
 	return e
 }
 
 // Submit admits one decoded data set for tenant and blocks until its
 // outcome: the pipeline's output, a structured *ShedError (at admission or
 // at dispatch), or ctx's error if the caller gives up first. budget <= 0
-// uses the configured default.
+// uses the configured default. When the plane has a tracer, Submit starts
+// (and finishes) a head-sampled trace itself; callers that already own a
+// trace — the HTTP handler accepting a traceparent — use SubmitTraced.
 func (p *Plane) Submit(ctx context.Context, tenant string, ds fxrt.DataSet, budget time.Duration) (Outcome, error) {
+	tr := p.cfg.Tracer
+	if tr == nil {
+		return p.SubmitTraced(ctx, tenant, ds, budget, obs.TraceID{}, nil)
+	}
+	if tenant == "" {
+		tenant = "default"
+	}
+	id, rt := tr.Start(obs.TraceID{}, false, tenant, time.Now())
+	out, err := p.SubmitTraced(ctx, tenant, ds, budget, id, rt)
+	if rt != nil {
+		outcome := "ok"
+		switch {
+		case err != nil:
+			outcome = "shed"
+			if _, ok := err.(*ShedError); !ok {
+				outcome = "error"
+			}
+		case out.Err != nil:
+			outcome = "error"
+		}
+		tr.Finish(rt, outcome, out.Sojourn, out.Service)
+	}
+	return out, err
+}
+
+// Tracer returns the plane's request tracer (nil when tracing is off).
+func (p *Plane) Tracer() *obs.ReqTracer { return p.cfg.Tracer }
+
+// SLO returns the plane's SLO engine (nil when disabled).
+func (p *Plane) SLO() *slo.Engine { return p.cfg.SLO }
+
+// SubmitTraced is Submit under a caller-owned trace: id is the request's
+// trace ID (zero for untraced) and rt the sampled trace to record spans on
+// (nil when unsampled). The caller finishes rt; the plane only records
+// admission, queue, stage, and shed spans onto it.
+func (p *Plane) SubmitTraced(ctx context.Context, tenant string, ds fxrt.DataSet, budget time.Duration, id obs.TraceID, rt *obs.ReqTrace) (Outcome, error) {
 	if tenant == "" {
 		tenant = "default"
 	}
 	if budget <= 0 {
 		budget = p.cfg.DefaultBudget
 	}
+	t0 := time.Now()
 	if p.draining.Load() {
-		return Outcome{}, p.shed(&ShedError{Reason: ReasonDraining, Detail: "plane draining for shutdown"})
+		return Outcome{}, p.shed(id, tenant, rt, &ShedError{Reason: ReasonDraining, Detail: "plane draining for shutdown"})
 	}
 	if p.breakerOpen() {
-		return Outcome{}, p.shed(&ShedError{
+		return Outcome{}, p.shed(id, tenant, rt, &ShedError{
 			Reason:     ReasonCircuitOpen,
 			Detail:     fmt.Sprintf("stage liveness below floor %.2f", p.cfg.LivenessFloor),
 			RetryAfter: p.cfg.BreakerProbe,
@@ -155,7 +220,7 @@ func (p *Plane) Submit(ctx context.Context, tenant string, ds fxrt.DataSet, budg
 	// Early rejection: if the predicted queue wait alone already blows the
 	// budget, a late answer is the only possible answer — shed now.
 	if w := p.predictedWait(); w > budget {
-		return Outcome{}, p.shed(&ShedError{
+		return Outcome{}, p.shed(id, tenant, rt, &ShedError{
 			Reason:     ReasonDeadline,
 			Detail:     fmt.Sprintf("predicted queue wait %v exceeds budget %v", w.Round(time.Millisecond), budget),
 			RetryAfter: w - budget,
@@ -168,21 +233,28 @@ func (p *Plane) Submit(ctx context.Context, tenant string, ds fxrt.DataSet, budg
 		Enqueued: time.Now(),
 		out:      make(chan Outcome, 1),
 		canceled: make(chan struct{}),
+		rt:       rt,
+	}
+	if rt != nil {
+		it.idStr = id.String()
 	}
 	if err := p.queue.Offer(it); err != nil {
 		if se, ok := err.(*ShedError); ok {
-			return Outcome{}, p.shed(se)
+			return Outcome{}, p.shed(id, tenant, rt, se)
 		}
 		return Outcome{}, err
 	}
 	p.admitted.Add(1)
 	p.cAdmit.Inc()
+	p.cvAdmit.With(tenant).Inc()
 	p.gDepth.Set(float64(p.queue.Len()))
+	rt.Span(obs.SpanAdmission, "admit", t0, time.Since(t0), "ok", "")
 	select {
 	case out := <-it.out:
 		return out, nil
 	case <-ctx.Done():
 		it.Cancel()
+		rt.Instant(obs.SpanResponse, "canceled", "submitter gave up")
 		return Outcome{}, ctx.Err()
 	}
 }
@@ -261,12 +333,15 @@ func (p *Plane) serve(it *Item) {
 		return
 	}
 	sojourn := time.Since(it.Enqueued)
-	p.hSojourn.Observe(float64(sojourn) / float64(time.Millisecond))
+	sojournMS := float64(sojourn) / float64(time.Millisecond)
+	p.hSojourn.ObserveExemplar(sojournMS, it.idStr)
+	p.hvSojourn.With(it.Tenant).ObserveExemplar(sojournMS, it.idStr)
+	it.rt.Span(obs.SpanQueue, "queue", it.Enqueued, sojourn, "ok", "")
 	// Head-of-line drop: the sojourn already spent the budget, so serving
 	// this request can only produce a late answer — shed it and move to
 	// fresher work (CoDel-style head drop under standing queues).
 	if it.Budget > 0 && sojourn > it.Budget {
-		e := p.shed(&ShedError{
+		e := p.shed(it.rt.ID(), it.Tenant, it.rt, &ShedError{
 			Reason: ReasonDeadline,
 			Detail: fmt.Sprintf("queue sojourn %v exceeded budget %v", sojourn.Round(time.Millisecond), it.Budget),
 		})
@@ -280,30 +355,37 @@ func (p *Plane) serve(it *Item) {
 		p.gInflight.Set(float64(p.dispatch.Load()))
 	}()
 	var r fxrt.StreamResult
+	tPush := time.Now()
 	for attempt := 0; ; attempt++ {
 		be := p.be.Load()
-		res, err := be.s.Push(nil, it.Payload)
+		res, err := be.s.PushTraced(nil, it.Payload, it.rt)
 		if err == fxrt.ErrStreamClosed && attempt == 0 {
 			continue // a live swap replaced the backend; retry on the new one
 		}
 		if err != nil {
 			p.failed.Add(1)
 			p.cFail.Inc()
+			p.cfg.SLO.Record(it.Tenant, false, sojournMS)
+			it.rt.Span(obs.SpanService, "pipeline", tPush, time.Since(tPush), "error", err.Error())
 			it.out <- Outcome{Err: err, Sojourn: sojourn}
 			return
 		}
 		r = <-res
 		break
 	}
-	p.hService.Observe(float64(r.Latency) / float64(time.Millisecond))
+	serviceMS := float64(r.Latency) / float64(time.Millisecond)
+	p.hService.ObserveExemplar(serviceMS, it.idStr)
 	p.observeService(r.Latency)
 	if r.Err != nil {
 		p.failed.Add(1)
 		p.cFail.Inc()
+		it.rt.Span(obs.SpanService, "pipeline", tPush, r.Latency, "error", r.Err.Error())
 	} else {
 		p.completed.Add(1)
 		p.cDone.Inc()
+		it.rt.Span(obs.SpanService, "pipeline", tPush, r.Latency, "ok", "")
 	}
+	p.cfg.SLO.Record(it.Tenant, r.Err == nil, sojournMS+serviceMS)
 	it.out <- Outcome{Output: r.DS, Err: r.Err, Sojourn: sojourn, Service: r.Latency}
 }
 
@@ -365,6 +447,10 @@ type Stats struct {
 	Shed           map[string]int64 `json:"shed"`
 	EWMAServiceMS  float64          `json:"ewmaServiceMs"`
 	StreamInFlight int              `json:"streamInFlight"`
+	// Tenants is the per-tenant queue occupancy (depth and high-water).
+	Tenants []TenantQueueStat `json:"tenants,omitempty"`
+	// Trace is the tracer's accounting when tracing is enabled.
+	Trace *obs.ReqTracerStats `json:"trace,omitempty"`
 }
 
 // Stats snapshots the plane.
@@ -391,6 +477,17 @@ func (p *Plane) Stats() Stats {
 	}
 	for r, n := range p.shedBy {
 		st.Shed[string(r)] = n.Load()
+	}
+	st.Tenants = p.queue.Tenants()
+	// Publishing the per-tenant occupancy gauges here keeps them in step
+	// with every stats poll without adding work to the admission path.
+	for _, tq := range st.Tenants {
+		p.gvQueueDepth.With(tq.Tenant).Set(float64(tq.Depth))
+		p.gvQueueHigh.With(tq.Tenant).Set(float64(tq.HighWater))
+	}
+	if tr := p.cfg.Tracer; tr != nil {
+		ts := tr.Stats()
+		st.Trace = &ts
 	}
 	return st
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pipemap/internal/fxrt"
+	"pipemap/internal/obs"
 )
 
 // ErrQueueDrained is returned by Pop once the queue is closed and empty:
@@ -31,6 +32,12 @@ type Item struct {
 
 	// out receives the request's outcome exactly once.
 	out chan Outcome
+
+	// rt is the request trace riding this item (nil when unsampled) and
+	// idStr its pre-rendered trace ID for exemplar attachment, so the hot
+	// path never re-formats it.
+	rt    *obs.ReqTrace
+	idStr string
 
 	canceled chan struct{} // closed when the submitter gave up
 	cancel   sync.Once
@@ -67,6 +74,7 @@ type Outcome struct {
 type tenantQ struct {
 	name    string
 	items   []*Item
+	high    int // this tenant's depth high-water mark
 	weight  int
 	quantum int
 	bucket  *bucket
@@ -181,12 +189,34 @@ func (q *Queue) Offer(it *Item) error {
 		}
 	}
 	t.items = append(t.items, it)
+	if len(t.items) > t.high {
+		t.high = len(t.items)
+	}
 	q.size++
 	if q.size > q.high {
 		q.high = q.size
 	}
 	q.broadcastLocked()
 	return nil
+}
+
+// TenantQueueStat is one tenant's queue occupancy snapshot.
+type TenantQueueStat struct {
+	Tenant    string `json:"tenant"`
+	Depth     int    `json:"depth"`
+	HighWater int    `json:"highWater"`
+}
+
+// Tenants snapshots per-tenant depth and high-water marks, in tenant
+// arrival order.
+func (q *Queue) Tenants() []TenantQueueStat {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]TenantQueueStat, 0, len(q.order))
+	for _, t := range q.order {
+		out = append(out, TenantQueueStat{Tenant: t.name, Depth: len(t.items), HighWater: t.high})
+	}
+	return out
 }
 
 // Len returns the current queued count; HighWater the maximum ever

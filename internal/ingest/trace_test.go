@@ -1,0 +1,286 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pipemap/internal/fxrt"
+	"pipemap/internal/obs"
+	"pipemap/internal/obs/slo"
+)
+
+// intCodec round-trips int data sets for handler tests.
+type intCodec struct{}
+
+func (intCodec) App() string { return "test" }
+func (intCodec) Decode(in json.RawMessage) (fxrt.DataSet, error) {
+	if len(in) == 0 {
+		return 0, nil
+	}
+	var v int
+	if err := json.Unmarshal(in, &v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+func (intCodec) Encode(out fxrt.DataSet) (any, error) { return out, nil }
+
+// tracedConfig returns a Config with full-rate tracing, a flight recorder,
+// and a discarding span exporter.
+func tracedConfig(t *testing.T) (Config, *obs.FlightRecorder) {
+	t.Helper()
+	fl := obs.NewFlightRecorder(64)
+	ex := obs.NewSpanExporter(io.Discard, 16)
+	t.Cleanup(func() { ex.Close() })
+	tr := obs.NewReqTracer(obs.ReqTracerConfig{SampleRate: 1, Exporter: ex, Flight: fl})
+	return Config{Tracer: tr}, fl
+}
+
+// faultyPipeline increments ints through two stages; stream index `fail`
+// fails permanently at stage 1.
+func faultyPipeline(fail int) *fxrt.Pipeline {
+	p := incPipeline(2, 1)
+	p.Retry = fxrt.RetryPolicy{MaxRetries: 1}
+	p.Faults = []fxrt.Fault{{Stage: 1, Instance: -1, DataSet: fail, Kind: fxrt.FaultFail}}
+	return p
+}
+
+// TestTracingDifferential runs the identical workload through a traced and
+// an untraced plane and asserts tracing changed nothing observable:
+// admission decisions, outputs, failures, and the plane's accounting.
+func TestTracingDifferential(t *testing.T) {
+	type result struct {
+		out  int
+		fail bool
+	}
+	run := func(cfg Config) ([]result, Stats) {
+		t.Helper()
+		p, err := New(cfg, faultyPipeline(3), fxrt.StreamOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var results []result
+		for i := 0; i < 8; i++ {
+			out, err := p.Submit(context.Background(), "tenant-a", i, 0)
+			if err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			r := result{fail: out.Err != nil}
+			if out.Err == nil {
+				r.out = out.Output.(int)
+			}
+			results = append(results, r)
+		}
+		st := p.Stats()
+		p.Drain()
+		return results, st
+	}
+
+	traced, fl := tracedConfig(t)
+	traced.SLO = slo.New(slo.Config{PerTenant: true})
+	plainResults, plainStats := run(Config{})
+	tracedResults, tracedStats := run(traced)
+
+	for i := range plainResults {
+		if plainResults[i] != tracedResults[i] {
+			t.Errorf("request %d diverged: untraced %+v, traced %+v", i, plainResults[i], tracedResults[i])
+		}
+	}
+	if plainStats.Admitted != tracedStats.Admitted ||
+		plainStats.Completed != tracedStats.Completed ||
+		plainStats.Failed != tracedStats.Failed {
+		t.Errorf("accounting diverged: untraced %+v, traced %+v", plainStats, tracedStats)
+	}
+	// The traced plane additionally reports tracer accounting and flight
+	// entries — observability on top, not behaviour change.
+	if tracedStats.Trace == nil || tracedStats.Trace.Sampled != 8 {
+		t.Errorf("traced stats = %+v, want 8 sampled", tracedStats.Trace)
+	}
+	if plainStats.Trace != nil {
+		t.Error("untraced plane reported tracer stats")
+	}
+	if len(fl.Snapshot()) != 8 {
+		t.Errorf("flight entries = %d, want 8", len(fl.Snapshot()))
+	}
+}
+
+// waitFlightEntries polls the recorder until it holds want entries (the
+// handler finishes the trace after writing the response, so the client can
+// observe the response first).
+func waitFlightEntries(t *testing.T, fl *obs.FlightRecorder, want int) []obs.FlightEntry {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if es := fl.Snapshot(); len(es) >= want {
+			return es
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flight recorder never reached %d entries (have %d)", want, len(fl.Snapshot()))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSubmitEndToEndSingleConnectedTrace forces sampling via a client
+// traceparent and asserts one submit produces a single trace that covers
+// admission, queue wait, the pipeline stages, and the response write —
+// all under the client's trace ID.
+func TestSubmitEndToEndSingleConnectedTrace(t *testing.T) {
+	fl := obs.NewFlightRecorder(64)
+	// Rate 0: only the client's sampled flag pulls this request in.
+	tr := obs.NewReqTracer(obs.ReqTracerConfig{SampleRate: 0, Flight: fl})
+	p, err := New(Config{Tracer: tr}, incPipeline(2, 1), fxrt.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Drain()
+	srv := httptest.NewServer(SubmitHandler(p, intCodec{}))
+	defer srv.Close()
+
+	const parent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	const wantID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	req, _ := http.NewRequest("POST", srv.URL, bytes.NewBufferString(`{"tenant":"t1","input":5}`))
+	req.Header.Set("traceparent", parent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != wantID {
+		t.Errorf("X-Trace-Id = %q, want %q", got, wantID)
+	}
+	if got := resp.Header.Get("traceparent"); len(got) != 55 || got[3:35] != wantID {
+		t.Errorf("traceparent echo = %q, want the client's trace ID sampled", got)
+	}
+	var sr SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.TraceID != wantID {
+		t.Errorf("body trace_id = %q, want %q", sr.TraceID, wantID)
+	}
+	if sr.Result == nil || int(sr.Result.(float64)) != 7 {
+		t.Errorf("result = %v, want 7", sr.Result)
+	}
+
+	entries := waitFlightEntries(t, fl, 1)
+	if len(entries) != 1 {
+		t.Fatalf("flight entries = %d, want exactly 1 (a single connected trace)", len(entries))
+	}
+	e := entries[0]
+	if e.Kind != obs.FlightTrace || e.TraceID != wantID || e.Tenant != "t1" || e.Outcome != "ok" {
+		t.Fatalf("flight entry = %+v", e)
+	}
+	kinds := map[string]int{}
+	for _, sp := range e.Spans {
+		kinds[sp.Kind]++
+	}
+	if kinds[obs.SpanAdmission] != 1 || kinds[obs.SpanQueue] != 1 ||
+		kinds[obs.SpanService] != 1 || kinds[obs.SpanResponse] != 1 {
+		t.Errorf("span kinds = %v, want one each of admission/queue/service/response", kinds)
+	}
+	if kinds[obs.SpanStage] != 2 {
+		t.Errorf("stage spans = %d, want 2 (one per pipeline stage)", kinds[obs.SpanStage])
+	}
+}
+
+// TestShedResponseCarriesTraceID asserts a refused request still echoes
+// its trace ID in the error body and lands in the flight recorder as a
+// shed decision.
+func TestShedResponseCarriesTraceID(t *testing.T) {
+	fl := obs.NewFlightRecorder(64)
+	tr := obs.NewReqTracer(obs.ReqTracerConfig{SampleRate: 0, Flight: fl})
+	p, err := New(Config{Tracer: tr}, incPipeline(1, 1), fxrt.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Drain() // every subsequent submit sheds as draining
+	srv := httptest.NewServer(SubmitHandler(p, intCodec{}))
+	defer srv.Close()
+
+	const wantID = "af7651916cd43dd8448eb211c80319c7"
+	req, _ := http.NewRequest("POST", srv.URL, bytes.NewBufferString(`{"tenant":"t1"}`))
+	req.Header.Set("X-Trace-Id", wantID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 400 {
+		t.Fatalf("draining plane served a request: %d", resp.StatusCode)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Reason != string(ReasonDraining) {
+		t.Errorf("reason = %q, want draining", eb.Error.Reason)
+	}
+	if eb.Error.TraceID != wantID {
+		t.Errorf("error trace_id = %q, want %q", eb.Error.TraceID, wantID)
+	}
+	entries := waitFlightEntries(t, fl, 1)
+	var shed *obs.FlightEntry
+	for i := range entries {
+		if entries[i].Kind == obs.FlightShed {
+			shed = &entries[i]
+		}
+	}
+	if shed == nil || shed.TraceID != wantID || shed.Outcome != string(ReasonDraining) {
+		t.Errorf("shed flight entry = %+v, want draining under %s", shed, wantID)
+	}
+}
+
+// TestSLOAlertFlipsUnderOverload drives a plane wired to an SLO engine
+// into shedding and asserts the availability burn-rate alert fires.
+func TestSLOAlertFlipsUnderOverload(t *testing.T) {
+	engine := slo.New(slo.Config{
+		Objectives: []slo.Objective{{Name: "availability", Target: 0.99}},
+		Windows: []slo.Window{
+			{Short: 100 * time.Millisecond, Long: time.Second, Threshold: 2},
+		},
+		PerTenant: true,
+	})
+	cfg, _ := tracedConfig(t)
+	cfg.SLO = engine
+	p, err := New(cfg, incPipeline(1, 1), fxrt.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the engine with a few good requests, then drain so every
+	// further submit sheds: availability collapses inside the window.
+	for i := 0; i < 3; i++ {
+		if _, err := p.Submit(context.Background(), "t", i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Drain()
+	for i := 0; i < 50; i++ {
+		if _, err := p.Submit(context.Background(), "t", i, 0); err == nil {
+			t.Fatal("draining plane served a request")
+		}
+	}
+	rep := engine.Report()
+	if !rep.Alerting {
+		t.Fatalf("overload did not flip the SLO alert: %+v", rep.Objectives)
+	}
+	found := false
+	for _, o := range rep.Tenants {
+		if o.Tenant == "t" && o.Alerting {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("per-tenant objective for t not alerting: %+v", rep.Tenants)
+	}
+}

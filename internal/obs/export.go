@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// SpanExporter writes finished request traces as NDJSON — one JSON object
+// per line, each a FlightEntry with its spans — on a dedicated writer
+// goroutine behind a bounded buffer. TryExport never blocks: when the
+// buffer is full (exporter backpressure, e.g. a slow disk), the trace is
+// dropped and counted rather than stalling the data plane. Close drains
+// the buffer, flushes, and reports the first write error.
+type SpanExporter struct {
+	ch   chan *FlightEntry
+	done chan struct{}
+	once sync.Once
+
+	// sendMu fences TryExport sends against Close's close(ch): exporters
+	// take the read side, so concurrent exports never contend with each
+	// other, only with the one-time close.
+	sendMu sync.RWMutex
+	closed bool
+
+	mu  sync.Mutex
+	err error
+
+	written atomic.Int64
+	dropped atomic.Int64
+}
+
+// NewSpanExporter starts an exporter writing to w with the given buffer
+// depth (default 256 when buf <= 0). The caller owns w's lifecycle; Close
+// the exporter before closing w.
+func NewSpanExporter(w io.Writer, buf int) *SpanExporter {
+	if buf <= 0 {
+		buf = 256
+	}
+	e := &SpanExporter{
+		ch:   make(chan *FlightEntry, buf),
+		done: make(chan struct{}),
+	}
+	go e.run(w)
+	return e
+}
+
+func (e *SpanExporter) run(w io.Writer) {
+	defer close(e.done)
+	enc := json.NewEncoder(w)
+	for fe := range e.ch {
+		if err := enc.Encode(fe); err != nil {
+			e.mu.Lock()
+			if e.err == nil {
+				e.err = err
+			}
+			e.mu.Unlock()
+			continue
+		}
+		e.written.Add(1)
+	}
+}
+
+// TryExport enqueues one finished trace without blocking. It reports false
+// when the buffer is full or the exporter is closed — the caller's signal
+// to count a drop. Safe on a nil exporter (reports false).
+func (e *SpanExporter) TryExport(fe *FlightEntry) bool {
+	if e == nil || fe == nil {
+		return false
+	}
+	// Close is expected only after the data plane stops exporting, but a
+	// late racing export must degrade to a counted drop, not a crash: the
+	// closed flag under sendMu keeps the send ordered before close(ch).
+	e.sendMu.RLock()
+	if e.closed {
+		e.sendMu.RUnlock()
+		e.dropped.Add(1)
+		return false
+	}
+	select {
+	case e.ch <- fe:
+		e.sendMu.RUnlock()
+		return true
+	default:
+		e.sendMu.RUnlock()
+		e.dropped.Add(1)
+		return false
+	}
+}
+
+// Written and Dropped report the exporter's accounting.
+func (e *SpanExporter) Written() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.written.Load()
+}
+
+// Dropped counts traces refused for backpressure or after close.
+func (e *SpanExporter) Dropped() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.dropped.Load()
+}
+
+// Close drains buffered traces to the writer, stops the goroutine, and
+// returns the first write error. Idempotent; nil-safe.
+func (e *SpanExporter) Close() error {
+	if e == nil {
+		return nil
+	}
+	e.once.Do(func() {
+		e.sendMu.Lock()
+		e.closed = true
+		close(e.ch)
+		e.sendMu.Unlock()
+	})
+	<-e.done
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanExporterWritesNDJSON(t *testing.T) {
+	var buf strings.Builder
+	mu := &sync.Mutex{}
+	e := NewSpanExporter(lockedWriter{mu: mu, w: &buf}, 8)
+	for i := 0; i < 3; i++ {
+		if !e.TryExport(&FlightEntry{Kind: FlightTrace, TraceID: "id", Tenant: "t"}) {
+			t.Fatalf("TryExport %d refused with room to spare", i)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if e.Written() != 3 {
+		t.Errorf("Written() = %d, want 3", e.Written())
+	}
+	mu.Lock()
+	body := buf.String()
+	mu.Unlock()
+	sc := bufio.NewScanner(strings.NewReader(body))
+	lines := 0
+	for sc.Scan() {
+		var fe FlightEntry
+		if err := json.Unmarshal(sc.Bytes(), &fe); err != nil {
+			t.Fatalf("line %d is not JSON: %v (%q)", lines, err, sc.Text())
+		}
+		if fe.Kind != FlightTrace || fe.TraceID != "id" {
+			t.Errorf("line %d decoded wrong: %+v", lines, fe)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Errorf("got %d NDJSON lines, want 3", lines)
+	}
+}
+
+// lockedWriter serializes writes so the test can read the buffer without
+// racing the exporter goroutine.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// blockingWriter blocks every Write until released, simulating a stalled
+// export destination.
+type blockingWriter struct{ release chan struct{} }
+
+func (b *blockingWriter) Write(p []byte) (int, error) {
+	<-b.release
+	return len(p), nil
+}
+
+func TestSpanExporterBackpressureDrops(t *testing.T) {
+	w := &blockingWriter{release: make(chan struct{})}
+	e := NewSpanExporter(w, 1)
+	// First export is consumed by the (now stalled) writer goroutine;
+	// second fills the buffer. Anything beyond must drop, not block.
+	ok1 := e.TryExport(&FlightEntry{Kind: FlightTrace})
+	deadline := time.After(time.Second)
+	for e.TryExport(&FlightEntry{Kind: FlightTrace}) {
+		select {
+		case <-deadline:
+			t.Fatal("TryExport never hit backpressure")
+		default:
+		}
+	}
+	if !ok1 {
+		t.Error("first TryExport refused an empty buffer")
+	}
+	if e.Dropped() == 0 {
+		t.Error("no drops counted under backpressure")
+	}
+	close(w.release)
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if e.Written() == 0 {
+		t.Error("buffered entries not flushed on Close")
+	}
+	// After Close, exports degrade to counted drops.
+	before := e.Dropped()
+	if e.TryExport(&FlightEntry{Kind: FlightTrace}) {
+		t.Error("TryExport succeeded after Close")
+	}
+	if e.Dropped() != before+1 {
+		t.Error("post-Close export not counted as a drop")
+	}
+}
+
+func TestSpanExporterNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		e := NewSpanExporter(io.Discard, 4)
+		e.TryExport(&FlightEntry{Kind: FlightTrace})
+		if err := e.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if err := e.Close(); err != nil { // idempotent
+			t.Fatalf("second Close: %v", err)
+		}
+	}
+	// Give any stragglers a moment, then compare. A small delta tolerates
+	// unrelated runtime goroutines.
+	var after int
+	for i := 0; i < 50; i++ {
+		after = runtime.NumGoroutine()
+		if after <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines grew from %d to %d: exporter leaked", before, after)
+}
+
+// TestSpanExporterHammer races exporters against Close under -race: late
+// exports must degrade to counted drops, never panic the data plane.
+func TestSpanExporterHammer(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		e := NewSpanExporter(io.Discard, 2)
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					e.TryExport(&FlightEntry{Kind: FlightTrace})
+				}
+			}()
+		}
+		e.Close()
+		wg.Wait()
+	}
+}
+
+func TestSpanExporterNilSafe(t *testing.T) {
+	var e *SpanExporter
+	if e.TryExport(&FlightEntry{}) {
+		t.Error("nil exporter accepted an export")
+	}
+	if e.Written() != 0 || e.Dropped() != 0 {
+		t.Error("nil exporter reports nonzero accounting")
+	}
+	if err := e.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}

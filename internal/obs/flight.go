@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Flight recorder (DESIGN.md §13): a lock-free ring of the last N notable
+// events — finished request traces, shed decisions, and adaptive-controller
+// decisions — dumped whole at /debug/flightrecorder for postmortems.
+// Writers publish whole entries with one atomic pointer store and one
+// atomic counter increment, so the recorder never contends with the data
+// plane; readers snapshot whatever mix of old and new entries the ring
+// holds at that instant (each individual entry is immutable once
+// published).
+
+// FlightEntry kinds.
+const (
+	// FlightTrace is a finished sampled request trace.
+	FlightTrace = "trace"
+	// FlightShed is one admission or head-of-line shed decision.
+	FlightShed = "shed"
+	// FlightAdapt is one adaptive-controller decision (migrate/rollback).
+	FlightAdapt = "adapt"
+)
+
+// FlightEntry is one recorded event. Entries are immutable after Record;
+// writers must not retain or mutate them.
+type FlightEntry struct {
+	Kind    string    `json:"kind"`
+	Time    time.Time `json:"time"`
+	TraceID string    `json:"traceId,omitempty"`
+	Tenant  string    `json:"tenant,omitempty"`
+	// Outcome classifies the event: the request outcome for traces, the
+	// shed reason for sheds, the controller action for adapt decisions.
+	Outcome   string    `json:"outcome,omitempty"`
+	Detail    string    `json:"detail,omitempty"`
+	SojournMS float64   `json:"sojourn_ms,omitempty"`
+	ServiceMS float64   `json:"service_ms,omitempty"`
+	Spans     []ReqSpan `json:"spans,omitempty"`
+}
+
+// FlightRecorder is the bounded lock-free ring. A nil *FlightRecorder is a
+// valid disabled recorder.
+type FlightRecorder struct {
+	slots []atomic.Pointer[FlightEntry]
+	seq   atomic.Uint64
+}
+
+// NewFlightRecorder returns a recorder retaining the last n entries
+// (default 256 when n <= 0).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = 256
+	}
+	return &FlightRecorder{slots: make([]atomic.Pointer[FlightEntry], n)}
+}
+
+// Cap returns the ring capacity (zero for nil).
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.slots)
+}
+
+// Recorded returns the total number of entries ever recorded.
+func (f *FlightRecorder) Recorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.seq.Load()
+}
+
+// Record publishes one entry, evicting the oldest when the ring is full.
+// Lock-free and safe for concurrent use; nil recorder or nil entry is a
+// no-op.
+func (f *FlightRecorder) Record(e *FlightEntry) {
+	if f == nil || e == nil {
+		return
+	}
+	i := f.seq.Add(1) - 1
+	f.slots[i%uint64(len(f.slots))].Store(e)
+}
+
+// Snapshot copies the ring's current entries, oldest first. Concurrent
+// writers may overwrite slots mid-read; each entry is immutable, so the
+// result is always a set of real entries, merely not guaranteed to be a
+// gap-free suffix under heavy write pressure.
+func (f *FlightRecorder) Snapshot() []FlightEntry {
+	if f == nil {
+		return nil
+	}
+	n := uint64(len(f.slots))
+	seq := f.seq.Load()
+	start := uint64(0)
+	if seq > n {
+		start = seq - n
+	}
+	out := make([]FlightEntry, 0, seq-start)
+	for i := start; i < seq; i++ {
+		if e := f.slots[i%n].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// ChromeEvents converts flight entries to Chrome trace_event records (one
+// thread per entry, spans at their request-relative timestamps), so a
+// flight-recorder dump opens directly in chrome://tracing or Perfetto.
+func ChromeEvents(entries []FlightEntry) []Event {
+	var out []Event
+	for tid, fe := range entries {
+		name := fe.Kind
+		if fe.TraceID != "" {
+			name = fe.Kind + " " + fe.TraceID
+		}
+		out = append(out, Event{Name: "thread_name", Phase: "M", TID: tid,
+			Args: map[string]any{"name": name}})
+		if len(fe.Spans) == 0 {
+			out = append(out, Event{Name: fe.Outcome, Cat: fe.Kind, Phase: "i",
+				TS: 0, TID: tid, Scope: "t",
+				Args: map[string]any{"tenant": fe.Tenant, "detail": fe.Detail}})
+			continue
+		}
+		for _, sp := range fe.Spans {
+			args := map[string]any{"outcome": sp.Outcome}
+			if sp.Kind == SpanStage {
+				args["stage"] = sp.Stage
+				args["replica"] = sp.Replica
+				args["attempt"] = sp.Attempt
+			}
+			if sp.DurUS <= 0 {
+				out = append(out, Event{Name: sp.Name, Cat: sp.Kind, Phase: "i",
+					TS: sp.TSUS, TID: tid, Scope: "t", Args: args})
+				continue
+			}
+			out = append(out, Event{Name: sp.Name, Cat: sp.Kind, Phase: "X",
+				TS: sp.TSUS, Dur: sp.DurUS, TID: tid, Args: args})
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderRingSemantics(t *testing.T) {
+	f := NewFlightRecorder(4)
+	if f.Cap() != 4 {
+		t.Fatalf("Cap() = %d, want 4", f.Cap())
+	}
+	for i := 0; i < 6; i++ {
+		f.Record(&FlightEntry{Kind: FlightTrace, Detail: fmt.Sprintf("e%d", i)})
+	}
+	if f.Recorded() != 6 {
+		t.Errorf("Recorded() = %d, want 6", f.Recorded())
+	}
+	snap := f.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot() kept %d entries, want 4", len(snap))
+	}
+	// Oldest first: e2..e5 survive after e0/e1 were evicted.
+	for i, e := range snap {
+		if want := fmt.Sprintf("e%d", i+2); e.Detail != want {
+			t.Errorf("snap[%d].Detail = %q, want %q", i, e.Detail, want)
+		}
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(&FlightEntry{Kind: FlightShed})
+	if f.Snapshot() != nil || f.Cap() != 0 || f.Recorded() != 0 {
+		t.Error("nil recorder is not inert")
+	}
+}
+
+// TestFlightRecorderHammer drives concurrent writers and readers through
+// the ring under -race: every snapshotted entry must be a real published
+// entry, never a torn or partially written one.
+func TestFlightRecorderHammer(t *testing.T) {
+	f := NewFlightRecorder(32)
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				f.Record(&FlightEntry{
+					Kind:   FlightTrace,
+					Tenant: fmt.Sprintf("w%d", w),
+					Detail: "hammer",
+				})
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, e := range f.Snapshot() {
+					if e.Detail != "hammer" || e.Kind != FlightTrace {
+						t.Error("snapshot observed a torn entry")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got := f.Recorded(); got != writers*perWriter {
+		t.Errorf("Recorded() = %d, want %d", got, writers*perWriter)
+	}
+	if len(f.Snapshot()) != 32 {
+		t.Errorf("full ring snapshot has %d entries, want 32", len(f.Snapshot()))
+	}
+}
+
+func TestChromeEventsConversion(t *testing.T) {
+	entries := []FlightEntry{
+		{
+			Kind: FlightTrace, TraceID: "abc", Tenant: "t",
+			Spans: []ReqSpan{
+				{Kind: SpanQueue, Name: "queue", TSUS: 10, DurUS: 100, Outcome: "ok"},
+				{Kind: SpanStage, Name: "fft", TSUS: 120, DurUS: 50, Stage: 1, Attempt: 1, Outcome: "ok"},
+				{Kind: SpanShed, Name: "deadline", TSUS: 200}, // zero-duration -> instant
+			},
+		},
+		{Kind: FlightShed, Outcome: "queue_full", Time: time.Now()},
+	}
+	evs := ChromeEvents(entries)
+	var meta, durations, instants int
+	for _, e := range evs {
+		switch e.Phase {
+		case "M":
+			meta++
+		case "X":
+			durations++
+		case "i":
+			instants++
+		}
+	}
+	if meta != 2 || durations != 2 || instants != 2 {
+		t.Fatalf("meta/X/i = %d/%d/%d, want 2/2/2 (events: %+v)", meta, durations, instants, evs)
+	}
+}

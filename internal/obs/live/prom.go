@@ -213,6 +213,33 @@ func writeRegistry(p *promWriter, r *Registry) {
 		st := s.Histograms[k]
 		p.summary(promName(k), "", st, st.Count, st.Sum)
 	}
+	// Labeled families. Label values were sanitized at With() time, so they
+	// can never break the exposition; family-major order keeps all series
+	// of one family consecutive as the format requires.
+	for _, k := range sortedKeys(s.CounterVecs) {
+		vs := s.CounterVecs[k]
+		n, lk := promName(k), promName(vs.LabelKey)
+		for _, ls := range vs.Series {
+			p.counter(n+"_total", "", float64(ls.Value.Total), lk, ls.Label)
+		}
+		for _, ls := range vs.Series {
+			p.gauge(n+"_per_second", "", ls.Value.Rate, lk, ls.Label)
+		}
+	}
+	for _, k := range sortedKeys(s.GaugeVecs) {
+		vs := s.GaugeVecs[k]
+		n, lk := promName(k), promName(vs.LabelKey)
+		for _, ls := range vs.Series {
+			p.gauge(n, "", ls.Value, lk, ls.Label)
+		}
+	}
+	for _, k := range sortedKeys(s.HistogramVecs) {
+		vs := s.HistogramVecs[k]
+		n, lk := promName(k), promName(vs.LabelKey)
+		for _, ls := range vs.Series {
+			p.summary(n, "", ls.Value, ls.Value.Count, ls.Value.Sum, lk, ls.Label)
+		}
+	}
 }
 
 // writeStatic emits a cumulative obs snapshot (the PR 2 registry), so the

@@ -32,20 +32,26 @@ func (o Options) withDefaults() Options {
 // A nil *Registry is a valid disabled registry: it hands out nil
 // instruments, which are themselves disabled and free.
 type Registry struct {
-	mu       sync.Mutex
-	opt      Options
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu          sync.Mutex
+	opt         Options
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	hists       map[string]*Histogram
+	counterVecs map[string]*CounterVec
+	gaugeVecs   map[string]*GaugeVec
+	histVecs    map[string]*HistogramVec
 }
 
 // NewRegistry returns an enabled registry.
 func NewRegistry(opt Options) *Registry {
 	return &Registry{
-		opt:      opt.withDefaults(),
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		hists:    map[string]*Histogram{},
+		opt:         opt.withDefaults(),
+		counters:    map[string]*Counter{},
+		gauges:      map[string]*Gauge{},
+		hists:       map[string]*Histogram{},
+		counterVecs: map[string]*CounterVec{},
+		gaugeVecs:   map[string]*GaugeVec{},
+		histVecs:    map[string]*HistogramVec{},
 	}
 }
 
@@ -106,9 +112,12 @@ type CounterStat struct {
 
 // Snapshot is a point-in-time copy of every live instrument.
 type Snapshot struct {
-	Counters   map[string]CounterStat `json:"counters"`
-	Gauges     map[string]float64     `json:"gauges"`
-	Histograms map[string]WindowStat  `json:"histograms"`
+	Counters      map[string]CounterStat          `json:"counters"`
+	Gauges        map[string]float64              `json:"gauges"`
+	Histograms    map[string]WindowStat           `json:"histograms"`
+	CounterVecs   map[string]VecStat[CounterStat] `json:"counterVecs,omitempty"`
+	GaugeVecs     map[string]VecStat[float64]     `json:"gaugeVecs,omitempty"`
+	HistogramVecs map[string]VecStat[WindowStat]  `json:"histogramVecs,omitempty"`
 }
 
 // Snapshot copies the registry's current state; a nil registry yields an
@@ -135,6 +144,18 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.hists {
 		hists[k] = v
 	}
+	counterVecs := make(map[string]*CounterVec, len(r.counterVecs))
+	for k, v := range r.counterVecs {
+		counterVecs[k] = v
+	}
+	gaugeVecs := make(map[string]*GaugeVec, len(r.gaugeVecs))
+	for k, v := range r.gaugeVecs {
+		gaugeVecs[k] = v
+	}
+	histVecs := make(map[string]*HistogramVec, len(r.histVecs))
+	for k, v := range r.histVecs {
+		histVecs[k] = v
+	}
 	r.mu.Unlock()
 	// Instrument reads take per-instrument locks; don't hold the registry
 	// lock across them.
@@ -146,6 +167,43 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for k, h := range hists {
 		s.Histograms[k] = h.Window()
+	}
+	if len(counterVecs) > 0 {
+		s.CounterVecs = map[string]VecStat[CounterStat]{}
+		for k, v := range counterVecs {
+			series := v.vec.snapshot()
+			vs := VecStat[CounterStat]{LabelKey: v.label}
+			for _, lv := range sortedKeys(series) {
+				c := series[lv]
+				vs.Series = append(vs.Series, LabeledStat[CounterStat]{
+					Label: lv,
+					Value: CounterStat{Total: c.Total(), Window: c.WindowSum(), Rate: c.Rate()},
+				})
+			}
+			s.CounterVecs[k] = vs
+		}
+	}
+	if len(gaugeVecs) > 0 {
+		s.GaugeVecs = map[string]VecStat[float64]{}
+		for k, v := range gaugeVecs {
+			series := v.vec.snapshot()
+			vs := VecStat[float64]{LabelKey: v.label}
+			for _, lv := range sortedKeys(series) {
+				vs.Series = append(vs.Series, LabeledStat[float64]{Label: lv, Value: series[lv].Value()})
+			}
+			s.GaugeVecs[k] = vs
+		}
+	}
+	if len(histVecs) > 0 {
+		s.HistogramVecs = map[string]VecStat[WindowStat]{}
+		for k, v := range histVecs {
+			series := v.vec.snapshot()
+			vs := VecStat[WindowStat]{LabelKey: v.label}
+			for _, lv := range sortedKeys(series) {
+				vs.Series = append(vs.Series, LabeledStat[WindowStat]{Label: lv, Value: series[lv].Window()})
+			}
+			s.HistogramVecs[k] = vs
+		}
 	}
 	return s
 }

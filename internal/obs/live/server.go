@@ -37,6 +37,15 @@ type ServerOptions struct {
 	// serialized under the "ingest" key of the payload (the ingestion
 	// plane's stats).
 	Ingest func() any
+	// SLO, when set, is called per /slo request and its result serialized
+	// as the response (the slo.Engine's Report). It is also invoked once
+	// per /metrics scrape before the exposition is written, so the burn
+	// gauges an engine publishes into Registry are fresh at scrape time.
+	SLO func() any
+	// Flight, when set, backs /debug/flightrecorder with the flight
+	// recorder's snapshot. ?format=chrome converts the dump to Chrome
+	// trace_event JSON.
+	Flight func() []obs.FlightEntry
 	// Extra mounts additional handlers on the server's mux by pattern
 	// (e.g. "/v1/submit" for an ingestion plane). Patterns collide with
 	// built-in routes at the mux's discretion; pick distinct ones.
@@ -66,6 +75,12 @@ func NewServer(opt ServerOptions) *Server {
 	s.mux.HandleFunc("/readyz", s.readyz)
 	s.mux.HandleFunc("/pipeline", s.pipeline)
 	s.mux.HandleFunc("/events", s.events)
+	if opt.SLO != nil {
+		s.mux.HandleFunc("/slo", s.slo)
+	}
+	if opt.Flight != nil {
+		s.mux.HandleFunc("/debug/flightrecorder", s.flight)
+	}
 	if !opt.DisablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -137,6 +152,12 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
   /events       fault event stream (NDJSON; ?follow=0 for history only)
   /debug/pprof  profiling
 `)
+	if s.opt.SLO != nil {
+		fmt.Fprintln(w, "  /slo          SLO objectives and burn rates (JSON)")
+	}
+	if s.opt.Flight != nil {
+		fmt.Fprintln(w, "  /debug/flightrecorder  last-N request traces, sheds, adapt decisions (?format=chrome)")
+	}
 	for _, pat := range s.extra {
 		fmt.Fprintf(w, "  %s\n", pat)
 	}
@@ -144,12 +165,41 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.opt.SLO != nil {
+		// Evaluating the SLO engine publishes its burn gauges into the
+		// registry; do it before writing the exposition so the scrape sees
+		// current values.
+		_ = s.opt.SLO()
+	}
 	var static *obs.Snapshot
 	if s.opt.Static != nil {
 		snap := s.opt.Static()
 		static = &snap
 	}
 	_ = WriteProm(w, s.monitor(), s.opt.Registry, static)
+}
+
+func (s *Server) slo(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.opt.SLO())
+}
+
+// flight dumps the flight recorder. ?format=chrome emits Chrome
+// trace_event JSON loadable in chrome://tracing or Perfetto.
+func (s *Server) flight(w http.ResponseWriter, r *http.Request) {
+	entries := s.opt.Flight()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		events := obs.ChromeEvents(entries)
+		_ = enc.Encode(map[string]any{"traceEvents": events})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = enc.Encode(map[string]any{"count": len(entries), "entries": entries})
 }
 
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,228 @@
+package live
+
+import "sync"
+
+// Labeled instrument families (DESIGN.md §13). A vec is one metric family
+// with a single label key (e.g. "tenant") and a bounded set of label
+// values: values beyond the cap fold into vecOverflowValue so a hostile or
+// buggy client cannot grow /metrics without bound. Label values are
+// sanitized to a charset that can never break the Prometheus text
+// exposition (or the smoke lint that parses it), whatever bytes the client
+// sent.
+
+const (
+	// vecMaxValues bounds the distinct label values of one vec.
+	vecMaxValues = 256
+	// vecMaxValueLen bounds one label value's length.
+	vecMaxValueLen = 64
+	// vecOverflowValue absorbs values beyond the cap.
+	vecOverflowValue = "overflow"
+)
+
+// sanitizeLabelValue maps v onto [a-zA-Z0-9_.:/-], replacing every other
+// byte with '_' and truncating to vecMaxValueLen. The common clean case
+// returns v unchanged without allocating.
+func sanitizeLabelValue(v string) string {
+	if v == "" {
+		return "_"
+	}
+	clean := len(v) <= vecMaxValueLen
+	if clean {
+		for i := 0; i < len(v); i++ {
+			if !safeLabelByte(v[i]) {
+				clean = false
+				break
+			}
+		}
+	}
+	if clean {
+		return v
+	}
+	if len(v) > vecMaxValueLen {
+		v = v[:vecMaxValueLen]
+	}
+	b := []byte(v)
+	for i := range b {
+		if !safeLabelByte(b[i]) {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+func safeLabelByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c == '.' || c == ':' || c == '/' || c == '-'
+}
+
+// vec is the generic family core shared by the typed vecs.
+type vec[T any] struct {
+	mu   sync.Mutex
+	m    map[string]T
+	mk   func() T
+	zero T
+}
+
+func (v *vec[T]) with(value string) T {
+	value = sanitizeLabelValue(value)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	in, ok := v.m[value]
+	if ok {
+		return in
+	}
+	if len(v.m) >= vecMaxValues {
+		value = vecOverflowValue
+		if in, ok := v.m[value]; ok {
+			return in
+		}
+	}
+	in = v.mk()
+	v.m[value] = in
+	return in
+}
+
+func (v *vec[T]) snapshot() map[string]T {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[string]T, len(v.m))
+	for k, in := range v.m {
+		out[k] = in
+	}
+	return out
+}
+
+// CounterVec is a label-partitioned counter family. A nil *CounterVec is a
+// valid disabled family handing out nil (disabled) counters.
+type CounterVec struct {
+	label string
+	vec   vec[*Counter]
+}
+
+// Label returns the family's label key.
+func (v *CounterVec) Label() string {
+	if v == nil {
+		return ""
+	}
+	return v.label
+}
+
+// With returns the counter for the given label value, creating it if
+// needed (folding into "overflow" past the cap).
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.vec.with(value)
+}
+
+// GaugeVec is a label-partitioned gauge family; nil is valid and disabled.
+type GaugeVec struct {
+	label string
+	vec   vec[*Gauge]
+}
+
+// Label returns the family's label key.
+func (v *GaugeVec) Label() string {
+	if v == nil {
+		return ""
+	}
+	return v.label
+}
+
+// With returns the gauge for the given label value.
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.vec.with(value)
+}
+
+// HistogramVec is a label-partitioned histogram family; nil is valid and
+// disabled.
+type HistogramVec struct {
+	label string
+	vec   vec[*Histogram]
+}
+
+// Label returns the family's label key.
+func (v *HistogramVec) Label() string {
+	if v == nil {
+		return ""
+	}
+	return v.label
+}
+
+// With returns the histogram for the given label value.
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.vec.with(value)
+}
+
+// CounterVec returns the named counter family with the given label key,
+// creating it if needed. The label key is fixed at first use.
+func (r *Registry) CounterVec(name, label string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.counterVecs[name]
+	if v == nil {
+		clock, window := r.opt.Clock, r.opt.Window
+		v = &CounterVec{label: label}
+		v.vec.m = map[string]*Counter{}
+		v.vec.mk = func() *Counter { return newCounter(clock, window) }
+		r.counterVecs[name] = v
+	}
+	return v
+}
+
+// GaugeVec returns the named gauge family, creating it if needed.
+func (r *Registry) GaugeVec(name, label string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.gaugeVecs[name]
+	if v == nil {
+		v = &GaugeVec{label: label}
+		v.vec.m = map[string]*Gauge{}
+		v.vec.mk = newGauge
+		r.gaugeVecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns the named histogram family, creating it if needed.
+func (r *Registry) HistogramVec(name, label string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.histVecs[name]
+	if v == nil {
+		clock, window := r.opt.Clock, r.opt.Window
+		v = &HistogramVec{label: label}
+		v.vec.m = map[string]*Histogram{}
+		v.vec.mk = func() *Histogram { return newHistogram(clock, window) }
+		r.histVecs[name] = v
+	}
+	return v
+}
+
+// LabeledStat pairs a label value with one instrument's stat.
+type LabeledStat[S any] struct {
+	Label string `json:"label"`
+	Value S      `json:"value"`
+}
+
+// VecStat is the exported state of one labeled family.
+type VecStat[S any] struct {
+	LabelKey string           `json:"labelKey"`
+	Series   []LabeledStat[S] `json:"series"`
+}

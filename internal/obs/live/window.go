@@ -149,13 +149,17 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// histSlot is one time bucket of a windowed histogram.
+// histSlot is one time bucket of a windowed histogram. Alongside the
+// sample counts it keeps one exemplar trace ID per value bucket, so a
+// windowed quantile can be traced back to a concrete request
+// (DESIGN.md §13).
 type histSlot struct {
-	epoch    int64
-	count    int64
-	sum      float64
-	min, max float64
-	buckets  [obs.HistogramBuckets]int64
+	epoch     int64
+	count     int64
+	sum       float64
+	min, max  float64
+	buckets   [obs.HistogramBuckets]int64
+	exemplars [obs.HistogramBuckets]string
 }
 
 // Histogram is a rolling-window histogram: a ring of time slots, each
@@ -191,7 +195,13 @@ func newHistogram(clock Clock, window time.Duration) *Histogram {
 
 // Observe adds one sample. The hot path touches only ring arrays: no
 // allocation, one mutex.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveExemplar(v, "") }
+
+// ObserveExemplar adds one sample and, when exemplar is non-empty,
+// attaches it as the exemplar trace ID of the value bucket the sample
+// falls into (last writer wins). Exemplar storage reuses the slot ring:
+// no allocation beyond the caller's string.
+func (h *Histogram) ObserveExemplar(v float64, exemplar string) {
 	if h == nil {
 		return
 	}
@@ -213,7 +223,11 @@ func (h *Histogram) Observe(v float64) {
 	}
 	s.count++
 	s.sum += v
-	s.buckets[obs.HistogramBucketOf(v)]++
+	b := obs.HistogramBucketOf(v)
+	s.buckets[b]++
+	if exemplar != "" {
+		s.exemplars[b] = exemplar
+	}
 	h.total++
 	h.totalSum += v
 	if !h.everSawOne || v < h.allMin {
@@ -237,6 +251,10 @@ type WindowStat struct {
 	P90   float64 `json:"p90"`
 	P99   float64 `json:"p99"`
 	Rate  float64 `json:"rate"` // samples per second over the window
+	// P99Exemplar is the trace ID of a request that landed in the value
+	// bucket containing the windowed p99, when one was attached via
+	// ObserveExemplar.
+	P99Exemplar string `json:"p99_exemplar,omitempty"`
 }
 
 // Window merges the live slots and returns the windowed summary.
@@ -249,6 +267,8 @@ func (h *Histogram) Window() WindowStat {
 	now := h.clock()
 	e := now / h.slot
 	var merged [obs.HistogramBuckets]int64
+	var mergedEx [obs.HistogramBuckets]string
+	var mergedExEpoch [obs.HistogramBuckets]int64
 	var st WindowStat
 	first := true
 	for i := range h.slots {
@@ -267,6 +287,10 @@ func (h *Histogram) Window() WindowStat {
 		first = false
 		for b, n := range s.buckets {
 			merged[b] += n
+			if x := s.exemplars[b]; x != "" && (mergedEx[b] == "" || s.epoch > mergedExEpoch[b]) {
+				mergedEx[b] = x
+				mergedExEpoch[b] = s.epoch
+			}
 		}
 	}
 	if st.Count > 0 {
@@ -274,6 +298,16 @@ func (h *Histogram) Window() WindowStat {
 		st.P50 = obs.QuantileFromBuckets(merged[:], st.Count, 0.50, st.Min, st.Max)
 		st.P90 = obs.QuantileFromBuckets(merged[:], st.Count, 0.90, st.Min, st.Max)
 		st.P99 = obs.QuantileFromBuckets(merged[:], st.Count, 0.99, st.Min, st.Max)
+		// Trace the p99 back to a concrete request: the freshest exemplar in
+		// the p99's own value bucket, falling back to the nearest populated
+		// bucket above it (quantile interpolation can land just below the
+		// bucket that actually holds the tail samples).
+		for b := obs.HistogramBucketOf(st.P99); b < obs.HistogramBuckets; b++ {
+			if mergedEx[b] != "" {
+				st.P99Exemplar = mergedEx[b]
+				break
+			}
+		}
 	}
 	elapsed := now - h.created
 	if window := h.slot * histSlots; elapsed > window {

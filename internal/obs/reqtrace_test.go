@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	id := newTraceID()
+	if id.IsZero() {
+		t.Fatal("newTraceID returned the zero ID")
+	}
+	s := id.String()
+	if len(s) != 32 || strings.ToLower(s) != s {
+		t.Fatalf("String() = %q, want 32 lowercase hex chars", s)
+	}
+	back, ok := ParseTraceID(s)
+	if !ok || back != id {
+		t.Fatalf("ParseTraceID(%q) = %v, %v; want original id", s, back, ok)
+	}
+	if _, ok := ParseTraceID(strings.Repeat("0", 32)); ok {
+		t.Error("all-zero trace ID accepted; the W3C spec reserves it")
+	}
+	if _, ok := ParseTraceID("abc"); ok {
+		t.Error("short trace ID accepted")
+	}
+	if _, ok := ParseTraceID(strings.Repeat("zz", 16)); ok {
+		t.Error("non-hex trace ID accepted")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	id := newTraceID()
+	for _, sampled := range []bool{true, false} {
+		h := id.Traceparent(sampled)
+		if len(h) != 55 {
+			t.Fatalf("Traceparent length = %d, want 55 (%q)", len(h), h)
+		}
+		gotID, gotSampled, ok := ParseTraceparent(h)
+		if !ok || gotID != id || gotSampled != sampled {
+			t.Fatalf("ParseTraceparent(%q) = %v %v %v, want %v %v true", h, gotID, gotSampled, ok, id, sampled)
+		}
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	valid := newTraceID().Traceparent(true)
+	bad := []string{
+		"",
+		"00",
+		strings.Replace(valid, "-", "_", 1),
+		"00-" + strings.Repeat("0", 32) + valid[35:], // zero trace ID
+		valid[:53] + "zz", // non-hex flags
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed header", h)
+		}
+	}
+	// Unknown version with the standard layout parses (forward compat).
+	if _, _, ok := ParseTraceparent("01" + valid[2:]); !ok {
+		t.Error("unknown traceparent version with standard layout rejected")
+	}
+}
+
+func TestSamplingDeterministicAndProportional(t *testing.T) {
+	tr := NewReqTracer(ReqTracerConfig{SampleRate: 0.5})
+	id := newTraceID()
+	_, first := tr.Start(id, false, "a", time.Now())
+	for i := 0; i < 10; i++ {
+		if _, rt := tr.Start(id, false, "a", time.Now()); (rt != nil) != (first != nil) {
+			t.Fatal("sampling decision not deterministic in the trace ID")
+		}
+	}
+	sampled := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, rt := tr.Start(TraceID{}, false, "a", time.Now()); rt != nil {
+			sampled++
+		}
+	}
+	if frac := float64(sampled) / n; frac < 0.4 || frac > 0.6 {
+		t.Errorf("rate-0.5 tracer sampled %.2f of requests", frac)
+	}
+
+	off := NewReqTracer(ReqTracerConfig{SampleRate: 0})
+	if _, rt := off.Start(TraceID{}, false, "a", time.Now()); rt != nil {
+		t.Error("rate-0 tracer sampled an unforced request")
+	}
+	if _, rt := off.Start(TraceID{}, true, "a", time.Now()); rt == nil {
+		t.Error("force did not override a rate-0 tracer")
+	}
+	all := NewReqTracer(ReqTracerConfig{SampleRate: 1})
+	if _, rt := all.Start(TraceID{}, false, "a", time.Now()); rt == nil {
+		t.Error("rate-1 tracer skipped a request")
+	}
+}
+
+func TestTracerStartFinishAccounting(t *testing.T) {
+	fl := NewFlightRecorder(8)
+	tr := NewReqTracer(ReqTracerConfig{SampleRate: 1, Flight: fl})
+	at := time.Now()
+	id, rt := tr.Start(TraceID{}, false, "tenant-a", at)
+	if rt == nil || id.IsZero() {
+		t.Fatal("rate-1 Start returned unsampled")
+	}
+	if rt.ID() != id || rt.Tenant() != "tenant-a" {
+		t.Fatalf("trace identity mismatch: %v %q", rt.ID(), rt.Tenant())
+	}
+	rt.Span(SpanAdmission, "admit", at, time.Millisecond, "ok", "")
+	rt.StageSpan("fft", 1, 0, 2, "ok", at.Add(time.Millisecond), 3*time.Millisecond)
+	rt.Instant(SpanShed, "deadline", "late")
+	spans := rt.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[1].Stage != 1 || spans[1].Attempt != 2 || spans[1].Kind != SpanStage {
+		t.Errorf("stage span fields wrong: %+v", spans[1])
+	}
+	tr.Finish(rt, "ok", 2*time.Millisecond, 5*time.Millisecond)
+	st := tr.Stats()
+	if st.Started != 1 || st.Sampled != 1 || st.Finished != 1 {
+		t.Errorf("stats = %+v, want started/sampled/finished 1", st)
+	}
+	entries := fl.Snapshot()
+	if len(entries) != 1 || entries[0].Kind != FlightTrace || entries[0].TraceID != id.String() {
+		t.Fatalf("flight entries = %+v", entries)
+	}
+	if len(entries[0].Spans) != 3 || entries[0].SojournMS != 2 || entries[0].ServiceMS != 5 {
+		t.Errorf("flight entry content wrong: %+v", entries[0])
+	}
+}
+
+func TestRecordShedWithoutSampling(t *testing.T) {
+	fl := NewFlightRecorder(8)
+	tr := NewReqTracer(ReqTracerConfig{SampleRate: 0, Flight: fl})
+	id, rt := tr.Start(TraceID{}, false, "t", time.Now())
+	if rt != nil {
+		t.Fatal("rate-0 sampled")
+	}
+	tr.RecordShed(id, "t", "queue_full", "depth 64")
+	entries := fl.Snapshot()
+	if len(entries) != 1 || entries[0].Kind != FlightShed || entries[0].Outcome != "queue_full" {
+		t.Fatalf("shed not flight-recorded: %+v", entries)
+	}
+	if entries[0].TraceID != id.String() {
+		t.Errorf("shed entry trace ID = %q, want %q", entries[0].TraceID, id.String())
+	}
+}

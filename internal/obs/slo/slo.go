@@ -1,0 +1,378 @@
+// Package slo evaluates service-level objectives over the ingest data
+// plane's request outcomes: availability (fraction of requests served
+// without shedding or failure) and latency (fraction served within a
+// target), per fleet and per tenant, with Google-SRE-style multi-window
+// burn-rate alerting (DESIGN.md §13).
+//
+// Error budget: an objective with Target t tolerates a bad fraction of
+// 1-t. The burn rate over a window is (observed bad fraction)/(1-t): burn 1
+// spends the budget exactly at the sustainable rate, burn B spends it B
+// times too fast. An alert pair (Short, Long, Threshold) fires when BOTH
+// windows burn at or above the threshold — the long window proves the
+// spend is material, the short window proves it is still happening — which
+// is what keeps burn alerts both fast and self-resolving.
+package slo
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"pipemap/internal/obs/live"
+)
+
+// Objective declares one SLO.
+type Objective struct {
+	// Name labels the objective ("availability", "latency_p99").
+	Name string `json:"name"`
+	// Target is the required good fraction (e.g. 0.999).
+	Target float64 `json:"target"`
+	// LatencyMS, when positive, makes this a latency objective: a request
+	// counts good only when it succeeded AND its end-to-end time (sojourn
+	// plus service) is at or below this bound. Zero means availability
+	// only.
+	LatencyMS float64 `json:"latencyMs,omitempty"`
+}
+
+// Window is one burn-rate alert pair.
+type Window struct {
+	Short     time.Duration `json:"short"`
+	Long      time.Duration `json:"long"`
+	Threshold float64       `json:"threshold"`
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Objectives to evaluate; empty defaults to 99.9% availability.
+	Objectives []Objective
+	// Windows are the burn-rate alert pairs; empty uses
+	// {5m/30s @ burn 10} and {30m/2m @ burn 2}, scaled for a
+	// long-running server. Tests inject millisecond pairs with a virtual
+	// clock.
+	Windows []Window
+	// PerTenant additionally evaluates every objective per tenant.
+	PerTenant bool
+	// MaxTenants bounds the per-tenant table (default 64); overflow
+	// tenants are folded into "overflow".
+	MaxTenants int
+	// Clock supplies timestamps; nil uses the wall clock.
+	Clock live.Clock
+	// Registry, when set, receives the fleet-level burn-rate and
+	// compliance gauges (slo.* names) on every Report, so /metrics carries
+	// them. Per-tenant burn lives only in the /slo JSON to bound metric
+	// cardinality.
+	Registry *live.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Objectives) == 0 {
+		c.Objectives = []Objective{{Name: "availability", Target: 0.999}}
+	}
+	if len(c.Windows) == 0 {
+		c.Windows = []Window{
+			{Short: 30 * time.Second, Long: 5 * time.Minute, Threshold: 10},
+			{Short: 2 * time.Minute, Long: 30 * time.Minute, Threshold: 2},
+		}
+	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 64
+	}
+	if c.Clock == nil {
+		c.Clock = func() int64 { return time.Now().UnixNano() }
+	}
+	return c
+}
+
+// ring accumulates good/total counts in fixed time slots sized so the
+// longest window is covered; sums over any shorter window are slot-aligned
+// prefix sums. One ring per (objective, scope).
+type ring struct {
+	slot   int64 // nanoseconds per slot
+	epochs []int64
+	good   []int64
+	total  []int64
+}
+
+func newRing(slot int64, slots int) *ring {
+	r := &ring{slot: slot, epochs: make([]int64, slots), good: make([]int64, slots), total: make([]int64, slots)}
+	for i := range r.epochs {
+		r.epochs[i] = -1
+	}
+	return r
+}
+
+func (r *ring) add(now int64, good bool) {
+	e := now / r.slot
+	i := int(e % int64(len(r.epochs)))
+	if i < 0 {
+		i += len(r.epochs)
+	}
+	if r.epochs[i] != e {
+		r.epochs[i] = e
+		r.good[i], r.total[i] = 0, 0
+	}
+	r.total[i]++
+	if good {
+		r.good[i]++
+	}
+}
+
+// sum returns (good, total) over the trailing window of the given slot
+// count ending now.
+func (r *ring) sum(now int64, slots int64) (int64, int64) {
+	e := now / r.slot
+	var g, t int64
+	for i := range r.epochs {
+		if d := e - r.epochs[i]; d >= 0 && d < slots {
+			g += r.good[i]
+			t += r.total[i]
+		}
+	}
+	return g, t
+}
+
+// instance is one objective evaluated for one scope (fleet or tenant).
+type instance struct {
+	obj    Objective
+	tenant string // "" = fleet
+	ring   *ring
+}
+
+// Engine ingests request outcomes and evaluates the objectives. A nil
+// *Engine is a valid disabled engine. All methods are safe for concurrent
+// use.
+type Engine struct {
+	cfg      Config
+	slot     int64
+	slots    int
+	maxSlots int64 // longest window in slots
+
+	mu      sync.Mutex
+	fleet   []*instance
+	tenants map[string][]*instance
+}
+
+// New builds the engine.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	// Slot width: the shortest short window split 8 ways bounds staleness
+	// at 1/8 of the fastest alert's reaction window.
+	shortest := cfg.Windows[0].Short
+	longest := cfg.Windows[0].Long
+	for _, w := range cfg.Windows {
+		if w.Short < shortest {
+			shortest = w.Short
+		}
+		if w.Long > longest {
+			longest = w.Long
+		}
+	}
+	slot := int64(shortest) / 8
+	if slot <= 0 {
+		slot = 1
+	}
+	slots := int(int64(longest)/slot) + 1
+	e := &Engine{cfg: cfg, slot: slot, slots: slots, maxSlots: int64(slots), tenants: map[string][]*instance{}}
+	for _, o := range cfg.Objectives {
+		e.fleet = append(e.fleet, &instance{obj: o, ring: newRing(slot, slots)})
+	}
+	return e
+}
+
+// Enabled reports whether the engine evaluates objectives.
+func (e *Engine) Enabled() bool { return e != nil }
+
+// tenantInstancesLocked returns (creating if needed) the tenant's
+// objective instances, folding overflow tenants together.
+func (e *Engine) tenantInstancesLocked(tenant string) []*instance {
+	ins := e.tenants[tenant]
+	if ins != nil {
+		return ins
+	}
+	if len(e.tenants) >= e.cfg.MaxTenants {
+		tenant = "overflow"
+		if ins := e.tenants[tenant]; ins != nil {
+			return ins
+		}
+	}
+	for _, o := range e.cfg.Objectives {
+		ins = append(ins, &instance{obj: o, tenant: tenant, ring: newRing(e.slot, e.slots)})
+	}
+	e.tenants[tenant] = ins
+	return ins
+}
+
+// Record ingests one request outcome: ok is whether it was served
+// successfully (sheds and pipeline failures are not ok), latencyMS its
+// end-to-end time. Nil-safe.
+func (e *Engine) Record(tenant string, ok bool, latencyMS float64) {
+	if e == nil {
+		return
+	}
+	now := e.cfg.Clock()
+	e.mu.Lock()
+	for _, in := range e.fleet {
+		in.ring.add(now, goodFor(in.obj, ok, latencyMS))
+	}
+	if e.cfg.PerTenant && tenant != "" {
+		for _, in := range e.tenantInstancesLocked(tenant) {
+			in.ring.add(now, goodFor(in.obj, ok, latencyMS))
+		}
+	}
+	e.mu.Unlock()
+}
+
+func goodFor(o Objective, ok bool, latencyMS float64) bool {
+	return ok && (o.LatencyMS <= 0 || latencyMS <= o.LatencyMS)
+}
+
+// WindowBurn is one alert pair's evaluation.
+type WindowBurn struct {
+	Short     string  `json:"short"`
+	Long      string  `json:"long"`
+	Threshold float64 `json:"threshold"`
+	ShortBurn float64 `json:"shortBurn"`
+	LongBurn  float64 `json:"longBurn"`
+	Alerting  bool    `json:"alerting"`
+}
+
+// ObjectiveReport is one objective's evaluation for one scope.
+type ObjectiveReport struct {
+	Name      string  `json:"name"`
+	Tenant    string  `json:"tenant,omitempty"`
+	Target    float64 `json:"target"`
+	LatencyMS float64 `json:"latencyMs,omitempty"`
+	// Good/Total and Compliance are over the longest configured window.
+	Good       int64        `json:"good"`
+	Total      int64        `json:"total"`
+	Compliance float64      `json:"compliance"`
+	Burn       []WindowBurn `json:"burn"`
+	Alerting   bool         `json:"alerting"`
+}
+
+// Report is the /slo payload.
+type Report struct {
+	Objectives []ObjectiveReport `json:"objectives"`
+	Tenants    []ObjectiveReport `json:"tenants,omitempty"`
+	Alerting   bool              `json:"alerting"`
+}
+
+func (e *Engine) evaluate(in *instance, now int64) ObjectiveReport {
+	budget := 1 - in.obj.Target
+	rep := ObjectiveReport{
+		Name: in.obj.Name, Tenant: in.tenant,
+		Target: in.obj.Target, LatencyMS: in.obj.LatencyMS,
+	}
+	rep.Good, rep.Total = in.ring.sum(now, e.maxSlots)
+	if rep.Total > 0 {
+		rep.Compliance = float64(rep.Good) / float64(rep.Total)
+	} else {
+		rep.Compliance = 1
+	}
+	burnOver := func(d time.Duration) float64 {
+		slots := int64(d) / e.slot
+		if slots < 1 {
+			slots = 1
+		}
+		g, t := in.ring.sum(now, slots)
+		if t == 0 {
+			return 0
+		}
+		bad := float64(t-g) / float64(t)
+		if budget <= 0 {
+			// A 100% target has no budget: any badness is infinite burn,
+			// represented as bad/epsilon-free large value.
+			if bad > 0 {
+				return 1e9
+			}
+			return 0
+		}
+		return bad / budget
+	}
+	for _, w := range e.cfg.Windows {
+		wb := WindowBurn{
+			Short: w.Short.String(), Long: w.Long.String(), Threshold: w.Threshold,
+			ShortBurn: burnOver(w.Short), LongBurn: burnOver(w.Long),
+		}
+		wb.Alerting = wb.ShortBurn >= w.Threshold && wb.LongBurn >= w.Threshold
+		rep.Burn = append(rep.Burn, wb)
+		rep.Alerting = rep.Alerting || wb.Alerting
+	}
+	return rep
+}
+
+// Report evaluates every objective and, as a side effect, publishes the
+// fleet-level burn-rate/compliance/alert gauges into the configured
+// registry so a /metrics scrape taken after a Report is current. Nil-safe
+// (empty report).
+func (e *Engine) Report() Report {
+	if e == nil {
+		return Report{}
+	}
+	now := e.cfg.Clock()
+	e.mu.Lock()
+	fleet := make([]*instance, len(e.fleet))
+	copy(fleet, e.fleet)
+	names := make([]string, 0, len(e.tenants))
+	for t := range e.tenants {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	var tins []*instance
+	for _, t := range names {
+		tins = append(tins, e.tenants[t]...)
+	}
+	e.mu.Unlock()
+
+	var rep Report
+	for _, in := range fleet {
+		or := e.evaluate(in, now)
+		rep.Objectives = append(rep.Objectives, or)
+		rep.Alerting = rep.Alerting || or.Alerting
+		e.publish(or)
+	}
+	for _, in := range tins {
+		or := e.evaluate(in, now)
+		rep.Tenants = append(rep.Tenants, or)
+		rep.Alerting = rep.Alerting || or.Alerting
+	}
+	return rep
+}
+
+// publish mirrors one fleet objective into the live registry.
+func (e *Engine) publish(or ObjectiveReport) {
+	reg := e.cfg.Registry
+	if reg == nil {
+		return
+	}
+	prefix := "slo." + or.Name
+	reg.Gauge(prefix + ".compliance").Set(or.Compliance)
+	b2f := 0.0
+	if or.Alerting {
+		b2f = 1
+	}
+	reg.Gauge(prefix + ".alerting").Set(b2f)
+	for i, wb := range or.Burn {
+		// Window pairs are positional and stable, so index-suffixed names
+		// keep the exposition's family set fixed.
+		if i == 0 {
+			reg.Gauge(prefix + ".burn_fast_short").Set(wb.ShortBurn)
+			reg.Gauge(prefix + ".burn_fast_long").Set(wb.LongBurn)
+		} else if i == 1 {
+			reg.Gauge(prefix + ".burn_slow_short").Set(wb.ShortBurn)
+			reg.Gauge(prefix + ".burn_slow_long").Set(wb.LongBurn)
+		}
+	}
+}
+
+// Handler serves the engine's Report as JSON — the /slo endpoint.
+func Handler(e *Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(e.Report())
+	})
+}

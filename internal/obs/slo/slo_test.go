@@ -1,0 +1,213 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pipemap/internal/obs/live"
+)
+
+// testEngine builds an engine on a virtual clock with millisecond alert
+// windows so burn-rate transitions can be driven deterministically.
+func testEngine(cfg Config) (*Engine, *live.VirtualClock) {
+	vc := live.NewVirtualClock()
+	vc.Set(int64(time.Hour)) // away from zero so trailing windows are clean
+	cfg.Clock = vc.Clock()
+	if len(cfg.Windows) == 0 {
+		cfg.Windows = []Window{
+			{Short: 80 * time.Millisecond, Long: 800 * time.Millisecond, Threshold: 10},
+			{Short: 320 * time.Millisecond, Long: 4800 * time.Millisecond, Threshold: 2},
+		}
+	}
+	return New(cfg), vc
+}
+
+func TestNilEngineIsInert(t *testing.T) {
+	var e *Engine
+	if e.Enabled() {
+		t.Error("nil engine reports enabled")
+	}
+	e.Record("t", false, 5)
+	rep := e.Report()
+	if rep.Alerting || len(rep.Objectives) != 0 {
+		t.Errorf("nil engine report = %+v, want empty", rep)
+	}
+}
+
+func TestAvailabilityBurnAlertFlipsAndResolves(t *testing.T) {
+	e, vc := testEngine(Config{
+		Objectives: []Objective{{Name: "availability", Target: 0.9}},
+	})
+
+	// Healthy traffic: alert must stay quiet.
+	for i := 0; i < 200; i++ {
+		e.Record("", true, 1)
+		vc.Advance(time.Millisecond)
+	}
+	if rep := e.Report(); rep.Alerting {
+		t.Fatalf("healthy traffic alerting: %+v", rep.Objectives)
+	}
+
+	// Total outage: bad fraction 1, budget 0.1 -> burn 10 in every window
+	// that sees it. Drive long enough to fill both the fast pair's windows.
+	for i := 0; i < 900; i++ {
+		e.Record("", false, 1)
+		vc.Advance(time.Millisecond)
+	}
+	rep := e.Report()
+	if !rep.Alerting {
+		t.Fatalf("outage did not alert: %+v", rep.Objectives)
+	}
+	fast := rep.Objectives[0].Burn[0]
+	if !fast.Alerting || fast.ShortBurn < 9 || fast.LongBurn < 5 {
+		t.Errorf("fast pair under outage = %+v, want alerting with burn ~10", fast)
+	}
+
+	// Recovery: once the short window is clean the fast alert self-resolves
+	// even though the long window still remembers the outage.
+	for i := 0; i < 200; i++ {
+		e.Record("", true, 1)
+		vc.Advance(time.Millisecond)
+	}
+	rep = e.Report()
+	fast = rep.Objectives[0].Burn[0]
+	if fast.Alerting {
+		t.Errorf("fast alert did not self-resolve after recovery: %+v", fast)
+	}
+	if fast.LongBurn == 0 {
+		t.Error("long window forgot the outage immediately")
+	}
+}
+
+func TestLatencyObjectiveCountsSlowAsBad(t *testing.T) {
+	e, vc := testEngine(Config{
+		Objectives: []Objective{{Name: "latency_p99", Target: 0.5, LatencyMS: 100}},
+	})
+	for i := 0; i < 40; i++ {
+		e.Record("", true, 50)  // fast: good
+		e.Record("", true, 500) // slow but ok: bad for a latency objective
+		vc.Advance(time.Millisecond)
+	}
+	rep := e.Report()
+	o := rep.Objectives[0]
+	if o.Good != 40 || o.Total != 80 {
+		t.Errorf("good/total = %d/%d, want 40/80", o.Good, o.Total)
+	}
+	if o.Compliance < 0.49 || o.Compliance > 0.51 {
+		t.Errorf("compliance = %v, want 0.5", o.Compliance)
+	}
+}
+
+func TestPerTenantScopesAndOverflowFold(t *testing.T) {
+	e, vc := testEngine(Config{
+		Objectives: []Objective{{Name: "availability", Target: 0.9}},
+		PerTenant:  true,
+		MaxTenants: 2,
+	})
+	e.Record("a", true, 1)
+	e.Record("b", false, 1)
+	e.Record("c", false, 1) // over MaxTenants: folds into "overflow"
+	e.Record("d", false, 1)
+	vc.Advance(time.Millisecond)
+
+	rep := e.Report()
+	byTenant := map[string]ObjectiveReport{}
+	for _, o := range rep.Tenants {
+		byTenant[o.Tenant] = o
+	}
+	if len(byTenant) != 3 {
+		t.Fatalf("tenant scopes = %v, want a, b, overflow", byTenant)
+	}
+	if o := byTenant["a"]; o.Good != 1 || o.Total != 1 {
+		t.Errorf("tenant a = %+v", o)
+	}
+	if o := byTenant["b"]; o.Good != 0 || o.Total != 1 {
+		t.Errorf("tenant b = %+v", o)
+	}
+	if o := byTenant["overflow"]; o.Total != 2 {
+		t.Errorf("overflow fold = %+v, want the c and d records", o)
+	}
+	// Fleet scope saw everything.
+	if o := rep.Objectives[0]; o.Good != 1 || o.Total != 4 {
+		t.Errorf("fleet = %+v, want 1/4", o)
+	}
+}
+
+func TestHundredPercentTargetBurnsOnAnyBadness(t *testing.T) {
+	e, vc := testEngine(Config{
+		Objectives: []Objective{{Name: "strict", Target: 1}},
+	})
+	e.Record("", true, 1)
+	vc.Advance(time.Millisecond)
+	if rep := e.Report(); rep.Objectives[0].Burn[0].ShortBurn != 0 {
+		t.Error("all-good traffic burned a zero budget")
+	}
+	e.Record("", false, 1)
+	vc.Advance(time.Millisecond)
+	rep := e.Report()
+	if b := rep.Objectives[0].Burn[0].ShortBurn; b < 1e8 {
+		t.Errorf("zero-budget badness burn = %v, want very large", b)
+	}
+	if !rep.Alerting {
+		t.Error("zero-budget badness did not alert")
+	}
+}
+
+func TestReportPublishesGauges(t *testing.T) {
+	vc := live.NewVirtualClock()
+	vc.Set(int64(time.Hour))
+	reg := live.NewRegistry(live.Options{Window: 30 * time.Second, Clock: vc.Clock()})
+	e := New(Config{
+		Objectives: []Objective{{Name: "availability", Target: 0.9}},
+		Windows: []Window{
+			{Short: 80 * time.Millisecond, Long: 800 * time.Millisecond, Threshold: 10},
+			{Short: 320 * time.Millisecond, Long: 4800 * time.Millisecond, Threshold: 2},
+		},
+		Clock:    vc.Clock(),
+		Registry: reg,
+	})
+	for i := 0; i < 400; i++ {
+		e.Record("", false, 1)
+		vc.Advance(time.Millisecond)
+	}
+	e.Report()
+	g := reg.Snapshot().Gauges
+	for _, name := range []string{
+		"slo.availability.compliance", "slo.availability.alerting",
+		"slo.availability.burn_fast_short", "slo.availability.burn_fast_long",
+		"slo.availability.burn_slow_short", "slo.availability.burn_slow_long",
+	} {
+		if _, ok := g[name]; !ok {
+			t.Errorf("gauge %q not published (have %v)", name, g)
+		}
+	}
+	if g["slo.availability.alerting"] != 1 {
+		t.Error("alerting gauge not raised under outage")
+	}
+	if g["slo.availability.compliance"] != 0 {
+		t.Errorf("compliance gauge = %v, want 0 under total outage", g["slo.availability.compliance"])
+	}
+}
+
+func TestHandlerServesJSON(t *testing.T) {
+	e, vc := testEngine(Config{PerTenant: true})
+	e.Record("tenant-a", true, 1)
+	vc.Advance(time.Millisecond)
+	rr := httptest.NewRecorder()
+	Handler(e).ServeHTTP(rr, httptest.NewRequest("GET", "/slo", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var rep Report
+	if err := json.Unmarshal(rr.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("/slo body is not JSON: %v", err)
+	}
+	if len(rep.Objectives) != 1 || rep.Objectives[0].Name != "availability" {
+		t.Errorf("default objectives = %+v, want availability", rep.Objectives)
+	}
+	if len(rep.Tenants) != 1 || rep.Tenants[0].Tenant != "tenant-a" {
+		t.Errorf("tenants = %+v", rep.Tenants)
+	}
+}

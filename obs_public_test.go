@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"pipemap"
 )
@@ -99,4 +100,50 @@ func TestPublicLiveObservability(t *testing.T) {
 	if off.Enabled() || off.Health().Status != "disabled" {
 		t.Errorf("nil monitor health = %+v, want disabled", off.Health())
 	}
+}
+
+// TestPublicRequestTracing exercises the request-tracing and SLO surface
+// through the public API: sample a trace, record spans, finish into a
+// flight recorder and NDJSON exporter, and evaluate an SLO.
+func TestPublicRequestTracing(t *testing.T) {
+	fl := pipemap.NewFlightRecorder(8)
+	var spans bytes.Buffer
+	ex := pipemap.NewSpanExporter(&spans, 0)
+	tr := pipemap.NewReqTracer(pipemap.ReqTracerConfig{SampleRate: 1, Flight: fl, Exporter: ex})
+
+	id, rt := tr.Start(pipemap.TraceID{}, false, "tenant", time.Now())
+	if rt == nil || id.IsZero() {
+		t.Fatal("rate-1 tracer did not sample")
+	}
+	rt.StageSpan("fft", 0, 0, 0, "ok", time.Now(), time.Millisecond)
+	tr.Finish(rt, "ok", time.Millisecond, 2*time.Millisecond)
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fl.Snapshot(); len(got) != 1 || got[0].TraceID != id.String() {
+		t.Fatalf("flight snapshot = %+v", got)
+	}
+	if !strings.Contains(spans.String(), id.String()) {
+		t.Error("exporter wrote no span line for the finished trace")
+	}
+
+	e := pipemap.NewSLOEngine(pipemap.SLOConfig{
+		Objectives: []pipemap.SLOObjective{{Name: "availability", Target: 0.5}},
+	})
+	e.Record("tenant", true, 1)
+	e.Record("tenant", false, 1)
+	rep := e.Report()
+	if len(rep.Objectives) != 1 || rep.Objectives[0].Total != 2 {
+		t.Fatalf("slo report = %+v, want one objective over 2 requests", rep)
+	}
+
+	// Nil instruments are disabled and safe.
+	var offTr *pipemap.ReqTracer
+	var offFl *pipemap.FlightRecorder
+	var offSLO *pipemap.SLOEngine
+	if _, rt := offTr.Start(pipemap.TraceID{}, true, "t", time.Now()); rt != nil {
+		t.Error("nil tracer sampled")
+	}
+	offFl.Record(nil)
+	offSLO.Record("t", true, 1)
 }

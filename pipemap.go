@@ -29,6 +29,8 @@
 package pipemap
 
 import (
+	"io"
+
 	"pipemap/internal/adapt"
 	"pipemap/internal/core"
 	"pipemap/internal/estimate"
@@ -39,6 +41,7 @@ import (
 	"pipemap/internal/model"
 	"pipemap/internal/obs"
 	"pipemap/internal/obs/live"
+	"pipemap/internal/obs/slo"
 	"pipemap/internal/sim"
 	"pipemap/internal/tradeoff"
 )
@@ -340,6 +343,58 @@ type (
 func NewIngestPlane(cfg IngestConfig, pl *fxrt.Pipeline, opts fxrt.StreamOptions) (*IngestPlane, error) {
 	return ingest.New(cfg, pl, opts)
 }
+
+// Request-scoped tracing and SLO types (extension; see DESIGN.md §13). A
+// ReqTracer makes head-based sampling decisions at the ingest door
+// (honoring W3C traceparent), collects per-request spans across admission,
+// queue wait, every pipeline stage attempt, and the response, and fans
+// finished traces out to a bounded NDJSON SpanExporter and an in-memory
+// FlightRecorder ring served on /debug/flightrecorder. An SLOEngine
+// ingests request outcomes and evaluates availability and latency
+// objectives with multi-window burn-rate alerting (/slo). All of it
+// follows the house nil-is-disabled, zero-alloc-when-off contract.
+type (
+	// ReqTracer is the sampling and fan-out hub; set it on IngestConfig.
+	ReqTracer = obs.ReqTracer
+	// ReqTracerConfig configures sampling rate, exporter and recorder.
+	ReqTracerConfig = obs.ReqTracerConfig
+	// ReqTrace accumulates one sampled request's spans.
+	ReqTrace = obs.ReqTrace
+	// TraceID is a W3C trace-context ID (16 bytes, lowercase hex wire
+	// form).
+	TraceID = obs.TraceID
+	// FlightRecorder is the lock-free ring of recent request traces and
+	// shed/adapt decisions.
+	FlightRecorder = obs.FlightRecorder
+	// FlightEntry is one recorded flight-recorder event.
+	FlightEntry = obs.FlightEntry
+	// SpanExporter writes finished traces as NDJSON without ever
+	// blocking the data plane.
+	SpanExporter = obs.SpanExporter
+	// SLOEngine evaluates service-level objectives over request
+	// outcomes.
+	SLOEngine = slo.Engine
+	// SLOConfig declares the objectives, alert windows and tenant
+	// scoping.
+	SLOConfig = slo.Config
+	// SLOObjective is one availability or latency objective.
+	SLOObjective = slo.Objective
+	// SLOReport is the /slo payload.
+	SLOReport = slo.Report
+)
+
+// NewReqTracer builds the request-tracing hub.
+func NewReqTracer(cfg ReqTracerConfig) *ReqTracer { return obs.NewReqTracer(cfg) }
+
+// NewFlightRecorder builds a ring keeping the last size entries.
+func NewFlightRecorder(size int) *FlightRecorder { return obs.NewFlightRecorder(size) }
+
+// NewSpanExporter starts an NDJSON span exporter writing to w with the
+// given buffer depth (0 = default).
+func NewSpanExporter(w io.Writer, buf int) *SpanExporter { return obs.NewSpanExporter(w, buf) }
+
+// NewSLOEngine builds an SLO engine.
+func NewSLOEngine(cfg SLOConfig) *SLOEngine { return slo.New(cfg) }
 
 // Objective selects what Map optimizes.
 type Objective = core.Objective

@@ -13,6 +13,12 @@
 #           positive ingest_shed_total, then SIGTERM it and require a
 #           graceful zero-loss drain. Writes a summary to $INGEST_REPORT
 #           (default: <tmp>/ingest_report.txt) for CI artifact upload.
+#   trace   run the plane with full-rate tracing and span export, submit
+#           under a fixed W3C traceparent, and require the trace ID echoed
+#           in the response, the flight recorder, /slo, and — after a
+#           graceful SIGTERM — the exported NDJSON span file. Writes the
+#           trace artifacts to $TRACE_REPORT (default:
+#           <tmp>/trace_report.txt) for CI upload.
 #
 # CI runs this after the unit tests; it needs only curl and the go
 # toolchain.
@@ -20,8 +26,8 @@ set -eu
 
 PHASE=${1:-all}
 OUT=$(mktemp -d)
-PID=; PID2=; PID3=
-trap 'kill $PID $PID2 $PID3 2>/dev/null || true; rm -rf "$OUT"' EXIT
+PID=; PID2=; PID3=; PID4=
+trap 'kill $PID $PID2 $PID3 $PID4 2>/dev/null || true; rm -rf "$OUT"' EXIT
 
 fail() {
     echo "serve_smoke: $1" >&2
@@ -226,17 +232,80 @@ phase_ingest() {
     echo "serve_smoke: ingest phase ok (report: $REPORT)"
 }
 
+phase_trace() {
+    ADDR4=127.0.0.1:9130
+    REPORT=${TRACE_REPORT:-$OUT/trace_report.txt}
+    SPANS="$OUT/spans.ndjson"
+    go build -o "$OUT/pipemap_trace" ./cmd/pipemap
+    "$OUT/pipemap_trace" -serve "$ADDR4" -ingest ffthist -ingest-size 64 \
+        -trace-sample 1 -trace-spans "$SPANS" -flight 64 \
+        specs/ffthist256.json >"$OUT/trace.log" 2>&1 &
+    PID4=$!
+
+    wait_http "http://$ADDR4/healthz" "$OUT/trace.log"
+
+    # Submit under a fixed W3C trace context; the sampled flag forces the
+    # request into the trace even independent of the sample rate.
+    TRACE_ID=4bf92f3577b34da6a3ce929d0e0e4736
+    PARENT="00-$TRACE_ID-00f067aa0ba902b7-01"
+    curl -fsS -D "$OUT/trace_headers" -X POST \
+        -H 'Content-Type: application/json' -H "traceparent: $PARENT" \
+        -d '{"tenant":"smoke","input":{"seed":1}}' \
+        "http://$ADDR4/v1/submit" >"$OUT/trace_submit.json" \
+        || fail "traced POST /v1/submit failed"
+    grep -qi "^x-trace-id: $TRACE_ID" "$OUT/trace_headers" \
+        || fail "response did not echo X-Trace-Id"
+    grep -qi "^traceparent: 00-$TRACE_ID-" "$OUT/trace_headers" \
+        || fail "response did not echo traceparent"
+    grep -q "\"trace_id\": *\"$TRACE_ID\"" "$OUT/trace_submit.json" \
+        || fail "response body carries no trace_id"
+
+    # The flight recorder holds the request with its spans.
+    curl -fsS "http://$ADDR4/debug/flightrecorder" >"$OUT/flight.json"
+    grep -q "$TRACE_ID" "$OUT/flight.json" || fail "/debug/flightrecorder missing the trace"
+    grep -q '"kind": *"stage"' "$OUT/flight.json" || fail "flight entry has no stage spans"
+
+    # /slo serves objective reports; /metrics carries the burn gauges.
+    curl -fsS "http://$ADDR4/slo" >"$OUT/slo.json"
+    grep -q '"objectives"' "$OUT/slo.json" || fail "/slo missing objectives"
+    grep -q '"availability"' "$OUT/slo.json" || fail "/slo missing availability objective"
+    curl -fsS "http://$ADDR4/metrics" | grep -q 'slo_availability_compliance' \
+        || fail "/metrics missing SLO gauges"
+
+    # Graceful stop must flush the exporter: the span file ends up with the
+    # full trace on disk.
+    kill -TERM $PID4
+    wait $PID4 || { cat "$OUT/trace.log" >&2; fail "server exited non-zero on SIGTERM"; }
+    PID4=
+    [ -s "$SPANS" ] || fail "span export file is empty"
+    grep -q "$TRACE_ID" "$SPANS" || fail "span export missing the traced request"
+
+    {
+        echo "# trace smoke"
+        echo "trace id: $TRACE_ID"
+        echo
+        echo "## /slo"
+        cat "$OUT/slo.json"
+        echo
+        echo "## exported spans"
+        cat "$SPANS"
+    } >"$REPORT"
+    echo "serve_smoke: trace phase ok (report: $REPORT)"
+}
+
 case "$PHASE" in
 serve) phase_serve ;;
 adapt) phase_adapt ;;
 ingest) phase_ingest ;;
+trace) phase_trace ;;
 all)
     phase_serve
     phase_adapt
     phase_ingest
+    phase_trace
     ;;
 *)
-    fail "unknown phase '$PHASE' (want serve, adapt, ingest, or all)"
+    fail "unknown phase '$PHASE' (want serve, adapt, ingest, trace, or all)"
     ;;
 esac
 
