@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-quick serve-smoke ingest-smoke
+.PHONY: build test race bench bench-quick serve-smoke ingest-smoke fleet-smoke fleet-fuzz
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,11 @@ serve-smoke:
 # Ingestion data plane overload smoke: submit, burst, assert sheds, drain.
 ingest-smoke:
 	./scripts/serve_smoke.sh ingest
+
+# Fleet scheduler smoke: two tenants share a pool, kill processors, rebalance.
+fleet-smoke:
+	./scripts/serve_smoke.sh fleet
+
+# Differential fuzz: cache-hit placements must be bit-identical to fresh solves.
+fleet-fuzz:
+	$(GO) test ./internal/fleet -run FuzzFleetCacheMatchesFresh -fuzz FuzzFleetCacheMatchesFresh -fuzztime 30s

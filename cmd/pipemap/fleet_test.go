@@ -1,0 +1,199 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// fleetState mirrors the /fleet JSON payload for test decoding.
+type fleetState struct {
+	Generation  int64 `json:"generation"`
+	PoolProcs   int   `json:"poolProcs"`
+	FailedProcs int   `json:"failedProcs"`
+	UsedProcs   int   `json:"usedProcs"`
+	Placed      int   `json:"placed"`
+	Admitted    int64 `json:"admitted"`
+	Evicted     int64 `json:"evicted"`
+	Rebalances  int64 `json:"rebalances"`
+	Cache       struct {
+		FullSolves int64   `json:"fullSolves"`
+		HitRate    float64 `json:"hitRate"`
+	} `json:"cache"`
+	Pipelines []struct {
+		ID         int64   `json:"id"`
+		Tenant     string  `json:"tenant"`
+		Alloc      int     `json:"alloc"`
+		Procs      int     `json:"procs"`
+		Mapping    string  `json:"mapping"`
+		Throughput float64 `json:"throughput"`
+		Generation int64   `json:"generation"`
+	} `json:"pipelines"`
+}
+
+func getFleetState(t *testing.T, base string) fleetState {
+	t.Helper()
+	code, body, _ := httpGet(t, base+"/fleet")
+	if code != http.StatusOK {
+		t.Fatalf("/fleet = %d: %s", code, body)
+	}
+	var st fleetState
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/fleet JSON: %v\n%s", err, body)
+	}
+	return st
+}
+
+// TestFleetServeAcceptance drives the -fleet CLI end to end: two tenant
+// specs share one pool, both planes serve real kernel work on their own
+// endpoints, /fleet reports the scheduler state, a processor failure over
+// POST /fleet/fail rebalances and bumps the generation of every surviving
+// pipeline, both tenants still serve afterwards, and the shutdown drain
+// loses nothing.
+func TestFleetServeAcceptance(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	buf := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-serve", "127.0.0.1:0",
+			"-fleet",
+			"-ingest-size", "32",
+			"-queue-depth", "8",
+			"-shed-deadline", "10s",
+			"../../specs/ffthist256.json",
+			"../../specs/radar64.json",
+		}, strings.NewReader(""), buf)
+	}()
+	addr := waitFor(t, buf, addrRe, done)[1]
+	base := "http://" + addr
+
+	st := getFleetState(t, base)
+	if st.Placed != 2 || len(st.Pipelines) != 2 {
+		t.Fatalf("fleet placed %d pipelines, want 2: %+v", st.Placed, st)
+	}
+	if st.UsedProcs > st.PoolProcs {
+		t.Fatalf("over-allocation: used %d > pool %d", st.UsedProcs, st.PoolProcs)
+	}
+	for _, p := range st.Pipelines {
+		if p.Procs > p.Alloc {
+			t.Fatalf("tenant %s mapping uses %d procs beyond its allocation %d", p.Tenant, p.Procs, p.Alloc)
+		}
+	}
+
+	// Both tenants serve real kernel work on their own endpoints.
+	code, body := httpPost(t, base+"/v1/ffthist256/submit", `{"tenant": "alpha", "input": {"seed": 7}}`)
+	if code != http.StatusOK {
+		t.Fatalf("/v1/ffthist256/submit = %d: %s", code, body)
+	}
+	if !strings.Contains(body, `"ffthist"`) {
+		t.Errorf("ffthist submit result lacks the app tag: %s", body)
+	}
+	code, body = httpPost(t, base+"/v1/radar64/submit", `{"tenant": "alpha", "input": {"seed": 9}}`)
+	if code != http.StatusOK {
+		t.Fatalf("/v1/radar64/submit = %d: %s", code, body)
+	}
+
+	// /metrics exposes fleet_* series and still lints.
+	code, body, _ = httpGet(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	lintExposition(t, body)
+	for _, want := range []string{"fleet_admitted_total", "fleet_pool_utilization", "fleet_cache_hit_rate", "fleet_generation"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics lacks %s", want)
+		}
+	}
+
+	// Kill a quarter of the pool: the fleet must rebalance, bump the
+	// generation, and re-place every survivor within the smaller pool.
+	preGen := st.Generation
+	prePool := st.PoolProcs
+	code, body = httpPost(t, base+fmt.Sprintf("/fleet/fail?n=%d", prePool/4), "")
+	if code != http.StatusOK {
+		t.Fatalf("/fleet/fail = %d: %s", code, body)
+	}
+	var failed fleetState
+	if err := json.Unmarshal([]byte(body), &failed); err != nil {
+		t.Fatalf("/fleet/fail JSON: %v\n%s", err, body)
+	}
+	if failed.Generation <= preGen {
+		t.Fatalf("generation %d did not bump past %d after failure", failed.Generation, preGen)
+	}
+	if failed.PoolProcs != prePool-prePool/4 || failed.FailedProcs != prePool/4 {
+		t.Fatalf("pool after failure = %d/%d failed, want %d/%d",
+			failed.PoolProcs, failed.FailedProcs, prePool-prePool/4, prePool/4)
+	}
+	if failed.UsedProcs > failed.PoolProcs {
+		t.Fatalf("over-allocation after failure: used %d > pool %d", failed.UsedProcs, failed.PoolProcs)
+	}
+	for _, p := range failed.Pipelines {
+		if p.Generation != failed.Generation {
+			t.Errorf("tenant %s still on generation %d, want re-placed at %d", p.Tenant, p.Generation, failed.Generation)
+		}
+	}
+
+	// Bad failure requests are rejected cleanly.
+	if code, _ = httpPost(t, base+"/fleet/fail?n=bogus", ""); code != http.StatusBadRequest {
+		t.Errorf("/fleet/fail?n=bogus = %d, want 400", code)
+	}
+	if code, _ = httpPost(t, base+"/fleet/fail?n=9999", ""); code != http.StatusConflict {
+		t.Errorf("/fleet/fail?n=9999 = %d, want 409", code)
+	}
+	if code, _, _ = httpGet(t, base+"/fleet/fail"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /fleet/fail = %d, want 405", code)
+	}
+
+	// Both tenants keep serving on their swapped planes.
+	code, body = httpPost(t, base+"/v1/ffthist256/submit", `{"tenant": "alpha", "input": {"seed": 11}}`)
+	if code != http.StatusOK {
+		t.Fatalf("post-failure ffthist submit = %d: %s", code, body)
+	}
+	code, body = httpPost(t, base+"/v1/radar64/submit", `{"tenant": "alpha", "input": {"seed": 12}}`)
+	if code != http.StatusOK {
+		t.Fatalf("post-failure radar submit = %d: %s", code, body)
+	}
+
+	// SIGTERM path: cancel drains every plane and exits cleanly.
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fleet drain complete") {
+		t.Errorf("missing drain summary:\n%s", out)
+	}
+	for _, tenant := range []string{"ffthist256", "radar64"} {
+		if !strings.Contains(out, "fleet: tenant "+tenant+" remapped") {
+			t.Errorf("missing live remap log for %s:\n%s", tenant, out)
+		}
+	}
+}
+
+// TestFleetFlagValidation covers the CLI guard rails.
+func TestFleetFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"fleet without serve", []string{"-fleet", "../../specs/ffthist256.json"}},
+		{"fleet with ingest", []string{"-serve", "127.0.0.1:0", "-fleet", "-ingest", "ffthist", "../../specs/ffthist256.json"}},
+		{"fleet with adapt", []string{"-serve", "127.0.0.1:0", "-fleet", "-adapt", "../../specs/ffthist256.json"}},
+		{"fleet-procs without fleet", []string{"-fleet-procs", "32", "../../specs/ffthist256.json"}},
+		{"fleet-grid without fleet", []string{"-fleet-grid", "8x8", "../../specs/ffthist256.json"}},
+		{"negative fleet-procs", []string{"-serve", "127.0.0.1:0", "-fleet", "-fleet-procs", "-1", "../../specs/ffthist256.json"}},
+		{"bad fleet-grid", []string{"-serve", "127.0.0.1:0", "-fleet", "-fleet-grid", "8by8", "../../specs/ffthist256.json"}},
+		{"no specs", []string{"-serve", "127.0.0.1:0", "-fleet"}},
+		{"unknown app prefix", []string{"-serve", "127.0.0.1:0", "-fleet", "../../specs/threestage.json"}},
+	} {
+		if err := run(context.Background(), tc.args, strings.NewReader(""), io.Discard); err == nil {
+			t.Errorf("%s: accepted, want error", tc.name)
+		}
+	}
+}

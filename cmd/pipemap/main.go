@@ -116,6 +116,9 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 	flightSize := fs.Int("flight", 256, "with -ingest: flight recorder ring size (last N traces/sheds/adapt decisions at /debug/flightrecorder)")
 	sloP99 := fs.Duration("slo-p99", 0, "with -ingest: p99 end-to-end latency objective (0 = the -shed-deadline budget)")
 	sloAvailability := fs.Float64("slo-availability", 0.999, "with -ingest: availability objective target in (0,1]")
+	fleetMode := fs.Bool("fleet", false, "with -serve: run every spec file argument as a tenant pipeline sharing one processor pool (fleet scheduler; POST /v1/<tenant>/submit, /fleet, POST /fleet/fail)")
+	fleetProcs := fs.Int("fleet-procs", 0, "with -fleet: shared pool size in processors (0 = the largest spec's processor count)")
+	fleetGrid := fs.String("fleet-grid", "", "with -fleet: pack pipeline allocations as disjoint rectangles on an RxC processor grid (e.g. 8x8)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -136,6 +139,33 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 	}
 	if *queueDepth < 1 {
 		return fmt.Errorf("-queue-depth must be >= 1, got %d", *queueDepth)
+	}
+	if *fleetMode {
+		if *serveAddr == "" {
+			return fmt.Errorf("-fleet requires -serve")
+		}
+		if *ingestApp != "" || *adapt {
+			return fmt.Errorf("-fleet is not combinable with -ingest or -adapt (the fleet manages its own planes)")
+		}
+		if *fleetProcs < 0 {
+			return fmt.Errorf("-fleet-procs must be >= 0, got %d", *fleetProcs)
+		}
+		fc := fleetConfig{
+			addr: *serveAddr, procs: *fleetProcs, serveFor: *serveFor,
+			queueDepth: *queueDepth, shedDeadline: *shedDeadline,
+			dispatchers: *ingestDispatchers, ingestSize: *ingestSize,
+		}
+		if *fleetGrid != "" {
+			g, err := parseGrid(*fleetGrid)
+			if err != nil {
+				return err
+			}
+			fc.grid = g
+		}
+		return fleetRun(ctx, stdout, fc, fs.Args())
+	}
+	if *fleetProcs != 0 || *fleetGrid != "" {
+		return fmt.Errorf("-fleet-procs and -fleet-grid require -fleet")
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -212,6 +212,33 @@ func pickAlgorithm(chain *model.Chain, pl model.Platform, opt ResolveOptions) co
 // autoDPBudget mirrors core's Auto threshold (P^4 k^3 <= 5e9 picks DP).
 const autoDPBudget = 5e9
 
+// CanonicalStructSig exposes the cache's structural canonicalization for
+// callers that need to group instances into solver families: two
+// (chain, platform, options) triples with equal signatures share chain
+// shape, memory models, replicability, minimum processors, internal and
+// external edge costs, platform, solver options, and the budget-selected
+// algorithm — everything except the per-task execution costs. The fleet
+// scheduler keys its per-family SolveCache instances on this signature so
+// structurally different tenant specs never thrash one cache's
+// invalidation path.
+func CanonicalStructSig(chain *model.Chain, pl model.Platform, opt ResolveOptions) uint64 {
+	return structuralSig(chain, pl, opt, pickAlgorithm(chain, pl, opt))
+}
+
+// CanonicalSpecKey extends CanonicalStructSig with the per-task
+// execution-cost hashes, sampling every cost function at exactly the
+// integer points the solvers evaluate: it is the full solve-once-place-many
+// key. Key equality implies the solvers see bit-identical inputs, so one
+// solved mapping serves every spec with the same key (task names never
+// enter the hash).
+func CanonicalSpecKey(chain *model.Chain, pl model.Platform, opt ResolveOptions) uint64 {
+	key := CanonicalStructSig(chain, pl, opt)
+	for i := range chain.Tasks {
+		key = mix(key, execTaskHash(chain.Tasks[i], pl.Procs))
+	}
+	return key
+}
+
 // Resolve is the cache-aware counterpart of the package-level Resolve: it
 // returns the identical result a fresh budgeted re-solve would produce,
 // the measured decision latency, and the path that produced it (PathMemo,

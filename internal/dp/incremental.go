@@ -99,8 +99,15 @@ type Solver struct {
 	tgts    []int     // per-pass feasible target spans scratch
 
 	solved bool
+	solves int64          // completed Solve/Resolve runs (full or incremental)
 	mods   []model.Module // reconstruction scratch; returned mappings alias it
 }
+
+// SolveCount returns the number of completed Solve/Resolve runs on this
+// solver. Cache layers assert solve-once behaviour against this counter:
+// with N identical specs placed through a cache, the underlying solver's
+// count must stay at 1.
+func (s *Solver) SolveCount() int64 { return s.solves }
 
 // choicePack packs (prevL, prevPCur, prevEff) into one word; 21 bits each
 // bounds P and k at 2^21-1, far beyond any instance the cubic tables fit.
@@ -482,6 +489,7 @@ func (s *Solver) run(m int, par bool, ins instrument) (model.Mapping, error) {
 		ins.done("map_chain", s.k, s.P, solveT0)
 	}
 	s.solved = true
+	s.solves++
 	return mapping, nil
 }
 

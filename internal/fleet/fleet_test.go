@@ -1,0 +1,267 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"pipemap/internal/adapt"
+	"pipemap/internal/machine"
+	"pipemap/internal/model"
+)
+
+// TestSolveOncePlaceMany is the headline acceptance test: N tenants
+// admitting value-identical specs (distinct *Chain allocations) at equal
+// allocations trigger exactly one full DP solve; every later placement is
+// served from the memo, and all placements share one canonical key and one
+// mapping.
+func TestSolveOncePlaceMany(t *testing.T) {
+	f, err := New(Config{Pool: model.Platform{Procs: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	var first Placement
+	for i := 0; i < n; i++ {
+		p, err := f.Admit(Spec{Tenant: "tenant", Chain: fixedChain(), MaxProcs: 16})
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		if p.Alloc != 16 {
+			t.Fatalf("admit %d: alloc %d, want the 16-processor cap", i, p.Alloc)
+		}
+		if i == 0 {
+			first = p
+		} else if p.Key != first.Key {
+			t.Fatalf("admit %d: key %#x, want %#x (identical specs must share the canonical key)", i, p.Key, first.Key)
+		}
+	}
+	cs := f.Cache().Stats()
+	if cs.FullSolves != 1 {
+		t.Fatalf("full solves = %d, want exactly 1 for %d identical specs", cs.FullSolves, n)
+	}
+	if cs.IncrementalSolves != 0 {
+		t.Fatalf("incremental solves = %d, want 0", cs.IncrementalSolves)
+	}
+	if cs.Families != 1 {
+		t.Fatalf("cache families = %d, want 1", cs.Families)
+	}
+	if cs.HitRate <= 0 {
+		t.Fatalf("cache hit rate = %v, want > 0 after repeat admissions", cs.HitRate)
+	}
+	ps := f.Placements()
+	for _, p := range ps[1:] {
+		if p.Path != adapt.PathMemo {
+			t.Errorf("pipeline %d placed via %q, want %q", p.ID, p.Path, adapt.PathMemo)
+		}
+		if p.Summary != ps[0].Summary {
+			t.Errorf("pipeline %d mapping %q != first %q (cache hit must be bit-identical)", p.ID, p.Summary, ps[0].Summary)
+		}
+	}
+	if err := checkPlacements(f, machine.Grid{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvictionPolicy checks the documented victim order: admitting a
+// high-priority spec that cannot coexist with a low-priority incumbent
+// evicts the incumbent (lowest priority loses), and the accounting
+// invariant holds through the preemption.
+func TestEvictionPolicy(t *testing.T) {
+	f, err := New(Config{Pool: model.Platform{Procs: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := fixedChain()
+	for i := range big.Tasks {
+		big.Tasks[i].MinProcs = 2 // min 6 of 8: two cannot coexist
+	}
+	low, err := f.Admit(Spec{Tenant: "low", Chain: big, Priority: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big2 := fixedChain()
+	for i := range big2.Tasks {
+		big2.Tasks[i].MinProcs = 2
+	}
+	high, err := f.Admit(Spec{Tenant: "high", Chain: big2, Priority: 5})
+	if err != nil {
+		t.Fatalf("high-priority admission should preempt, got %v", err)
+	}
+	ps := f.Placements()
+	if len(ps) != 1 || ps[0].ID != high.ID {
+		t.Fatalf("placements = %+v, want only the high-priority pipeline %d", ps, high.ID)
+	}
+	st := f.Stats()
+	if st.Evicted != 1 {
+		t.Fatalf("evicted = %d, want 1 (pipeline %d)", st.Evicted, low.ID)
+	}
+	if err := checkAccounting(st); err != nil {
+		t.Fatal(err)
+	}
+
+	// The mirror case: a low-priority newcomer against a high-priority
+	// incumbent is rejected with the fleet unchanged.
+	big3 := fixedChain()
+	for i := range big3.Tasks {
+		big3.Tasks[i].MinProcs = 2
+	}
+	if _, err := f.Admit(Spec{Tenant: "later-low", Chain: big3, Priority: 1}); err == nil {
+		t.Fatal("low-priority admission against a full pool should be rejected")
+	}
+	st = f.Stats()
+	if st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+	if got := f.Placements(); len(got) != 1 || got[0].ID != high.ID {
+		t.Fatalf("rejection must leave the fleet unchanged, got %+v", got)
+	}
+	if err := checkAccounting(st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdmitRejections covers the cheap rejection paths: nil chain,
+// infeasible memory, impossible minimum, and the MaxPipelines bound.
+func TestAdmitRejections(t *testing.T) {
+	f, err := New(Config{Pool: model.Platform{Procs: 4}, MaxPipelines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Admit(Spec{Tenant: "nil"}); err == nil {
+		t.Fatal("nil chain must be rejected")
+	}
+	c := fixedChain()
+	c.Tasks[1].MinProcs = 9
+	if _, err := f.Admit(Spec{Tenant: "toobig", Chain: c}); err == nil {
+		t.Fatal("minimum above the pool must be rejected")
+	}
+	if _, err := f.Admit(Spec{Tenant: "ok", Chain: fixedChain()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Admit(Spec{Tenant: "overflow", Chain: fixedChain()}); err == nil {
+		t.Fatal("MaxPipelines must bound admissions")
+	} else if !strings.Contains(err.Error(), "max 1") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	st := f.Stats()
+	if st.Admitted != 1 || st.Placed != 1 {
+		t.Fatalf("stats = %+v, want 1 admitted, 1 placed", st)
+	}
+	if err := checkAccounting(st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDepartGrowsSurvivors checks that a departure returns its share to
+// the pool and the survivors' allocations grow back on rebalance.
+func TestDepartGrowsSurvivors(t *testing.T) {
+	f, err := New(Config{Pool: model.Platform{Procs: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := f.Admit(Spec{Tenant: "a", Chain: fixedChain()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Admit(Spec{Tenant: "b", Chain: fixedChain()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	halved := f.Placements()
+	if len(halved) != 2 || halved[0].Alloc != 16 || halved[1].Alloc != 16 {
+		t.Fatalf("placements = %+v, want two 16-processor shares", halved)
+	}
+	if err := f.Depart(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Depart(a.ID); err == nil {
+		t.Fatal("double depart must fail")
+	}
+	ps := f.Placements()
+	if len(ps) != 1 || ps[0].ID != b.ID || ps[0].Alloc != 32 {
+		t.Fatalf("placements after depart = %+v, want pipeline %d at 32 processors", ps, b.ID)
+	}
+	st := f.Stats()
+	if st.Departed != 1 {
+		t.Fatalf("departed = %d, want 1", st.Departed)
+	}
+	if err := checkAccounting(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkPlacements(f, machine.Grid{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFailAndRestoreProcs checks the failure path: allocations shrink
+// feasibly on failure, the generation bumps, and restore grows them back.
+func TestFailAndRestoreProcs(t *testing.T) {
+	f, err := New(Config{Pool: model.Platform{Procs: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Admit(Spec{Tenant: "a", Chain: fixedChain()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Admit(Spec{Tenant: "b", Chain: fixedChain()}); err != nil {
+		t.Fatal(err)
+	}
+	gen := f.Generation()
+	if err := f.FailProcs(16); err != nil {
+		t.Fatal(err)
+	}
+	if f.Generation() <= gen {
+		t.Fatalf("generation %d did not bump past %d on failure", f.Generation(), gen)
+	}
+	st := f.Stats()
+	if st.PoolProcs != 16 || st.FailedProcs != 16 {
+		t.Fatalf("pool = %d failed = %d, want 16/16", st.PoolProcs, st.FailedProcs)
+	}
+	if err := checkPlacements(f, machine.Grid{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.FailProcs(16); err == nil {
+		t.Fatal("failing the whole pool must be refused")
+	}
+	if err := f.RestoreProcs(17); err == nil {
+		t.Fatal("restoring more than failed must be refused")
+	}
+	if err := f.RestoreProcs(16); err != nil {
+		t.Fatal(err)
+	}
+	ps := f.Placements()
+	if len(ps) != 2 || ps[0].Alloc+ps[1].Alloc != 32 {
+		t.Fatalf("placements after restore = %+v, want the full 32 shared", ps)
+	}
+	if err := checkAccounting(f.Stats()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGridModePlacements checks grid mode end to end: disjoint rectangular
+// regions, machine-feasible mappings inside each region, and feasible
+// re-packing after a processor failure.
+func TestGridModePlacements(t *testing.T) {
+	g := machine.Grid{Rows: 8, Cols: 8}
+	f, err := New(Config{Grid: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tenant := range []string{"a", "b", "c"} {
+		if _, err := f.Admit(Spec{Tenant: tenant, Chain: fixedChain(), MaxProcs: 16}); err != nil {
+			t.Fatalf("admit %s: %v", tenant, err)
+		}
+	}
+	if err := checkPlacements(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.FailProcs(32); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkPlacements(f, g); err != nil {
+		t.Fatalf("after failure: %v", err)
+	}
+	if err := checkAccounting(f.Stats()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// StateHandler serves the fleet state as JSON on GET. Mount it at /fleet
+// via live.ServerOptions.Extra.
+func StateHandler(f *Fleet) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(f.State())
+	})
+}
+
+// FailHandler injects processor failures on POST (?n=N, default 1) and
+// returns the post-rebalance state as JSON. onRebalance, when non-nil, runs
+// after the rebalance completes (the command layer uses it to swap live
+// ingest planes onto the new mappings) and before the response is written,
+// so a caller observing the response sees the fully reconciled fleet.
+func FailHandler(f *Fleet, onRebalance func()) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		n := 1
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 1 {
+				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		if err := f.FailProcs(n); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		if onRebalance != nil {
+			onRebalance()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(f.State())
+	})
+}

@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"pipemap/internal/machine"
+	"pipemap/internal/model"
+)
+
+// minAllocProcs returns the minimum pool share a chain needs to be
+// mappable at all: the sum of the singleton modules' minimum processor
+// counts. A mapping placing every task in its own module with exactly its
+// minimum is valid at this budget, so the bound is sufficient (the DP may
+// of course do better by clustering).
+func minAllocProcs(c *model.Chain, memPerProc float64) (int, error) {
+	total := 0
+	for i := 0; i < c.Len(); i++ {
+		m := c.ModuleMinProcs(i, i+1, memPerProc)
+		if m < 0 {
+			return 0, fmt.Errorf("fleet: task %d (%s) cannot fit in memory at any processor count",
+				i, c.Tasks[i].Name)
+		}
+		total += m
+	}
+	return total, nil
+}
+
+// rectCeil returns the smallest q >= p that can form a rectangle on g, or
+// -1 if none exists up to the grid size.
+func rectCeil(g machine.Grid, p int) int {
+	for q := p; q <= g.Procs(); q++ {
+		if g.CanFormRect(q) {
+			return q
+		}
+	}
+	return -1
+}
+
+// rectFloor returns the largest q in [min, p] that can form a rectangle on
+// g, or -1 if none exists. Callers ensure min itself is rectangle-formable
+// (rectCeil at admission), so the search cannot come up empty in practice.
+func rectFloor(g machine.Grid, p, min int) int {
+	for q := p; q >= min; q-- {
+		if g.CanFormRect(q) {
+			return q
+		}
+	}
+	return -1
+}
+
+// rank orders pipelines by the documented keep-priority: descending
+// priority, then ascending minimum allocation, then admission order.
+// Eviction victims are chosen from the tail of this order — the
+// lowest-priority pipelines, largest minimum first, newest first among
+// equals.
+func rank(members []*pipeline) []*pipeline {
+	ranked := append([]*pipeline(nil), members...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		a, b := ranked[i], ranked[j]
+		if a.priority != b.priority {
+			return a.priority > b.priority
+		}
+		if a.min != b.min {
+			return a.min < b.min
+		}
+		return a.id < b.id
+	})
+	return ranked
+}
+
+// partition scans the ranked pipelines reserving each minimum while it
+// fits in procs; the remainder are victims.
+func partition(ranked []*pipeline, procs int) (survivors, victims []*pipeline) {
+	rem := procs
+	for _, m := range ranked {
+		if m.min <= rem {
+			survivors = append(survivors, m)
+			rem -= m.min
+		} else {
+			victims = append(victims, m)
+		}
+	}
+	return survivors, victims
+}
+
+// distribute assigns each survivor its allocation: the minimum plus a
+// priority-proportional share of the surplus (largest-remainder rounding),
+// capped per spec. The sum of allocations never exceeds procs.
+func distribute(survivors []*pipeline, procs int) {
+	surplus := procs
+	for _, m := range survivors {
+		m.alloc = m.min
+		surplus -= m.min
+	}
+	type share struct {
+		m    *pipeline
+		frac float64
+	}
+	for surplus > 0 {
+		var open []*pipeline
+		weight := 0
+		for _, m := range survivors {
+			if m.alloc < m.cap {
+				open = append(open, m)
+				weight += m.priority
+			}
+		}
+		if len(open) == 0 || weight == 0 {
+			break
+		}
+		shares := make([]share, len(open))
+		given := 0
+		for i, m := range open {
+			exact := float64(surplus) * float64(m.priority) / float64(weight)
+			g := int(exact)
+			if head := m.cap - m.alloc; g > head {
+				g = head
+			}
+			m.alloc += g
+			given += g
+			shares[i] = share{m: m, frac: exact - float64(int(exact))}
+		}
+		surplus -= given
+		if given == 0 {
+			// Every proportional share floored to zero (or was capped):
+			// hand out single processors in remainder order so the round
+			// always progresses.
+			sort.SliceStable(shares, func(i, j int) bool { return shares[i].frac > shares[j].frac })
+			for _, s := range shares {
+				if surplus == 0 {
+					break
+				}
+				if s.m.alloc < s.m.cap {
+					s.m.alloc++
+					surplus--
+				}
+			}
+			// If nothing could be handed out, everyone is at cap.
+			allCapped := true
+			for _, m := range open {
+				if m.alloc < m.cap {
+					allCapped = false
+					break
+				}
+			}
+			if allCapped {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"math/rand"
+	"testing"
+
+	"pipemap/internal/machine"
+	"pipemap/internal/model"
+)
+
+// driveRandom applies steps random fleet operations and asserts after
+// EVERY step that the sum of allocations never exceeds the surviving pool,
+// every placed mapping is machine-feasible (checked against
+// machine.Feasible directly, not scheduler bookkeeping), and the
+// accounting invariant holds.
+func driveRandom(t *testing.T, f *Fleet, grid machine.Grid, rng *rand.Rand, steps int) {
+	t.Helper()
+	var live []int64
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // admit
+			s := Spec{
+				Tenant:   "t",
+				Chain:    genChain(rng, 2+rng.Intn(4)),
+				Priority: 1 + rng.Intn(4),
+			}
+			if rng.Intn(2) == 0 {
+				s.MaxProcs = 4 + rng.Intn(16)
+			}
+			if p, err := f.Admit(s); err == nil {
+				live = append(live, p.ID)
+			}
+		case op < 7: // depart
+			if len(live) > 0 {
+				i := rng.Intn(len(live))
+				if err := f.Depart(live[i]); err != nil {
+					// Already evicted by a previous rebalance; drop it.
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		case op < 9: // fail 1-4 processors
+			_ = f.FailProcs(1 + rng.Intn(4))
+		default: // restore 1-4
+			_ = f.RestoreProcs(1 + rng.Intn(4))
+		}
+		// Eviction can remove pipelines behind our back: refresh the live
+		// set from the fleet's own snapshot.
+		placed := map[int64]bool{}
+		for _, p := range f.Placements() {
+			placed[p.ID] = true
+		}
+		kept := live[:0]
+		for _, id := range live {
+			if placed[id] {
+				kept = append(kept, id)
+			}
+		}
+		live = kept
+
+		if err := checkPlacements(f, grid); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if err := checkAccounting(f.Stats()); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+// TestPropertyNeverOverAllocatesFlat drives random admit/depart/fail
+// sequences on a flat pool across many seeds.
+func TestPropertyNeverOverAllocatesFlat(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		f, err := New(Config{Pool: model.Platform{Procs: 24 + rng.Intn(41)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveRandom(t, f, machine.Grid{}, rng, 40)
+	}
+}
+
+// TestPropertyNeverOverAllocatesGrid is the grid-mode variant: the same
+// random churn must additionally keep every region a disjoint in-bounds
+// rectangle with a machine-feasible mapping inside it.
+func TestPropertyNeverOverAllocatesGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid packing property is slow in -short mode")
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		g := machine.Grid{Rows: 4 + rng.Intn(5), Cols: 4 + rng.Intn(5)}
+		f, err := New(Config{Grid: g})
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveRandom(t, f, g, rng, 25)
+	}
+}

@@ -30,10 +30,12 @@ package pipemap
 
 import (
 	"io"
+	"net/http"
 
 	"pipemap/internal/adapt"
 	"pipemap/internal/core"
 	"pipemap/internal/estimate"
+	"pipemap/internal/fleet"
 	"pipemap/internal/fxrt"
 	"pipemap/internal/greedy"
 	"pipemap/internal/ingest"
@@ -395,6 +397,54 @@ func NewSpanExporter(w io.Writer, buf int) *SpanExporter { return obs.NewSpanExp
 
 // NewSLOEngine builds an SLO engine.
 func NewSLOEngine(cfg SLOConfig) *SLOEngine { return slo.New(cfg) }
+
+// Fleet scheduler types (extension; see DESIGN.md §14). A Fleet admits
+// many tenant chain specs against one shared processor pool, partitions
+// the pool by a weighted-priority policy, and maps every pipeline through
+// a solve-once-place-many cache: identical specs (by the canonical spec
+// hash) solve exactly once no matter how many tenants submit them.
+// Tenant departure, processor failure, and preemptive eviction rebalance
+// the pool and re-place only the pipelines whose allocation changed.
+type (
+	// Fleet is the multi-pipeline scheduler over one shared pool.
+	Fleet = fleet.Fleet
+	// FleetConfig configures the pool, optional grid, solver knobs, and
+	// metrics registry.
+	FleetConfig = fleet.Config
+	// FleetSpec is one tenant's admission request (chain plus priority
+	// and allocation-cap hints).
+	FleetSpec = fleet.Spec
+	// FleetPlacement is the externally visible state of one admitted
+	// pipeline (allocation, region, mapping, placement generation).
+	FleetPlacement = fleet.Placement
+	// FleetStats is the counter snapshot; at quiesce Admitted ==
+	// Placed + Departed + Evicted.
+	FleetStats = fleet.Stats
+	// FleetState is the /fleet JSON payload (stats plus placements).
+	FleetState = fleet.State
+	// FleetCache is the fleet-level solve cache grouping specs into
+	// structural families.
+	FleetCache = fleet.Cache
+	// FleetCacheStats aggregates hit/miss/solve counters across the
+	// cache's families.
+	FleetCacheStats = fleet.CacheStats
+)
+
+// NewFleet builds an empty fleet scheduler over the configured pool.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// NewFleetCache builds a standalone fleet solve cache.
+func NewFleetCache() *FleetCache { return fleet.NewCache() }
+
+// FleetStateHandler serves a fleet's state as JSON on GET (mount at
+// /fleet); FleetFailHandler injects processor failures on POST and runs
+// onRebalance after the fleet has re-placed the survivors.
+func FleetStateHandler(f *Fleet) http.Handler { return fleet.StateHandler(f) }
+
+// FleetFailHandler is the POST /fleet/fail handler.
+func FleetFailHandler(f *Fleet, onRebalance func()) http.Handler {
+	return fleet.FailHandler(f, onRebalance)
+}
 
 // Objective selects what Map optimizes.
 type Objective = core.Objective

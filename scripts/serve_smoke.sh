@@ -19,6 +19,13 @@
 #           graceful SIGTERM — the exported NDJSON span file. Writes the
 #           trace artifacts to $TRACE_REPORT (default:
 #           <tmp>/trace_report.txt) for CI upload.
+#   fleet   start the fleet scheduler (-fleet) with the ffthist256 and
+#           radar64 specs sharing one pool, submit to both tenants, kill a
+#           quarter of the pool over POST /fleet/fail, and require a
+#           rebalance generation bump, no over-allocation, live-swapped
+#           planes that still answer, and a zero-loss drain on SIGTERM.
+#           Writes a summary to $FLEET_REPORT (default:
+#           <tmp>/fleet_report.txt) for CI artifact upload.
 #
 # CI runs this after the unit tests; it needs only curl and the go
 # toolchain.
@@ -26,8 +33,8 @@ set -eu
 
 PHASE=${1:-all}
 OUT=$(mktemp -d)
-PID=; PID2=; PID3=; PID4=
-trap 'kill $PID $PID2 $PID3 $PID4 2>/dev/null || true; rm -rf "$OUT"' EXIT
+PID=; PID2=; PID3=; PID4=; PID5=
+trap 'kill $PID $PID2 $PID3 $PID4 $PID5 2>/dev/null || true; rm -rf "$OUT"' EXIT
 
 fail() {
     echo "serve_smoke: $1" >&2
@@ -293,19 +300,134 @@ phase_trace() {
     echo "serve_smoke: trace phase ok (report: $REPORT)"
 }
 
+phase_fleet() {
+    ADDR5=127.0.0.1:9131
+    REPORT=${FLEET_REPORT:-$OUT/fleet_report.txt}
+    # A real binary so SIGTERM reaches the server and drains every plane.
+    go build -o "$OUT/pipemap_fleet" ./cmd/pipemap
+    "$OUT/pipemap_fleet" -serve "$ADDR5" -fleet -ingest-size 64 \
+        -queue-depth 8 -shed-deadline 10s \
+        specs/ffthist256.json specs/radar64.json >"$OUT/fleet.log" 2>&1 &
+    PID5=$!
+
+    wait_http "http://$ADDR5/healthz" "$OUT/fleet.log"
+    wait_log "fleet serving" "$OUT/fleet.log"
+
+    # Both tenants placed, no over-allocation, and a recorded generation.
+    curl -fsS "http://$ADDR5/fleet" >"$OUT/fleet_before.json" || fail "GET /fleet failed"
+    grep -q '"ffthist256"' "$OUT/fleet_before.json" || fail "/fleet missing tenant ffthist256"
+    grep -q '"radar64"' "$OUT/fleet_before.json" || fail "/fleet missing tenant radar64"
+    grep -q '"placed": 2' "$OUT/fleet_before.json" || fail "/fleet does not report 2 placed pipelines"
+    GEN_BEFORE=$(grep -o '"generation": [0-9]*' "$OUT/fleet_before.json" | head -1 | grep -o '[0-9]*')
+    POOL=$(grep -o '"poolProcs": [0-9]*' "$OUT/fleet_before.json" | grep -o '[0-9]*')
+    USED=$(grep -o '"usedProcs": [0-9]*' "$OUT/fleet_before.json" | grep -o '[0-9]*')
+    [ "$USED" -le "$POOL" ] || fail "over-allocation before failure: used=$USED pool=$POOL"
+
+    # Both tenants serve real kernel work on their own endpoints.
+    curl -fsS -X POST -H 'Content-Type: application/json' \
+        -d '{"tenant":"smoke","input":{"seed":1}}' \
+        "http://$ADDR5/v1/ffthist256/submit" >"$OUT/fleet_fft.json" \
+        || fail "POST /v1/ffthist256/submit failed"
+    grep -q '"result"' "$OUT/fleet_fft.json" || fail "ffthist submit carries no result"
+    curl -fsS -X POST -H 'Content-Type: application/json' \
+        -d '{"tenant":"smoke","input":{"seed":2}}' \
+        "http://$ADDR5/v1/radar64/submit" >"$OUT/fleet_radar.json" \
+        || fail "POST /v1/radar64/submit failed"
+    grep -q '"result"' "$OUT/fleet_radar.json" || fail "radar submit carries no result"
+
+    # Kill a quarter of the pool; the response is the rebalanced state.
+    KILL=$((POOL / 4))
+    curl -fsS -X POST "http://$ADDR5/fleet/fail?n=$KILL" >"$OUT/fleet_failed.json" \
+        || fail "POST /fleet/fail failed"
+
+    # Poll /fleet for the rebalance generation bump and re-shrunk pool.
+    i=0
+    while :; do
+        curl -fsS "http://$ADDR5/fleet" >"$OUT/fleet_after.json" 2>/dev/null || true
+        GEN_AFTER=$(grep -o '"generation": [0-9]*' "$OUT/fleet_after.json" | head -1 | grep -o '[0-9]*' || echo 0)
+        if [ "${GEN_AFTER:-0}" -gt "$GEN_BEFORE" ]; then
+            break
+        fi
+        i=$((i + 1))
+        if [ "$i" -ge 100 ]; then
+            echo "serve_smoke: fleet generation never bumped past $GEN_BEFORE after failure" >&2
+            cat "$OUT/fleet_after.json" >&2
+            cat "$OUT/fleet.log" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+    POOL_AFTER=$(grep -o '"poolProcs": [0-9]*' "$OUT/fleet_after.json" | grep -o '[0-9]*')
+    USED_AFTER=$(grep -o '"usedProcs": [0-9]*' "$OUT/fleet_after.json" | grep -o '[0-9]*')
+    [ "$POOL_AFTER" -eq $((POOL - KILL)) ] || fail "pool after failure = $POOL_AFTER, want $((POOL - KILL))"
+    [ "$USED_AFTER" -le "$POOL_AFTER" ] || fail "over-allocation after failure: used=$USED_AFTER pool=$POOL_AFTER"
+    wait_log "remapped" "$OUT/fleet.log"
+
+    # The survivors keep serving on their live-swapped planes.
+    curl -fsS -X POST -H 'Content-Type: application/json' \
+        -d '{"tenant":"smoke","input":{"seed":3}}' \
+        "http://$ADDR5/v1/ffthist256/submit" >/dev/null \
+        || fail "post-failure ffthist submit failed"
+    curl -fsS -X POST -H 'Content-Type: application/json' \
+        -d '{"tenant":"smoke","input":{"seed":4}}' \
+        "http://$ADDR5/v1/radar64/submit" >/dev/null \
+        || fail "post-failure radar submit failed"
+
+    # fleet_* series are exposed and the exposition still lints.
+    curl -fsS "http://$ADDR5/metrics" >"$OUT/fleet_metrics"
+    grep -q 'fleet_admitted_total' "$OUT/fleet_metrics" || fail "/metrics missing fleet_admitted_total"
+    grep -q 'fleet_pool_utilization' "$OUT/fleet_metrics" || fail "/metrics missing fleet_pool_utilization"
+    grep -q 'fleet_cache_hit_rate' "$OUT/fleet_metrics" || fail "/metrics missing fleet_cache_hit_rate"
+    grep -qE 'fleet_generation [1-9]' "$OUT/fleet_metrics" || fail "/metrics fleet_generation not positive"
+    BAD=$(grep -v '^#' "$OUT/fleet_metrics" | grep -cvE \
+        '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]Inf|[-+0-9.eE]+)$' || true)
+    [ "$BAD" -eq 0 ] || {
+        grep -v '^#' "$OUT/fleet_metrics" | grep -vE \
+            '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]Inf|[-+0-9.eE]+)$' >&2
+        fail "malformed fleet exposition lines"
+    }
+
+    # Graceful stop: SIGTERM drains every tenant plane.
+    kill -TERM $PID5
+    if ! wait $PID5; then
+        cat "$OUT/fleet.log" >&2
+        fail "fleet server exited non-zero on SIGTERM"
+    fi
+    PID5=
+    grep -q "fleet drain complete" "$OUT/fleet.log" || fail "no fleet drain summary after SIGTERM"
+
+    {
+        echo "# fleet smoke"
+        echo "pool: $POOL -> $POOL_AFTER after failing $KILL processors"
+        echo "generation: $GEN_BEFORE -> $GEN_AFTER"
+        echo
+        echo "## /fleet after failure"
+        cat "$OUT/fleet_after.json"
+        echo
+        echo "## fleet metrics"
+        grep '^fleet_' "$OUT/fleet_metrics" || true
+        echo
+        echo "## drain"
+        grep -E 'fleet' "$OUT/fleet.log" || true
+    } >"$REPORT"
+    echo "serve_smoke: fleet phase ok (report: $REPORT)"
+}
+
 case "$PHASE" in
 serve) phase_serve ;;
 adapt) phase_adapt ;;
 ingest) phase_ingest ;;
 trace) phase_trace ;;
+fleet) phase_fleet ;;
 all)
     phase_serve
     phase_adapt
     phase_ingest
     phase_trace
+    phase_fleet
     ;;
 *)
-    fail "unknown phase '$PHASE' (want serve, adapt, ingest, trace, or all)"
+    fail "unknown phase '$PHASE' (want serve, adapt, ingest, trace, fleet, or all)"
     ;;
 esac
 
