@@ -45,7 +45,7 @@ func run(argv []string, stdout io.Writer) error {
 
 	specs := fs.Args()
 	if len(specs) == 0 {
-		specs = []string{"specs/ffthist256.json", "specs/threestage.json"}
+		specs = []string{"specs/ffthist256.json", "specs/radar64.json", "specs/stereo128.json", "specs/threestage.json"}
 	}
 	opt := bench.PerfOptions{Runs: *runs, DataSets: *datasets, Speedup: *speedup}
 	if *quick {

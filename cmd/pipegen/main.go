@@ -1,0 +1,104 @@
+// Command pipegen compiles chain specs plus solved mappings into
+// specialized pipeline executors (see internal/pipegen and DESIGN.md
+// section 15).
+//
+// Regenerate every committed example (make pipegen):
+//
+//	pipegen -all
+//
+// Verify the committed code matches what the specs solve to (make
+// pipegen-diff; CI fails on drift):
+//
+//	pipegen -all -check
+//
+// Or generate a one-off executor from any spec:
+//
+//	pipegen -spec specs/ffthist256.json -app ffthist -pkg myexec -o out.go
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pipemap/internal/pipegen"
+)
+
+func main() {
+	var (
+		all   = flag.Bool("all", false, "regenerate every committed example under internal/gen")
+		check = flag.Bool("check", false, "with -all: verify committed files match instead of writing")
+		root  = flag.String("root", ".", "repo root the committed examples are resolved against")
+		spec  = flag.String("spec", "", "chain spec to solve and compile (single-executor mode)")
+		app   = flag.String("app", "", "application binding: ffthist, radar, or stereo")
+		pkg   = flag.String("pkg", "", "emitted package name (single-executor mode)")
+		out   = flag.String("o", "", "output file; empty writes to stdout")
+		size  = flag.Int("size", 0, "baked default workload size; 0 keeps the app default")
+	)
+	flag.Parse()
+	if err := run(*all, *check, *root, *spec, *app, *pkg, *out, *size); err != nil {
+		fmt.Fprintln(os.Stderr, "pipegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(all, check bool, root, spec, app, pkg, out string, size int) error {
+	if all {
+		return runAll(check, root)
+	}
+	if spec == "" || app == "" || pkg == "" {
+		return fmt.Errorf("need -all, or -spec with -app and -pkg")
+	}
+	m, err := pipegen.SolveSpec(spec)
+	if err != nil {
+		return err
+	}
+	src, err := pipegen.Generate(pipegen.Options{
+		App: app, Package: pkg, SpecPath: spec, Mapping: m, Size: size,
+	})
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		_, err = os.Stdout.Write(src)
+		return err
+	}
+	return os.WriteFile(out, src, 0o644)
+}
+
+func runAll(check bool, root string) error {
+	var drift int
+	for _, x := range pipegen.Examples {
+		src, err := pipegen.GenerateExample(root, x)
+		if err != nil {
+			return fmt.Errorf("%s: %w", x.Name, err)
+		}
+		file := x.File(root)
+		if check {
+			have, err := os.ReadFile(file)
+			if err != nil {
+				return fmt.Errorf("%s: %w (run make pipegen)", x.Name, err)
+			}
+			if !bytes.Equal(have, src) {
+				fmt.Fprintf(os.Stderr, "pipegen: %s drifted from %s\n", file, x.SpecPath)
+				drift++
+				continue
+			}
+			fmt.Printf("%-12s ok (%s)\n", x.Name, file)
+			continue
+		}
+		if err := os.MkdirAll(filepath.Dir(file), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(file, src, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%-12s wrote %s (%d bytes)\n", x.Name, file, len(src))
+	}
+	if drift > 0 {
+		return fmt.Errorf("%d generated file(s) out of date; run make pipegen and commit", drift)
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunAllCheckPasses(t *testing.T) {
+	if err := runAll(true, "../.."); err != nil {
+		t.Fatalf("committed examples drifted: %v", err)
+	}
+}
+
+func TestRunSingleSpec(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "exec.go")
+	err := run(false, false, ".", "../../specs/ffthist256.json", "ffthist", "mypkg", out, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "package mypkg") {
+		t.Error("output missing package clause")
+	}
+	if !strings.Contains(string(src), "cfg.N = 64") {
+		t.Error("output missing baked size override")
+	}
+}
+
+func TestRunRejectsPartialFlags(t *testing.T) {
+	if err := run(false, false, ".", "", "", "", "", 0); err == nil {
+		t.Fatal("run without -all or -spec succeeded, want error")
+	}
+}

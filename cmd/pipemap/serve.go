@@ -33,6 +33,7 @@ type serveConfig struct {
 	tenantRate   float64
 	ingestSize   int
 	dispatchers  int
+	ingestGen    bool
 
 	traceSample     float64
 	traceSpans      string

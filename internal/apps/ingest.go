@@ -122,11 +122,11 @@ func (c RadarCodec) Decode(input json.RawMessage) (fxrt.DataSet, error) {
 // Encode implements ingest.Codec: the detection count and the strongest
 // detections (up to 5, by power).
 func (c RadarCodec) Encode(out fxrt.DataSet) (any, error) {
-	rd, ok := out.(*radarData)
+	rd, ok := out.(*RadarData)
 	if !ok {
 		return nil, fmt.Errorf("radar output: got %T, want radar data", out)
 	}
-	dets := append([]kernels.Detection(nil), rd.dets...)
+	dets := append([]kernels.Detection(nil), rd.Dets...)
 	sort.Slice(dets, func(i, j int) bool { return dets[i].Power > dets[j].Power })
 	if len(dets) > 5 {
 		dets = dets[:5]
@@ -140,7 +140,7 @@ func (c RadarCodec) Encode(out fxrt.DataSet) (any, error) {
 		})
 	}
 	return map[string]any{
-		"detections": len(rd.dets),
+		"detections": len(rd.Dets),
 		"top":        top,
 	}, nil
 }
@@ -173,20 +173,20 @@ func (c StereoCodec) Decode(input json.RawMessage) (fxrt.DataSet, error) {
 // Encode implements ingest.Codec: depth map dimensions, mean recovered
 // disparity, and accuracy against the synthetic scene.
 func (c StereoCodec) Encode(out fxrt.DataSet) (any, error) {
-	sd, ok := out.(*stereoData)
+	sd, ok := out.(*StereoData)
 	if !ok {
 		return nil, fmt.Errorf("stereo output: got %T, want stereo data", out)
 	}
 	var mean float64
-	if len(sd.depth.Pix) > 0 {
-		for _, v := range sd.depth.Pix {
+	if len(sd.Depth.Pix) > 0 {
+		for _, v := range sd.Depth.Pix {
 			mean += v
 		}
-		mean /= float64(len(sd.depth.Pix))
+		mean /= float64(len(sd.Depth.Pix))
 	}
 	return map[string]any{
-		"width":      sd.depth.W,
-		"height":     sd.depth.H,
+		"width":      sd.Depth.W,
+		"height":     sd.Depth.H,
 		"mean_depth": finite(mean),
 		"accuracy":   finite(c.Runner.VerifyDepth(sd)),
 	}, nil

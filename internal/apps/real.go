@@ -144,14 +144,10 @@ func (r FFTHistRunner) runTasks(ctx *fxrt.StageCtx, lo, hi int, in fxrt.DataSet)
 			w := ctx.Group.Workers()
 			partials := make([]*kernels.Histogram, w)
 			err := ctx.Rec.Time(opHist, func() error {
-				band := (mat.Rows + w - 1) / w
 				return ctx.Group.ParallelFor(w, func(i0, i1 int) error {
 					for i := i0; i < i1; i++ {
 						h := kernels.NewHistogram(64, -6, 6)
-						r0, r1 := i*band, (i+1)*band
-						if r1 > mat.Rows {
-							r1 = mat.Rows
-						}
+						r0, r1 := fxrt.BlockRange(mat.Rows, w, i)
 						if r0 < r1 {
 							h.AccumulateMatrix(mat, r0, r1)
 						}

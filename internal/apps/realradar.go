@@ -26,10 +26,13 @@ type RadarRunner struct {
 	TargetGate, TargetDoppler int
 }
 
-// radarData flows between the radar stages.
-type radarData struct {
-	cube kernels.Matrix
-	dets []kernels.Detection
+// RadarData flows between the radar stages.
+type RadarData struct {
+	// Cube is the pulses x gates coherent-interval sample cube, mutated in
+	// place as it flows through the stages.
+	Cube kernels.Matrix
+	// Dets are the CFAR detections gathered after the cfar task.
+	Dets []kernels.Detection
 }
 
 // Radar op names for recorded measurements.
@@ -80,9 +83,9 @@ func (r RadarRunner) Pipeline(m model.Mapping) (*fxrt.Pipeline, map[[2]int]int, 
 			Workers:  mod.Procs,
 			Replicas: mod.Replicas,
 			Run: func(ctx *fxrt.StageCtx, in fxrt.DataSet) (fxrt.DataSet, error) {
-				rd, ok := in.(*radarData)
+				rd, ok := in.(*RadarData)
 				if !ok {
-					return nil, fmt.Errorf("apps: radar stage expects radarData")
+					return nil, fmt.Errorf("apps: radar stage expects RadarData")
 				}
 				for t := mod.Lo; t < mod.Hi; t++ {
 					if err := r.runTask(ctx, t, rd, chirpFreq, &trackMu, tracks); err != nil {
@@ -96,24 +99,24 @@ func (r RadarRunner) Pipeline(m model.Mapping) (*fxrt.Pipeline, map[[2]int]int, 
 	return &fxrt.Pipeline{Stages: stages}, tracks, nil
 }
 
-func (r RadarRunner) runTask(ctx *fxrt.StageCtx, task int, rd *radarData,
+func (r RadarRunner) runTask(ctx *fxrt.StageCtx, task int, rd *RadarData,
 	chirpFreq []complex128, trackMu *sync.Mutex, tracks map[[2]int]int) error {
 	pulses, gates := r.dims()
 	switch task {
 	case 0: // pulse compression over rows (pulses)
 		return ctx.Rec.Time(opPulseComp, func() error {
 			return ctx.Group.ParallelFor(pulses, func(r0, r1 int) error {
-				return kernels.MatchedFilter(rd.cube, chirpFreq, r0, r1)
+				return kernels.MatchedFilter(rd.Cube, chirpFreq, r0, r1)
 			})
 		})
 	case 1: // corner turn (redistribution) then Doppler FFT over columns
 		err := ctx.Rec.Time(opCornerTurn, func() error {
 			fresh := kernels.NewMatrix(pulses, gates)
 			err := ctx.Group.ParallelFor(pulses, func(r0, r1 int) error {
-				copy(fresh.Data[r0*gates:r1*gates], rd.cube.Data[r0*gates:r1*gates])
+				copy(fresh.Data[r0*gates:r1*gates], rd.Cube.Data[r0*gates:r1*gates])
 				return nil
 			})
-			rd.cube = fresh
+			rd.Cube = fresh
 			return err
 		})
 		if err != nil {
@@ -121,25 +124,21 @@ func (r RadarRunner) runTask(ctx *fxrt.StageCtx, task int, rd *radarData,
 		}
 		return ctx.Rec.Time(opDoppler, func() error {
 			return ctx.Group.ParallelFor(gates, func(c0, c1 int) error {
-				return kernels.DopplerFFT(rd.cube, c0, c1)
+				return kernels.DopplerFFT(rd.Cube, c0, c1)
 			})
 		})
 	case 2: // magnitude + CFAR over Doppler rows
 		w := ctx.Group.Workers()
 		parts := make([][]kernels.Detection, w)
 		err := ctx.Rec.Time(opCFAR, func() error {
-			band := (pulses + w - 1) / w
 			return ctx.Group.ParallelFor(w, func(i0, i1 int) error {
 				for i := i0; i < i1; i++ {
-					r0, r1 := i*band, (i+1)*band
-					if r1 > pulses {
-						r1 = pulses
-					}
+					r0, r1 := fxrt.BlockRange(pulses, w, i)
 					if r0 >= r1 {
 						continue
 					}
-					kernels.PowerRows(rd.cube, r0, r1)
-					parts[i] = kernels.CFAR(rd.cube, 2, 8, 12, r0, r1)
+					kernels.PowerRows(rd.Cube, r0, r1)
+					parts[i] = kernels.CFAR(rd.Cube, 2, 8, 12, r0, r1)
 				}
 				return nil
 			})
@@ -148,9 +147,9 @@ func (r RadarRunner) runTask(ctx *fxrt.StageCtx, task int, rd *radarData,
 			return err
 		}
 		return ctx.Rec.Time(opDetGather, func() error {
-			rd.dets = rd.dets[:0]
+			rd.Dets = rd.Dets[:0]
 			for _, p := range parts {
-				rd.dets = append(rd.dets, p...)
+				rd.Dets = append(rd.Dets, p...)
 			}
 			return nil
 		})
@@ -158,7 +157,7 @@ func (r RadarRunner) runTask(ctx *fxrt.StageCtx, task int, rd *radarData,
 		return ctx.Rec.Time(opTrack, func() error {
 			trackMu.Lock()
 			defer trackMu.Unlock()
-			for _, d := range rd.dets {
+			for _, d := range rd.Dets {
 				tracks[[2]int{d.Doppler, d.Range}]++
 			}
 			return nil
@@ -170,15 +169,28 @@ func (r RadarRunner) runTask(ctx *fxrt.StageCtx, task int, rd *radarData,
 
 func (r RadarRunner) chirpFreq() ([]complex128, error) {
 	_, gates := r.dims()
+	return RadarChirp(gates)
+}
+
+// RadarChirp synthesizes the frequency-domain matched-filter reference: a
+// 16-tap quadratic-phase chirp zero-padded to gates samples, FFT'd in
+// place. It is shared by the runner and by pipegen-generated radar
+// executors, which must filter against bit-identical coefficients.
+func RadarChirp(gates int) ([]complex128, error) {
 	chirp := make([]complex128, gates)
-	for i := 0; i < 16 && i < gates; i++ {
-		phase := 0.08 * float64(i*i)
-		chirp[i] = complex(math.Cos(phase), math.Sin(phase))
+	for j := 0; j < 16 && j < gates; j++ {
+		chirp[j] = radarChirpTap(j)
 	}
 	if err := kernels.FFT(chirp); err != nil {
 		return nil, err
 	}
 	return chirp, nil
+}
+
+// radarChirpTap is the j-th time-domain tap of the synthetic chirp.
+func radarChirpTap(j int) complex128 {
+	phase := 0.08 * float64(j*j)
+	return complex(math.Cos(phase), math.Sin(phase))
 }
 
 // Run executes the mapping on the runtime, returning the measured
@@ -214,18 +226,17 @@ func (r RadarRunner) target() (gate, doppler int) {
 
 // input synthesizes the i-th coherent-interval cube: deterministic
 // low-level clutter plus the target echo at the runner's target cell.
-func (r RadarRunner) input(i int) *radarData {
+func (r RadarRunner) input(i int) *RadarData {
 	tg, td := r.target()
 	return r.inputAt(i, tg, td)
 }
 
 // inputAt synthesizes a cube with the target at (gate tg, doppler td).
-func (r RadarRunner) inputAt(i, tg, td int) *radarData {
+func (r RadarRunner) inputAt(i, tg, td int) *RadarData {
 	pulses, gates := r.dims()
 	chirp := make([]complex128, 16)
 	for j := range chirp {
-		phase := 0.08 * float64(j*j)
-		chirp[j] = complex(math.Cos(phase), math.Sin(phase))
+		chirp[j] = radarChirpTap(j)
 	}
 	cube := kernels.NewMatrix(pulses, gates)
 	for idx := range cube.Data {
@@ -238,7 +249,7 @@ func (r RadarRunner) inputAt(i, tg, td int) *radarData {
 			cube.Set(pu, tg+j, cube.At(pu, tg+j)+chirp[j]*rot*complex(2, 0))
 		}
 	}
-	return &radarData{cube: cube}
+	return &RadarData{Cube: cube}
 }
 
 var _ estimate.Profiler = RadarRunner{}

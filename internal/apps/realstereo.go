@@ -26,11 +26,14 @@ type StereoRunner struct {
 	TrueDisparity int
 }
 
-// stereoData flows between stereo stages.
-type stereoData struct {
-	ref, target kernels.Image
-	errs        []kernels.Image
-	depth       kernels.Image
+// StereoData flows between stereo stages.
+type StereoData struct {
+	// Ref and Target are the rectified image pair.
+	Ref, Target kernels.Image
+	// Errs are the per-disparity error planes.
+	Errs []kernels.Image
+	// Depth is the recovered depth map.
+	Depth kernels.Image
 }
 
 // Stereo op names.
@@ -74,9 +77,9 @@ func (r StereoRunner) Pipeline(m model.Mapping) (*fxrt.Pipeline, error) {
 			Workers:  mod.Procs,
 			Replicas: mod.Replicas,
 			Run: func(ctx *fxrt.StageCtx, in fxrt.DataSet) (fxrt.DataSet, error) {
-				sd, ok := in.(*stereoData)
+				sd, ok := in.(*StereoData)
 				if !ok {
-					return nil, fmt.Errorf("apps: stereo stage expects stereoData")
+					return nil, fmt.Errorf("apps: stereo stage expects StereoData")
 				}
 				for t := mod.Lo; t < mod.Hi; t++ {
 					if err := r.runTask(ctx, t, sd); err != nil {
@@ -90,7 +93,7 @@ func (r StereoRunner) Pipeline(m model.Mapping) (*fxrt.Pipeline, error) {
 	return &fxrt.Pipeline{Stages: stages}, nil
 }
 
-func (r StereoRunner) runTask(ctx *fxrt.StageCtx, task int, sd *stereoData) error {
+func (r StereoRunner) runTask(ctx *fxrt.StageCtx, task int, sd *StereoData) error {
 	w, h, nd, _ := r.dims()
 	switch task {
 	case 0: // capture: normalize / preprocess the image pair in place
@@ -98,8 +101,8 @@ func (r StereoRunner) runTask(ctx *fxrt.StageCtx, task int, sd *stereoData) erro
 			return ctx.Group.ParallelFor(h, func(y0, y1 int) error {
 				for y := y0; y < y1; y++ {
 					for x := 0; x < w; x++ {
-						sd.ref.Set(x, y, clamp01(sd.ref.At(x, y)))
-						sd.target.Set(x, y, clamp01(sd.target.At(x, y)))
+						sd.Ref.Set(x, y, Clamp01(sd.Ref.At(x, y)))
+						sd.Target.Set(x, y, Clamp01(sd.Target.At(x, y)))
 					}
 				}
 				return nil
@@ -110,23 +113,23 @@ func (r StereoRunner) runTask(ctx *fxrt.StageCtx, task int, sd *stereoData) erro
 			// Redistribution: every disparity worker needs both images.
 			refCopy := kernels.NewImage(w, h)
 			tgtCopy := kernels.NewImage(w, h)
-			copy(refCopy.Pix, sd.ref.Pix)
-			copy(tgtCopy.Pix, sd.target.Pix)
-			sd.ref, sd.target = refCopy, tgtCopy
+			copy(refCopy.Pix, sd.Ref.Pix)
+			copy(tgtCopy.Pix, sd.Target.Pix)
+			sd.Ref, sd.Target = refCopy, tgtCopy
 			return nil
 		})
 		if err != nil {
 			return err
 		}
-		sd.errs = make([]kernels.Image, nd)
+		sd.Errs = make([]kernels.Image, nd)
 		return ctx.Rec.Time(opDiff, func() error {
 			return ctx.Group.ParallelFor(nd, func(d0, d1 int) error {
 				for d := d0; d < d1; d++ {
 					diff := kernels.NewImage(w, h)
-					if err := kernels.DiffImage(sd.ref, sd.target, diff, d, 0, h); err != nil {
+					if err := kernels.DiffImage(sd.Ref, sd.Target, diff, d, 0, h); err != nil {
 						return err
 					}
-					sd.errs[d] = diff
+					sd.Errs[d] = diff
 				}
 				return nil
 			})
@@ -136,10 +139,10 @@ func (r StereoRunner) runTask(ctx *fxrt.StageCtx, task int, sd *stereoData) erro
 			return ctx.Group.ParallelFor(nd, func(d0, d1 int) error {
 				for d := d0; d < d1; d++ {
 					out := kernels.NewImage(w, h)
-					if err := kernels.ErrorImage(sd.errs[d], out, 2, 0, h); err != nil {
+					if err := kernels.ErrorImage(sd.Errs[d], out, 2, 0, h); err != nil {
 						return err
 					}
-					sd.errs[d] = out
+					sd.Errs[d] = out
 				}
 				return nil
 			})
@@ -152,10 +155,10 @@ func (r StereoRunner) runTask(ctx *fxrt.StageCtx, task int, sd *stereoData) erro
 		if err != nil {
 			return err
 		}
-		sd.depth = kernels.NewImage(w, h)
+		sd.Depth = kernels.NewImage(w, h)
 		return ctx.Rec.Time(opDepth, func() error {
 			return ctx.Group.ParallelFor(h, func(y0, y1 int) error {
-				return kernels.DepthMin(sd.errs, sd.depth, y0, y1)
+				return kernels.DepthMin(sd.Errs, sd.Depth, y0, y1)
 			})
 		})
 	default:
@@ -163,7 +166,7 @@ func (r StereoRunner) runTask(ctx *fxrt.StageCtx, task int, sd *stereoData) erro
 	}
 }
 
-func clamp01(v float64) float64 {
+func Clamp01(v float64) float64 {
 	if v < 0 {
 		return 0
 	}
@@ -176,7 +179,7 @@ func clamp01(v float64) float64 {
 // Run executes the mapping on the runtime and returns measured
 // statistics. The last data set's depth map accuracy can be verified with
 // VerifyDepth.
-func (r StereoRunner) Run(m model.Mapping) (fxrt.Stats, *stereoData, error) {
+func (r StereoRunner) Run(m model.Mapping) (fxrt.Stats, *StereoData, error) {
 	p, err := r.Pipeline(m)
 	if err != nil {
 		return fxrt.Stats{}, nil, err
@@ -185,13 +188,13 @@ func (r StereoRunner) Run(m model.Mapping) (fxrt.Stats, *stereoData, error) {
 	if n <= 0 {
 		n = 12
 	}
-	var last *stereoData
+	var last *StereoData
 	// Wrap the final stage to capture the last output.
 	lastStage := &p.Stages[len(p.Stages)-1]
 	innerRun := lastStage.Run
 	lastStage.Run = func(ctx *fxrt.StageCtx, in fxrt.DataSet) (fxrt.DataSet, error) {
 		out, err := innerRun(ctx, in)
-		if sd, ok := out.(*stereoData); ok {
+		if sd, ok := out.(*StereoData); ok {
 			last = sd
 		}
 		return out, err
@@ -204,7 +207,7 @@ func (r StereoRunner) Run(m model.Mapping) (fxrt.Stats, *stereoData, error) {
 
 // input synthesizes the i-th image pair: a deterministic textured
 // reference and a target shifted by the scene's true disparity.
-func (r StereoRunner) input(i int) *stereoData {
+func (r StereoRunner) input(i int) *StereoData {
 	w, h, _, td := r.dims()
 	ref := kernels.NewImage(w, h)
 	for idx := range ref.Pix {
@@ -219,13 +222,13 @@ func (r StereoRunner) input(i int) *stereoData {
 			}
 		}
 	}
-	return &stereoData{ref: ref, target: target}
+	return &StereoData{Ref: ref, Target: target}
 }
 
 // VerifyDepth reports the fraction of interior pixels whose recovered
 // disparity matches the synthetic scene's true disparity.
-func (r StereoRunner) VerifyDepth(sd *stereoData) float64 {
-	if sd == nil || len(sd.depth.Pix) == 0 {
+func (r StereoRunner) VerifyDepth(sd *StereoData) float64 {
+	if sd == nil || len(sd.Depth.Pix) == 0 {
 		return 0
 	}
 	w, h, _, td := r.dims()
@@ -233,7 +236,7 @@ func (r StereoRunner) VerifyDepth(sd *stereoData) float64 {
 	for y := 4; y < h-4; y++ {
 		for x := 4; x < w-td-4; x++ {
 			total++
-			if int(sd.depth.At(x, y)) == td {
+			if int(sd.Depth.At(x, y)) == td {
 				good++
 			}
 		}

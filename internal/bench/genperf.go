@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"pipemap/internal/apps"
+	"pipemap/internal/fxrt"
+	"pipemap/internal/gen/ffthist256"
+	"pipemap/internal/gen/radar64"
+	"pipemap/internal/gen/stereo128"
+	"pipemap/internal/kernels"
+	"pipemap/internal/model"
+)
+
+// This file measures the pipegen payoff: the same mapping structure
+// executed by the generic fxrt stream (interface-boxed data sets, one
+// channel hop per stage, runtime dispatch) and by the committed generated
+// executor (fused modules, typed rings). Both sides run real kernels on
+// identical fresh inputs, so the delta is pure executor overhead plus
+// whatever fusion saves. Workload sizes are reduced from the spec
+// defaults (the comparison targets per-data-set executor overhead, not
+// kernel time) and the stream length is capped at genCompareMaxDS; the
+// JSON report records per-data-set wall time for each side, honestly.
+
+// genCompareMaxDS caps the comparison stream length so a full perf run
+// stays manageable; the per-data-set minima stabilize well below it.
+const genCompareMaxDS = 160
+
+// genComparisons keys the spec files that have a committed generated
+// executor to their comparison, by spec base name.
+var genComparisons = map[string]func(m model.Mapping, dataSets, runs int) (genericNs, generatedNs float64, err error){
+	"ffthist256.json": compareFFTHist,
+	"radar64.json":    compareRadar,
+	"stereo128.json":  compareStereo,
+}
+
+// perfGenerated fills the generated-vs-generic columns of sp when the
+// spec has a committed generated executor. The freshly solved mapping
+// must match the baked one — drift means the committed code is stale.
+func perfGenerated(sp *SpecPerf, path string, m model.Mapping, opt PerfOptions) error {
+	cmp := genComparisons[filepath.Base(path)]
+	if cmp == nil {
+		return nil
+	}
+	n := opt.DataSets
+	if n > genCompareMaxDS {
+		n = genCompareMaxDS
+	}
+	// The per-side delta is a few percent, so the comparison needs more
+	// repetitions than the solver timings to be stable; it is cheap (tens
+	// of milliseconds per side), so floor the reps even in -quick runs.
+	runs := opt.Runs
+	if runs < 9 {
+		runs = 9
+	}
+	genericNs, generatedNs, err := cmp(m, n, runs)
+	if err != nil {
+		return err
+	}
+	sp.GenericNanosPerDS = genericNs
+	sp.GeneratedNanosPerDS = generatedNs
+	if generatedNs > 0 {
+		sp.GeneratedSpeedup = genericNs / generatedNs
+	}
+	return nil
+}
+
+func checkBakedMapping(m model.Mapping, baked string) error {
+	if got := m.String(); got != baked {
+		return fmt.Errorf("bench: spec solves to %q but the committed executor bakes %q; run make pipegen and commit", got, baked)
+	}
+	return nil
+}
+
+// comparePair times the generic and generated executors over the same
+// n data sets, interleaved A/B/A/B for runs rounds, and returns each
+// side's best per-data-set nanoseconds. Interleaved min, not
+// sequential median: on a single shared CPU the noise sources
+// (scheduler preemption, GC pacing, whatever regime the runtime
+// settles into) are strictly additive and drift over a process's
+// lifetime, so the fastest run is the closest estimate of true
+// executor cost, and alternating sides exposes both to the same drift.
+func comparePair(n, runs int, generic, generated func() (time.Duration, error)) (float64, float64, error) {
+	genericBest, generatedBest := math.Inf(1), math.Inf(1)
+	for i := 0; i < runs; i++ {
+		// Start each timed run from a collected heap so GC pacing debt
+		// from earlier bench phases (or the other side's garbage) cannot
+		// land in one side's window.
+		runtime.GC()
+		d, err := generic()
+		if err != nil {
+			return 0, 0, err
+		}
+		if ns := float64(d.Nanoseconds()) / float64(n); ns < genericBest {
+			genericBest = ns
+		}
+		runtime.GC()
+		d, err = generated()
+		if err != nil {
+			return 0, 0, err
+		}
+		if ns := float64(d.Nanoseconds()) / float64(n); ns < generatedBest {
+			generatedBest = ns
+		}
+	}
+	return genericBest, generatedBest, nil
+}
+
+// timeGenericStream pushes inputs through a generic stream and returns
+// the wall time from first push to last result.
+func timeGenericStream(pl *fxrt.Pipeline, edges []fxrt.Edge, inputs []fxrt.DataSet) (time.Duration, error) {
+	st, err := pl.Stream(fxrt.StreamOptions{Edges: edges})
+	if err != nil {
+		return 0, err
+	}
+	defer st.Close()
+	start := time.Now()
+	chans := make([]<-chan fxrt.StreamResult, len(inputs))
+	for i, in := range inputs {
+		ch, err := st.Push(nil, in)
+		if err != nil {
+			return 0, err
+		}
+		chans[i] = ch
+	}
+	for i, ch := range chans {
+		if r := <-ch; r.Err != nil {
+			return 0, fmt.Errorf("generic data set %d: %w", i, r.Err)
+		}
+	}
+	return time.Since(start), nil
+}
+
+func compareFFTHist(m model.Mapping, dataSets, runs int) (float64, float64, error) {
+	if err := checkBakedMapping(m, ffthist256.MappingString); err != nil {
+		return 0, 0, err
+	}
+	const n = 16
+	runner := apps.FFTHistRunner{N: n}
+	mm := model.Mapping{Chain: apps.FFTHistStructure(n), Modules: ffthist256.Modules()}
+	pl, edges, err := runner.Pipeline(mm)
+	if err != nil {
+		return 0, 0, err
+	}
+	inputs := func() []fxrt.DataSet {
+		out := make([]fxrt.DataSet, dataSets)
+		for i := range out {
+			out[i] = runner.Input(i)
+		}
+		return out
+	}
+	return comparePair(dataSets, runs, func() (time.Duration, error) {
+		return timeGenericStream(pl, edges, inputs())
+	}, func() (time.Duration, error) {
+		ex, err := ffthist256.New(ffthist256.Config{N: n})
+		if err != nil {
+			return 0, err
+		}
+		defer ex.Close()
+		in := inputs()
+		start := time.Now()
+		if _, err := ex.Run(func(i int) kernels.Matrix { return in[i].(kernels.Matrix) }, dataSets); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	})
+}
+
+func compareRadar(m model.Mapping, dataSets, runs int) (float64, float64, error) {
+	if err := checkBakedMapping(m, radar64.MappingString); err != nil {
+		return 0, 0, err
+	}
+	const pulses, gates = 8, 32
+	runner := apps.RadarRunner{Pulses: pulses, Gates: gates}
+	mm := model.Mapping{Chain: apps.RadarStructure(), Modules: radar64.Modules()}
+	pl, _, err := runner.Pipeline(mm)
+	if err != nil {
+		return 0, 0, err
+	}
+	codec := apps.RadarCodec{Runner: runner}
+	inputs := func() ([]fxrt.DataSet, error) {
+		out := make([]fxrt.DataSet, dataSets)
+		for i := range out {
+			ds, err := codec.Decode([]byte(fmt.Sprintf(`{"seed":%d}`, i)))
+			if err != nil {
+				return nil, err
+			}
+			out[i] = ds
+		}
+		return out, nil
+	}
+	return comparePair(dataSets, runs, func() (time.Duration, error) {
+		in, err := inputs()
+		if err != nil {
+			return 0, err
+		}
+		return timeGenericStream(pl, nil, in)
+	}, func() (time.Duration, error) {
+		ex, err := radar64.New(radar64.Config{Pulses: pulses, Gates: gates})
+		if err != nil {
+			return 0, err
+		}
+		defer ex.Close()
+		in, err := inputs()
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if _, err := ex.Run(func(i int) *apps.RadarData { return in[i].(*apps.RadarData) }, dataSets); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	})
+}
+
+func compareStereo(m model.Mapping, dataSets, runs int) (float64, float64, error) {
+	if err := checkBakedMapping(m, stereo128.MappingString); err != nil {
+		return 0, 0, err
+	}
+	const w, h, nd = 16, 8, 2
+	runner := apps.StereoRunner{W: w, H: h, Disparities: nd}
+	mm := model.Mapping{Chain: apps.StereoStructure(), Modules: stereo128.Modules()}
+	pl, err := runner.Pipeline(mm)
+	if err != nil {
+		return 0, 0, err
+	}
+	codec := apps.StereoCodec{Runner: runner}
+	inputs := func() ([]fxrt.DataSet, error) {
+		out := make([]fxrt.DataSet, dataSets)
+		for i := range out {
+			ds, err := codec.Decode([]byte(fmt.Sprintf(`{"seed":%d}`, i)))
+			if err != nil {
+				return nil, err
+			}
+			out[i] = ds
+		}
+		return out, nil
+	}
+	return comparePair(dataSets, runs, func() (time.Duration, error) {
+		in, err := inputs()
+		if err != nil {
+			return 0, err
+		}
+		return timeGenericStream(pl, nil, in)
+	}, func() (time.Duration, error) {
+		ex, err := stereo128.New(stereo128.Config{W: w, H: h, Disparities: nd})
+		if err != nil {
+			return 0, err
+		}
+		defer ex.Close()
+		in, err := inputs()
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if _, err := ex.Run(func(i int) *apps.StereoData { return in[i].(*apps.StereoData) }, dataSets); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	})
+}

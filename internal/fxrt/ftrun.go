@@ -257,7 +257,7 @@ func (r *ftRun) serve(i, b int, st Stage, g *Group, attempts *sync.WaitGroup) {
 			}
 			r.retried.Add(1)
 			mon.StageRetry(i, env.idx)
-			if d := r.p.Retry.backoffFor(env.attempts); d > 0 {
+			if d := r.p.Retry.BackoffFor(env.attempts); d > 0 {
 				time.Sleep(d)
 			}
 		}

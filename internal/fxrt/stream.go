@@ -350,7 +350,7 @@ func (s *Stream) process(ctx *StageCtx, i, b int, st Stage, deadline time.Durati
 		}
 		s.retried.Add(1)
 		mon.StageRetry(i, env.idx)
-		if d := s.p.Retry.backoffFor(env.attempts); d > 0 {
+		if d := s.p.Retry.BackoffFor(env.attempts); d > 0 {
 			time.Sleep(d)
 		}
 	}

@@ -55,10 +55,27 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// backend pairs a pipeline stream with the monitor observing it, so a live
+// Backend is the pipeline engine behind the plane: anything that accepts
+// data sets one at a time, resolves each to a StreamResult, and drains on
+// Close. The generic engine is *fxrt.Stream; pipegen-generated executors
+// (internal/gen/...) satisfy the same contract, so a specialized plane
+// plugs in behind the identical admission/shedding/drain machinery.
+type Backend interface {
+	// PushTraced submits one data set, recording stage spans on rt (nil
+	// for untraced). It blocks on backpressure until ctx is done and
+	// returns ErrStreamClosed once draining has begun.
+	PushTraced(ctx context.Context, ds fxrt.DataSet, rt *obs.ReqTrace) (<-chan fxrt.StreamResult, error)
+	// InFlight reports pushed-but-unresolved data sets.
+	InFlight() int
+	// Close drains in-flight work to zero, tears the engine down, and
+	// returns its cumulative statistics.
+	Close() fxrt.Stats
+}
+
+// backend pairs a pipeline engine with the monitor observing it, so a live
 // swap replaces both atomically.
 type backend struct {
-	s   *fxrt.Stream
+	s   Backend
 	mon *live.Monitor
 }
 
@@ -106,18 +123,29 @@ type Plane struct {
 // dispatchers. The pipeline's Monitor (pl.Monitor) feeds the circuit
 // breaker and is marked draining during Drain.
 func New(cfg Config, pl *fxrt.Pipeline, opts fxrt.StreamOptions) (*Plane, error) {
-	cfg = cfg.withDefaults()
 	s, err := pl.Stream(opts)
 	if err != nil {
 		return nil, err
 	}
+	return NewBackend(cfg, s, pl.Monitor)
+}
+
+// NewBackend builds the plane around an already-running backend — the
+// seam a pipegen-generated executor plugs into. mon is the monitor
+// observing the backend (it feeds the circuit breaker and is marked
+// draining during Drain); a nil monitor disables the breaker.
+func NewBackend(cfg Config, be Backend, mon *live.Monitor) (*Plane, error) {
+	if be == nil {
+		return nil, fmt.Errorf("ingest: nil backend")
+	}
+	cfg = cfg.withDefaults()
 	p := &Plane{
 		cfg:         cfg,
 		queue:       NewQueue(cfg.Queue),
 		shedBy:      map[ShedReason]*atomic.Int64{},
 		cShedReason: map[ShedReason]*live.Counter{},
 	}
-	p.be.Store(&backend{s: s, mon: pl.Monitor})
+	p.be.Store(&backend{s: be, mon: mon})
 	reg := cfg.Registry
 	p.cAdmit = reg.Counter("ingest.admit")
 	p.cShed = reg.Counter("ingest.shed")
@@ -398,12 +426,20 @@ func (p *Plane) Swap(pl *fxrt.Pipeline, opts fxrt.StreamOptions) error {
 	if err != nil {
 		return err
 	}
-	old := p.be.Swap(&backend{s: ns, mon: pl.Monitor})
+	p.SwapBackend(ns, pl.Monitor)
+	return nil
+}
+
+// SwapBackend replaces the backing engine with an already-running backend
+// — the live-migration seam shared by generic streams and generated
+// executors (in either direction). The old backend is marked draining,
+// drained of its in-flight work, and torn down.
+func (p *Plane) SwapBackend(be Backend, mon *live.Monitor) {
+	old := p.be.Swap(&backend{s: be, mon: mon})
 	if old != nil {
 		old.mon.SetDraining(true)
-		old.s.Close() // blocks until the old stream's in-flight resolves
+		old.s.Close() // blocks until the old backend's in-flight resolves
 	}
-	return nil
 }
 
 // DrainStats summarizes a graceful drain.

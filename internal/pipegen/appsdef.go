@@ -1,0 +1,415 @@
+package pipegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// appDef binds one application to the generator: the concrete boundary
+// types of its task chain, the Config surface of the emitted package, any
+// extra executor state, and the per-task kernel code the fused attempt
+// bodies are assembled from. The task bodies must stay semantically
+// identical to the generic runners in internal/apps — the differential
+// test battery holds the two bit-identical.
+type appDef struct {
+	name        string
+	tasks       int
+	inType      string
+	taskOut     []string
+	defaultSize int
+	importApps  bool
+
+	emitConfigFields func(e *emitter, size int)
+	emitDefaults     func(e *emitter, size int)
+	emitValidate     func(e *emitter)
+	emitState        func(e *emitter)
+	emitInit         func(e *emitter)
+	emitBody         func(e *emitter, m genModule)
+	emitExtraMethods func(e *emitter)
+}
+
+// Apps lists the application names the generator binds.
+func Apps() []string {
+	names := make([]string, 0, len(appDefs))
+	for name := range appDefs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func appByName(name string) (*appDef, error) {
+	app, ok := appDefs[name]
+	if !ok {
+		return nil, fmt.Errorf("pipegen: unknown app %q (want one of %s)", name, strings.Join(Apps(), ", "))
+	}
+	return app, nil
+}
+
+var appDefs = map[string]*appDef{
+	"ffthist": ffthistDef,
+	"radar":   radarDef,
+	"stereo":  stereoDef,
+}
+
+func emitConfig(e *emitter, app *appDef, size int) {
+	e.p("// Config configures one executor instance. The mapping structure is")
+	e.p("// baked; sizes and the fault-tolerance policy remain per-executor so")
+	e.p("// tests and benchmarks can scale the workload without regenerating.")
+	e.p("type Config struct {")
+	app.emitConfigFields(e, size)
+	e.p("\t// Retry controls per-data-set retries within a module (the same")
+	e.p("\t// policy fxrt applies per stage).")
+	e.p("\tRetry fxrt.RetryPolicy")
+	e.p("\t// StageDeadline bounds one attempt of any module; zero disables.")
+	e.p("\tStageDeadline time.Duration")
+	e.p("\t// Monitor observes attempts, retries, timeouts, drops, and")
+	e.p("\t// completions; nil disables observation (all methods are nil-safe).")
+	e.p("\tMonitor *live.Monitor")
+	e.p("}")
+	e.p("")
+}
+
+// ---------------------------------------------------------------- ffthist
+
+var ffthistDef = &appDef{
+	name:        "ffthist",
+	tasks:       3,
+	inType:      "kernels.Matrix",
+	taskOut:     []string{"kernels.Matrix", "kernels.Matrix", "*kernels.Histogram"},
+	defaultSize: 256,
+	importApps:  false,
+	emitConfigFields: func(e *emitter, size int) {
+		e.p("\t// N is the matrix dimension (a power of two; default %d).", size)
+		e.p("\tN int")
+	},
+	emitDefaults: func(e *emitter, size int) {
+		e.p("\tif cfg.N == 0 {")
+		e.p("\t\tcfg.N = %d", size)
+		e.p("\t}")
+	},
+	emitValidate: func(e *emitter) {
+		e.p("\tif cfg.N < 2 || cfg.N&(cfg.N-1) != 0 {")
+		e.p("\t\treturn nil, fmt.Errorf(\"ffthist: size %%d must be a power of two\", cfg.N)")
+		e.p("\t}")
+	},
+	emitState:        func(e *emitter) {},
+	emitInit:         func(e *emitter) {},
+	emitExtraMethods: func(e *emitter) {},
+	emitBody: func(e *emitter, m genModule) {
+		e.p("\t\tmat := in")
+		for t := m.Lo; t < m.Hi; t++ {
+			switch t {
+			case 0:
+				e.p("\t\t// colffts: FFT every column in place.")
+				e.p("\t\tif err := g.ParallelFor(mat.Cols, func(c0, c1 int) error {")
+				e.p("\t\t\treturn kernels.FFTCols(mat, c0, c1)")
+				e.p("\t\t}); err != nil {")
+				e.p("\t\t\treturn %s, err", m.OutZero)
+				e.p("\t\t}")
+			case 1:
+				e.p("\t\t// Redistribution into rowffts: column-major to row-major blocks")
+				e.p("\t\t// (the transpose edge, executed receiver-side).")
+				e.p("\t\t{")
+				e.p("\t\t\tout := kernels.NewMatrix(mat.Cols, mat.Rows)")
+				e.p("\t\t\tif err := g.ParallelFor(out.Rows, func(r0, r1 int) error {")
+				e.p("\t\t\t\treturn kernels.Transpose(mat, out, r0, r1)")
+				e.p("\t\t\t}); err != nil {")
+				e.p("\t\t\t\treturn %s, err", m.OutZero)
+				e.p("\t\t\t}")
+				e.p("\t\t\tmat = out")
+				e.p("\t\t}")
+				e.p("\t\t// rowffts: FFT every row in place.")
+				e.p("\t\tif err := g.ParallelFor(mat.Rows, func(r0, r1 int) error {")
+				e.p("\t\t\treturn kernels.FFTRows(mat, r0, r1)")
+				e.p("\t\t}); err != nil {")
+				e.p("\t\t\treturn %s, err", m.OutZero)
+				e.p("\t\t}")
+			case 2:
+				e.p("\t\t// hist: per-worker partial histograms over block row ranges,")
+				e.p("\t\t// merged in worker order (deterministic float summation order).")
+				e.p("\t\tpartials := make([]*kernels.Histogram, stage%dProcs)", m.Index)
+				e.p("\t\tif err := g.ParallelFor(stage%dProcs, func(i0, i1 int) error {", m.Index)
+				e.p("\t\t\tfor i := i0; i < i1; i++ {")
+				e.p("\t\t\t\th := kernels.NewHistogram(64, -6, 6)")
+				e.p("\t\t\t\tr0, r1 := fxrt.BlockRange(mat.Rows, stage%dProcs, i)", m.Index)
+				e.p("\t\t\t\tif r0 < r1 {")
+				e.p("\t\t\t\t\th.AccumulateMatrix(mat, r0, r1)")
+				e.p("\t\t\t\t}")
+				e.p("\t\t\t\tpartials[i] = h")
+				e.p("\t\t\t}")
+				e.p("\t\t\treturn nil")
+				e.p("\t\t}); err != nil {")
+				e.p("\t\t\treturn nil, err")
+				e.p("\t\t}")
+				e.p("\t\ttotal := kernels.NewHistogram(64, -6, 6)")
+				e.p("\t\tfor _, h := range partials {")
+				e.p("\t\t\ttotal.Merge(h)")
+				e.p("\t\t}")
+				e.p("\t\treturn total, nil")
+			}
+		}
+		if m.Hi-1 != 2 {
+			e.p("\t\treturn mat, nil")
+		}
+	},
+}
+
+// ------------------------------------------------------------------ radar
+
+var radarDef = &appDef{
+	name:        "radar",
+	tasks:       4,
+	inType:      "*apps.RadarData",
+	taskOut:     []string{"*apps.RadarData", "*apps.RadarData", "*apps.RadarData", "*apps.RadarData"},
+	defaultSize: 256,
+	importApps:  true,
+	emitConfigFields: func(e *emitter, size int) {
+		e.p("\t// Pulses and Gates give the coherent-interval cube shape (powers")
+		e.p("\t// of two; defaults 16 x %d).", size)
+		e.p("\tPulses, Gates int")
+	},
+	emitDefaults: func(e *emitter, size int) {
+		e.p("\tif cfg.Pulses == 0 {")
+		e.p("\t\tcfg.Pulses = 16")
+		e.p("\t}")
+		e.p("\tif cfg.Gates == 0 {")
+		e.p("\t\tcfg.Gates = %d", size)
+		e.p("\t}")
+	},
+	emitValidate: func(e *emitter) {
+		e.p("\tif cfg.Pulses < 2 || cfg.Pulses&(cfg.Pulses-1) != 0 || cfg.Gates < 2 || cfg.Gates&(cfg.Gates-1) != 0 {")
+		e.p("\t\treturn nil, fmt.Errorf(\"radar: cube %%dx%%d must have power-of-two dimensions\", cfg.Pulses, cfg.Gates)")
+		e.p("\t}")
+	},
+	emitState: func(e *emitter) {
+		e.p("\t// chirp is the frequency-domain matched-filter reference, computed")
+		e.p("\t// once at startup (apps.RadarChirp, shared with the generic runner")
+		e.p("\t// so coefficients are bit-identical).")
+		e.p("\tchirp []complex128")
+		e.p("\t// trackMu serializes the stateful track update; tracks accumulates")
+		e.p("\t// per-cell hit counts across the executor's lifetime.")
+		e.p("\ttrackMu sync.Mutex")
+		e.p("\ttracks  map[[2]int]int")
+		e.p("")
+	},
+	emitInit: func(e *emitter) {
+		e.p("\tchirp, err := apps.RadarChirp(cfg.Gates)")
+		e.p("\tif err != nil {")
+		e.p("\t\treturn nil, err")
+		e.p("\t}")
+		e.p("\te.chirp = chirp")
+		e.p("\te.tracks = map[[2]int]int{}")
+	},
+	emitExtraMethods: func(e *emitter) {
+		e.p("// Tracks snapshots the accumulated per-cell track hit counts, keyed by")
+		e.p("// (doppler bin, range gate).")
+		e.p("func (e *Executor) Tracks() map[[2]int]int {")
+		e.p("\te.trackMu.Lock()")
+		e.p("\tdefer e.trackMu.Unlock()")
+		e.p("\tout := make(map[[2]int]int, len(e.tracks))")
+		e.p("\tfor k, v := range e.tracks {")
+		e.p("\t\tout[k] = v")
+		e.p("\t}")
+		e.p("\treturn out")
+		e.p("}")
+		e.p("")
+	},
+	emitBody: func(e *emitter, m genModule) {
+		needPulses, needGates := false, false
+		for t := m.Lo; t < m.Hi; t++ {
+			switch t {
+			case 0, 2:
+				needPulses = true
+			case 1:
+				needPulses, needGates = true, true
+			}
+		}
+		e.p("\t\trd := in")
+		if needPulses {
+			e.p("\t\tpulses := e.cfg.Pulses")
+		}
+		if needGates {
+			e.p("\t\tgates := e.cfg.Gates")
+		}
+		for t := m.Lo; t < m.Hi; t++ {
+			switch t {
+			case 0:
+				e.p("\t\t// pulsecomp: matched filtering over pulse rows.")
+				e.p("\t\tif err := g.ParallelFor(pulses, func(r0, r1 int) error {")
+				e.p("\t\t\treturn kernels.MatchedFilter(rd.Cube, e.chirp, r0, r1)")
+				e.p("\t\t}); err != nil {")
+				e.p("\t\t\treturn nil, err")
+				e.p("\t\t}")
+			case 1:
+				e.p("\t\t// Corner turn (redistribution into doppler), then Doppler FFT")
+				e.p("\t\t// over range-gate columns.")
+				e.p("\t\t{")
+				e.p("\t\t\tfresh := kernels.NewMatrix(pulses, gates)")
+				e.p("\t\t\tif err := g.ParallelFor(pulses, func(r0, r1 int) error {")
+				e.p("\t\t\t\tcopy(fresh.Data[r0*gates:r1*gates], rd.Cube.Data[r0*gates:r1*gates])")
+				e.p("\t\t\t\treturn nil")
+				e.p("\t\t\t}); err != nil {")
+				e.p("\t\t\t\treturn nil, err")
+				e.p("\t\t\t}")
+				e.p("\t\t\trd.Cube = fresh")
+				e.p("\t\t}")
+				e.p("\t\tif err := g.ParallelFor(gates, func(c0, c1 int) error {")
+				e.p("\t\t\treturn kernels.DopplerFFT(rd.Cube, c0, c1)")
+				e.p("\t\t}); err != nil {")
+				e.p("\t\t\treturn nil, err")
+				e.p("\t\t}")
+			case 2:
+				e.p("\t\t// cfar: magnitude + CFAR over block ranges of Doppler rows,")
+				e.p("\t\t// detections gathered in worker order (deterministic).")
+				e.p("\t\tparts := make([][]kernels.Detection, stage%dProcs)", m.Index)
+				e.p("\t\tif err := g.ParallelFor(stage%dProcs, func(i0, i1 int) error {", m.Index)
+				e.p("\t\t\tfor i := i0; i < i1; i++ {")
+				e.p("\t\t\t\tr0, r1 := fxrt.BlockRange(pulses, stage%dProcs, i)", m.Index)
+				e.p("\t\t\t\tif r0 >= r1 {")
+				e.p("\t\t\t\t\tcontinue")
+				e.p("\t\t\t\t}")
+				e.p("\t\t\t\tkernels.PowerRows(rd.Cube, r0, r1)")
+				e.p("\t\t\t\tparts[i] = kernels.CFAR(rd.Cube, 2, 8, 12, r0, r1)")
+				e.p("\t\t\t}")
+				e.p("\t\t\treturn nil")
+				e.p("\t\t}); err != nil {")
+				e.p("\t\t\treturn nil, err")
+				e.p("\t\t}")
+				e.p("\t\trd.Dets = rd.Dets[:0]")
+				e.p("\t\tfor _, p := range parts {")
+				e.p("\t\t\trd.Dets = append(rd.Dets, p...)")
+				e.p("\t\t}")
+			case 3:
+				e.p("\t\t// track: stateful update, serialized on the executor's mutex.")
+				e.p("\t\te.trackMu.Lock()")
+				e.p("\t\tfor _, d := range rd.Dets {")
+				e.p("\t\t\te.tracks[[2]int{d.Doppler, d.Range}]++")
+				e.p("\t\t}")
+				e.p("\t\te.trackMu.Unlock()")
+			}
+		}
+		e.p("\t\treturn rd, nil")
+	},
+}
+
+// ----------------------------------------------------------------- stereo
+
+var stereoDef = &appDef{
+	name:        "stereo",
+	tasks:       4,
+	inType:      "*apps.StereoData",
+	taskOut:     []string{"*apps.StereoData", "*apps.StereoData", "*apps.StereoData", "*apps.StereoData"},
+	defaultSize: 128,
+	importApps:  true,
+	emitConfigFields: func(e *emitter, size int) {
+		e.p("\t// W and H are the image dimensions (defaults %d x 64).", size)
+		e.p("\tW, H int")
+		e.p("\t// Disparities is the number of disparity levels (default 8).")
+		e.p("\tDisparities int")
+	},
+	emitDefaults: func(e *emitter, size int) {
+		e.p("\tif cfg.W == 0 {")
+		e.p("\t\tcfg.W = %d", size)
+		e.p("\t}")
+		e.p("\tif cfg.H == 0 {")
+		e.p("\t\tcfg.H = 64")
+		e.p("\t}")
+		e.p("\tif cfg.Disparities == 0 {")
+		e.p("\t\tcfg.Disparities = 8")
+		e.p("\t}")
+	},
+	emitValidate: func(e *emitter) {
+		e.p("\tif cfg.W < 1 || cfg.H < 1 || cfg.Disparities < 1 {")
+		e.p("\t\treturn nil, fmt.Errorf(\"stereo: invalid dimensions %%dx%%d with %%d disparities\", cfg.W, cfg.H, cfg.Disparities)")
+		e.p("\t}")
+	},
+	emitState:        func(e *emitter) {},
+	emitInit:         func(e *emitter) {},
+	emitExtraMethods: func(e *emitter) {},
+	emitBody: func(e *emitter, m genModule) {
+		needW, needH, needND := false, false, false
+		for t := m.Lo; t < m.Hi; t++ {
+			switch t {
+			case 0, 3:
+				needW, needH = true, true
+			case 1, 2:
+				needW, needH, needND = true, true, true
+			}
+		}
+		e.p("\t\tsd := in")
+		if needW {
+			e.p("\t\tw := e.cfg.W")
+		}
+		if needH {
+			e.p("\t\th := e.cfg.H")
+		}
+		if needND {
+			e.p("\t\tnd := e.cfg.Disparities")
+		}
+		for t := m.Lo; t < m.Hi; t++ {
+			switch t {
+			case 0:
+				e.p("\t\t// capture: normalize the image pair in place.")
+				e.p("\t\tif err := g.ParallelFor(h, func(y0, y1 int) error {")
+				e.p("\t\t\tfor y := y0; y < y1; y++ {")
+				e.p("\t\t\t\tfor x := 0; x < w; x++ {")
+				e.p("\t\t\t\t\tsd.Ref.Set(x, y, apps.Clamp01(sd.Ref.At(x, y)))")
+				e.p("\t\t\t\t\tsd.Target.Set(x, y, apps.Clamp01(sd.Target.At(x, y)))")
+				e.p("\t\t\t\t}")
+				e.p("\t\t\t}")
+				e.p("\t\t\treturn nil")
+				e.p("\t\t}); err != nil {")
+				e.p("\t\t\treturn nil, err")
+				e.p("\t\t}")
+			case 1:
+				e.p("\t\t// Broadcast (redistribution: every disparity worker needs both")
+				e.p("\t\t// images), then difference images per disparity level.")
+				e.p("\t\t{")
+				e.p("\t\t\trefCopy := kernels.NewImage(w, h)")
+				e.p("\t\t\ttgtCopy := kernels.NewImage(w, h)")
+				e.p("\t\t\tcopy(refCopy.Pix, sd.Ref.Pix)")
+				e.p("\t\t\tcopy(tgtCopy.Pix, sd.Target.Pix)")
+				e.p("\t\t\tsd.Ref, sd.Target = refCopy, tgtCopy")
+				e.p("\t\t}")
+				e.p("\t\tsd.Errs = make([]kernels.Image, nd)")
+				e.p("\t\tif err := g.ParallelFor(nd, func(d0, d1 int) error {")
+				e.p("\t\t\tfor d := d0; d < d1; d++ {")
+				e.p("\t\t\t\tdiff := kernels.NewImage(w, h)")
+				e.p("\t\t\t\tif err := kernels.DiffImage(sd.Ref, sd.Target, diff, d, 0, h); err != nil {")
+				e.p("\t\t\t\t\treturn err")
+				e.p("\t\t\t\t}")
+				e.p("\t\t\t\tsd.Errs[d] = diff")
+				e.p("\t\t\t}")
+				e.p("\t\t\treturn nil")
+				e.p("\t\t}); err != nil {")
+				e.p("\t\t\treturn nil, err")
+				e.p("\t\t}")
+			case 2:
+				e.p("\t\t// err: windowed error images per disparity level.")
+				e.p("\t\tif err := g.ParallelFor(nd, func(d0, d1 int) error {")
+				e.p("\t\t\tfor d := d0; d < d1; d++ {")
+				e.p("\t\t\t\tout := kernels.NewImage(w, h)")
+				e.p("\t\t\t\tif err := kernels.ErrorImage(sd.Errs[d], out, 2, 0, h); err != nil {")
+				e.p("\t\t\t\t\treturn err")
+				e.p("\t\t\t\t}")
+				e.p("\t\t\t\tsd.Errs[d] = out")
+				e.p("\t\t\t}")
+				e.p("\t\t\treturn nil")
+				e.p("\t\t}); err != nil {")
+				e.p("\t\t\treturn nil, err")
+				e.p("\t\t}")
+			case 3:
+				e.p("\t\t// depth: minimum reduction across disparity planes.")
+				e.p("\t\tsd.Depth = kernels.NewImage(w, h)")
+				e.p("\t\tif err := g.ParallelFor(h, func(y0, y1 int) error {")
+				e.p("\t\t\treturn kernels.DepthMin(sd.Errs, sd.Depth, y0, y1)")
+				e.p("\t\t}); err != nil {")
+				e.p("\t\t\treturn nil, err")
+				e.p("\t\t}")
+			}
+		}
+		e.p("\t\treturn sd, nil")
+	},
+}

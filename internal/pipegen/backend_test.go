@@ -1,0 +1,75 @@
+package pipegen_test
+
+// A generated executor must serve real traffic behind the ingestion data
+// plane's admission queue, and the plane must be able to migrate from a
+// generated backend to a generic one (and back) without dropping work —
+// the seam `-ingest-gen` uses in cmd/pipemap.
+
+import (
+	"context"
+	"testing"
+
+	"pipemap/internal/apps"
+	"pipemap/internal/fxrt"
+	"pipemap/internal/gen/ffthist256"
+	"pipemap/internal/ingest"
+	"pipemap/internal/kernels"
+	"pipemap/internal/model"
+)
+
+func TestPlaneServesOnGeneratedBackend(t *testing.T) {
+	ex, err := ffthist256.New(ffthist256.Config{N: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ingest.NewBackend(ingest.Config{}, ex, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := apps.FFTHistRunner{N: 16}
+	submit := func(i int) {
+		t.Helper()
+		out, err := p.Submit(context.Background(), "", runner.Input(i), 0)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if out.Err != nil {
+			t.Fatalf("submit %d outcome: %v", i, out.Err)
+		}
+		h, ok := out.Output.(*kernels.Histogram)
+		if !ok || h.Count == 0 {
+			t.Fatalf("submit %d: output %T, want non-empty histogram", i, out.Output)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		submit(i)
+	}
+
+	// Migrate onto the generic executor mid-service; the old generated
+	// backend drains its in-flight work during the swap.
+	m := model.Mapping{Chain: apps.FFTHistStructure(16), Modules: ffthist256.Modules()}
+	pl, edges, err := runner.Pipeline(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Swap(pl, fxrt.StreamOptions{Edges: edges}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < 8; i++ {
+		submit(i)
+	}
+
+	st := p.Drain()
+	if st.Flushed != 0 {
+		t.Fatalf("drain flushed %d queued requests, want 0", st.Flushed)
+	}
+	if got := p.Stats(); got.Completed != 8 {
+		t.Fatalf("completed = %d, want 8", got.Completed)
+	}
+}
+
+func TestNewBackendRejectsNil(t *testing.T) {
+	if _, err := ingest.NewBackend(ingest.Config{}, nil, nil); err == nil {
+		t.Fatal("NewBackend(nil) succeeded, want error")
+	}
+}

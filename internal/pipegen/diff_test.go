@@ -1,0 +1,207 @@
+package pipegen_test
+
+// The differential battery: a generated executor must be bit-identical to
+// the generic fxrt pipeline running the same mapping structure on the
+// same inputs — not approximately equal, byte-for-byte on histogram bins,
+// detection lists, track tables, and depth pixels. The kernels are
+// floating point, so this only holds because both sides partition work
+// with fxrt.BlockRange and merge partials in worker order; any drift in
+// the fused task bodies shows up here immediately.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pipemap/internal/apps"
+	"pipemap/internal/fxrt"
+	"pipemap/internal/gen/ffthist256"
+	"pipemap/internal/gen/radar64"
+	"pipemap/internal/gen/stereo128"
+	"pipemap/internal/ingest"
+	"pipemap/internal/kernels"
+	"pipemap/internal/model"
+)
+
+// Every generated executor must plug into the ingestion data plane.
+var (
+	_ ingest.Backend = (*ffthist256.Executor)(nil)
+	_ ingest.Backend = (*radar64.Executor)(nil)
+	_ ingest.Backend = (*stereo128.Executor)(nil)
+)
+
+// runGeneric streams inputs through a generic fxrt pipeline and returns
+// the per-data-set results in push order.
+func runGeneric(t *testing.T, pl *fxrt.Pipeline, edges []fxrt.Edge, inputs []fxrt.DataSet) []fxrt.StreamResult {
+	t.Helper()
+	st, err := pl.Stream(fxrt.StreamOptions{Edges: edges})
+	if err != nil {
+		t.Fatalf("generic stream: %v", err)
+	}
+	chans := make([]<-chan fxrt.StreamResult, len(inputs))
+	for i, in := range inputs {
+		ch, err := st.Push(nil, in)
+		if err != nil {
+			t.Fatalf("generic push %d: %v", i, err)
+		}
+		chans[i] = ch
+	}
+	out := make([]fxrt.StreamResult, len(inputs))
+	for i, ch := range chans {
+		out[i] = <-ch
+	}
+	st.Close()
+	return out
+}
+
+// decodeAll synthesizes one fresh input per seed through the app's codec.
+// The kernels mutate data sets in place, so each side of a differential
+// run must decode its own copies.
+func decodeAll(t *testing.T, dec func(seed int) (fxrt.DataSet, error), seeds []int) []fxrt.DataSet {
+	t.Helper()
+	out := make([]fxrt.DataSet, len(seeds))
+	for i, s := range seeds {
+		ds, err := dec(s)
+		if err != nil {
+			t.Fatalf("decode seed %d: %v", s, err)
+		}
+		out[i] = ds
+	}
+	return out
+}
+
+func seedInput(seed int) []byte { return []byte(fmt.Sprintf(`{"seed":%d}`, seed)) }
+
+func diffFFTHist(t *testing.T, n int, seeds []int) {
+	t.Helper()
+	runner := apps.FFTHistRunner{N: n}
+	m := model.Mapping{Chain: apps.FFTHistStructure(n), Modules: ffthist256.Modules()}
+	pl, edges, err := runner.Pipeline(m)
+	if err != nil {
+		t.Fatalf("generic pipeline: %v", err)
+	}
+	codec := apps.FFTHistCodec{Runner: runner}
+	dec := func(s int) (fxrt.DataSet, error) { return codec.Decode(seedInput(s)) }
+	want := runGeneric(t, pl, edges, decodeAll(t, dec, seeds))
+
+	ex, err := ffthist256.New(ffthist256.Config{N: n})
+	if err != nil {
+		t.Fatalf("generated new: %v", err)
+	}
+	defer ex.Close()
+	genIn := decodeAll(t, dec, seeds)
+	got, err := ex.Run(func(i int) kernels.Matrix { return genIn[i].(kernels.Matrix) }, len(seeds))
+	if err != nil {
+		t.Fatalf("generated run: %v", err)
+	}
+	for i := range seeds {
+		w := want[i].DS.(*kernels.Histogram)
+		g := got[i].DS.(*kernels.Histogram)
+		if !reflect.DeepEqual(w, g) {
+			t.Errorf("seed %d: histogram differs\ngeneric:   %+v\ngenerated: %+v", seeds[i], w, g)
+		}
+	}
+}
+
+func diffRadar(t *testing.T, pulses, gates int, seeds []int) {
+	t.Helper()
+	runner := apps.RadarRunner{Pulses: pulses, Gates: gates}
+	m := model.Mapping{Chain: apps.RadarStructure(), Modules: radar64.Modules()}
+	pl, tracks, err := runner.Pipeline(m)
+	if err != nil {
+		t.Fatalf("generic pipeline: %v", err)
+	}
+	codec := apps.RadarCodec{Runner: runner}
+	dec := func(s int) (fxrt.DataSet, error) { return codec.Decode(seedInput(s)) }
+	want := runGeneric(t, pl, nil, decodeAll(t, dec, seeds))
+
+	ex, err := radar64.New(radar64.Config{Pulses: pulses, Gates: gates})
+	if err != nil {
+		t.Fatalf("generated new: %v", err)
+	}
+	defer ex.Close()
+	genIn := decodeAll(t, dec, seeds)
+	got, err := ex.Run(func(i int) *apps.RadarData { return genIn[i].(*apps.RadarData) }, len(seeds))
+	if err != nil {
+		t.Fatalf("generated run: %v", err)
+	}
+	for i := range seeds {
+		w := want[i].DS.(*apps.RadarData)
+		g := got[i].DS.(*apps.RadarData)
+		if !reflect.DeepEqual(w.Dets, g.Dets) {
+			t.Errorf("seed %d: detections differ\ngeneric:   %+v\ngenerated: %+v", seeds[i], w.Dets, g.Dets)
+		}
+	}
+	if gotTracks := ex.Tracks(); !reflect.DeepEqual(tracks, gotTracks) {
+		t.Errorf("track tables differ\ngeneric:   %v\ngenerated: %v", tracks, gotTracks)
+	}
+}
+
+func diffStereo(t *testing.T, w, h, nd int, seeds []int) {
+	t.Helper()
+	runner := apps.StereoRunner{W: w, H: h, Disparities: nd}
+	m := model.Mapping{Chain: apps.StereoStructure(), Modules: stereo128.Modules()}
+	pl, err := runner.Pipeline(m)
+	if err != nil {
+		t.Fatalf("generic pipeline: %v", err)
+	}
+	codec := apps.StereoCodec{Runner: runner}
+	dec := func(s int) (fxrt.DataSet, error) { return codec.Decode(seedInput(s)) }
+	want := runGeneric(t, pl, nil, decodeAll(t, dec, seeds))
+
+	ex, err := stereo128.New(stereo128.Config{W: w, H: h, Disparities: nd})
+	if err != nil {
+		t.Fatalf("generated new: %v", err)
+	}
+	defer ex.Close()
+	genIn := decodeAll(t, dec, seeds)
+	got, err := ex.Run(func(i int) *apps.StereoData { return genIn[i].(*apps.StereoData) }, len(seeds))
+	if err != nil {
+		t.Fatalf("generated run: %v", err)
+	}
+	for i := range seeds {
+		wd := want[i].DS.(*apps.StereoData)
+		gd := got[i].DS.(*apps.StereoData)
+		if !reflect.DeepEqual(wd.Depth, gd.Depth) {
+			t.Errorf("seed %d: depth maps differ", seeds[i])
+		}
+		if !reflect.DeepEqual(wd.Errs, gd.Errs) {
+			t.Errorf("seed %d: error planes differ", seeds[i])
+		}
+	}
+}
+
+func TestGeneratedMatchesGenericFFTHist(t *testing.T) {
+	diffFFTHist(t, 32, []int{0, 1, 2, 3, 4, 5, 6, 7})
+}
+
+func TestGeneratedMatchesGenericRadar(t *testing.T) {
+	diffRadar(t, 8, 32, []int{0, 1, 2, 3, 4, 5})
+}
+
+func TestGeneratedMatchesGenericStereo(t *testing.T) {
+	diffStereo(t, 32, 16, 4, []int{0, 1, 2, 3})
+}
+
+// FuzzGeneratedMatchesGeneric drives single-seed differential runs with
+// fuzzer-chosen apps and seeds; the committed corpus under testdata/fuzz
+// keeps one case per app in every `go test` run.
+func FuzzGeneratedMatchesGeneric(f *testing.F) {
+	f.Add(byte('f'), 3)
+	f.Add(byte('r'), 11)
+	f.Add(byte('s'), 7)
+	f.Fuzz(func(t *testing.T, app byte, seed int) {
+		if seed < 0 {
+			seed = -(seed + 1)
+		}
+		seed %= 1 << 16
+		switch app {
+		case 'r':
+			diffRadar(t, 8, 16, []int{seed})
+		case 's':
+			diffStereo(t, 16, 8, 2, []int{seed})
+		default:
+			diffFFTHist(t, 16, []int{seed})
+		}
+	})
+}

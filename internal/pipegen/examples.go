@@ -1,0 +1,86 @@
+package pipegen
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pipemap/internal/core"
+	"pipemap/internal/model"
+)
+
+// Example is one committed generated executor: a chain spec, the app
+// binding to compile it with, and where the emitted package lives in the
+// tree. The mapping is re-solved from the spec on every generation — the
+// DP solver is deterministic, so the output is reproducible and `make
+// pipegen-diff` can detect drift between specs and committed code.
+type Example struct {
+	// Name is the example (and emitted package) name.
+	Name string
+	// App is the application binding.
+	App string
+	// SpecPath is the chain spec, relative to the repo root.
+	SpecPath string
+	// OutDir is the emitted package directory, relative to the repo root.
+	OutDir string
+	// Size is the baked default workload size.
+	Size int
+}
+
+// File returns the path of the example's generated file under root.
+func (x Example) File(root string) string {
+	return filepath.Join(root, x.OutDir, "pipeline.go")
+}
+
+// Examples lists the generated executors committed under internal/gen,
+// one per real application spec.
+var Examples = []Example{
+	{Name: "ffthist256", App: "ffthist", SpecPath: "specs/ffthist256.json", OutDir: "internal/gen/ffthist256", Size: 256},
+	{Name: "radar64", App: "radar", SpecPath: "specs/radar64.json", OutDir: "internal/gen/radar64", Size: 64},
+	{Name: "stereo128", App: "stereo", SpecPath: "specs/stereo128.json", OutDir: "internal/gen/stereo128", Size: 128},
+}
+
+// ExampleByName resolves a committed example.
+func ExampleByName(name string) (Example, error) {
+	for _, x := range Examples {
+		if x.Name == name {
+			return x, nil
+		}
+	}
+	return Example{}, fmt.Errorf("pipegen: unknown example %q", name)
+}
+
+// SolveSpec parses the chain spec at path and solves it with the exact DP
+// — the deterministic mapping every generation of that spec bakes in.
+func SolveSpec(path string) (model.Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return model.Mapping{}, err
+	}
+	defer f.Close()
+	chain, pl, err := core.ParseChainSpec(f)
+	if err != nil {
+		return model.Mapping{}, err
+	}
+	res, err := core.Map(core.Request{Chain: chain, Platform: pl, Algorithm: core.DP})
+	if err != nil {
+		return model.Mapping{}, err
+	}
+	return res.Mapping, nil
+}
+
+// GenerateExample solves the example's spec from the repo root and emits
+// its executor source.
+func GenerateExample(root string, x Example) ([]byte, error) {
+	m, err := SolveSpec(filepath.Join(root, x.SpecPath))
+	if err != nil {
+		return nil, fmt.Errorf("pipegen: solving %s: %w", x.SpecPath, err)
+	}
+	return Generate(Options{
+		App:      x.App,
+		Package:  x.Name,
+		SpecPath: x.SpecPath,
+		Mapping:  m,
+		Size:     x.Size,
+	})
+}

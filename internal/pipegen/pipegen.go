@@ -1,0 +1,649 @@
+// Package pipegen compiles a chain spec plus a solved mapping into a
+// specialized, reflection-free pipeline executor: a standalone Go package
+// whose module structure, worker counts, replication factors, and ring
+// capacities are baked in at generation time.
+//
+// Where the generic fxrt executor pays interface boxing, per-task channel
+// hops, and runtime dispatch on every data set, a generated executor fuses
+// all tasks of a module into one concrete attempt function, moves data
+// between modules over fixed-size typed rings sized max(4, 2*replicas)
+// from the mapping's replication factors, and keeps the exact retry /
+// deadline / drop semantics of fxrt.Stream so statistics stay comparable
+// (DESIGN.md §15 pins the invariants). The emitted package satisfies
+// ingest.Backend, so a generated plane serves real traffic behind the
+// same admission queue as the generic one.
+//
+// The spec-in / typed-Go-out idiom follows the related codegen repos
+// (SNIPPETS.md): the generator is deterministic — identical inputs emit
+// identical bytes — and the output is gofmt-stable and vet-clean, which
+// the golden tests pin.
+package pipegen
+
+import (
+	"bytes"
+	"fmt"
+	"go/format"
+	"go/token"
+
+	"pipemap/internal/model"
+)
+
+// Options configures one generation.
+type Options struct {
+	// App selects the application binding: "ffthist", "radar", or
+	// "stereo". The binding supplies the concrete data types and the
+	// per-task kernel code the fused attempt bodies are built from.
+	App string
+	// Package is the emitted package name (a valid Go identifier).
+	Package string
+	// SpecPath is the chain spec the mapping was solved from; it is
+	// recorded in the generated header for provenance.
+	SpecPath string
+	// Mapping is the solved mapping to bake in. Its Chain must be set
+	// (task names feed the generated stage names) and must cover the
+	// app's task chain exactly.
+	Mapping model.Mapping
+	// Size is the baked default size (matrix dimension N for ffthist,
+	// range gates for radar, image width for stereo); 0 keeps the app's
+	// own default. The generated Config can still override it per
+	// executor — only the default is baked.
+	Size int
+}
+
+// genModule is one module of the mapping, resolved against the app
+// binding: the slice of fused tasks, the concrete boundary types, and the
+// generation-time ring capacity.
+type genModule struct {
+	Index    int
+	Lo, Hi   int
+	Name     string
+	Procs    int
+	Replicas int
+	InType   string
+	OutType  string
+	InZero   string
+	OutZero  string
+	RingCap  int
+}
+
+// ringCap is the generated inbox capacity for a module with the given
+// replication factor: max(4, 2*replicas), the same derivation
+// fxrt.Stream applies at runtime — here it becomes a compile-time
+// constant.
+func ringCap(replicas int) int {
+	c := 2 * replicas
+	if c < 4 {
+		c = 4
+	}
+	return c
+}
+
+// sinkCap is the generated sink ring capacity (the sink has one
+// consumer, so the stream derivation yields the floor).
+const sinkCap = 4
+
+// Generate emits the specialized executor package for opt and returns the
+// gofmt-formatted source of its single file.
+func Generate(opt Options) ([]byte, error) {
+	app, err := appByName(opt.App)
+	if err != nil {
+		return nil, err
+	}
+	if !token.IsIdentifier(opt.Package) {
+		return nil, fmt.Errorf("pipegen: package name %q is not a Go identifier", opt.Package)
+	}
+	mods, err := resolveModules(app, opt.Mapping)
+	if err != nil {
+		return nil, err
+	}
+	size := opt.Size
+	if size == 0 {
+		size = app.defaultSize
+	}
+	e := &emitter{}
+	emitHeader(e, app, opt, size, mods)
+	emitConstants(e, app, opt, mods)
+	emitConfig(e, app, size)
+	emitEnvelopes(e, mods)
+	emitExecutor(e, app, mods)
+	emitNew(e, app, size, mods)
+	emitPushAPI(e, app, mods)
+	emitLifecycle(e, app, mods)
+	for _, m := range mods {
+		emitModule(e, app, m, mods)
+	}
+	emitSink(e)
+	app.emitExtraMethods(e)
+	src, err := format.Source(e.buf.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("pipegen: emitted source does not format (generator bug): %w\n%s", err, e.buf.Bytes())
+	}
+	return src, nil
+}
+
+// resolveModules validates the mapping against the app binding and
+// resolves each module's fused span, boundary types, and ring capacity.
+func resolveModules(app *appDef, m model.Mapping) ([]genModule, error) {
+	if m.Chain == nil {
+		return nil, fmt.Errorf("pipegen: mapping has no chain")
+	}
+	if got := m.Chain.Len(); got != app.tasks {
+		return nil, fmt.Errorf("pipegen: %s chain has %d tasks, mapping covers %d", app.name, app.tasks, got)
+	}
+	if len(m.Modules) == 0 {
+		return nil, fmt.Errorf("pipegen: mapping has no modules")
+	}
+	mods := make([]genModule, len(m.Modules))
+	next := 0
+	for i, mod := range m.Modules {
+		if mod.Lo != next || mod.Hi <= mod.Lo || mod.Hi > app.tasks {
+			return nil, fmt.Errorf("pipegen: module %d spans [%d,%d), want contiguous cover of [0,%d)", i, mod.Lo, mod.Hi, app.tasks)
+		}
+		if mod.Procs < 1 || mod.Replicas < 1 {
+			return nil, fmt.Errorf("pipegen: module %d has procs=%d replicas=%d", i, mod.Procs, mod.Replicas)
+		}
+		inType := app.inType
+		if mod.Lo > 0 {
+			inType = app.taskOut[mod.Lo-1]
+		}
+		outType := app.taskOut[mod.Hi-1]
+		mods[i] = genModule{
+			Index:    i,
+			Lo:       mod.Lo,
+			Hi:       mod.Hi,
+			Name:     m.Chain.TaskNames(mod.Lo, mod.Hi),
+			Procs:    mod.Procs,
+			Replicas: mod.Replicas,
+			InType:   inType,
+			OutType:  outType,
+			InZero:   zeroOf(inType),
+			OutZero:  zeroOf(outType),
+			RingCap:  ringCap(mod.Replicas),
+		}
+		next = mod.Hi
+	}
+	if next != app.tasks {
+		return nil, fmt.Errorf("pipegen: mapping covers tasks [0,%d), want [0,%d)", next, app.tasks)
+	}
+	return mods, nil
+}
+
+// zeroOf is the zero-value literal of a boundary type.
+func zeroOf(typ string) string {
+	if typ[0] == '*' || typ[0] == '[' {
+		return "nil"
+	}
+	return typ + "{}"
+}
+
+// emitter accumulates the generated source; format.Source normalizes the
+// final whitespace, so emission favors readability of the generator.
+type emitter struct {
+	buf bytes.Buffer
+}
+
+// p writes one formatted line.
+func (e *emitter) p(format string, args ...any) {
+	fmt.Fprintf(&e.buf, format, args...)
+	e.buf.WriteByte('\n')
+}
+
+func emitHeader(e *emitter, app *appDef, opt Options, size int, mods []genModule) {
+	e.p("// Code generated by pipegen; DO NOT EDIT.")
+	e.p("//")
+	e.p("// Source spec: %s", opt.SpecPath)
+	e.p("// Application: %s (default size %d)", app.name, size)
+	e.p("// Mapping:     %s", opt.Mapping.String())
+	e.p("//")
+	e.p("// This package is a specialized, reflection-free executor for the mapping")
+	e.p("// above: all tasks of a module are fused into one concrete attempt")
+	e.p("// function (no per-task channel hop), inter-module rings are fixed-size")
+	e.p("// typed channels sized max(4, 2*replicas) at generation time, and data")
+	e.p("// sets flow as concrete types instead of fxrt.DataSet interface boxes.")
+	e.p("// Retry, deadline, and drop semantics mirror fxrt.Stream exactly")
+	e.p("// (DESIGN.md section 15); fault injection and instance death are not")
+	e.p("// supported — regenerate against the generic executor to exercise those.")
+	e.p("package %s", opt.Package)
+	e.p("")
+	e.p("import (")
+	e.p("\t\"context\"")
+	e.p("\t\"fmt\"")
+	e.p("\t\"sync\"")
+	e.p("\t\"sync/atomic\"")
+	e.p("\t\"time\"")
+	e.p("")
+	if app.importApps {
+		e.p("\t\"pipemap/internal/apps\"")
+	}
+	e.p("\t\"pipemap/internal/fxrt\"")
+	e.p("\t\"pipemap/internal/kernels\"")
+	e.p("\t\"pipemap/internal/model\"")
+	e.p("\t\"pipemap/internal/obs\"")
+	e.p("\t\"pipemap/internal/obs/live\"")
+	e.p(")")
+	e.p("")
+}
+
+func emitConstants(e *emitter, app *appDef, opt Options, mods []genModule) {
+	e.p("// App names the application this executor was generated for.")
+	e.p("const App = %q", app.name)
+	e.p("")
+	e.p("// MappingString is the solved mapping baked into this executor. Callers")
+	e.p("// wiring the executor to a freshly solved mapping must check the two")
+	e.p("// match and regenerate (make pipegen) when they drift.")
+	e.p("const MappingString = %q", opt.Mapping.String())
+	e.p("")
+	e.p("// Generation-time constants of the baked mapping: per-module worker")
+	e.p("// counts, replication factors, and the fixed ring capacities derived")
+	e.p("// from them (max(4, 2*replicas), as fxrt.Stream sizes its inboxes).")
+	e.p("const (")
+	for _, m := range mods {
+		e.p("\tstage%dName = %q", m.Index, m.Name)
+		e.p("\tstage%dProcs = %d", m.Index, m.Procs)
+		e.p("\tstage%dReplicas = %d", m.Index, m.Replicas)
+		e.p("\tring%dCap = %d", m.Index, m.RingCap)
+	}
+	e.p("\tsinkCap = %d", sinkCap)
+	e.p(")")
+	e.p("")
+	e.p("// Modules returns the baked mapping's module table, for rebuilding an")
+	e.p("// equivalent model.Mapping (e.g. to drive the generic executor on the")
+	e.p("// same structure in differential tests).")
+	e.p("func Modules() []model.Module {")
+	e.p("\treturn []model.Module{")
+	for _, m := range mods {
+		e.p("\t\t{Lo: %d, Hi: %d, Procs: %d, Replicas: %d},", m.Lo, m.Hi, m.Procs, m.Replicas)
+	}
+	e.p("\t}")
+	e.p("}")
+	e.p("")
+}
+
+func emitEnvelopes(e *emitter, mods []genModule) {
+	e.p("// meta is the per-data-set bookkeeping shared by every envelope: the")
+	e.p("// stream index, submit time, per-stage attempt count, tombstone state,")
+	e.p("// the submitter's result channel, and the optional request trace.")
+	e.p("type meta struct {")
+	e.p("\tidx      int")
+	e.p("\tt0       time.Time")
+	e.p("\tattempts int")
+	e.p("\tdropped  bool")
+	e.p("\terr      error")
+	e.p("\tres      chan fxrt.StreamResult")
+	e.p("\trt       *obs.ReqTrace")
+	e.p("}")
+	e.p("")
+	for _, m := range mods {
+		e.p("// env%d is the typed envelope entering module %d (%s).", m.Index, m.Index, m.Name)
+		e.p("type env%d struct {", m.Index)
+		e.p("\tmeta")
+		e.p("\tds %s", m.InType)
+		e.p("}")
+		e.p("")
+	}
+	last := mods[len(mods)-1]
+	e.p("// envSink is the typed envelope entering the sink.")
+	e.p("type envSink struct {")
+	e.p("\tmeta")
+	e.p("\tds %s", last.OutType)
+	e.p("}")
+	e.p("")
+}
+
+func emitExecutor(e *emitter, app *appDef, mods []genModule) {
+	e.p("// Executor is the generated pipeline: one goroutine per module instance")
+	e.p("// pulling from the module's fixed-size ring, a sink resolving results to")
+	e.p("// submitters, and drain-to-zero shutdown — the same lifecycle contract")
+	e.p("// as fxrt.Stream, so it plugs into ingest.Plane as a Backend.")
+	e.p("type Executor struct {")
+	e.p("\tcfg Config")
+	e.p("")
+	app.emitState(e)
+	for _, m := range mods {
+		e.p("\tin%d chan env%d", m.Index, m.Index)
+	}
+	e.p("\tsinkIn chan envSink")
+	e.p("")
+	e.p("\tquit chan struct{}")
+	e.p("\tstop sync.Once")
+	e.p("\twg   sync.WaitGroup")
+	e.p("")
+	e.p("\tmu       sync.Mutex")
+	e.p("\tclosed   bool")
+	e.p("\tinflight int")
+	e.p("\tdrained  chan struct{}")
+	e.p("")
+	e.p("\tstart time.Time")
+	e.p("\tseq   atomic.Int64")
+	e.p("")
+	e.p("\tcompleted atomic.Int64")
+	e.p("\tretried   atomic.Int64")
+	e.p("\tdroppedN  atomic.Int64")
+	e.p("\ttimeouts  atomic.Int64")
+	e.p("}")
+	e.p("")
+}
+
+func emitNew(e *emitter, app *appDef, size int, mods []genModule) {
+	e.p("// New starts the executor: the rings are allocated at their baked")
+	e.p("// capacities and every module instance goroutine begins pulling. The")
+	e.p("// configured Monitor (if any) is started and observes every attempt")
+	e.p("// exactly as the generic stream's monitor does.")
+	e.p("func New(cfg Config) (*Executor, error) {")
+	app.emitDefaults(e, size)
+	app.emitValidate(e)
+	e.p("\te := &Executor{")
+	e.p("\t\tcfg:     cfg,")
+	for _, m := range mods {
+		e.p("\t\tin%d: make(chan env%d, ring%dCap),", m.Index, m.Index, m.Index)
+	}
+	e.p("\t\tsinkIn:  make(chan envSink, sinkCap),")
+	e.p("\t\tquit:    make(chan struct{}),")
+	e.p("\t\tdrained: make(chan struct{}),")
+	e.p("\t\tstart:   time.Now(),")
+	e.p("\t}")
+	app.emitInit(e)
+	for _, m := range mods {
+		e.p("\tfor b := 0; b < stage%dReplicas; b++ {", m.Index)
+		e.p("\t\te.wg.Add(1)")
+		e.p("\t\tgo e.run%d(b)", m.Index)
+		e.p("\t}")
+	}
+	e.p("\te.wg.Add(1)")
+	e.p("\tgo e.runSink()")
+	e.p("\tcfg.Monitor.Start()")
+	e.p("\treturn e, nil")
+	e.p("}")
+	e.p("")
+}
+
+func emitPushAPI(e *emitter, app *appDef, mods []genModule) {
+	in := mods[0].InType
+	e.p("// Push submits one data set and returns the buffered channel its result")
+	e.p("// will be delivered on. Push blocks while the first module's ring is")
+	e.p("// full — backpressure an admission queue converts into shedding — until")
+	e.p("// ctx is done. A nil ctx never expires.")
+	e.p("func (e *Executor) Push(ctx context.Context, ds %s) (<-chan fxrt.StreamResult, error) {", in)
+	e.p("\treturn e.push(ctx, ds, nil)")
+	e.p("}")
+	e.p("")
+	e.p("// PushTraced is the ingest.Backend entry point: it accepts the untyped")
+	e.p("// data set the data plane carries, asserts the concrete input type, and")
+	e.p("// records every stage attempt on rt (nil rt is exactly Push).")
+	e.p("func (e *Executor) PushTraced(ctx context.Context, ds fxrt.DataSet, rt *obs.ReqTrace) (<-chan fxrt.StreamResult, error) {")
+	e.p("\tin, ok := ds.(%s)", in)
+	e.p("\tif !ok {")
+	e.p("\t\treturn nil, fmt.Errorf(\"%s: data set is %%T, want %s\", ds)", app.name, in)
+	e.p("\t}")
+	e.p("\treturn e.push(ctx, in, rt)")
+	e.p("}")
+	e.p("")
+	e.p("func (e *Executor) push(ctx context.Context, ds %s, rt *obs.ReqTrace) (<-chan fxrt.StreamResult, error) {", in)
+	e.p("\te.mu.Lock()")
+	e.p("\tif e.closed {")
+	e.p("\t\te.mu.Unlock()")
+	e.p("\t\treturn nil, fxrt.ErrStreamClosed")
+	e.p("\t}")
+	e.p("\te.inflight++")
+	e.p("\te.mu.Unlock()")
+	e.p("\tenv := env0{")
+	e.p("\t\tmeta: meta{")
+	e.p("\t\t\tidx: int(e.seq.Add(1) - 1),")
+	e.p("\t\t\tt0:  time.Now(),")
+	e.p("\t\t\tres: make(chan fxrt.StreamResult, 1),")
+	e.p("\t\t\trt:  rt,")
+	e.p("\t\t},")
+	e.p("\t\tds: ds,")
+	e.p("\t}")
+	e.p("\tvar done <-chan struct{}")
+	e.p("\tif ctx != nil {")
+	e.p("\t\tdone = ctx.Done()")
+	e.p("\t}")
+	e.p("\tselect {")
+	e.p("\tcase e.in0 <- env:")
+	e.p("\t\treturn env.res, nil")
+	e.p("\tcase <-done:")
+	e.p("\t\te.doneOne()")
+	e.p("\t\treturn nil, ctx.Err()")
+	e.p("\t}")
+	e.p("}")
+	e.p("")
+	e.p("// Run pushes n data sets from source and collects their results in push")
+	e.p("// order — a batch convenience for benchmarks and differential tests.")
+	e.p("// The executor stays open afterwards.")
+	e.p("func (e *Executor) Run(source func(i int) %s, n int) ([]fxrt.StreamResult, error) {", in)
+	e.p("\tchans := make(chan (<-chan fxrt.StreamResult), ring0Cap)")
+	e.p("\tpushErr := make(chan error, 1)")
+	e.p("\tgo func() {")
+	e.p("\t\tdefer close(chans)")
+	e.p("\t\tfor i := 0; i < n; i++ {")
+	e.p("\t\t\tch, err := e.Push(nil, source(i))")
+	e.p("\t\t\tif err != nil {")
+	e.p("\t\t\t\tpushErr <- err")
+	e.p("\t\t\t\treturn")
+	e.p("\t\t\t}")
+	e.p("\t\t\tchans <- ch")
+	e.p("\t\t}")
+	e.p("\t}()")
+	e.p("\tout := make([]fxrt.StreamResult, 0, n)")
+	e.p("\tfor ch := range chans {")
+	e.p("\t\tout = append(out, <-ch)")
+	e.p("\t}")
+	e.p("\tselect {")
+	e.p("\tcase err := <-pushErr:")
+	e.p("\t\treturn out, err")
+	e.p("\tdefault:")
+	e.p("\t}")
+	e.p("\treturn out, nil")
+	e.p("}")
+	e.p("")
+}
+
+func emitLifecycle(e *emitter, app *appDef, mods []genModule) {
+	e.p("// InFlight reports pushed data sets not yet resolved.")
+	e.p("func (e *Executor) InFlight() int {")
+	e.p("\te.mu.Lock()")
+	e.p("\tdefer e.mu.Unlock()")
+	e.p("\treturn e.inflight")
+	e.p("}")
+	e.p("")
+	e.p("// doneOne retires one in-flight data set and completes the drain when")
+	e.p("// the executor is closed and empty.")
+	e.p("func (e *Executor) doneOne() {")
+	e.p("\te.mu.Lock()")
+	e.p("\te.inflight--")
+	e.p("\tif e.closed && e.inflight == 0 {")
+	e.p("\t\tclose(e.drained)")
+	e.p("\t}")
+	e.p("\te.mu.Unlock()")
+	e.p("}")
+	e.p("")
+	e.p("// Close stops admitting, waits for every in-flight data set to resolve")
+	e.p("// (graceful drain loses nothing), then stops the module instances and")
+	e.p("// returns cumulative statistics. Close is idempotent and safe to call")
+	e.p("// concurrently.")
+	e.p("func (e *Executor) Close() fxrt.Stats {")
+	e.p("\te.mu.Lock()")
+	e.p("\tif !e.closed {")
+	e.p("\t\te.closed = true")
+	e.p("\t\tif e.inflight == 0 {")
+	e.p("\t\t\tclose(e.drained)")
+	e.p("\t\t}")
+	e.p("\t}")
+	e.p("\te.mu.Unlock()")
+	e.p("\t<-e.drained")
+	e.p("\te.stop.Do(func() {")
+	e.p("\t\tclose(e.quit)")
+	e.p("\t})")
+	e.p("\te.wg.Wait()")
+	e.p("\te.cfg.Monitor.Finish()")
+	e.p("\treturn e.Stats()")
+	e.p("}")
+	e.p("")
+	e.p("// Stats snapshots cumulative statistics. DataSets counts resolved data")
+	e.p("// sets (completed plus dropped); per-op timings are not recorded — the")
+	e.p("// generated hot path trades the Recorder for lower overhead.")
+	e.p("func (e *Executor) Stats() fxrt.Stats {")
+	e.p("\tcompleted := e.completed.Load()")
+	e.p("\tdropped := e.droppedN.Load()")
+	e.p("\tst := fxrt.Stats{")
+	e.p("\t\tDataSets: int(completed + dropped),")
+	e.p("\t\tElapsed:  time.Since(e.start),")
+	e.p("\t\tRetried:  int(e.retried.Load()),")
+	e.p("\t\tDropped:  int(dropped),")
+	e.p("\t\tTimeouts: int(e.timeouts.Load()),")
+	e.p("\t}")
+	e.p("\tif st.Elapsed > 0 {")
+	e.p("\t\tst.Throughput = float64(completed) / st.Elapsed.Seconds()")
+	e.p("\t}")
+	e.p("\treturn st")
+	e.p("}")
+	e.p("")
+}
+
+// emitModule emits the instance loop, retry/drop processing, and the fused
+// attempt function of one module.
+func emitModule(e *emitter, app *appDef, m genModule, mods []genModule) {
+	nextCh, nextEnv := "e.sinkIn", "envSink"
+	if m.Index < len(mods)-1 {
+		nextCh = fmt.Sprintf("e.in%d", m.Index+1)
+		nextEnv = fmt.Sprintf("env%d", m.Index+1)
+	}
+	e.p("// run%d is the body of one instance of module %d (%s): it owns a", m.Index, m.Index, m.Name)
+	e.p("// worker group of stage%dProcs workers and pulls envelopes from the", m.Index)
+	e.p("// module's shared ring until shutdown.")
+	e.p("func (e *Executor) run%d(b int) {", m.Index)
+	e.p("\tdefer e.wg.Done()")
+	e.p("\tg, _ := fxrt.NewGroup(stage%dProcs)", m.Index)
+	e.p("\tvar attempts sync.WaitGroup")
+	e.p("\tdefer func() {")
+	e.p("\t\t// Abandoned (timed-out) attempts may still be running on the group;")
+	e.p("\t\t// close it only after they finish, without blocking shutdown.")
+	e.p("\t\tgo func() {")
+	e.p("\t\t\tattempts.Wait()")
+	e.p("\t\t\tg.Close()")
+	e.p("\t\t}()")
+	e.p("\t}()")
+	e.p("\tmaxAttempts := e.cfg.Retry.MaxRetries + 1")
+	e.p("\tfor {")
+	e.p("\t\tselect {")
+	e.p("\t\tcase env := <-e.in%d:", m.Index)
+	e.p("\t\t\te.process%d(g, b, &attempts, maxAttempts, env)", m.Index)
+	e.p("\t\tcase <-e.quit:")
+	e.p("\t\t\treturn")
+	e.p("\t\t}")
+	e.p("\t}")
+	e.p("}")
+	e.p("")
+	e.p("// process%d runs one envelope through module %d, retrying per the", m.Index, m.Index)
+	e.p("// configured policy — the generated mirror of fxrt.Stream.process.")
+	e.p("func (e *Executor) process%d(g *fxrt.Group, b int, attempts *sync.WaitGroup, maxAttempts int, env env%d) {", m.Index, m.Index)
+	e.p("\tif env.dropped {")
+	e.p("\t\t%s <- %s{meta: env.meta}", nextCh, nextEnv)
+	e.p("\t\treturn")
+	e.p("\t}")
+	e.p("\tmon := e.cfg.Monitor")
+	e.p("\tfor {")
+	e.p("\t\tt0 := time.Now()")
+	e.p("\t\tout, err, timedOut := e.attempt%d(g, b, attempts, env.ds)", m.Index)
+	e.p("\t\tif err == nil {")
+	e.p("\t\t\tenv.rt.StageSpan(stage%dName, %d, b, env.attempts, \"ok\", t0, time.Since(t0))", m.Index, m.Index)
+	e.p("\t\t\tmon.StageDone(%d, time.Since(t0).Seconds())", m.Index)
+	e.p("\t\t\tfwd := env.meta")
+	e.p("\t\t\tfwd.attempts = 0")
+	e.p("\t\t\t%s <- %s{meta: fwd, ds: out}", nextCh, nextEnv)
+	e.p("\t\t\treturn")
+	e.p("\t\t}")
+	e.p("\t\toutcome := \"error\"")
+	e.p("\t\tif timedOut {")
+	e.p("\t\t\toutcome = \"timeout\"")
+	e.p("\t\t}")
+	e.p("\t\tenv.rt.StageSpan(stage%dName, %d, b, env.attempts, outcome, t0, time.Since(t0))", m.Index, m.Index)
+	e.p("\t\tenv.attempts++")
+	e.p("\t\tenv.err = err")
+	e.p("\t\tif timedOut {")
+	e.p("\t\t\te.timeouts.Add(1)")
+	e.p("\t\t\tmon.StageTimeout(%d, env.idx)", m.Index)
+	e.p("\t\t}")
+	e.p("\t\tif env.attempts >= maxAttempts {")
+	e.p("\t\t\tfwd := env.meta")
+	e.p("\t\t\tfwd.dropped = true")
+	e.p("\t\t\tif fwd.err == nil {")
+	e.p("\t\t\t\tfwd.err = fmt.Errorf(\"%s: data set %%d dropped at stage %%s\", env.idx, stage%dName)", app.name, m.Index)
+	e.p("\t\t\t}")
+	e.p("\t\t\tfwd.attempts = 0")
+	e.p("\t\t\te.droppedN.Add(1)")
+	e.p("\t\t\tmon.StageDrop(%d, env.idx)", m.Index)
+	e.p("\t\t\tenv.rt.Instant(\"stage\", stage%dName, \"dropped: attempts exhausted\")", m.Index)
+	e.p("\t\t\t%s <- %s{meta: fwd}", nextCh, nextEnv)
+	e.p("\t\t\treturn")
+	e.p("\t\t}")
+	e.p("\t\te.retried.Add(1)")
+	e.p("\t\tmon.StageRetry(%d, env.idx)", m.Index)
+	e.p("\t\tif d := e.cfg.Retry.BackoffFor(env.attempts); d > 0 {")
+	e.p("\t\t\ttime.Sleep(d)")
+	e.p("\t\t}")
+	e.p("\t}")
+	e.p("}")
+	e.p("")
+	e.p("// attempt%d executes one fused try of module %d — tasks %s —", m.Index, m.Index, m.Name)
+	e.p("// bounded by the configured stage deadline. The fusion rule: every task")
+	e.p("// in [%d,%d) runs inline on this instance's group, and the module's", m.Lo, m.Hi)
+	e.p("// incoming redistribution (if any) executes receiver-side as part of the")
+	e.p("// attempt, exactly as fxrt edge transfers do.")
+	e.p("func (e *Executor) attempt%d(g *fxrt.Group, b int, attempts *sync.WaitGroup, in %s) (%s, error, bool) {", m.Index, m.InType, m.OutType)
+	e.p("\trun := func() (%s, error) {", m.OutType)
+	app.emitBody(e, m)
+	e.p("\t}")
+	e.p("\tdeadline := e.cfg.StageDeadline")
+	e.p("\tif deadline <= 0 {")
+	e.p("\t\tout, err := run()")
+	e.p("\t\treturn out, err, false")
+	e.p("\t}")
+	e.p("\ttype result struct {")
+	e.p("\t\tds  %s", m.OutType)
+	e.p("\t\terr error")
+	e.p("\t}")
+	e.p("\tch := make(chan result, 1)")
+	e.p("\tattempts.Add(1)")
+	e.p("\tgo func() {")
+	e.p("\t\tdefer attempts.Done()")
+	e.p("\t\tout, err := run()")
+	e.p("\t\tch <- result{out, err}")
+	e.p("\t}()")
+	e.p("\ttimer := time.NewTimer(deadline)")
+	e.p("\tdefer timer.Stop()")
+	e.p("\tselect {")
+	e.p("\tcase res := <-ch:")
+	e.p("\t\treturn res.ds, res.err, false")
+	e.p("\tcase <-timer.C:")
+	e.p("\t\treturn %s, fmt.Errorf(\"%s: stage %%s instance %%d: deadline %%v exceeded\", stage%dName, b, deadline), true", m.OutZero, app.name, m.Index)
+	e.p("\t}")
+	e.p("}")
+	e.p("")
+}
+
+func emitSink(e *emitter) {
+	e.p("// runSink resolves envelopes to their submitters.")
+	e.p("func (e *Executor) runSink() {")
+	e.p("\tdefer e.wg.Done()")
+	e.p("\tmon := e.cfg.Monitor")
+	e.p("\tfor {")
+	e.p("\t\tselect {")
+	e.p("\t\tcase env := <-e.sinkIn:")
+	e.p("\t\t\tlat := time.Since(env.t0)")
+	e.p("\t\t\tif env.dropped {")
+	e.p("\t\t\t\tenv.res <- fxrt.StreamResult{Err: env.err, Latency: lat}")
+	e.p("\t\t\t} else {")
+	e.p("\t\t\t\te.completed.Add(1)")
+	e.p("\t\t\t\tmon.Completed(lat.Seconds())")
+	e.p("\t\t\t\tenv.res <- fxrt.StreamResult{DS: env.ds, Latency: lat}")
+	e.p("\t\t\t}")
+	e.p("\t\t\te.doneOne()")
+	e.p("\t\tcase <-e.quit:")
+	e.p("\t\t\treturn")
+	e.p("\t\t}")
+	e.p("\t}")
+	e.p("}")
+	e.p("")
+}
